@@ -1,0 +1,86 @@
+// Ablation / extension study: cardinality micro-models (section 5.2).
+//
+// "The notion of signatures ... turned out to be very helpful not just for
+// computation reuse, but also for applications such as ... learning high
+// accuracy micro-models for specific portions of the workload" and "the
+// insights service evolved into an independent component that could serve
+// ... cardinality". This bench isolates that loop: CloudViews
+// materialization stays OFF in both arms; the treated arm serves observed
+// per-recurring-signature cardinalities back to the optimizer. Better
+// estimates mean less over-partitioning — fewer containers and scheduling
+// overhead — without materializing anything.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/experiment.h"
+#include "workload/profiles.h"
+
+namespace cloudviews {
+namespace {
+
+struct Outcome {
+  double containers = 0;
+  double latency = 0;
+  double processing = 0;
+};
+
+Outcome RunWith(const WorkloadProfile& profile, int days,
+                bool feedback_enabled) {
+  DatasetCatalog catalog;
+  WorkloadGenerator generator(profile);
+  generator.Setup(&catalog).ok();
+  ReuseEngineOptions options;
+  options.cloudviews_enabled = false;  // no materialization in either arm
+  options.enable_cardinality_feedback = feedback_enabled;
+  ReuseEngine engine(&catalog, options);
+  ClusterSimulator simulator(&engine, {});
+  for (int day = 0; day < days; ++day) {
+    if (day > 0) {
+      std::vector<std::string> updated;
+      generator.AdvanceDay(&catalog, day, &updated).ok();
+    }
+    for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
+      simulator.SubmitJob(job).ok();
+    }
+  }
+  DailyTelemetry totals = simulator.telemetry().Totals();
+  Outcome out;
+  out.containers = static_cast<double>(totals.containers);
+  out.latency = totals.latency_seconds;
+  out.processing = totals.processing_seconds;
+  return out;
+}
+
+int RunBench(int argc, char** argv) {
+  double scale = bench_util::ParseScale(argc, argv, 0.2);
+  int days = bench_util::ParseDays(argc, argv, 8);
+  bench_util::PrintHeader(
+      "Extension: cardinality micro-models without materialization",
+      "paper section 5.2 (feedback-driven workload optimization)");
+
+  WorkloadProfile profile = ProductionDeploymentProfile(scale);
+  Outcome off = RunWith(profile, days, false);
+  Outcome on = RunWith(profile, days, true);
+
+  std::printf("%-26s %14s %14s %10s\n", "metric", "static_est",
+              "micro-models", "improved");
+  std::printf("%-26s %14.0f %14.0f %9.2f%%\n", "containers", off.containers,
+              on.containers, ImprovementPercent(off.containers, on.containers));
+  std::printf("%-26s %14.0f %14.0f %9.2f%%\n", "latency (s)", off.latency,
+              on.latency, ImprovementPercent(off.latency, on.latency));
+  std::printf("%-26s %14.0f %14.0f %9.2f%%\n", "processing (s)",
+              off.processing, on.processing,
+              ImprovementPercent(off.processing, on.processing));
+  std::printf("\n(processing barely moves — the same work runs either way — "
+              "but accurate estimates stop the optimizer over-partitioning "
+              "recurring subexpressions, cutting containers and per-stage "
+              "scheduling latency. This is the part of the Table 1 container "
+              "win that comes purely from statistics feedback.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cloudviews
+
+int main(int argc, char** argv) { return cloudviews::RunBench(argc, argv); }

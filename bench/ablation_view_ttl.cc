@@ -1,0 +1,79 @@
+// Ablation: view time-to-live and input churn.
+//
+// Production expires every view one week after creation ("our current
+// eviction policies expire each of the views after one week of creation,
+// thus consuming a fixed amount of storage"). The TTL interacts with input
+// churn: views over daily-updated datasets die with the next bulk update
+// anyway, while views over stable datasets keep paying off until the TTL
+// reclaims them. This bench sweeps both knobs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/experiment.h"
+#include "workload/profiles.h"
+
+namespace cloudviews {
+namespace {
+
+struct Outcome {
+  double processing_improvement = 0.0;
+  int64_t views_created = 0;
+  int64_t views_reused = 0;
+};
+
+Outcome RunWith(ExperimentConfig config) {
+  ProductionExperiment experiment(std::move(config));
+  auto result = experiment.Run();
+  Outcome out;
+  if (!result.ok()) return out;
+  DailyTelemetry base = result->baseline.telemetry.Totals();
+  DailyTelemetry with_cv = result->cloudviews.telemetry.Totals();
+  out.processing_improvement =
+      ImprovementPercent(base.processing_seconds, with_cv.processing_seconds);
+  out.views_created = result->cloudviews.views_created;
+  out.views_reused = result->cloudviews.views_reused;
+  return out;
+}
+
+int RunBench(int argc, char** argv) {
+  double scale = bench_util::ParseScale(argc, argv, 0.2);
+  int days = bench_util::ParseDays(argc, argv, 12);
+  bench_util::PrintHeader("Ablation: view TTL x input churn",
+                          "paper section 3.1 (one-week expiry policy)");
+
+  ExperimentConfig config;
+  config.workload = ProductionDeploymentProfile(scale);
+  config.num_days = days;
+  config.onboarding_days_per_vc = 0;
+  config.engine.selection.min_occurrences = 4;
+
+  std::printf("%-18s %-12s %12s %12s %12s %12s\n", "daily_churn", "ttl_days",
+              "built", "reused", "reuse/view", "proc_improv");
+  for (double churn : {1.0, 0.6, 0.2}) {
+    for (double ttl_days : {1.0, 7.0, 30.0}) {
+      ExperimentConfig run = config;
+      run.workload.daily_update_fraction = churn;
+      run.engine.view_ttl_seconds = ttl_days * 86400.0;
+      Outcome out = RunWith(run);
+      double per_view =
+          out.views_created > 0
+              ? static_cast<double>(out.views_reused) /
+                    static_cast<double>(out.views_created)
+              : 0.0;
+      std::printf("%-18.1f %-12.0f %12lld %12lld %12.2f %11.2f%%\n", churn,
+                  ttl_days, static_cast<long long>(out.views_created),
+                  static_cast<long long>(out.views_reused), per_view,
+                  out.processing_improvement);
+    }
+  }
+  std::printf("\n(expected: with full daily churn the TTL barely matters — "
+              "GUID rotation reclaims views first; with stable inputs longer "
+              "TTLs mean fewer rebuilds and more reuses per view)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cloudviews
+
+int main(int argc, char** argv) { return cloudviews::RunBench(argc, argv); }

@@ -1,0 +1,48 @@
+#ifndef CLOUDVIEWS_BENCH_BENCH_UTIL_H_
+#define CLOUDVIEWS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace cloudviews {
+namespace bench_util {
+
+// Parses "--scale=<double>" from argv (or CLOUDVIEWS_BENCH_SCALE from the
+// environment); the default keeps every figure bench comfortably fast while
+// preserving the workload's distributional shape.
+inline double ParseScale(int argc, char** argv, double default_scale) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      return std::atof(argv[i] + 8);
+    }
+  }
+  const char* env = std::getenv("CLOUDVIEWS_BENCH_SCALE");
+  if (env != nullptr && env[0] != '\0') return std::atof(env);
+  return default_scale;
+}
+
+// Parses "--days=<int>" similarly.
+inline int ParseDays(int argc, char** argv, int default_days) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--days=", 7) == 0) {
+      return std::atoi(argv[i] + 7);
+    }
+  }
+  return default_days;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace bench_util
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_BENCH_BENCH_UTIL_H_

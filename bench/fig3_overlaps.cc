@@ -1,0 +1,95 @@
+// Reproduces Figure 3: percentage of repeated query subexpressions (top) and
+// average repeat frequency (bottom) per day over a 10-month window
+// (January-October 2020). The paper reports >75% repeated consistently and
+// an average repeat frequency hovering around 5, over 67M jobs and 4.3B
+// subexpressions across five clusters.
+//
+// This is a workload-mining experiment: jobs are compiled and their
+// subexpression signatures ingested into the workload repository (execution
+// is not needed to measure overlap), exactly like the offline workload
+// analysis in production.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/workload_repository.h"
+#include "plan/signature.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace cloudviews {
+namespace {
+
+int RunFig3(int argc, char** argv) {
+  int days = bench_util::ParseDays(argc, argv, 290);  // ~10 months
+  bench_util::PrintHeader(
+      "Figure 3: Overlaps in production clusters (10-month window)",
+      "Jindal et al., EDBT 2021, Figure 3");
+
+  WorkloadProfile profile = ProductionDeploymentProfile(0.35);
+  profile.cluster_name = "overlap";
+  // Mining only looks at plan signatures; tiny datasets keep binding cheap.
+  profile.min_rows = 20;
+  profile.max_rows = 60;
+  // Denser recurrence, as in the production workload mix (recurring
+  // pipelines run several times per day).
+  profile.instances_per_template_per_day = 6;
+
+  WorkloadGenerator generator(profile);
+  DatasetCatalog catalog;
+  if (!generator.Setup(&catalog).ok()) return 1;
+
+  WorkloadRepository repository;
+  SignatureComputer signatures;
+  int64_t total_jobs = 0;
+  for (int day = 0; day < days; ++day) {
+    if (day > 0 && !generator.AdvanceDay(&catalog, day).ok()) return 1;
+    for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
+      std::vector<NodeSignature> sigs = signatures.ComputeAll(*job.plan);
+      repository.IngestJob(job.job_id, job.virtual_cluster, day,
+                           job.submit_time, sigs, MetricsBySignature{});
+      total_jobs += 1;
+    }
+  }
+
+  std::printf("[mined %lld jobs, %lld subexpression instances, %zu distinct "
+              "signatures over %d days]\n\n",
+              static_cast<long long>(total_jobs),
+              static_cast<long long>(repository.total_instances()),
+              repository.num_groups(), days);
+
+  std::printf("%-12s %28s %26s\n", "date", "percent_repeated_subexprs",
+              "avg_repeat_frequency_so_far");
+  std::vector<DayOverlapStats> by_day = repository.OverlapByDay();
+  int64_t cumulative_instances = 0;
+  // Count distinct signatures incrementally by replaying first-seen days.
+  std::map<int, int64_t> new_groups_by_day;
+  for (const SubexpressionGroup* group : repository.AllGroups()) {
+    new_groups_by_day[group->first_day] += 1;
+  }
+  int64_t cumulative_groups = 0;
+  for (const DayOverlapStats& stats : by_day) {
+    cumulative_instances += stats.total_subexpressions;
+    cumulative_groups += new_groups_by_day[stats.day];
+    if (stats.day % 10 != 0) continue;  // figure-density x-axis ticks
+    double avg_freq = cumulative_groups > 0
+                          ? static_cast<double>(cumulative_instances) /
+                                static_cast<double>(cumulative_groups)
+                          : 0.0;
+    // Note: 2020-01-13 in the paper; our day 0 label starts 2/1 for the
+    // deployment window, so print day indexes here.
+    std::printf("day %-8d %27.1f%% %26.2f\n", stats.day,
+                stats.PercentRepeated(), avg_freq);
+  }
+
+  std::printf("\nWindow totals: %.1f%% repeated (paper: >75%%), "
+              "average repeat frequency %.2f (paper: ~5)\n",
+              repository.PercentRepeated(),
+              repository.AverageRepeatFrequency());
+  return 0;
+}
+
+}  // namespace
+}  // namespace cloudviews
+
+int main(int argc, char** argv) { return cloudviews::RunFig3(argc, argv); }

@@ -1,0 +1,85 @@
+// Microbenchmarks: subexpression signature computation.
+//
+// Signatures run inside the compiler's hot path ("lightweight view matching
+// ... only requires to recursively compute a signature for each
+// subexpression"), so their cost directly bounds compile-time overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "plan/builder.h"
+#include "plan/signature.h"
+#include "storage/catalog.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+// Builds a left-deep chain of `depth` filter+project pairs over a scan.
+LogicalOpPtr DeepPlan(const DatasetCatalog& catalog, int depth) {
+  auto dataset = catalog.Lookup("Sales");
+  LogicalOpPtr plan = LogicalOp::Scan("Sales", dataset->guid,
+                                      dataset->table->schema());
+  for (int i = 0; i < depth; ++i) {
+    plan = LogicalOp::Filter(
+        plan, Expr::MakeBinary(sql::BinaryOp::kGt,
+                               Expr::MakeColumn(0, "SaleId"),
+                               Expr::MakeLiteral(Value(int64_t{i}))));
+  }
+  return plan;
+}
+
+void BM_StrictSignature(benchmark::State& state) {
+  DatasetCatalog catalog;
+  testing_util::RegisterFigure4Tables(&catalog);
+  LogicalOpPtr plan = DeepPlan(catalog, static_cast<int>(state.range(0)));
+  SignatureComputer computer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computer.Compute(*plan).strict);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan->TreeSize()));
+}
+BENCHMARK(BM_StrictSignature)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ComputeAllSignatures(benchmark::State& state) {
+  DatasetCatalog catalog;
+  testing_util::RegisterFigure4Tables(&catalog);
+  LogicalOpPtr plan = DeepPlan(catalog, static_cast<int>(state.range(0)));
+  SignatureComputer computer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computer.ComputeAll(*plan));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan->TreeSize()));
+}
+BENCHMARK(BM_ComputeAllSignatures)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SignatureFigure4Query(benchmark::State& state) {
+  DatasetCatalog catalog;
+  testing_util::RegisterFigure4Tables(&catalog);
+  PlanBuilder builder(&catalog);
+  auto plan = builder.BuildFromSql(
+      "SELECT Brand, AVG(Discount) FROM Sales "
+      "JOIN Customer ON Sales.CustomerId = Customer.CustomerId "
+      "JOIN Parts ON Sales.PartId = Parts.PartId "
+      "WHERE MktSegment = 'Asia' GROUP BY Brand");
+  SignatureComputer computer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computer.ComputeAll(**plan));
+  }
+}
+BENCHMARK(BM_SignatureFigure4Query);
+
+void BM_HashThroughput(benchmark::State& state) {
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashString(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashThroughput)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace cloudviews
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Workload insights: the C++ analog of the SparkCruise "Workload Insights
+// Notebook" (paper section 5.5) — aggregate workload statistics and the
+// redundancies in it, used to convince a customer that computation reuse
+// will pay off before they enable the feature.
+//
+// Mines one week of a workload (compile-only; nothing executes), then
+// prints overlap statistics, the top reuse candidates with expected
+// savings, the per-VC breakdown, and the query-annotations file that the
+// insights service would serve.
+//
+// Build & run:  ./build/examples/workload_insights
+
+#include <cstdio>
+
+#include "core/view_selection.h"
+#include "core/workload_analyzer.h"
+#include "core/workload_repository.h"
+#include "plan/signature.h"
+#include "core/insights_service.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+int main() {
+  using namespace cloudviews;  // NOLINT: example brevity
+
+  std::printf("CloudViews workload insights notebook\n");
+  std::printf("=====================================\n\n");
+
+  WorkloadProfile profile = ProductionDeploymentProfile(0.2);
+  profile.min_rows = 30;  // mining only
+  profile.max_rows = 90;
+  WorkloadGenerator generator(profile);
+  DatasetCatalog catalog;
+  if (!generator.Setup(&catalog).ok()) return 1;
+
+  // Mine one week of compiled plans into the workload repository.
+  WorkloadRepository repository;
+  SignatureComputer signatures;
+  int64_t jobs = 0;
+  for (int day = 0; day < 7; ++day) {
+    if (day > 0) generator.AdvanceDay(&catalog, day).ok();
+    for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
+      repository.IngestJob(job.job_id, job.virtual_cluster, day,
+                           job.submit_time, signatures.ComputeAll(*job.plan),
+                           MetricsBySignature{});
+      jobs += 1;
+    }
+  }
+
+  std::printf("## Workload statistics (1 week)\n");
+  std::printf("  jobs analyzed:               %lld\n",
+              static_cast<long long>(jobs));
+  std::printf("  subexpression instances:     %lld\n",
+              static_cast<long long>(repository.total_instances()));
+  std::printf("  distinct subexpressions:     %zu\n", repository.num_groups());
+  std::printf("  repeated subexpressions:     %.1f%%\n",
+              repository.PercentRepeated());
+  std::printf("  average repeat frequency:    %.2f\n\n",
+              repository.AverageRepeatFrequency());
+
+  std::printf("## Redundancy by day\n");
+  for (const DayOverlapStats& day : repository.OverlapByDay()) {
+    std::printf("  day %d: %5lld subexpressions, %4.1f%% repeated\n", day.day,
+                static_cast<long long>(day.total_subexpressions),
+                day.PercentRepeated());
+  }
+
+  // Score candidates exactly as the view selector would (without running
+  // the paired execution), and show what the customer can expect.
+  SelectionConstraints constraints;
+  constraints.min_occurrences = 4;
+  constraints.schedule_aware = true;
+  ViewSelector selector(constraints);
+  SelectionResult selection = selector.Select(repository);
+  std::printf("\n## View selection preview\n");
+  std::printf("  candidates considered:       %lld\n",
+              static_cast<long long>(selection.candidates_considered));
+  std::printf("  selected for materialization: %zu\n",
+              selection.selected.size());
+  std::printf("  rejected (schedule-aware):   %lld\n",
+              static_cast<long long>(selection.rejected_schedule));
+  std::printf("  rejected (negative utility): %lld\n",
+              static_cast<long long>(selection.rejected_utility));
+  std::printf("  total view storage:          %.1f KB\n",
+              selection.total_storage_bytes / 1024.0);
+  std::printf("  expected cpu savings:        %.0f cost units\n\n",
+              selection.expected_savings);
+
+  std::printf("## Top candidates\n");
+  std::printf("  %-14s %10s %12s %12s %s\n", "signature", "hits",
+              "utility", "bytes", "virtual clusters");
+  int shown = 0;
+  for (const ViewCandidate& cand : selection.selected) {
+    if (shown++ >= 8) break;
+    std::string vcs;
+    for (const std::string& vc : cand.virtual_clusters) {
+      if (!vcs.empty()) vcs += ",";
+      vcs += vc;
+    }
+    std::printf("  %-14s %10lld %12.0f %12llu %s\n",
+                cand.strict_signature.ToHex().substr(0, 12).c_str(),
+                static_cast<long long>(cand.occurrences), cand.utility,
+                static_cast<unsigned long long>(cand.storage_bytes),
+                vcs.c_str());
+  }
+
+  // The generalized-reuse opportunity (section 5.3): same-join-set
+  // subexpressions a containment-based rewrite could merge.
+  WorkloadAnalyzer analyzer(&repository);
+  auto opportunities = analyzer.GeneralizedReuseOpportunities();
+  std::printf("\n## Generalized reuse opportunity (containment)\n");
+  std::printf("  join-input sets shared by >1 distinct subexpression: %zu\n",
+              opportunities.size());
+  for (size_t i = 0; i < opportunities.size() && i < 3; ++i) {
+    std::string inputs;
+    for (const std::string& name : opportunities[i].input_datasets) {
+      if (!inputs.empty()) inputs += " JOIN ";
+      inputs += name;
+    }
+    std::printf("  %s: %lld variants, %lld total executions\n", inputs.c_str(),
+                static_cast<long long>(opportunities[i].distinct_subexpressions),
+                static_cast<long long>(opportunities[i].total_frequency));
+  }
+
+  // What the insights service would serve to compiling jobs.
+  InsightsService service;
+  service.PublishSelection(selection);
+  std::string annotations = service.ExportAnnotationsFile();
+  std::printf("\n## Query annotations file (first lines)\n");
+  size_t pos = 0;
+  for (int line = 0; line < 6 && pos != std::string::npos; ++line) {
+    size_t next = annotations.find('\n', pos);
+    std::printf("  %s\n",
+                annotations.substr(pos, next - pos).c_str());
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "cluster/baseline_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudviews {
+
+void PercentileBaselineEstimator::RecordPreEnable(int64_t job_key, int day,
+                                                  const JobTelemetry& metrics) {
+  Observation obs;
+  obs.day = day;
+  obs.latency = metrics.latency_seconds;
+  obs.processing = metrics.processing_seconds;
+  obs.containers = metrics.containers;
+  history_[job_key].push_back(obs);
+}
+
+double PercentileBaselineEstimator::Percentile(
+    std::vector<double> values) const {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double rank = percentile_ * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - std::floor(rank);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::optional<BaselineMetrics> PercentileBaselineEstimator::Baseline(
+    int64_t job_key, int as_of_day) const {
+  auto it = history_.find(job_key);
+  if (it == history_.end()) return std::nullopt;
+  std::vector<double> latency;
+  std::vector<double> processing;
+  std::vector<double> containers;
+  for (const Observation& obs : it->second) {
+    if (obs.day >= as_of_day || obs.day < as_of_day - window_days_) continue;
+    latency.push_back(obs.latency);
+    processing.push_back(obs.processing);
+    containers.push_back(static_cast<double>(obs.containers));
+  }
+  if (latency.empty()) return std::nullopt;
+  BaselineMetrics out;
+  out.latency_seconds = Percentile(latency);
+  out.processing_seconds = Percentile(processing);
+  out.containers = static_cast<int64_t>(Percentile(containers));
+  out.observations = static_cast<int64_t>(latency.size());
+  return out;
+}
+
+std::optional<double>
+PercentileBaselineEstimator::EstimatedLatencyImprovement(
+    int64_t job_key, int as_of_day, const JobTelemetry& observed) const {
+  auto baseline = Baseline(job_key, as_of_day);
+  if (!baseline.has_value() || baseline->latency_seconds <= 0.0) {
+    return std::nullopt;
+  }
+  return ImprovementPercent(baseline->latency_seconds,
+                            observed.latency_seconds);
+}
+
+std::optional<double>
+PercentileBaselineEstimator::EstimatedProcessingImprovement(
+    int64_t job_key, int as_of_day, const JobTelemetry& observed) const {
+  auto baseline = Baseline(job_key, as_of_day);
+  if (!baseline.has_value() || baseline->processing_seconds <= 0.0) {
+    return std::nullopt;
+  }
+  return ImprovementPercent(baseline->processing_seconds,
+                            observed.processing_seconds);
+}
+
+}  // namespace cloudviews

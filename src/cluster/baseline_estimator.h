@@ -1,0 +1,72 @@
+#ifndef CLOUDVIEWS_CLUSTER_BASELINE_ESTIMATOR_H_
+#define CLOUDVIEWS_CLUSTER_BASELINE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/telemetry.h"
+
+namespace cloudviews {
+
+// The paper's production measurement methodology (section 4, "Measuring
+// impact"): re-running every job with CloudViews off is impossible in
+// production, so "we took previous instances of the queries that qualified
+// for CloudView optimization and collected four weeks' worth of
+// observations before enabling CloudViews ... took the 75th percentile
+// value of each of the performance metrics ... and compared them with each
+// of the newer instances of that query once CloudViews was enabled."
+//
+// The estimator is keyed by the recurring job identity (template id in the
+// simulator; recurring root signature in a real deployment).
+
+struct BaselineMetrics {
+  double latency_seconds = 0.0;
+  double processing_seconds = 0.0;
+  int64_t containers = 0;
+  int64_t observations = 0;
+};
+
+class PercentileBaselineEstimator {
+ public:
+  // `percentile` in (0,1]; the paper uses 0.75. `window_days` bounds how
+  // far back pre-enable observations count (paper: four weeks).
+  explicit PercentileBaselineEstimator(double percentile = 0.75,
+                                       int window_days = 28)
+      : percentile_(percentile), window_days_(window_days) {}
+
+  // Records a pre-enable observation of a recurring job.
+  void RecordPreEnable(int64_t job_key, int day, const JobTelemetry& metrics);
+
+  // The per-metric percentile baseline for the job, using observations from
+  // the `window_days` before `as_of_day`. Nullopt if none recorded.
+  std::optional<BaselineMetrics> Baseline(int64_t job_key, int as_of_day) const;
+
+  // Estimated improvement (percent) of an enabled-period observation over
+  // the baseline. Nullopt when no baseline exists.
+  std::optional<double> EstimatedLatencyImprovement(
+      int64_t job_key, int as_of_day, const JobTelemetry& observed) const;
+  std::optional<double> EstimatedProcessingImprovement(
+      int64_t job_key, int as_of_day, const JobTelemetry& observed) const;
+
+  size_t num_jobs_tracked() const { return history_.size(); }
+
+ private:
+  struct Observation {
+    int day = 0;
+    double latency = 0.0;
+    double processing = 0.0;
+    int64_t containers = 0;
+  };
+
+  double Percentile(std::vector<double> values) const;
+
+  double percentile_;
+  int window_days_;
+  std::map<int64_t, std::vector<Observation>> history_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CLUSTER_BASELINE_ESTIMATOR_H_

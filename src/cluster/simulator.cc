@@ -1,0 +1,222 @@
+#include "cluster/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plan/signature.h"
+
+namespace cloudviews {
+
+namespace {
+
+// Operators that run as their own stage (behind an exchange) and therefore
+// claim containers. Filters/projects/limits fuse into their producer stage.
+bool ClaimsContainers(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kScan:
+    case LogicalOpKind::kViewScan:
+    case LogicalOpKind::kJoin:
+    case LogicalOpKind::kAggregate:
+    case LogicalOpKind::kSort:
+    case LogicalOpKind::kSpool:
+    case LogicalOpKind::kUdo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(ReuseEngine* engine,
+                                   ClusterSimOptions options)
+    : engine_(engine), options_(options), random_(options.seed) {}
+
+int ClusterSimulator::StageWidth(const LogicalOp& node) const {
+  // Width is driven by the optimizer's ESTIMATE of the stage input size:
+  // over-estimates instantiate more containers than the data needs. Nodes
+  // whose statistics were fed back from materialized views estimate
+  // accurately (stats_from_view), shrinking width.
+  double input_rows = 0.0;
+  if (node.children.empty()) {
+    input_rows = node.estimated_rows;
+  } else {
+    for (const LogicalOpPtr& child : node.children) {
+      input_rows += child->estimated_rows;
+    }
+  }
+  int width = static_cast<int>(
+      std::ceil(input_rows / std::max(1.0, options_.rows_per_partition)));
+  return std::clamp(width, 1, options_.max_stage_width);
+}
+
+ClusterSimulator::NodeAnalysis ClusterSimulator::AnalyzeNode(
+    const LogicalOp& node, const ExecutionStats& stats,
+    StageAnalysis* out) const {
+  double cpu = 0.0;
+  auto it = stats.per_node.find(&node);
+  if (it != stats.per_node.end()) cpu = it->second.cpu_cost;
+  out->processing_seconds += cpu / options_.cpu_rate;
+
+  double child_latency = 0.0;
+  double fused_child_cost = 0.0;
+  for (const LogicalOpPtr& child : node.children) {
+    NodeAnalysis child_analysis = AnalyzeNode(*child, stats, out);
+    child_latency = std::max(child_latency, child_analysis.latency);
+    fused_child_cost += child_analysis.cost_here;
+  }
+
+  if (node.kind == LogicalOpKind::kSpool) {
+    // The spool's extra write work runs in a separate parallel stage: it
+    // costs processing time but stays off the job's critical path. The
+    // pass-through consumer continues with the child's data immediately.
+    int width = StageWidth(node);
+    out->containers += width;
+    out->max_width = std::max(out->max_width, width);
+    return {child_latency, fused_child_cost};
+  }
+
+  if (ClaimsContainers(node.kind)) {
+    int width = StageWidth(node);
+    out->containers += width;
+    out->max_width = std::max(out->max_width, width);
+    double stage_cost = cpu + fused_child_cost;
+    double elapsed =
+        stage_cost / (static_cast<double>(width) * options_.cpu_rate) +
+        options_.container_startup_seconds * std::log2(width + 1.0);
+    return {child_latency + elapsed, 0.0};
+  }
+
+  // Fused operator: its cost rides along until the next stage boundary.
+  return {child_latency, cpu + fused_child_cost};
+}
+
+ClusterSimulator::StageAnalysis ClusterSimulator::AnalyzeStages(
+    const LogicalOp& root, const ExecutionStats& stats) const {
+  StageAnalysis out;
+  NodeAnalysis root_analysis = AnalyzeNode(root, stats, &out);
+  // Account any cost fused above the last boundary (e.g. final project) as a
+  // single-container tail stage.
+  out.latency_seconds =
+      root_analysis.latency + root_analysis.cost_here / options_.cpu_rate;
+  if (root_analysis.cost_here > 0 && !ClaimsContainers(root.kind)) {
+    out.containers += 1;
+    out.max_width = std::max(out.max_width, 1);
+  }
+  return out;
+}
+
+void ClusterSimulator::RecordJoins(const LogicalOp& node, int day,
+                                   double start, double end) {
+  if (node.kind == LogicalOpKind::kJoin) {
+    SignatureComputer computer(
+        engine_->options().optimizer.signature_options);
+    JoinExecutionRecord record;
+    record.signature = computer.Compute(node).strict;
+    record.algorithm = node.join_algorithm;
+    record.day = day;
+    record.start = start;
+    record.end = end;
+    join_records_.push_back(record);
+  }
+  for (const LogicalOpPtr& child : node.children) {
+    RecordJoins(*child, day, start, end);
+  }
+}
+
+Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
+  clock_.AdvanceTo(job.submit_time);
+
+  // --- Queueing at the job service -----------------------------------------
+  VcState& vc = vcs_[job.virtual_cluster];
+  if (vc.running.empty()) {
+    vc.running.assign(static_cast<size_t>(options_.vc_concurrent_jobs), 0.0);
+  }
+  // Queue length observed at submission: previously assigned jobs that have
+  // not started yet.
+  while (!vc.waiting.empty() && vc.waiting.front() <= job.submit_time) {
+    vc.waiting.pop_front();
+  }
+  int queue_length = static_cast<int>(vc.waiting.size());
+
+  auto earliest = std::min_element(vc.running.begin(), vc.running.end());
+  double start_time = std::max(job.submit_time, *earliest);
+  double queue_wait = start_time - job.submit_time;
+
+  // --- Execute through the reuse engine ------------------------------------
+  JobRequest request;
+  request.job_id = job.job_id;
+  request.virtual_cluster = job.virtual_cluster;
+  request.plan = job.plan;
+  request.submit_time = job.submit_time;
+  request.day = job.day;
+  request.cloudviews_enabled = job.cloudviews_enabled;
+
+  JobTelemetry telemetry;
+  telemetry.job_id = job.job_id;
+  telemetry.day = job.day;
+  telemetry.virtual_cluster = job.virtual_cluster;
+  telemetry.pipeline_id = job.pipeline_id;
+  telemetry.template_id = job.template_id;
+  telemetry.queue_length_at_submit = queue_length;
+  telemetry.queue_wait_seconds = queue_wait;
+
+  auto exec = engine_->RunJob(request);
+  if (!exec.ok()) {
+    telemetry.failed = true;
+    *earliest = start_time;  // failed jobs release their slot immediately
+    telemetry_.Record(telemetry);
+    return exec.status();
+  }
+
+  // --- Derive resource metrics ----------------------------------------------
+  StageAnalysis stages = AnalyzeStages(*exec->executed_plan, exec->stats);
+
+  telemetry.views_built = exec->views_built;
+  telemetry.views_matched = exec->views_matched;
+  telemetry.containers = stages.containers;
+  telemetry.processing_seconds = stages.processing_seconds;
+  telemetry.input_mb =
+      static_cast<double>(exec->stats.input_bytes) / (1024.0 * 1024.0);
+  telemetry.data_read_mb =
+      static_cast<double>(exec->stats.total_bytes_read) / (1024.0 * 1024.0);
+
+  // Opportunistic (bonus) allocation: stages wider than the VC's guaranteed
+  // tokens borrow idle cluster capacity, with high variance.
+  double latency = stages.latency_seconds + exec->compile_overhead_seconds;
+  if (stages.max_width > options_.vc_guaranteed_tokens) {
+    double overflow =
+        static_cast<double>(stages.max_width - options_.vc_guaranteed_tokens) /
+        static_cast<double>(stages.max_width);
+    double availability =
+        std::clamp(random_.Gaussian(options_.bonus_availability_mean,
+                                    options_.bonus_availability_stddev),
+                   0.0, 1.0);
+    telemetry.bonus_processing_seconds =
+        stages.processing_seconds * overflow * availability;
+    // Unavailable bonus capacity stretches the critical path: this is the
+    // runtime unpredictability the paper attributes to bonus reliance.
+    latency *= 1.0 + overflow * (1.0 - availability);
+  }
+  telemetry.latency_seconds = latency;
+
+  // Occupy the slot until the job finishes.
+  double finish = start_time + latency;
+  *earliest = finish;
+  if (queue_wait > 0.0) vc.waiting.push_back(start_time);
+
+  RecordJoins(*exec->executed_plan, job.day, start_time, finish);
+  telemetry_.Record(telemetry);
+  return telemetry;
+}
+
+void ClusterSimulator::TrimJoinRecordsBefore(int day) {
+  join_records_.erase(
+      std::remove_if(join_records_.begin(), join_records_.end(),
+                     [day](const JoinExecutionRecord& r) {
+                       return r.day < day;
+                     }),
+      join_records_.end());
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,124 @@
+#ifndef CLOUDVIEWS_CLUSTER_SIMULATOR_H_
+#define CLOUDVIEWS_CLUSTER_SIMULATOR_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/telemetry.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "core/reuse_engine.h"
+
+namespace cloudviews {
+
+// Resource model of a Cosmos-like cluster. Jobs execute as DAGs of stages;
+// each stage is partitioned into containers sized by the optimizer's
+// cardinality ESTIMATES (over-partitioning bias included), while the actual
+// work done comes from OBSERVED execution statistics. This split is what
+// lets computation reuse shrink container counts (section 3.5): view scans
+// carry accurate observed statistics.
+struct ClusterSimOptions {
+  double cpu_rate = 250.0;             // cost units per container-second
+  double rows_per_partition = 400.0;   // estimated rows one container handles
+  int max_stage_width = 64;            // container cap per stage
+  // Scheduling overhead per stage grows with its container count; wasteful
+  // over-partitioning therefore also costs latency, not just containers.
+  double container_startup_seconds = 1.0;
+  int vc_guaranteed_tokens = 12;       // guaranteed containers per VC
+  int vc_concurrent_jobs = 2;          // job-service slots per VC
+  double bonus_availability_mean = 0.6;    // mean spare-capacity fraction
+  double bonus_availability_stddev = 0.25; // opportunistic variance
+  uint64_t seed = 7;
+};
+
+// A job instance ready for submission (produced by the workload generator).
+struct GeneratedJob {
+  int64_t job_id = 0;
+  std::string virtual_cluster;
+  int template_id = -1;   // -1 = ad hoc
+  int pipeline_id = -1;
+  int day = 0;
+  double submit_time = 0.0;
+  LogicalOpPtr plan;
+  bool cloudviews_enabled = true;
+};
+
+// Record of one executed join operator (feeds the Figure 9 analysis of
+// concurrently executing joins).
+struct JoinExecutionRecord {
+  Hash128 signature;      // strict signature of the join subexpression
+  JoinAlgorithm algorithm = JoinAlgorithm::kHash;
+  int day = 0;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+// Discrete-event-ish cluster simulator: submits jobs (in nondecreasing
+// submit-time order) to a ReuseEngine, models per-VC queueing and container
+// allocation, and emits per-job telemetry.
+class ClusterSimulator {
+ public:
+  ClusterSimulator(ReuseEngine* engine, ClusterSimOptions options = {});
+
+  ClusterSimulator(const ClusterSimulator&) = delete;
+  ClusterSimulator& operator=(const ClusterSimulator&) = delete;
+
+  // Runs one job to completion. Jobs must be submitted in submit-time order.
+  Result<JobTelemetry> SubmitJob(const GeneratedJob& job);
+
+  const TelemetrySeries& telemetry() const { return telemetry_; }
+  TelemetrySeries& telemetry() { return telemetry_; }
+  const std::vector<JoinExecutionRecord>& join_records() const {
+    return join_records_;
+  }
+  const SimClock& clock() const { return clock_; }
+  ReuseEngine* engine() { return engine_; }
+
+  // Clears per-day join records older than `day` (bounds memory).
+  void TrimJoinRecordsBefore(int day);
+
+ private:
+  struct StageAnalysis {
+    double latency_seconds = 0.0;     // critical path
+    double processing_seconds = 0.0;  // container-seconds
+    int64_t containers = 0;
+    int max_width = 0;
+  };
+
+  // Walks the executed plan, grouping operators into stages at exchange
+  // boundaries and deriving latency / processing / container counts.
+  StageAnalysis AnalyzeStages(const LogicalOp& root,
+                              const ExecutionStats& stats) const;
+
+  struct NodeAnalysis {
+    double latency = 0.0;
+    double cost_here = 0.0;  // cpu cost accumulated in the current stage
+  };
+  NodeAnalysis AnalyzeNode(const LogicalOp& node, const ExecutionStats& stats,
+                           StageAnalysis* out) const;
+
+  int StageWidth(const LogicalOp& node) const;
+
+  void RecordJoins(const LogicalOp& node, int day, double start,
+                   double end);
+
+  // Per-VC job-service state: finish times of currently running jobs.
+  struct VcState {
+    std::vector<double> running;  // finish times
+    std::deque<double> waiting;   // submit times of queued jobs (for stats)
+  };
+
+  ReuseEngine* engine_;
+  ClusterSimOptions options_;
+  SimClock clock_;
+  Random random_;
+  TelemetrySeries telemetry_;
+  std::map<std::string, VcState> vcs_;
+  std::vector<JoinExecutionRecord> join_records_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CLUSTER_SIMULATOR_H_

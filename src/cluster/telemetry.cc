@@ -1,0 +1,28 @@
+#include "cluster/telemetry.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cloudviews {
+
+double MedianPerJobLatencyImprovement(const TelemetrySeries& baseline,
+                                      const TelemetrySeries& with_feature) {
+  std::unordered_map<int64_t, double> base_latency;
+  for (const JobTelemetry& job : baseline.jobs()) {
+    base_latency[job.job_id] = job.latency_seconds;
+  }
+  std::vector<double> improvements;
+  for (const JobTelemetry& job : with_feature.jobs()) {
+    auto it = base_latency.find(job.job_id);
+    if (it == base_latency.end() || it->second <= 0.0) continue;
+    improvements.push_back(ImprovementPercent(it->second,
+                                              job.latency_seconds));
+  }
+  if (improvements.empty()) return 0.0;
+  size_t mid = improvements.size() / 2;
+  std::nth_element(improvements.begin(), improvements.begin() + mid,
+                   improvements.end());
+  return improvements[mid];
+}
+
+}  // namespace cloudviews

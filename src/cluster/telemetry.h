@@ -1,0 +1,119 @@
+#ifndef CLOUDVIEWS_CLUSTER_TELEMETRY_H_
+#define CLOUDVIEWS_CLUSTER_TELEMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cloudviews {
+
+// Per-job telemetry record emitted by the cluster simulator — one row of the
+// production telemetry stream behind Figures 6 and 7.
+struct JobTelemetry {
+  int64_t job_id = 0;
+  int day = 0;
+  std::string virtual_cluster;
+  int pipeline_id = -1;
+  int template_id = -1;  // recurring-template identity (-1 = ad hoc)
+  int runtime_version = 1;
+
+  double latency_seconds = 0.0;          // critical-path execution time
+  double queue_wait_seconds = 0.0;
+  double processing_seconds = 0.0;       // sum over containers
+  double bonus_processing_seconds = 0.0; // opportunistic-resource share
+  int64_t containers = 0;
+  double input_mb = 0.0;                 // base dataset MB read
+  double data_read_mb = 0.0;             // total MB read incl. intermediates
+  int queue_length_at_submit = 0;
+
+  int views_built = 0;
+  int views_matched = 0;
+  bool failed = false;
+};
+
+// One day's aggregate across all jobs.
+struct DailyTelemetry {
+  int day = 0;
+  int64_t jobs = 0;
+  double latency_seconds = 0.0;
+  double processing_seconds = 0.0;
+  double bonus_processing_seconds = 0.0;
+  int64_t containers = 0;
+  double input_mb = 0.0;
+  double data_read_mb = 0.0;
+  int64_t queue_length_sum = 0;
+  int64_t views_built = 0;
+  int64_t views_matched = 0;
+  int64_t failures = 0;
+
+  void Add(const JobTelemetry& job) {
+    jobs += 1;
+    latency_seconds += job.latency_seconds;
+    processing_seconds += job.processing_seconds;
+    bonus_processing_seconds += job.bonus_processing_seconds;
+    containers += job.containers;
+    input_mb += job.input_mb;
+    data_read_mb += job.data_read_mb;
+    queue_length_sum += job.queue_length_at_submit;
+    views_built += job.views_built;
+    views_matched += job.views_matched;
+    if (job.failed) failures += 1;
+  }
+};
+
+// Telemetry accumulator for one simulation arm (baseline or CloudViews).
+class TelemetrySeries {
+ public:
+  void Record(const JobTelemetry& job) {
+    by_day_[job.day].day = job.day;
+    by_day_[job.day].Add(job);
+    per_job_.push_back(job);
+  }
+
+  std::vector<DailyTelemetry> Days() const {
+    std::vector<DailyTelemetry> out;
+    out.reserve(by_day_.size());
+    for (const auto& [day, d] : by_day_) out.push_back(d);
+    return out;
+  }
+
+  const std::vector<JobTelemetry>& jobs() const { return per_job_; }
+
+  DailyTelemetry Totals() const {
+    DailyTelemetry total;
+    for (const auto& [day, d] : by_day_) {
+      total.jobs += d.jobs;
+      total.latency_seconds += d.latency_seconds;
+      total.processing_seconds += d.processing_seconds;
+      total.bonus_processing_seconds += d.bonus_processing_seconds;
+      total.containers += d.containers;
+      total.input_mb += d.input_mb;
+      total.data_read_mb += d.data_read_mb;
+      total.queue_length_sum += d.queue_length_sum;
+      total.views_built += d.views_built;
+      total.views_matched += d.views_matched;
+      total.failures += d.failures;
+    }
+    return total;
+  }
+
+ private:
+  std::map<int, DailyTelemetry> by_day_;
+  std::vector<JobTelemetry> per_job_;
+};
+
+// Percentage improvement of `with` over `base` (positive = improvement).
+inline double ImprovementPercent(double base, double with_feature) {
+  if (base <= 0.0) return 0.0;
+  return 100.0 * (base - with_feature) / base;
+}
+
+// Median of per-job latency improvements between paired runs (jobs matched
+// by job id). Used for the paper's "median improvement of 15%" claim.
+double MedianPerJobLatencyImprovement(const TelemetrySeries& baseline,
+                                      const TelemetrySeries& with_feature);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CLUSTER_TELEMETRY_H_

@@ -1,0 +1,103 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace cloudviews {
+
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+
+uint64_t Rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+}  // namespace
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+Hasher& Hasher::Update(uint64_t value) {
+  hi_ = Rotl(hi_ ^ (value * kPrime1), 31) * kPrime2;
+  lo_ = Rotl(lo_ + (value ^ kPrime3), 27) * kPrime1 + kPrime2;
+  length_ += 8;
+  return *this;
+}
+
+Hasher& Hasher::Update(double value) {
+  uint64_t bits = 0;
+  // Canonicalize -0.0 to 0.0 so logically equal literals hash equally.
+  double canonical = value == 0.0 ? 0.0 : value;
+  std::memcpy(&bits, &canonical, sizeof(bits));
+  return Update(bits);
+}
+
+Hasher& Hasher::Update(std::string_view bytes) {
+  uint64_t word = 0;
+  size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::memcpy(&word, bytes.data() + i, 8);
+    Update(word);
+  }
+  if (i < bytes.size()) {
+    word = 0;
+    std::memcpy(&word, bytes.data() + i, bytes.size() - i);
+    // Tag the tail with its length so "ab"+"c" != "a"+"bc".
+    Update(word ^ (uint64_t{bytes.size() - i} << 56));
+  }
+  Update(uint64_t{bytes.size()});
+  return *this;
+}
+
+Hash128 Hasher::Finish() const {
+  Hash128 out;
+  out.hi = Mix64(hi_ ^ (length_ * kPrime1));
+  out.lo = Mix64(lo_ + (length_ ^ kPrime2) + out.hi);
+  return out;
+}
+
+Hash128 HashString(std::string_view s) { return Hasher().Update(s).Finish(); }
+
+bool Hash128::FromHex(std::string_view hex, Hash128* out) {
+  if (hex.size() != 32 || out == nullptr) return false;
+  uint64_t parts[2] = {0, 0};
+  for (int p = 0; p < 2; ++p) {
+    for (int i = 0; i < 16; ++i) {
+      char c = hex[static_cast<size_t>(p * 16 + i)];
+      uint64_t digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<uint64_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      parts[p] = (parts[p] << 4) | digit;
+    }
+  }
+  out->hi = parts[0];
+  out->lo = parts[1];
+  return true;
+}
+
+std::string Hash128::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  uint64_t parts[2] = {hi, lo};
+  for (int p = 0; p < 2; ++p) {
+    for (int i = 0; i < 16; ++i) {
+      out[p * 16 + i] = kDigits[(parts[p] >> (60 - 4 * i)) & 0xF];
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudviews

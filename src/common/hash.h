@@ -1,0 +1,76 @@
+#ifndef CLOUDVIEWS_COMMON_HASH_H_
+#define CLOUDVIEWS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cloudviews {
+
+// 128-bit hash value used for subexpression signatures. Signatures must be
+// stable across process runs (they are persisted in the workload repository
+// and compared across "days" of the simulation), so we use a fixed algorithm
+// rather than std::hash.
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Hash128& other) const = default;
+  bool operator<(const Hash128& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  bool IsZero() const { return hi == 0 && lo == 0; }
+
+  // 32 hex characters, zero padded; used in view output paths ("encode the
+  // strict signature in the output path" per the paper's Figure 5).
+  std::string ToHex() const;
+
+  // Parses the ToHex form. Returns false on malformed input.
+  static bool FromHex(std::string_view hex, Hash128* out);
+};
+
+// Incremental 128-bit hasher (xxhash-inspired mixing over two 64-bit lanes).
+// Usage: Hasher h; h.Update(...); ... Hash128 sig = h.Finish();
+class Hasher {
+ public:
+  Hasher() = default;
+  explicit Hasher(uint64_t seed) : hi_(kInitHi ^ seed), lo_(kInitLo + seed) {}
+
+  Hasher& Update(std::string_view bytes);
+  // Without this overload a string literal would take the bool overload via
+  // the pointer->bool standard conversion, silently hashing all strings alike.
+  Hasher& Update(const char* s) { return Update(std::string_view(s)); }
+  Hasher& Update(uint64_t value);
+  Hasher& Update(int64_t value) { return Update(static_cast<uint64_t>(value)); }
+  Hasher& Update(int value) { return Update(static_cast<uint64_t>(value)); }
+  Hasher& Update(double value);
+  Hasher& Update(bool value) { return Update(uint64_t{value ? 1u : 2u}); }
+  Hasher& Update(const Hash128& h) { return Update(h.hi).Update(h.lo); }
+
+  Hash128 Finish() const;
+
+ private:
+  static constexpr uint64_t kInitHi = 0x9E3779B97F4A7C15ULL;
+  static constexpr uint64_t kInitLo = 0xC2B2AE3D27D4EB4FULL;
+
+  uint64_t hi_ = kInitHi;
+  uint64_t lo_ = kInitLo;
+  uint64_t length_ = 0;
+};
+
+// Convenience one-shot hash of a string.
+Hash128 HashString(std::string_view s);
+
+// 64-bit mix used for hash-table style hashing of runtime values.
+uint64_t Mix64(uint64_t x);
+
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const {
+    return static_cast<size_t>(Mix64(h.hi ^ Mix64(h.lo)));
+  }
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_HASH_H_

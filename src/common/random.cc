@@ -1,0 +1,119 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace cloudviews {
+
+Random::Random(uint64_t seed) {
+  // Scramble the seed so nearby seeds give unrelated streams.
+  s0_ = Mix64(seed + 0x9E3779B97F4A7C15ULL);
+  s1_ = Mix64(s0_ + 0xBF58476D1CE4E5B9ULL);
+  if (s0_ == 0 && s1_ == 0) s0_ = 1;
+}
+
+uint64_t Random::NextUint64() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::Uniform(uint64_t n) { return n == 0 ? 0 : NextUint64() % n; }
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Rejection-free inverse-CDF approximation over the harmonic weights.
+  // For the modest n used by the generator (up to ~100k) a cached partial-sum
+  // approach would be faster but this keeps the generator stateless in n.
+  double u = NextDouble();
+  // Approximate the normalizing constant with the integral form.
+  double h_n = (std::pow(static_cast<double>(n), 1.0 - s) - 1.0) / (1.0 - s);
+  if (std::abs(s - 1.0) < 1e-9) h_n = std::log(static_cast<double>(n));
+  double target = u * h_n;
+  double x;
+  if (std::abs(s - 1.0) < 1e-9) {
+    x = std::exp(target);
+  } else {
+    x = std::pow(target * (1.0 - s) + 1.0, 1.0 / (1.0 - s));
+  }
+  // The continuous approximation has support [1, n]; shift to 0-based ranks.
+  if (x < 1.0) x = 1.0;
+  uint64_t rank = static_cast<uint64_t>(x) - 1;
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+double Random::Gaussian(double mean, double stddev) {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return mean + stddev * cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_gaussian_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Random::Exponential(double mean) {
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+std::string Random::Identifier(size_t length) {
+  static const char* kAlphabet = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[Uniform(26)]);
+  }
+  return out;
+}
+
+std::string Random::Guid() {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(36);
+  for (int i = 0; i < 36; ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      out.push_back('-');
+    } else {
+      out.push_back(kHex[Uniform(16)]);
+    }
+  }
+  return out;
+}
+
+size_t Random::WeightedPick(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0 || weights.empty()) return 0;
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace cloudviews

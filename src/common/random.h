@@ -1,0 +1,60 @@
+#ifndef CLOUDVIEWS_COMMON_RANDOM_H_
+#define CLOUDVIEWS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cloudviews {
+
+// Deterministic, seedable PRNG (xorshift128+). Workload generation and the
+// cluster simulator must be reproducible run-to-run, so all randomness flows
+// through explicitly seeded instances of this class.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Zipf-distributed rank in [0, n) with skew parameter s. Used to model
+  // heavy-tailed dataset popularity (a few shared datasets consumed by
+  // thousands of downstream jobs, per the paper's Figure 2).
+  uint64_t Zipf(uint64_t n, double s);
+
+  // Gaussian with given mean/stddev (Box-Muller).
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with given mean.
+  double Exponential(double mean);
+
+  // Random lowercase identifier of given length.
+  std::string Identifier(size_t length);
+
+  // Random GUID-like token, e.g. for dataset version ids.
+  std::string Guid();
+
+  // Pick one element index weighted by `weights`.
+  size_t WeightedPick(const std::vector<double>& weights);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+  bool have_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_RANDOM_H_

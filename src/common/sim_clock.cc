@@ -1,0 +1,28 @@
+#include "common/sim_clock.h"
+
+#include <array>
+#include <cstdio>
+
+namespace cloudviews {
+
+std::string SimClock::DayLabel(int day_index) {
+  // 2020 is a leap year; the window of interest starts February 1, 2020.
+  static constexpr std::array<int, 12> kDaysInMonth = {31, 29, 31, 30, 31, 30,
+                                                       31, 31, 30, 31, 30, 31};
+  int month = 1;  // 0-based: February
+  int day = 1 + day_index;
+  int year = 2020;
+  while (day > kDaysInMonth[month]) {
+    day -= kDaysInMonth[month];
+    month += 1;
+    if (month == 12) {
+      month = 0;
+      year += 1;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d/%d/%02d", month + 1, day, year % 100);
+  return buf;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,44 @@
+#ifndef CLOUDVIEWS_COMMON_SIM_CLOCK_H_
+#define CLOUDVIEWS_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cloudviews {
+
+// Simulated time, in seconds since the start of the simulated deployment
+// window. The production window in the paper runs February 1 to March 29,
+// 2020; day 0 of the simulation corresponds to 2020-02-01.
+using SimTime = double;
+
+constexpr double kSecondsPerDay = 86400.0;
+
+// A monotonically advancing simulated clock owned by the cluster simulator.
+// All components that need "now" (view expiry, queue timestamps, telemetry)
+// take a pointer to this clock rather than reading wall time, which keeps
+// every run deterministic.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime Now() const { return now_; }
+
+  int DayIndex() const { return static_cast<int>(now_ / kSecondsPerDay); }
+
+  // Advances the clock. Time never moves backwards; attempts to do so are
+  // clamped (events scheduled "in the past" execute at the current time).
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  // Formats a day index as a calendar date label starting at 2020-02-01,
+  // matching the x-axis labels of Figures 6 and 7 in the paper.
+  static std::string DayLabel(int day_index);
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_SIM_CLOCK_H_

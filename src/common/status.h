@@ -1,0 +1,115 @@
+#ifndef CLOUDVIEWS_COMMON_STATUS_H_
+#define CLOUDVIEWS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cloudviews {
+
+// Error handling in the RocksDB/Arrow style: no exceptions on hot paths,
+// operations that can fail return a Status (or a Result<T> below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kInternal,
+  kAborted,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> carries either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {
+  }  // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define CLOUDVIEWS_RETURN_NOT_OK(expr)            \
+  do {                                            \
+    ::cloudviews::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define CLOUDVIEWS_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto _res_##__LINE__ = (expr);                  \
+  if (!_res_##__LINE__.ok()) {                    \
+    return _res_##__LINE__.status();              \
+  }                                               \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_STATUS_H_

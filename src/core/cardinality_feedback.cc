@@ -1,0 +1,33 @@
+#include "core/cardinality_feedback.h"
+
+namespace cloudviews {
+
+void CardinalityFeedback::Record(const Hash128& recurring_signature,
+                                 uint64_t rows, uint64_t bytes) {
+  auto [it, inserted] =
+      models_.emplace(recurring_signature, ObservedCardinality{});
+  ObservedCardinality& model = it->second;
+  if (inserted || model.observations == 0) {
+    model.rows = static_cast<double>(rows);
+    model.bytes = static_cast<double>(bytes);
+  } else {
+    model.rows = smoothing_ * static_cast<double>(rows) +
+                 (1.0 - smoothing_) * model.rows;
+    model.bytes = smoothing_ * static_cast<double>(bytes) +
+                  (1.0 - smoothing_) * model.bytes;
+  }
+  model.observations += 1;
+}
+
+std::optional<ObservedCardinality> CardinalityFeedback::Lookup(
+    const Hash128& recurring_signature, int64_t min_observations) const {
+  lookups_ += 1;
+  auto it = models_.find(recurring_signature);
+  if (it == models_.end() || it->second.observations < min_observations) {
+    return std::nullopt;
+  }
+  hits_ += 1;
+  return it->second;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,61 @@
+#ifndef CLOUDVIEWS_CORE_CARDINALITY_FEEDBACK_H_
+#define CLOUDVIEWS_CORE_CARDINALITY_FEEDBACK_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace cloudviews {
+
+// Per-subexpression cardinality feedback — the section 5.2 follow-on: "the
+// insights service evolved into an independent component that could serve
+// many different kinds of insights, e.g., cardinality", and the
+// Microlearner idea of "high accuracy micro-models for specific portions of
+// the workload". Each recurring signature gets a tiny model (an EWMA over
+// observed row/byte counts) that the optimizer can consult for *any*
+// repeated subexpression — not just materialized ones — displacing the
+// error-prone static estimates that cause over-partitioning.
+
+struct ObservedCardinality {
+  double rows = 0.0;
+  double bytes = 0.0;
+  int64_t observations = 0;
+};
+
+class CardinalityFeedback {
+ public:
+  // `smoothing` is the EWMA weight of the newest observation. Recurring
+  // jobs drift slowly (new data each day), so recent days dominate.
+  explicit CardinalityFeedback(double smoothing = 0.4)
+      : smoothing_(smoothing) {}
+
+  CardinalityFeedback(const CardinalityFeedback&) = delete;
+  CardinalityFeedback& operator=(const CardinalityFeedback&) = delete;
+
+  // Folds one observed execution of a recurring subexpression into its
+  // micro-model.
+  void Record(const Hash128& recurring_signature, uint64_t rows,
+              uint64_t bytes);
+
+  // Serves the model, if one exists with at least `min_observations`.
+  std::optional<ObservedCardinality> Lookup(
+      const Hash128& recurring_signature, int64_t min_observations = 1) const;
+
+  size_t size() const { return models_.size(); }
+  int64_t lookups() const { return lookups_; }
+  int64_t hits() const { return hits_; }
+
+  void Clear() { models_.clear(); }
+
+ private:
+  double smoothing_;
+  std::unordered_map<Hash128, ObservedCardinality, Hash128Hasher> models_;
+  mutable int64_t lookups_ = 0;
+  mutable int64_t hits_ = 0;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CORE_CARDINALITY_FEEDBACK_H_

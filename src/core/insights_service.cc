@@ -1,0 +1,125 @@
+#include "core/insights_service.h"
+
+#include <cstdlib>
+#include <vector>
+
+namespace cloudviews {
+
+bool ReuseControls::IsEnabled(const std::string& cluster,
+                              const std::string& vc,
+                              bool job_level_enabled) const {
+  if (!service_enabled) return false;
+  if (disabled_clusters.count(cluster) > 0) return false;
+  if (opt_out_model) {
+    if (disabled_vcs.count(vc) > 0) return false;
+  } else {
+    if (enabled_vcs.count(vc) == 0) return false;
+  }
+  return job_level_enabled;
+}
+
+void InsightsService::PublishSelection(const SelectionResult& selection) {
+  annotations_.clear();
+  for (const ViewCandidate& cand : selection.selected) {
+    AnnotationEntry entry;
+    entry.recurring_signature = cand.recurring_signature;
+    // Tags are short, human-greppable keys derived from the signature; in
+    // production they also support access control.
+    entry.tag = "cv-" + cand.recurring_signature.ToHex().substr(0, 12);
+    entry.expected_utility = cand.utility;
+    entry.observed_occurrences = cand.occurrences;
+    annotations_[cand.recurring_signature] = std::move(entry);
+  }
+}
+
+std::vector<AnnotationEntry> InsightsService::FetchAnnotations(
+    const std::vector<Hash128>& recurring_signatures) const {
+  fetch_count_ += 1;
+  std::vector<AnnotationEntry> out;
+  for (const Hash128& sig : recurring_signatures) {
+    auto it = annotations_.find(sig);
+    if (it != annotations_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::unordered_set<Hash128, Hash128Hasher> InsightsService::AllCandidates()
+    const {
+  std::unordered_set<Hash128, Hash128Hasher> out;
+  out.reserve(annotations_.size());
+  for (const auto& [sig, entry] : annotations_) out.insert(sig);
+  return out;
+}
+
+std::string InsightsService::ExportAnnotationsFile() const {
+  std::string out = "# CloudViews query annotations\n";
+  out += "# tag, recurring_signature, expected_utility, occurrences\n";
+  for (const auto& [sig, entry] : annotations_) {
+    out += entry.tag + ", " + sig.ToHex() + ", " +
+           std::to_string(entry.expected_utility) + ", " +
+           std::to_string(entry.observed_occurrences) + "\n";
+  }
+  return out;
+}
+
+Status InsightsService::ImportAnnotationsFile(const std::string& contents) {
+  std::unordered_map<Hash128, AnnotationEntry, Hash128Hasher> imported;
+  size_t pos = 0;
+  int line_number = 0;
+  while (pos < contents.size()) {
+    size_t end = contents.find('\n', pos);
+    if (end == std::string::npos) end = contents.size();
+    std::string line = contents.substr(pos, end - pos);
+    pos = end + 1;
+    line_number += 1;
+    if (line.empty() || line[0] == '#') continue;
+    // Format: tag, recurring_signature, expected_utility, occurrences
+    AnnotationEntry entry;
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (start <= line.size()) {
+      size_t comma = line.find(", ", start);
+      if (comma == std::string::npos) {
+        fields.push_back(line.substr(start));
+        break;
+      }
+      fields.push_back(line.substr(start, comma - start));
+      start = comma + 2;
+    }
+    if (fields.size() != 4 ||
+        !Hash128::FromHex(fields[1], &entry.recurring_signature)) {
+      return Status::Corruption("malformed annotation at line " +
+                                std::to_string(line_number));
+    }
+    entry.tag = fields[0];
+    entry.expected_utility = std::atof(fields[2].c_str());
+    entry.observed_occurrences = std::atoll(fields[3].c_str());
+    imported[entry.recurring_signature] = std::move(entry);
+  }
+  annotations_ = std::move(imported);
+  return Status::OK();
+}
+
+bool InsightsService::TryAcquireViewLock(const Hash128& strict_signature,
+                                         int64_t job_id) {
+  auto [it, inserted] = view_locks_.emplace(strict_signature, job_id);
+  return inserted || it->second == job_id;
+}
+
+Status InsightsService::ReleaseViewLock(const Hash128& strict_signature,
+                                        int64_t job_id) {
+  auto it = view_locks_.find(strict_signature);
+  if (it == view_locks_.end()) {
+    return Status::NotFound("no lock held for signature " +
+                            strict_signature.ToHex());
+  }
+  if (it->second != job_id) {
+    return Status::InvalidArgument(
+        "lock for " + strict_signature.ToHex() + " held by job " +
+        std::to_string(it->second) + ", not job " + std::to_string(job_id));
+  }
+  view_locks_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,115 @@
+#ifndef CLOUDVIEWS_CORE_INSIGHTS_SERVICE_H_
+#define CLOUDVIEWS_CORE_INSIGHTS_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "core/view_selection.h"
+
+namespace cloudviews {
+
+// One annotation entry served to the compiler: a subexpression (identified
+// by its recurring signature — strict signatures change whenever inputs are
+// bulk-updated, recurring signatures survive) that the selector chose for
+// materialization.
+struct AnnotationEntry {
+  Hash128 recurring_signature;
+  std::string tag;           // index key ("generate tags for signatures")
+  double expected_utility = 0.0;
+  int64_t observed_occurrences = 0;
+};
+
+// Enable/disable controls at every level the paper describes (section 4,
+// "Multi-level control"): insights-service uber switch, per-cluster,
+// per-virtual-cluster, and per-job toggles.
+struct ReuseControls {
+  bool service_enabled = true;                       // uber kill switch
+  std::unordered_set<std::string> disabled_clusters;
+  // Opt-in/opt-out deployment model: in opt-in mode only VCs in
+  // `enabled_vcs` participate; in opt-out mode all except `disabled_vcs`.
+  bool opt_out_model = false;
+  std::unordered_set<std::string> enabled_vcs;
+  std::unordered_set<std::string> disabled_vcs;
+
+  bool IsEnabled(const std::string& cluster, const std::string& vc,
+                 bool job_level_enabled) const;
+};
+
+// The insights service: stores the view-selection output as tagged
+// annotations, serves them to compiling jobs (with a simulated round-trip
+// latency), and arbitrates exclusive view-creation locks.
+class InsightsService {
+ public:
+  // Round-trip to the cached serving layer: "an end to end round trip
+  // latency of around 15 milliseconds".
+  static constexpr double kFetchLatencySeconds = 0.015;
+
+  InsightsService() = default;
+
+  InsightsService(const InsightsService&) = delete;
+  InsightsService& operator=(const InsightsService&) = delete;
+
+  // --- Annotations ----------------------------------------------------------
+
+  // Installs a fresh selection result (the periodic workload-analysis job
+  // publishing into Azure SQL in production). Replaces prior annotations.
+  void PublishSelection(const SelectionResult& selection);
+
+  // Fetches annotations relevant to a compiling job, given the recurring
+  // signatures of its subexpressions (its "tags"). Increments the fetch
+  // counter and charges the simulated round trip.
+  std::vector<AnnotationEntry> FetchAnnotations(
+      const std::vector<Hash128>& recurring_signatures) const;
+
+  // All candidate recurring signatures (bulk download for debugging /
+  // annotation files).
+  std::unordered_set<Hash128, Hash128Hasher> AllCandidates() const;
+
+  // Serializes annotations to a human-readable query-annotations file
+  // ("could be used for quickly debugging any job").
+  std::string ExportAnnotationsFile() const;
+
+  // Replaces the served annotations with the contents of an annotations
+  // file (the incident-debugging path: "we can reproduce the compute reuse
+  // behavior by compiling a job with the annotations file").
+  Status ImportAnnotationsFile(const std::string& contents);
+
+  size_t num_annotations() const { return annotations_.size(); }
+  int64_t fetch_count() const { return fetch_count_; }
+  double total_fetch_latency() const {
+    return static_cast<double>(fetch_count_) * kFetchLatencySeconds;
+  }
+
+  // --- View-creation locks --------------------------------------------------
+
+  // Attempts to acquire the exclusive creation lock for a strict signature.
+  bool TryAcquireViewLock(const Hash128& strict_signature, int64_t job_id);
+
+  // Releases the lock (on seal, job failure, or abandonment).
+  Status ReleaseViewLock(const Hash128& strict_signature, int64_t job_id);
+
+  bool IsLocked(const Hash128& strict_signature) const {
+    return view_locks_.count(strict_signature) > 0;
+  }
+  size_t num_locks_held() const { return view_locks_.size(); }
+
+  // --- Controls ---------------------------------------------------------------
+
+  ReuseControls& controls() { return controls_; }
+  const ReuseControls& controls() const { return controls_; }
+
+ private:
+  std::unordered_map<Hash128, AnnotationEntry, Hash128Hasher> annotations_;
+  std::unordered_map<Hash128, int64_t, Hash128Hasher> view_locks_;
+  ReuseControls controls_;
+  mutable int64_t fetch_count_ = 0;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CORE_INSIGHTS_SERVICE_H_

@@ -1,0 +1,41 @@
+#ifndef CLOUDVIEWS_CORE_REPOSITORY_IO_H_
+#define CLOUDVIEWS_CORE_REPOSITORY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/workload_repository.h"
+
+namespace cloudviews {
+
+// Durable workload-repository snapshots. The production repository is a
+// persistent store fed by telemetry and consumed by periodic analysis jobs;
+// these helpers serialize the aggregated groups to a versioned, line-based
+// text format so an analysis can resume where the previous one stopped
+// (and so tests and benches can snapshot mined workloads).
+//
+// Format (one record per line, tab-separated):
+//   cloudviews-repository v1
+//   <strict_hex> <recurring_hex> occurrences subtree_size eligible
+//       cost_samples total_cpu last_rows last_bytes first_day last_day
+//       vc1,vc2,... dataset1,dataset2,...
+// Per-instance history (recent_instances) is intentionally not persisted —
+// schedule analysis always re-derives from fresh telemetry.
+
+// Serializes the repository's aggregate state.
+std::string SerializeRepository(const WorkloadRepository& repository);
+
+// Restores a repository from a snapshot produced by SerializeRepository.
+// The target repository must be empty.
+Status DeserializeRepository(const std::string& snapshot,
+                             WorkloadRepository* repository);
+
+// File convenience wrappers.
+Status SaveRepository(const WorkloadRepository& repository,
+                      const std::string& path);
+Status LoadRepository(const std::string& path,
+                      WorkloadRepository* repository);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CORE_REPOSITORY_IO_H_

@@ -1,0 +1,212 @@
+#include "core/reuse_engine.h"
+
+namespace cloudviews {
+
+ReuseEngine::ReuseEngine(DatasetCatalog* catalog, ReuseEngineOptions options)
+    : catalog_(catalog), options_(std::move(options)),
+      view_store_(options_.view_ttl_seconds),
+      view_manager_(&view_store_, &insights_) {
+  if (options_.enable_cardinality_feedback) {
+    options_.optimizer.cardinality_feedback = &feedback_;
+  }
+  optimizer_ = std::make_unique<Optimizer>(catalog_, options_.optimizer);
+}
+
+Result<LogicalOpPtr> ReuseEngine::BindPlan(const JobRequest& request) const {
+  LogicalOpPtr bound;
+  if (request.plan != nullptr) {
+    bound = request.plan;
+  } else {
+    if (request.sql.empty()) {
+      return Status::InvalidArgument("job has neither a plan nor SQL text");
+    }
+    PlanBuilder builder(catalog_);
+    auto built = builder.BuildFromSql(request.sql);
+    if (!built.ok()) return built.status();
+    bound = std::move(built).value();
+  }
+  // Canonicalize: signatures only match across jobs whose equivalent
+  // sub-plans normalize to the same shape (filter pushdown, conjunct order).
+  LogicalOpPtr normalized = PlanNormalizer::Normalize(bound);
+  if (options_.prune_columns) {
+    normalized = PlanNormalizer::PruneColumns(normalized);
+  }
+  return normalized;
+}
+
+bool ReuseEngine::ReuseEnabledFor(const JobRequest& request) const {
+  return options_.cloudviews_enabled &&
+         insights_.controls().IsEnabled(options_.cluster_name,
+                                        request.virtual_cluster,
+                                        request.cloudviews_enabled);
+}
+
+Result<OptimizationOutcome> ReuseEngine::CompileJob(
+    const JobRequest& request) {
+  auto plan = BindPlan(request);
+  if (!plan.ok()) return plan.status();
+  return CompileBound(request, *plan, ReuseEnabledFor(request));
+}
+
+Result<OptimizationOutcome> ReuseEngine::CompileBound(
+    const JobRequest& request, const LogicalOpPtr& bound,
+    bool reuse_enabled) {
+  const LogicalOpPtr& plan = bound;
+  QueryAnnotations annotations;
+  annotations.max_views_per_job = options_.max_views_per_job;
+  if (reuse_enabled) {
+    // Extract the job's tags (recurring signatures of its subexpressions)
+    // and fetch the matching annotations from the insights service.
+    std::vector<NodeSignature> sigs =
+        optimizer_->signatures().ComputeAll(*plan);
+    std::vector<Hash128> recurring;
+    recurring.reserve(sigs.size());
+    for (const NodeSignature& sig : sigs) recurring.push_back(sig.recurring);
+    for (const AnnotationEntry& entry : insights_.FetchAnnotations(recurring)) {
+      annotations.materialize_candidates.insert(entry.recurring_signature);
+    }
+  }
+
+  Optimizer::TryLockFn try_lock;
+  if (reuse_enabled) {
+    try_lock = [this, &request](const Hash128& sig) {
+      return insights_.TryAcquireViewLock(sig, request.job_id);
+    };
+  }
+  return optimizer_->Optimize(plan, annotations,
+                              reuse_enabled ? &view_store_ : nullptr,
+                              try_lock, request.submit_time);
+}
+
+Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
+  const bool reuse_enabled = ReuseEnabledFor(request);
+
+  // Bind first and keep the as-compiled plan: the workload repository counts
+  // subexpressions as they appear in compiled plans, regardless of whether
+  // execution later answers them from views.
+  auto bound = BindPlan(request);
+  if (!bound.ok()) return bound.status();
+  std::vector<NodeSignature> compiled_sigs =
+      optimizer_->signatures().ComputeAll(**bound);
+
+  auto outcome = CompileBound(request, *bound, reuse_enabled);
+  if (!outcome.ok()) return outcome.status();
+
+  JobExecution exec;
+  exec.job_id = request.job_id;
+  exec.reuse_enabled = reuse_enabled;
+  exec.views_matched = outcome->views_matched;
+  exec.matched_signatures = outcome->matched_signatures;
+  exec.built_signatures = outcome->proposed_materializations;
+  exec.estimated_cost = outcome->estimated_cost;
+  exec.estimated_cost_without_reuse = outcome->estimated_cost_without_reuse;
+  exec.executed_plan = outcome->plan;
+  if (reuse_enabled) {
+    exec.compile_overhead_seconds = InsightsService::kFetchLatencySeconds;
+  }
+
+  // Register the materializations this job will produce.
+  for (const Hash128& strict : outcome->proposed_materializations) {
+    // Locate the spool node to recover its recurring signature and inputs.
+    std::vector<LogicalOp*> stack = {outcome->plan.get()};
+    while (!stack.empty()) {
+      LogicalOp* op = stack.back();
+      stack.pop_back();
+      if (op->kind == LogicalOpKind::kSpool && op->view_signature == strict) {
+        NodeSignature child_sig =
+            optimizer_->signatures().Compute(*op->children[0]);
+        view_manager_
+            .BeginMaterialize(strict, child_sig.recurring,
+                              request.virtual_cluster,
+                              op->children[0]->InputDatasets(),
+                              request.job_id, request.submit_time)
+            .ok();
+        break;
+      }
+      for (const LogicalOpPtr& child : op->children) {
+        stack.push_back(child.get());
+      }
+    }
+  }
+
+  // Execute with the sealing hook.
+  int views_built = 0;
+  ExecContext context;
+  context.catalog = catalog_;
+  context.view_store = &view_store_;
+  context.job_seed = static_cast<uint64_t>(request.job_id) * 0x9E3779B9ULL +
+                     static_cast<uint64_t>(request.day);
+  context.now = request.submit_time;
+  context.on_spool_complete = [this, &request, &views_built](
+                                  const LogicalOp& spool, TablePtr contents,
+                                  const OperatorStats& child_stats) {
+    Status sealed = view_manager_.SealEarly(
+        spool.view_signature, std::move(contents), child_stats.rows_out,
+        child_stats.bytes_out, request.job_id,
+        request.submit_time + options_.seal_delay_seconds);
+    if (sealed.ok()) views_built += 1;
+  };
+
+  Executor executor(context);
+  auto run = executor.Execute(outcome->plan);
+  if (!run.ok()) {
+    // Job failed: release creation locks and drop half-written views.
+    view_manager_.AbandonJob(request.job_id,
+                             outcome->proposed_materializations);
+    return run.status();
+  }
+  exec.output = run->output;
+  exec.stats = run->stats;
+  exec.views_built = views_built;
+
+  // Record reuse hits.
+  for (const Hash128& sig : outcome->matched_signatures) {
+    view_store_.RecordReuse(sig).ok();
+  }
+
+  // Feed the workload repository: occurrences come from the as-compiled
+  // plan, runtime metrics from whatever actually executed (joined on
+  // signature).
+  std::vector<NodeSignature> executed_sigs =
+      optimizer_->signatures().ComputeAll(*outcome->plan);
+  MetricsBySignature metrics =
+      WorkloadRepository::CollectMetrics(executed_sigs, exec.stats);
+  repository_.IngestJob(request.job_id, request.virtual_cluster, request.day,
+                        request.submit_time, compiled_sigs, metrics);
+
+  // Feed the cardinality micro-models with what executed.
+  if (options_.enable_cardinality_feedback) {
+    for (const NodeSignature& sig : executed_sigs) {
+      if (!sig.eligible || sig.subtree_size < 2) continue;
+      auto it = metrics.find(sig.strict);
+      if (it != metrics.end()) {
+        feedback_.Record(sig.recurring, it->second.rows, it->second.bytes);
+      }
+    }
+  }
+  return exec;
+}
+
+SelectionResult ReuseEngine::RunViewSelection() {
+  SelectionConstraints constraints = options_.selection;
+  ViewSelector selector(constraints);
+  SelectionResult result = selector.Select(repository_);
+  insights_.PublishSelection(result);
+  return result;
+}
+
+void ReuseEngine::Maintenance(double now) { view_manager_.PurgeExpired(now); }
+
+size_t ReuseEngine::OnDatasetUpdated(const std::string& dataset_name) {
+  return view_manager_.InvalidateByDataset(dataset_name);
+}
+
+void ReuseEngine::OnRuntimeVersionChange(uint64_t new_version) {
+  options_.optimizer.signature_options.runtime_version = new_version;
+  optimizer_ = std::make_unique<Optimizer>(catalog_, options_.optimizer);
+  // Every existing view and annotation was keyed by the old signatures.
+  view_manager_.InvalidateAll();
+  insights_.PublishSelection(SelectionResult{});
+}
+
+}  // namespace cloudviews

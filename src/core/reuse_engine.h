@@ -1,0 +1,148 @@
+#ifndef CLOUDVIEWS_CORE_REUSE_ENGINE_H_
+#define CLOUDVIEWS_CORE_REUSE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cardinality_feedback.h"
+#include "core/insights_service.h"
+#include "core/view_manager.h"
+#include "core/view_selection.h"
+#include "core/workload_repository.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "plan/builder.h"
+#include "plan/normalizer.h"
+#include "storage/catalog.h"
+#include "storage/view_store.h"
+
+namespace cloudviews {
+
+// Configuration of a ReuseEngine instance (one per cluster).
+struct ReuseEngineOptions {
+  std::string cluster_name = "cluster1";
+  OptimizerOptions optimizer;
+  SelectionConstraints selection;
+  double view_ttl_seconds = 7 * 86400.0;  // one week, per production policy
+  // Global (engine-level) switch; finer controls live in the insights
+  // service (ReuseControls).
+  bool cloudviews_enabled = true;
+  int max_views_per_job = 4;
+  // Cardinality feedback: serve per-recurring-signature observed row/byte
+  // micro-models to the optimizer for every repeated subexpression (the
+  // section 5.2 insights loop). Independent of materialization.
+  bool enable_cardinality_feedback = false;
+  // Column pruning during compilation: scans narrow to the columns used
+  // downstream, which also shrinks materialized-view storage. Off by
+  // default (pruned and unpruned plans have different signatures; a fleet
+  // must flip this together, like a runtime-version change).
+  bool prune_columns = false;
+  // Time between the producing job's submission and the view becoming
+  // visible to other compilations. Early sealing publishes as soon as the
+  // spool stage finishes — a couple of minutes — rather than at job
+  // completion; raise this to job-scale durations to ablate early sealing.
+  // Jobs submitted within this window of the producer cannot reuse the view
+  // (the concurrent-submission problem of section 4).
+  double seal_delay_seconds = 120.0;
+};
+
+// A job submitted to the engine.
+struct JobRequest {
+  int64_t job_id = 0;
+  std::string virtual_cluster = "vc0";
+  // Either a pre-built logical plan or SQL text (bound against the catalog).
+  LogicalOpPtr plan;
+  std::string sql;
+  double submit_time = 0.0;
+  int day = 0;
+  bool cloudviews_enabled = true;  // job-level toggle
+};
+
+// Everything observed about one executed job.
+struct JobExecution {
+  int64_t job_id = 0;
+  TablePtr output;
+  ExecutionStats stats;
+  LogicalOpPtr executed_plan;
+  int views_matched = 0;
+  int views_built = 0;
+  std::vector<Hash128> matched_signatures;
+  std::vector<Hash128> built_signatures;
+  double estimated_cost = 0.0;
+  double estimated_cost_without_reuse = 0.0;
+  // Compile-time overhead charged for fetching annotations.
+  double compile_overhead_seconds = 0.0;
+  bool reuse_enabled = false;  // after applying all control levels
+};
+
+// The CloudViews engine: ties together the optimizer, executor, workload
+// repository, view selection, insights service, and view storage. One
+// instance manages one cluster; virtual clusters share it (as in Cosmos).
+//
+// Typical usage:
+//   ReuseEngine engine(&catalog, options);
+//   engine.insights().controls().enabled_vcs.insert("vc0");  // opt-in
+//   auto exec = engine.RunJob(request);        // repeat for the workload
+//   engine.RunViewSelection();                 // periodic offline analysis
+//   engine.Maintenance(now);                   // purge expired views
+class ReuseEngine {
+ public:
+  ReuseEngine(DatasetCatalog* catalog, ReuseEngineOptions options = {});
+
+  ReuseEngine(const ReuseEngine&) = delete;
+  ReuseEngine& operator=(const ReuseEngine&) = delete;
+
+  // Compiles (binds + optimizes with reuse) and executes a job, recording
+  // its subexpressions into the workload repository.
+  Result<JobExecution> RunJob(const JobRequest& request);
+
+  // Compile-only entry point: returns the optimized plan without executing
+  // (used for inspection and by tests).
+  Result<OptimizationOutcome> CompileJob(const JobRequest& request);
+
+  // Periodic workload analysis + view selection; publishes the result to the
+  // insights service. Returns the selection for inspection.
+  SelectionResult RunViewSelection();
+
+  // Housekeeping at time `now`: expire views past TTL.
+  void Maintenance(double now);
+
+  // A shared dataset was bulk-updated (or GDPR-scrubbed): reclaim views.
+  size_t OnDatasetUpdated(const std::string& dataset_name);
+
+  // The SCOPE runtime version changed: all signatures move, so every view
+  // and every published annotation is invalid and history must be re-mined.
+  void OnRuntimeVersionChange(uint64_t new_version);
+
+  DatasetCatalog* catalog() { return catalog_; }
+  WorkloadRepository& repository() { return repository_; }
+  const WorkloadRepository& repository() const { return repository_; }
+  ViewStore& view_store() { return view_store_; }
+  const ViewStore& view_store() const { return view_store_; }
+  InsightsService& insights() { return insights_; }
+  CardinalityFeedback& cardinality_feedback() { return feedback_; }
+  ViewManager& view_manager() { return view_manager_; }
+  const ReuseEngineOptions& options() const { return options_; }
+
+ private:
+  Result<LogicalOpPtr> BindPlan(const JobRequest& request) const;
+  Result<OptimizationOutcome> CompileBound(const JobRequest& request,
+                                           const LogicalOpPtr& bound,
+                                           bool reuse_enabled);
+  bool ReuseEnabledFor(const JobRequest& request) const;
+
+  DatasetCatalog* catalog_;
+  ReuseEngineOptions options_;
+  ViewStore view_store_;
+  InsightsService insights_;
+  CardinalityFeedback feedback_;
+  ViewManager view_manager_;
+  WorkloadRepository repository_;
+  std::unique_ptr<Optimizer> optimizer_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CORE_REUSE_ENGINE_H_

@@ -1,0 +1,87 @@
+#include "core/view_manager.h"
+
+#include <algorithm>
+
+namespace cloudviews {
+
+Status ViewManager::BeginMaterialize(
+    const Hash128& strict, const Hash128& recurring,
+    const std::string& virtual_cluster,
+    const std::vector<std::string>& input_datasets, int64_t job_id,
+    double now) {
+  CLOUDVIEWS_RETURN_NOT_OK(store_->BeginMaterialize(strict, recurring,
+                                                    virtual_cluster, job_id,
+                                                    now));
+  view_inputs_[strict] = input_datasets;
+  return Status::OK();
+}
+
+Status ViewManager::SealEarly(const Hash128& strict, TablePtr contents,
+                              uint64_t observed_rows, uint64_t observed_bytes,
+                              int64_t job_id, double now) {
+  CLOUDVIEWS_RETURN_NOT_OK(
+      store_->Seal(strict, std::move(contents), observed_rows, observed_bytes,
+                   now));
+  // Release the creation lock so the insights service starts advertising the
+  // view for reuse wherever possible.
+  if (insights_ != nullptr) {
+    Status release = insights_->ReleaseViewLock(strict, job_id);
+    // A missing lock is tolerable (e.g. lock table was flushed); anything
+    // else indicates a protocol bug.
+    if (!release.ok() && release.code() != StatusCode::kNotFound) {
+      return release;
+    }
+  }
+  return Status::OK();
+}
+
+void ViewManager::AbandonJob(int64_t job_id,
+                             const std::vector<Hash128>& locked) {
+  for (const Hash128& sig : locked) {
+    if (insights_ != nullptr) {
+      insights_->ReleaseViewLock(sig, job_id).ok();
+    }
+    const MaterializedView* view = store_->FindAny(sig);
+    if (view != nullptr && view->state == ViewState::kMaterializing &&
+        view->producer_job_id == job_id) {
+      store_->Invalidate(sig).ok();
+      view_inputs_.erase(sig);
+    }
+  }
+}
+
+size_t ViewManager::PurgeExpired(double now) {
+  size_t purged = store_->PurgeExpired(now);
+  if (purged > 0) {
+    // Drop input registrations for views no longer present.
+    for (auto it = view_inputs_.begin(); it != view_inputs_.end();) {
+      if (store_->FindAny(it->first) == nullptr) {
+        it = view_inputs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return purged;
+}
+
+size_t ViewManager::InvalidateByDataset(const std::string& dataset) {
+  std::vector<Hash128> to_drop;
+  for (const auto& [sig, inputs] : view_inputs_) {
+    if (std::find(inputs.begin(), inputs.end(), dataset) != inputs.end()) {
+      to_drop.push_back(sig);
+    }
+  }
+  for (const Hash128& sig : to_drop) {
+    store_->Invalidate(sig).ok();
+    view_inputs_.erase(sig);
+  }
+  return to_drop.size();
+}
+
+void ViewManager::InvalidateAll() {
+  store_->InvalidateAll();
+  view_inputs_.clear();
+}
+
+}  // namespace cloudviews

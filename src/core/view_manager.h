@@ -1,0 +1,66 @@
+#ifndef CLOUDVIEWS_CORE_VIEW_MANAGER_H_
+#define CLOUDVIEWS_CORE_VIEW_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "core/insights_service.h"
+#include "storage/view_store.h"
+
+namespace cloudviews {
+
+// Lifecycle management for materialized CloudViews: creation bookkeeping,
+// early sealing, TTL expiry, and invalidation on input or runtime changes.
+class ViewManager {
+ public:
+  ViewManager(ViewStore* store, InsightsService* insights)
+      : store_(store), insights_(insights) {}
+
+  ViewManager(const ViewManager&) = delete;
+  ViewManager& operator=(const ViewManager&) = delete;
+
+  // Registers the start of a materialization (spool added at compile time
+  // under a creation lock held by `job_id`).
+  Status BeginMaterialize(const Hash128& strict, const Hash128& recurring,
+                          const std::string& virtual_cluster,
+                          const std::vector<std::string>& input_datasets,
+                          int64_t job_id, double now);
+
+  // Early sealing: the spool finished writing, so the view becomes readable
+  // and the creation lock is released — even though the producing job is
+  // still running ("the job manager makes the view available even before
+  // the query finishes").
+  Status SealEarly(const Hash128& strict, TablePtr contents,
+                   uint64_t observed_rows, uint64_t observed_bytes,
+                   int64_t job_id, double now);
+
+  // A job holding creation locks failed: release locks and drop any
+  // half-written views so other jobs can retry.
+  void AbandonJob(int64_t job_id, const std::vector<Hash128>& locked);
+
+  // Purges views past their TTL; returns number purged.
+  size_t PurgeExpired(double now);
+
+  // Drops every view reading `dataset` (GDPR forget / bulk update hygiene —
+  // future jobs would not match them anyway, but storage must be reclaimed).
+  size_t InvalidateByDataset(const std::string& dataset);
+
+  // Runtime/signature-version change: every existing view is stale.
+  void InvalidateAll();
+
+  const ViewStore& store() const { return *store_; }
+
+ private:
+  ViewStore* store_;
+  InsightsService* insights_;
+  // strict signature -> datasets it reads (for targeted invalidation).
+  std::unordered_map<Hash128, std::vector<std::string>, Hash128Hasher>
+      view_inputs_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CORE_VIEW_MANAGER_H_

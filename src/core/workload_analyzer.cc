@@ -1,0 +1,61 @@
+#include "core/workload_analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cloudviews {
+
+std::vector<GeneralizedOpportunity>
+WorkloadAnalyzer::GeneralizedReuseOpportunities(int64_t min_distinct) const {
+  // Key: the sorted input-dataset set (joined with '|').
+  struct Bucket {
+    std::vector<std::string> inputs;
+    int64_t distinct = 0;
+    int64_t frequency = 0;
+  };
+  std::map<std::string, Bucket> buckets;
+  for (const SubexpressionGroup* group : repository_->AllGroups()) {
+    if (group->input_datasets.size() < 2) continue;  // joins only
+    std::string key;
+    for (const std::string& name : group->input_datasets) {
+      key += name;
+      key += '|';
+    }
+    Bucket& bucket = buckets[key];
+    if (bucket.inputs.empty()) bucket.inputs = group->input_datasets;
+    bucket.distinct += 1;
+    bucket.frequency += group->occurrences;
+  }
+  std::vector<GeneralizedOpportunity> out;
+  for (auto& [key, bucket] : buckets) {
+    if (bucket.distinct < min_distinct) continue;
+    GeneralizedOpportunity opp;
+    opp.input_datasets = std::move(bucket.inputs);
+    opp.distinct_subexpressions = bucket.distinct;
+    opp.total_frequency = bucket.frequency;
+    out.push_back(std::move(opp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GeneralizedOpportunity& a,
+               const GeneralizedOpportunity& b) {
+              return a.total_frequency > b.total_frequency;
+            });
+  return out;
+}
+
+std::vector<ConsumerCdfPoint> WorkloadAnalyzer::ConsumerCdf(
+    std::vector<int64_t> consumers_per_dataset) {
+  std::sort(consumers_per_dataset.begin(), consumers_per_dataset.end());
+  std::vector<ConsumerCdfPoint> out;
+  size_t n = consumers_per_dataset.size();
+  for (size_t i = 0; i < n; ++i) {
+    ConsumerCdfPoint point;
+    point.fraction_of_datasets =
+        static_cast<double>(i + 1) / static_cast<double>(n);
+    point.distinct_consumers = consumers_per_dataset[i];
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,55 @@
+#ifndef CLOUDVIEWS_CORE_WORKLOAD_ANALYZER_H_
+#define CLOUDVIEWS_CORE_WORKLOAD_ANALYZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/workload_repository.h"
+
+namespace cloudviews {
+
+// A generalized-reuse opportunity (paper section 5.3 / Figure 8): several
+// syntactically distinct subexpressions that join the same set of inputs.
+// They could be merged into one more general materialized view and answered
+// via containment checks.
+struct GeneralizedOpportunity {
+  std::vector<std::string> input_datasets;  // the shared join-input set
+  int64_t distinct_subexpressions = 0;      // how many strict signatures
+  int64_t total_frequency = 0;              // occurrences across all of them
+};
+
+// Point on a cumulative-distribution curve (Figure 2): fraction of datasets
+// (x) vs number of distinct consumers (y).
+struct ConsumerCdfPoint {
+  double fraction_of_datasets = 0.0;
+  int64_t distinct_consumers = 0;
+};
+
+// Offline analyses over the workload repository, beyond what view selection
+// needs. This is the machinery behind the paper's workload-characterization
+// figures and the "workload insights notebook" experience.
+class WorkloadAnalyzer {
+ public:
+  explicit WorkloadAnalyzer(const WorkloadRepository* repository)
+      : repository_(repository) {}
+
+  // Groups multi-input subexpressions by their input-dataset set and
+  // reports the sets touched by more than one distinct subexpression,
+  // sorted by total frequency descending (Figure 8).
+  std::vector<GeneralizedOpportunity> GeneralizedReuseOpportunities(
+      int64_t min_distinct = 2) const;
+
+  // Builds the consumers-per-dataset CDF from a consumer-count list
+  // (Figure 2). Static: the counts come from the workload generator or an
+  // external trace, not the repository.
+  static std::vector<ConsumerCdfPoint> ConsumerCdf(
+      std::vector<int64_t> consumers_per_dataset);
+
+ private:
+  const WorkloadRepository* repository_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CORE_WORKLOAD_ANALYZER_H_

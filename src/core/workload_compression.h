@@ -1,0 +1,44 @@
+#ifndef CLOUDVIEWS_CORE_WORKLOAD_COMPRESSION_H_
+#define CLOUDVIEWS_CORE_WORKLOAD_COMPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/workload_repository.h"
+
+namespace cloudviews {
+
+// Workload compression — section 5.2: the signature infrastructure is also
+// used for "compressing workloads into a representative set for
+// pre-production evaluation". Given the repository's job/subexpression
+// bipartite structure, pick the smallest job subset whose subexpressions
+// cover a target fraction of the full workload's subexpression mass;
+// replaying just those jobs exercises (almost) everything the full workload
+// would.
+
+struct CompressionOptions {
+  // Stop once the selected jobs cover this fraction of the workload's
+  // cost-weighted subexpression mass.
+  double coverage_target = 0.95;
+  // Hard cap on the representative set size.
+  int max_jobs = 1000;
+  // Weigh subexpressions by observed compute cost (true) or uniformly.
+  bool cost_weighted = true;
+};
+
+struct CompressedWorkload {
+  std::vector<int64_t> representative_jobs;
+  double coverage = 0.0;          // achieved mass fraction
+  int64_t jobs_in_workload = 0;   // distinct jobs seen in the repository
+  double compression_ratio = 0.0; // representative / total jobs
+};
+
+// Greedy weighted set cover over the job -> subexpression incidence recorded
+// in the repository's recent-instance lists.
+CompressedWorkload CompressWorkload(const WorkloadRepository& repository,
+                                    CompressionOptions options = {});
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CORE_WORKLOAD_COMPRESSION_H_

@@ -1,0 +1,211 @@
+#include "exec/executor.h"
+
+#include <vector>
+
+namespace cloudviews {
+
+namespace {
+
+// Builds the physical tree, registering every operator in `registry` so
+// statistics can be harvested after the run.
+class PhysicalBuilder {
+ public:
+  PhysicalBuilder(const ExecContext* context,
+                  std::vector<PhysicalOp*>* registry)
+      : context_(context), registry_(registry) {}
+
+  Result<PhysicalOpPtr> Build(const LogicalOpPtr& node) {
+    auto op = BuildNode(node);
+    if (op.ok()) registry_->push_back(op.value().get());
+    return op;
+  }
+
+ private:
+  Result<PhysicalOpPtr> BuildNode(const LogicalOpPtr& node) {
+    switch (node->kind) {
+      case LogicalOpKind::kScan: {
+        if (context_->catalog == nullptr) {
+          return Status::Internal("executor has no dataset catalog");
+        }
+        auto dataset = context_->catalog->Lookup(node->dataset_name);
+        if (!dataset.ok()) return dataset.status();
+        if (!node->dataset_guid.empty() &&
+            dataset->guid != node->dataset_guid) {
+          return Status::Aborted("dataset " + node->dataset_name +
+                                 " changed version since compilation (bound " +
+                                 node->dataset_guid + ", current " +
+                                 dataset->guid + ")");
+        }
+        return PhysicalOpPtr(std::make_unique<TableScanOp>(
+            node.get(), dataset->table, /*is_view_scan=*/false));
+      }
+      case LogicalOpKind::kViewScan: {
+        if (context_->view_store == nullptr) {
+          return Status::Internal("plan reads a view but no view store set");
+        }
+        const MaterializedView* view =
+            context_->view_store->Find(node->view_signature, context_->now);
+        if (view == nullptr || view->table == nullptr) {
+          return Status::Aborted("materialized view vanished: " +
+                                 node->view_signature.ToHex());
+        }
+        return PhysicalOpPtr(std::make_unique<TableScanOp>(
+            node.get(), view->table, /*is_view_scan=*/true));
+      }
+      case LogicalOpKind::kFilter: {
+        auto child = Build(node->children[0]);
+        if (!child.ok()) return child.status();
+        return PhysicalOpPtr(
+            std::make_unique<FilterOp>(node.get(), std::move(child).value()));
+      }
+      case LogicalOpKind::kProject: {
+        auto child = Build(node->children[0]);
+        if (!child.ok()) return child.status();
+        return PhysicalOpPtr(
+            std::make_unique<ProjectOp>(node.get(), std::move(child).value()));
+      }
+      case LogicalOpKind::kJoin: {
+        auto left = Build(node->children[0]);
+        if (!left.ok()) return left.status();
+        auto right = Build(node->children[1]);
+        if (!right.ok()) return right.status();
+        switch (node->join_algorithm) {
+          case JoinAlgorithm::kHash:
+            if (node->equi_keys.empty()) {
+              return Status::InvalidArgument(
+                  "hash join requires at least one equi key");
+            }
+            return PhysicalOpPtr(std::make_unique<HashJoinOp>(
+                node.get(), std::move(left).value(),
+                std::move(right).value()));
+          case JoinAlgorithm::kMerge:
+            if (node->equi_keys.empty()) {
+              return Status::InvalidArgument(
+                  "merge join requires at least one equi key");
+            }
+            return PhysicalOpPtr(std::make_unique<MergeJoinOp>(
+                node.get(), std::move(left).value(),
+                std::move(right).value()));
+          case JoinAlgorithm::kLoop:
+            return PhysicalOpPtr(std::make_unique<LoopJoinOp>(
+                node.get(), std::move(left).value(),
+                std::move(right).value()));
+        }
+        return Status::Internal("unknown join algorithm");
+      }
+      case LogicalOpKind::kAggregate: {
+        auto child = Build(node->children[0]);
+        if (!child.ok()) return child.status();
+        return PhysicalOpPtr(std::make_unique<HashAggregateOp>(
+            node.get(), std::move(child).value()));
+      }
+      case LogicalOpKind::kSort: {
+        auto child = Build(node->children[0]);
+        if (!child.ok()) return child.status();
+        return PhysicalOpPtr(
+            std::make_unique<SortOp>(node.get(), std::move(child).value()));
+      }
+      case LogicalOpKind::kLimit: {
+        auto child = Build(node->children[0]);
+        if (!child.ok()) return child.status();
+        return PhysicalOpPtr(
+            std::make_unique<LimitOp>(node.get(), std::move(child).value()));
+      }
+      case LogicalOpKind::kUnionAll: {
+        std::vector<PhysicalOpPtr> children;
+        for (const LogicalOpPtr& child : node->children) {
+          auto built = Build(child);
+          if (!built.ok()) return built.status();
+          children.push_back(std::move(built).value());
+        }
+        return PhysicalOpPtr(
+            std::make_unique<UnionAllOp>(node.get(), std::move(children)));
+      }
+      case LogicalOpKind::kUdo: {
+        auto child = Build(node->children[0]);
+        if (!child.ok()) return child.status();
+        return PhysicalOpPtr(std::make_unique<UdoOp>(
+            node.get(), std::move(child).value(), context_->job_seed));
+      }
+      case LogicalOpKind::kSpool: {
+        auto child = Build(node->children[0]);
+        if (!child.ok()) return child.status();
+        return PhysicalOpPtr(std::make_unique<SpoolOp>(
+            node.get(), std::move(child).value(),
+            context_->on_spool_complete));
+      }
+    }
+    return Status::Internal("unhandled logical operator kind");
+  }
+
+  const ExecContext* context_;
+  std::vector<PhysicalOp*>* registry_;
+};
+
+bool IsExchangeBoundary(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kJoin:
+    case LogicalOpKind::kAggregate:
+    case LogicalOpKind::kSort:
+    case LogicalOpKind::kSpool:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
+  std::vector<PhysicalOp*> registry;
+  PhysicalBuilder builder(&context_, &registry);
+  auto root = builder.Build(plan);
+  if (!root.ok()) return root.status();
+
+  CLOUDVIEWS_RETURN_NOT_OK((*root)->Open());
+  auto output = std::make_shared<Table>("result", plan->output_schema);
+  while (true) {
+    Row row;
+    bool done = false;
+    CLOUDVIEWS_RETURN_NOT_OK((*root)->Next(&row, &done));
+    if (done) break;
+    CLOUDVIEWS_RETURN_NOT_OK(output->Append(std::move(row)));
+  }
+  (*root)->Close();
+
+  ExecResult result;
+  result.output = output;
+  ExecutionStats& stats = result.stats;
+  for (PhysicalOp* op : registry) {
+    const OperatorStats& op_stats = op->stats();
+    stats.per_node[op->logical()] = op_stats;
+    stats.total_cpu_cost += op_stats.cpu_cost;
+    stats.num_operators += 1;
+    switch (op->logical()->kind) {
+      case LogicalOpKind::kScan:
+        stats.input_rows += op_stats.rows_out;
+        stats.input_bytes += op_stats.bytes_out;
+        stats.total_bytes_read += op_stats.bytes_out;
+        break;
+      case LogicalOpKind::kViewScan:
+        stats.view_rows += op_stats.rows_out;
+        stats.view_bytes += op_stats.bytes_out;
+        stats.total_bytes_read += op_stats.bytes_out;
+        break;
+      default:
+        // Exchange boundaries persist intermediate outputs to the local
+        // store; their outputs are re-read by the next stage.
+        if (IsExchangeBoundary(op->logical()->kind)) {
+          stats.total_bytes_read += op_stats.bytes_out;
+        }
+        break;
+    }
+    if (auto* spool = dynamic_cast<SpoolOp*>(op)) {
+      stats.bytes_spooled += spool->bytes_spooled();
+      stats.spool_cpu_cost += spool->spool_cpu_cost();
+    }
+  }
+  return result;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,54 @@
+#ifndef CLOUDVIEWS_EXEC_EXECUTOR_H_
+#define CLOUDVIEWS_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "exec/physical_op.h"
+#include "exec/stats.h"
+#include "plan/logical_plan.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/view_store.h"
+
+namespace cloudviews {
+
+// Everything an executing job can touch.
+struct ExecContext {
+  const DatasetCatalog* catalog = nullptr;
+  // View store for ViewScan reads. May be null when reuse is disabled.
+  const ViewStore* view_store = nullptr;
+  // Called when a spool finishes materializing its subexpression (the early
+  // sealing hook). May be null.
+  SpoolOp::CompletionFn on_spool_complete;
+  // Seed for non-deterministic UDO instances (jobs differ run to run).
+  uint64_t job_seed = 0;
+  // Simulated "now" used to check view expiry during ViewScan binding.
+  double now = 0.0;
+};
+
+struct ExecResult {
+  TablePtr output;
+  ExecutionStats stats;
+};
+
+// Interprets an (optimized) logical plan. Single-threaded, row-at-a-time;
+// the cluster simulator models parallelism on top of the collected stats.
+class Executor {
+ public:
+  explicit Executor(ExecContext context) : context_(std::move(context)) {}
+
+  // Runs the plan to completion, returning the output table and statistics.
+  Result<ExecResult> Execute(const LogicalOpPtr& plan) const;
+
+ private:
+  Result<PhysicalOpPtr> BuildPhysical(const LogicalOpPtr& node) const;
+  static void CollectStats(PhysicalOp* op, ExecutionStats* stats);
+
+  ExecContext context_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXEC_EXECUTOR_H_

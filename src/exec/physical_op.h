@@ -1,0 +1,277 @@
+#ifndef CLOUDVIEWS_EXEC_PHYSICAL_OP_H_
+#define CLOUDVIEWS_EXEC_PHYSICAL_OP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/stats.h"
+#include "plan/logical_plan.h"
+#include "storage/table.h"
+
+namespace cloudviews {
+
+// Pull-based physical operator (Volcano iterator model, row granularity).
+// Protocol: Open() once, then Next() until *done, then Close().
+class PhysicalOp {
+ public:
+  explicit PhysicalOp(const LogicalOp* logical) : logical_(logical) {}
+  virtual ~PhysicalOp() = default;
+
+  PhysicalOp(const PhysicalOp&) = delete;
+  PhysicalOp& operator=(const PhysicalOp&) = delete;
+
+  virtual Status Open() = 0;
+  // Produces the next row into *row. Sets *done=true (and leaves *row
+  // untouched) at end of stream.
+  virtual Status Next(Row* row, bool* done) = 0;
+  virtual void Close() {}
+
+  const LogicalOp* logical() const { return logical_; }
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  void CountRow(const Row& row, double cpu_cost) {
+    stats_.rows_out += 1;
+    for (const Value& v : row) stats_.bytes_out += v.ByteSize();
+    stats_.cpu_cost += cpu_cost;
+  }
+  void AddCost(double cpu_cost) { stats_.cpu_cost += cpu_cost; }
+
+  const LogicalOp* logical_;
+  OperatorStats stats_;
+};
+
+using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
+
+// --- Leaf operators ---------------------------------------------------------
+
+// Scans an in-memory table (base dataset). Verifies the bound GUID still
+// matches the catalog version when a `expected_guid` is provided.
+class TableScanOp : public PhysicalOp {
+ public:
+  TableScanOp(const LogicalOp* logical, TablePtr table, bool is_view_scan);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+
+ private:
+  TablePtr table_;
+  bool is_view_scan_;
+  size_t index_ = 0;
+};
+
+// --- Unary operators --------------------------------------------------------
+
+class FilterOp : public PhysicalOp {
+ public:
+  FilterOp(const LogicalOp* logical, PhysicalOpPtr child);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  PhysicalOpPtr child_;
+};
+
+class ProjectOp : public PhysicalOp {
+ public:
+  ProjectOp(const LogicalOp* logical, PhysicalOpPtr child);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  PhysicalOpPtr child_;
+};
+
+class LimitOp : public PhysicalOp {
+ public:
+  LimitOp(const LogicalOp* logical, PhysicalOpPtr child);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  PhysicalOpPtr child_;
+  int64_t produced_ = 0;
+};
+
+// Opaque user-defined operator. The engine cannot see inside a UDO; we model
+// it as a deterministic (keyed on udo_name) pseudo-random row filter with a
+// per-row CPU charge. Non-deterministic UDOs draw from a per-instance seed
+// instead, so repeated executions genuinely differ.
+class UdoOp : public PhysicalOp {
+ public:
+  UdoOp(const LogicalOp* logical, PhysicalOpPtr child, uint64_t instance_seed);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  PhysicalOpPtr child_;
+  uint64_t seed_;
+  uint64_t counter_ = 0;
+};
+
+// Sorts the child's output (materializing it) by the logical sort keys.
+class SortOp : public PhysicalOp {
+ public:
+  SortOp(const LogicalOp* logical, PhysicalOpPtr child);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<Row> rows_;
+  size_t index_ = 0;
+};
+
+// Hash aggregation (also implements DISTINCT when aggregates are empty).
+class HashAggregateOp : public PhysicalOp {
+ public:
+  HashAggregateOp(const LogicalOp* logical, PhysicalOpPtr child);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  struct AggState {
+    double sum = 0.0;
+    int64_t sum_int = 0;
+    bool int_only = true;
+    int64_t count = 0;
+    Value min;
+    Value max;
+    std::vector<Value> distinct_values;  // linear set; fine for small groups
+  };
+
+  PhysicalOpPtr child_;
+  std::vector<Row> output_;
+  size_t index_ = 0;
+};
+
+// Dual-consumer spool: passes rows through to the parent while appending a
+// copy to a side table. When the stream completes, invokes `on_complete`
+// with the materialized contents — the hook the view manager uses to seal
+// the CloudView (early sealing happens here, before the whole job ends).
+class SpoolOp : public PhysicalOp {
+ public:
+  using CompletionFn =
+      std::function<void(const LogicalOp& spool, TablePtr contents,
+                         const OperatorStats& child_stats)>;
+
+  SpoolOp(const LogicalOp* logical, PhysicalOpPtr child,
+          CompletionFn on_complete);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+  uint64_t bytes_spooled() const { return bytes_spooled_; }
+  double spool_cpu_cost() const { return spool_cpu_cost_; }
+
+ private:
+  PhysicalOpPtr child_;
+  CompletionFn on_complete_;
+  std::shared_ptr<Table> side_table_;
+  uint64_t bytes_spooled_ = 0;
+  double spool_cpu_cost_ = 0.0;
+  bool completed_ = false;
+};
+
+// --- Binary operators -------------------------------------------------------
+
+class HashJoinOp : public PhysicalOp {
+ public:
+  HashJoinOp(const LogicalOp* logical, PhysicalOpPtr left, PhysicalOpPtr right);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  Status BuildRight();
+
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  std::unordered_multimap<uint64_t, Row> build_;
+  std::vector<int> left_keys_;
+  std::vector<int> right_keys_;
+  Row current_left_;
+  bool have_left_ = false;
+  bool left_matched_ = false;
+  std::pair<std::unordered_multimap<uint64_t, Row>::const_iterator,
+            std::unordered_multimap<uint64_t, Row>::const_iterator>
+      probe_range_;
+  size_t right_arity_ = 0;
+};
+
+class MergeJoinOp : public PhysicalOp {
+ public:
+  MergeJoinOp(const LogicalOp* logical, PhysicalOpPtr left,
+              PhysicalOpPtr right);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  std::vector<Row> left_rows_;
+  std::vector<Row> right_rows_;
+  std::vector<Row> output_;
+  size_t index_ = 0;
+};
+
+class LoopJoinOp : public PhysicalOp {
+ public:
+  LoopJoinOp(const LogicalOp* logical, PhysicalOpPtr left, PhysicalOpPtr right);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool have_left_ = false;
+  bool left_matched_ = false;
+  size_t right_index_ = 0;
+};
+
+// --- N-ary ------------------------------------------------------------------
+
+class UnionAllOp : public PhysicalOp {
+ public:
+  UnionAllOp(const LogicalOp* logical, std::vector<PhysicalOpPtr> children);
+
+  Status Open() override;
+  Status Next(Row* row, bool* done) override;
+  void Close() override;
+
+ private:
+  std::vector<PhysicalOpPtr> children_;
+  size_t current_ = 0;
+};
+
+// Evaluates a join's residual predicate plus computes combined rows; shared
+// by the three join implementations.
+Result<bool> EvalJoinResidual(const LogicalOp& join, const Row& combined);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXEC_PHYSICAL_OP_H_

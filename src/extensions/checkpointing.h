@@ -1,0 +1,70 @@
+#ifndef CLOUDVIEWS_EXTENSIONS_CHECKPOINTING_H_
+#define CLOUDVIEWS_EXTENSIONS_CHECKPOINTING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "plan/signature.h"
+#include "storage/view_store.h"
+
+namespace cloudviews {
+
+// Checkpoint/restart via computation reuse — section 5.6 ("Checkpointing"):
+// "select intermediate subexpressions in a job's query plan to materialize
+// and reuse them in case the job is restarted after a failure... during the
+// resubmission, CloudViews can load the last available checkpoint thereby
+// avoiding re-computation."
+//
+// The checkpointer reuses the CloudViews machinery verbatim: a checkpoint
+// IS a materialized view of an intermediate subexpression, written by a
+// spool during execution and matched by signature on resubmission.
+
+struct CheckpointPolicy {
+  // Place a checkpoint above any operator whose estimated subtree cost
+  // exceeds this fraction of the whole plan's cost (expensive prefixes are
+  // the ones worth not recomputing).
+  double min_cost_fraction = 0.3;
+  // Cap on checkpoints per job.
+  int max_checkpoints = 2;
+};
+
+struct CheckpointedRun {
+  TablePtr output;
+  ExecutionStats stats;
+  int checkpoints_written = 0;
+  int checkpoints_restored = 0;
+  bool failed = false;  // the (injected) failure fired during this attempt
+};
+
+// Runs a plan with checkpoint spools; on resubmission after a failure,
+// restores from the checkpoints that sealed before the failure.
+class CheckpointManager {
+ public:
+  CheckpointManager(const DatasetCatalog* catalog, CheckpointPolicy policy = {})
+      : catalog_(catalog), policy_(policy), store_(/*ttl_seconds=*/86400.0) {}
+
+  // Chooses checkpoint locations and rewrites the plan with spools over
+  // them (positions are picked on estimated costs, mirroring the
+  // history-driven placement of the Phoebe checkpoint optimizer).
+  LogicalOpPtr PlanWithCheckpoints(const LogicalOpPtr& plan);
+
+  // Executes `plan` (as returned by PlanWithCheckpoints). If
+  // `fail_after_checkpoints` >= 0, the run aborts right after that many
+  // checkpoints sealed — simulating a mid-job transient failure. Already
+  // sealed checkpoints survive for the retry.
+  Result<CheckpointedRun> Execute(const LogicalOpPtr& plan,
+                                  int fail_after_checkpoints = -1);
+
+  const ViewStore& store() const { return store_; }
+
+ private:
+  const DatasetCatalog* catalog_;
+  CheckpointPolicy policy_;
+  ViewStore store_;
+  SignatureComputer signatures_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXTENSIONS_CHECKPOINTING_H_

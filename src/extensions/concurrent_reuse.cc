@@ -1,0 +1,156 @@
+#include "extensions/concurrent_reuse.h"
+
+#include <unordered_set>
+
+#include "storage/view_store.h"
+
+namespace cloudviews {
+
+Result<BatchExecutionResult> ConcurrentBatchExecutor::ExecuteBatch(
+    const std::vector<BatchJob>& jobs) {
+  BatchExecutionResult result;
+  SignatureComputer signatures(options_.signatures);
+
+  // Normalize all plans so equivalent subexpressions align, then find the
+  // subexpressions appearing in more than one job of the batch.
+  std::vector<LogicalOpPtr> plans;
+  plans.reserve(jobs.size());
+  std::unordered_map<Hash128, std::unordered_set<int64_t>, Hash128Hasher>
+      jobs_per_sig;
+  std::unordered_map<Hash128, Hash128, Hash128Hasher> recurring_of;
+  for (const BatchJob& job : jobs) {
+    if (job.plan == nullptr) {
+      return Status::InvalidArgument("batch job " +
+                                     std::to_string(job.job_id) +
+                                     " has no plan");
+    }
+    LogicalOpPtr normalized = PlanNormalizer::Normalize(job.plan);
+    for (const NodeSignature& sig : signatures.ComputeAll(*normalized)) {
+      if (!sig.eligible || sig.subtree_size < options_.min_subtree_size) {
+        continue;
+      }
+      jobs_per_sig[sig.strict].insert(job.job_id);
+      recurring_of[sig.strict] = sig.recurring;
+    }
+    plans.push_back(std::move(normalized));
+  }
+  std::unordered_set<Hash128, Hash128Hasher> shared;
+  for (const auto& [sig, job_set] : jobs_per_sig) {
+    if (job_set.size() >= 2) shared.insert(sig);
+  }
+
+  // Batch-local cache: the pipelined intermediates live in an ephemeral
+  // view store that dies with the batch (nothing is persisted).
+  ViewStore cache(/*ttl_seconds=*/1e18);
+  std::unordered_map<Hash128, double, Hash128Hasher> compute_cost;
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    LogicalOpPtr& plan = plans[i];
+
+    // Top-down: replace cached shared subexpressions with scans; wrap
+    // not-yet-cached ones with a spool so this job computes them for the
+    // rest of the batch.
+    int hits = 0;
+    double hit_read_cost = 0.0;
+    double hit_compute_cost = 0.0;
+    std::function<void(LogicalOpPtr*)> rewrite = [&](LogicalOpPtr* node) {
+      LogicalOp& op = **node;
+      if (op.kind != LogicalOpKind::kSpool &&
+          op.kind != LogicalOpKind::kViewScan) {
+        NodeSignature sig = signatures.Compute(op);
+        if (shared.count(sig.strict) > 0) {
+          const MaterializedView* cached = cache.Find(sig.strict, 0.0);
+          if (cached != nullptr && cached->table != nullptr) {
+            LogicalOpPtr scan = LogicalOp::ViewScan(
+                sig.strict, cached->output_path, op.output_schema);
+            scan->view_recurring_signature = sig.recurring;
+            scan->estimated_rows = static_cast<double>(cached->observed_rows);
+            scan->estimated_bytes =
+                static_cast<double>(cached->observed_bytes);
+            scan->stats_from_view = true;
+            *node = std::move(scan);
+            hits += 1;
+            hit_compute_cost += compute_cost[sig.strict];
+            return;
+          }
+          if (cache.FindAny(sig.strict) == nullptr &&
+              cache.TotalBytes() < options_.memory_budget_bytes) {
+            cache
+                .BeginMaterialize(sig.strict, recurring_of[sig.strict],
+                                  "batch", jobs[i].job_id, 0.0)
+                .ok();
+            LogicalOpPtr spool = LogicalOp::Spool(*node);
+            spool->view_signature = sig.strict;
+            *node = std::move(spool);
+            // Recurse into the spool's child to share nested ones too.
+            rewrite(&(*node)->children[0]);
+            return;
+          }
+        }
+      }
+      for (LogicalOpPtr& child : op.children) rewrite(&child);
+    };
+    rewrite(&plan);
+
+    ExecContext context;
+    context.catalog = catalog_;
+    context.view_store = &cache;
+    context.job_seed = static_cast<uint64_t>(jobs[i].job_id);
+    context.on_spool_complete = [&](const LogicalOp& spool, TablePtr contents,
+                                    const OperatorStats& stats) {
+      if (cache.TotalBytes() + contents->byte_size() >
+          options_.memory_budget_bytes) {
+        cache.Invalidate(spool.view_signature).ok();
+        return;
+      }
+      if (cache
+              .Seal(spool.view_signature, std::move(contents), stats.rows_out,
+                    stats.bytes_out, 0.0)
+              .ok()) {
+        // Remember what computing this subexpression cost, for accounting.
+        compute_cost[spool.view_signature] = stats.cpu_cost;
+      }
+    };
+    Executor executor(context);
+    auto run = executor.Execute(plan);
+    if (!run.ok()) return run.status();
+
+    // Record per-cached-subexpression total compute (subtree, not just the
+    // root operator): recompute from the executed stats.
+    for (const auto& [node, stats] : run->stats.per_node) {
+      if (node->kind == LogicalOpKind::kSpool) {
+        double subtree = 0.0;
+        std::vector<const LogicalOp*> stack = {node};
+        while (!stack.empty()) {
+          const LogicalOp* op = stack.back();
+          stack.pop_back();
+          auto it = run->stats.per_node.find(op);
+          if (it != run->stats.per_node.end()) subtree += it->second.cpu_cost;
+          for (const LogicalOpPtr& child : op->children) {
+            stack.push_back(child.get());
+          }
+        }
+        compute_cost[node->view_signature] = subtree - stats.cpu_cost;
+      }
+      if (node->kind == LogicalOpKind::kViewScan) {
+        hit_read_cost += stats.cpu_cost;
+      }
+    }
+
+    BatchJobResult job_result;
+    job_result.job_id = jobs[i].job_id;
+    job_result.output = run->output;
+    job_result.stats = run->stats;
+    job_result.shared_hits = hits;
+    result.cpu_cost_total += run->stats.total_cpu_cost;
+    // Isolated execution would have recomputed every hit instead of
+    // reading the cached copy.
+    result.cpu_cost_without_sharing +=
+        run->stats.total_cpu_cost - hit_read_cost + hit_compute_cost;
+    result.jobs.push_back(std::move(job_result));
+  }
+  result.shared_subexpressions = static_cast<int>(compute_cost.size());
+  return result;
+}
+
+}  // namespace cloudviews

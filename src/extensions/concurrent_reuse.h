@@ -1,0 +1,75 @@
+#ifndef CLOUDVIEWS_EXTENSIONS_CONCURRENT_REUSE_H_
+#define CLOUDVIEWS_EXTENSIONS_CONCURRENT_REUSE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/executor.h"
+#include "plan/normalizer.h"
+#include "plan/signature.h"
+#include "storage/catalog.h"
+
+namespace cloudviews {
+
+// Reuse in concurrent queries — section 5.4: "opportunities for reuse exist
+// for concurrent queries, which does not require pre-materialization since
+// intermediate results may be directly pipelined". CloudViews proper cannot
+// help jobs submitted together (the view has not sealed yet); this
+// extension executes a batch of concurrent jobs as a group, computes each
+// shared subexpression once, and pipes the in-memory result into every
+// consumer.
+//
+// Scope: batch-local, memory-only sharing — nothing is written to the view
+// store and nothing survives the batch, which is exactly the
+// pipelined-sharing tradeoff the paper sketches.
+
+struct BatchJob {
+  int64_t job_id = 0;
+  LogicalOpPtr plan;
+};
+
+struct BatchJobResult {
+  int64_t job_id = 0;
+  TablePtr output;
+  ExecutionStats stats;
+  int shared_hits = 0;  // subexpressions answered from the batch cache
+};
+
+struct BatchExecutionResult {
+  std::vector<BatchJobResult> jobs;
+  int shared_subexpressions = 0;   // distinct subexpressions computed once
+  double cpu_cost_total = 0.0;     // across the batch
+  double cpu_cost_without_sharing = 0.0;  // what isolated execution costs
+};
+
+struct ConcurrentBatchOptions {
+  SignatureOptions signatures;
+  // Only share subexpressions of at least this many operators (sharing a
+  // bare scan+filter saves little and costs cache memory).
+  size_t min_subtree_size = 3;
+  // Cap on cached intermediate bytes per batch.
+  size_t memory_budget_bytes = 256ull << 20;
+};
+
+// Executes a batch of concurrently submitted jobs with common-subexpression
+// sharing.
+class ConcurrentBatchExecutor {
+ public:
+  using Options = ConcurrentBatchOptions;
+
+  ConcurrentBatchExecutor(const DatasetCatalog* catalog, Options options = {})
+      : catalog_(catalog), options_(options) {}
+
+  // Runs all jobs; plans are normalized internally so equivalent
+  // subexpressions align.
+  Result<BatchExecutionResult> ExecuteBatch(const std::vector<BatchJob>& jobs);
+
+ private:
+  const DatasetCatalog* catalog_;
+  Options options_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXTENSIONS_CONCURRENT_REUSE_H_

@@ -1,0 +1,171 @@
+#include "extensions/containment.h"
+
+#include <algorithm>
+
+namespace cloudviews {
+
+namespace {
+
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind == ExprKind::kBinary &&
+      expr->binary_op == sql::BinaryOp::kAnd) {
+    CollectConjuncts(expr->children[0], out);
+    CollectConjuncts(expr->children[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+// Tries to turn one conjunct into a ColumnRange. Supported shapes:
+//   col <op> literal, literal <op> col, col BETWEEN lit AND lit.
+std::optional<ColumnRange> RangeFromConjunct(const ExprPtr& conjunct) {
+  ColumnRange range;
+  if (conjunct->kind == ExprKind::kBetween && !conjunct->negated &&
+      conjunct->children[0]->kind == ExprKind::kColumn &&
+      conjunct->children[1]->kind == ExprKind::kLiteral &&
+      conjunct->children[2]->kind == ExprKind::kLiteral) {
+    range.column = conjunct->children[0]->column_index;
+    range.lower = conjunct->children[1]->literal;
+    range.upper = conjunct->children[2]->literal;
+    return range;
+  }
+  if (conjunct->kind != ExprKind::kBinary) return std::nullopt;
+
+  const Expr* lhs = conjunct->children[0].get();
+  const Expr* rhs = conjunct->children[1].get();
+  sql::BinaryOp op = conjunct->binary_op;
+  // Normalize to column <op> literal.
+  if (lhs->kind == ExprKind::kLiteral && rhs->kind == ExprKind::kColumn) {
+    std::swap(lhs, rhs);
+    switch (op) {
+      case sql::BinaryOp::kLt:
+        op = sql::BinaryOp::kGt;
+        break;
+      case sql::BinaryOp::kLe:
+        op = sql::BinaryOp::kGe;
+        break;
+      case sql::BinaryOp::kGt:
+        op = sql::BinaryOp::kLt;
+        break;
+      case sql::BinaryOp::kGe:
+        op = sql::BinaryOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  if (lhs->kind != ExprKind::kColumn || rhs->kind != ExprKind::kLiteral) {
+    return std::nullopt;
+  }
+  if (rhs->literal.is_null()) return std::nullopt;
+  range.column = lhs->column_index;
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      range.lower = rhs->literal;
+      range.upper = rhs->literal;
+      return range;
+    case sql::BinaryOp::kLt:
+      range.upper = rhs->literal;
+      range.upper_inclusive = false;
+      return range;
+    case sql::BinaryOp::kLe:
+      range.upper = rhs->literal;
+      return range;
+    case sql::BinaryOp::kGt:
+      range.lower = rhs->literal;
+      range.lower_inclusive = false;
+      return range;
+    case sql::BinaryOp::kGe:
+      range.lower = rhs->literal;
+      return range;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void ColumnRange::IntersectWith(const ColumnRange& other) {
+  if (other.lower.has_value()) {
+    if (!lower.has_value() || lower->Compare(*other.lower) < 0) {
+      lower = other.lower;
+      lower_inclusive = other.lower_inclusive;
+    } else if (lower->Compare(*other.lower) == 0) {
+      lower_inclusive = lower_inclusive && other.lower_inclusive;
+    }
+  }
+  if (other.upper.has_value()) {
+    if (!upper.has_value() || upper->Compare(*other.upper) > 0) {
+      upper = other.upper;
+      upper_inclusive = other.upper_inclusive;
+    } else if (upper->Compare(*other.upper) == 0) {
+      upper_inclusive = upper_inclusive && other.upper_inclusive;
+    }
+  }
+  if (lower.has_value() && upper.has_value()) {
+    int cmp = lower->Compare(*upper);
+    if (cmp > 0 || (cmp == 0 && !(lower_inclusive && upper_inclusive))) {
+      unsatisfiable = true;
+    }
+  }
+}
+
+bool ColumnRange::ContainedIn(const ColumnRange& other) const {
+  if (unsatisfiable) return true;  // empty set is contained in anything
+  if (other.unsatisfiable) return false;
+  if (other.lower.has_value()) {
+    if (!lower.has_value()) return false;
+    int cmp = lower->Compare(*other.lower);
+    if (cmp < 0) return false;
+    if (cmp == 0 && lower_inclusive && !other.lower_inclusive) return false;
+  }
+  if (other.upper.has_value()) {
+    if (!upper.has_value()) return false;
+    int cmp = upper->Compare(*other.upper);
+    if (cmp > 0) return false;
+    if (cmp == 0 && upper_inclusive && !other.upper_inclusive) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<ColumnRange>> ExtractRanges(const ExprPtr& pred) {
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(pred, &conjuncts);
+  std::vector<ColumnRange> ranges;
+  for (const ExprPtr& conjunct : conjuncts) {
+    std::optional<ColumnRange> range = RangeFromConjunct(conjunct);
+    if (!range.has_value()) return std::nullopt;
+    auto existing = std::find_if(ranges.begin(), ranges.end(),
+                                 [&](const ColumnRange& r) {
+                                   return r.column == range->column;
+                                 });
+    if (existing != ranges.end()) {
+      existing->IntersectWith(*range);
+    } else {
+      ranges.push_back(std::move(*range));
+    }
+  }
+  return ranges;
+}
+
+bool Implies(const ExprPtr& p, const ExprPtr& v) {
+  if (v == nullptr) return true;   // view keeps everything
+  if (p == nullptr) return false;  // query keeps everything, view might not
+  auto p_ranges = ExtractRanges(p);
+  auto v_ranges = ExtractRanges(v);
+  if (!p_ranges.has_value() || !v_ranges.has_value()) return false;
+  // Every view constraint must be implied by the query's constraints on the
+  // same column.
+  for (const ColumnRange& view_range : *v_ranges) {
+    auto query_range =
+        std::find_if(p_ranges->begin(), p_ranges->end(),
+                     [&](const ColumnRange& r) {
+                       return r.column == view_range.column;
+                     });
+    if (query_range == p_ranges->end()) return false;  // unconstrained in p
+    if (!query_range->ContainedIn(view_range)) return false;
+  }
+  return true;
+}
+
+}  // namespace cloudviews

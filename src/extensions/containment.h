@@ -1,0 +1,47 @@
+#ifndef CLOUDVIEWS_EXTENSIONS_CONTAINMENT_H_
+#define CLOUDVIEWS_EXTENSIONS_CONTAINMENT_H_
+
+#include <optional>
+
+#include "plan/expr.h"
+
+namespace cloudviews {
+
+// Predicate-containment checking for the generalized-reuse prototype
+// (paper section 5.3). Full query containment is NP-complete; like the
+// production follow-up work, this implements the decidable fragment that
+// covers most shared filters in practice: conjunctions of
+// {=, <, <=, >, >=, BETWEEN, IN} comparisons between a column and literals.
+//
+// `Implies(p, v)` returns true when every row satisfying p also satisfies v
+// — i.e. a view filtered by v can answer a query filtered by p with a
+// compensating filter. Unknown expression shapes return false (sound, not
+// complete).
+bool Implies(const ExprPtr& p, const ExprPtr& v);
+
+// Per-column value interval with optional point set (for = / IN).
+struct ColumnRange {
+  int column = -1;
+  // Interval bounds; unset = unbounded. Bounds are Values (numeric or
+  // string, compared with Value::Compare).
+  std::optional<Value> lower;
+  bool lower_inclusive = true;
+  std::optional<Value> upper;
+  bool upper_inclusive = true;
+  bool unsatisfiable = false;
+
+  // Intersects another range on the same column.
+  void IntersectWith(const ColumnRange& other);
+
+  // True if every value in `this` also lies in `other`.
+  bool ContainedIn(const ColumnRange& other) const;
+};
+
+// Extracts per-column ranges from a conjunctive predicate. Returns nullopt
+// when the predicate contains a conjunct outside the supported fragment
+// (ORs, function calls, cross-column comparisons, negations...).
+std::optional<std::vector<ColumnRange>> ExtractRanges(const ExprPtr& pred);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXTENSIONS_CONTAINMENT_H_

@@ -1,0 +1,79 @@
+#include "extensions/generalized_views.h"
+
+#include "extensions/containment.h"
+
+namespace cloudviews {
+
+GeneralizedViewKey GeneralizedKeyFor(const LogicalOp& node,
+                                     SignatureOptions options) {
+  SignatureComputer signatures(options);
+  GeneralizedViewKey key;
+  if (node.kind == LogicalOpKind::kFilter) {
+    key.view_predicate = node.predicate;
+    NodeSignature sig = signatures.Compute(*node.children[0]);
+    key.strict = sig.strict;
+    key.recurring = sig.recurring;
+  } else {
+    NodeSignature sig = signatures.Compute(node);
+    key.strict = sig.strict;
+    key.recurring = sig.recurring;
+  }
+  return key;
+}
+
+void GeneralizedViewMatcher::RegisterView(const Hash128& base_signature,
+                                          const Hash128& view_signature,
+                                          ExprPtr view_predicate) {
+  views_by_base_[base_signature].push_back(
+      {view_signature, std::move(view_predicate)});
+}
+
+LogicalOpPtr GeneralizedViewMatcher::TryRewrite(const LogicalOp& node,
+                                                double now) const {
+  if (node.kind != LogicalOpKind::kFilter) return nullptr;
+  const LogicalOp& base = *node.children[0];
+  if (base.kind == LogicalOpKind::kViewScan ||
+      base.kind == LogicalOpKind::kSpool) {
+    return nullptr;
+  }
+  NodeSignature base_sig = signatures_.Compute(base);
+  if (!base_sig.eligible) return nullptr;
+  auto it = views_by_base_.find(base_sig.strict);
+  if (it == views_by_base_.end()) return nullptr;
+
+  for (const RegisteredView& candidate : it->second) {
+    // The query's filter must be contained in the view's predicate (a view
+    // with no predicate kept every row and always qualifies).
+    if (candidate.predicate != nullptr &&
+        !Implies(node.predicate, candidate.predicate)) {
+      continue;
+    }
+    const MaterializedView* view = store_->Find(candidate.signature, now);
+    if (view == nullptr || view->table == nullptr) continue;
+    // Rewrite: compensating filter over the (wider) view.
+    LogicalOpPtr scan = LogicalOp::ViewScan(candidate.signature,
+                                            view->output_path,
+                                            base.output_schema);
+    scan->view_recurring_signature = view->recurring_signature;
+    scan->estimated_rows = static_cast<double>(view->observed_rows);
+    scan->estimated_bytes = static_cast<double>(view->observed_bytes);
+    scan->stats_from_view = true;
+    return LogicalOp::Filter(std::move(scan), node.predicate);
+  }
+  return nullptr;
+}
+
+int GeneralizedViewMatcher::RewriteAll(LogicalOpPtr* plan, double now) const {
+  LogicalOpPtr rewritten = TryRewrite(**plan, now);
+  if (rewritten != nullptr) {
+    *plan = std::move(rewritten);
+    return 1;  // largest-first: do not descend into the replaced subtree
+  }
+  int count = 0;
+  for (LogicalOpPtr& child : (*plan)->children) {
+    count += RewriteAll(&child, now);
+  }
+  return count;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,73 @@
+#ifndef CLOUDVIEWS_EXTENSIONS_GENERALIZED_VIEWS_H_
+#define CLOUDVIEWS_EXTENSIONS_GENERALIZED_VIEWS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/normalizer.h"
+#include "plan/signature.h"
+#include "storage/view_store.h"
+
+namespace cloudviews {
+
+// Generalized (containment-based) reuse — the section 5.3 prototype.
+//
+// Core CloudViews only reuses *exact* logical subexpressions. Figure 8 shows
+// the missed opportunity: many subexpressions join the same inputs but carry
+// different selections. A generalized view materializes the filter-free
+// variant once; queries whose filters are contained in the view's predicate
+// (here: always, since the view keeps everything) are answered by a
+// compensating filter over the view.
+//
+// The matcher recognizes the pattern   Filter(p, X)   where a generalized
+// view exists for X (or for Filter(v, X) with p => v), and rewrites it to
+// Filter(p, ViewScan) — cheaper whenever X is an expensive join.
+class GeneralizedViewMatcher {
+ public:
+  explicit GeneralizedViewMatcher(const ViewStore* store,
+                                  SignatureOptions options = {})
+      : store_(store), signatures_(options) {}
+
+  // Registers a generalized view: `base_signature` identifies the
+  // filter-free subexpression, `view_signature` the materialized entry in
+  // the view store, and `view_predicate` the filter baked into the view
+  // (nullptr when the view kept every row).
+  void RegisterView(const Hash128& base_signature,
+                    const Hash128& view_signature, ExprPtr view_predicate);
+
+  // One rewrite attempt at `node` (no recursion): returns the rewritten
+  // subtree, or nullptr if no generalized view applies.
+  LogicalOpPtr TryRewrite(const LogicalOp& node, double now) const;
+
+  // Recursively rewrites the largest applicable subexpressions in `plan`;
+  // returns the number of rewrites performed.
+  int RewriteAll(LogicalOpPtr* plan, double now) const;
+
+ private:
+  struct RegisteredView {
+    Hash128 signature;
+    ExprPtr predicate;
+  };
+
+  const ViewStore* store_;
+  SignatureComputer signatures_;
+  std::unordered_map<Hash128, std::vector<RegisteredView>, Hash128Hasher>
+      views_by_base_;
+};
+
+// Registers a generalized view for the subexpression `filtered_or_not`:
+// strips a top-level filter if present and materializes the bare
+// subexpression under its own strict signature. Returns the signature the
+// matcher will look up. (Materialization itself goes through the normal
+// spool/seal machinery; this helper computes the registration key.)
+struct GeneralizedViewKey {
+  Hash128 strict;         // signature of the filter-free subexpression
+  Hash128 recurring;
+  ExprPtr view_predicate; // predicate baked into the view (null = none)
+};
+GeneralizedViewKey GeneralizedKeyFor(const LogicalOp& node,
+                                     SignatureOptions options = {});
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXTENSIONS_GENERALIZED_VIEWS_H_

@@ -1,0 +1,28 @@
+#include "extensions/sampled_views.h"
+
+#include "common/hash.h"
+
+namespace cloudviews {
+
+Result<TablePtr> SampleView(const Table& view_contents, double rate,
+                            uint64_t seed) {
+  if (rate <= 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("sample rate must be in (0, 1], got " +
+                                   std::to_string(rate));
+  }
+  auto sample = std::make_shared<Table>(view_contents.name() + "_sample",
+                                        view_contents.schema());
+  for (const Row& row : view_contents.rows()) {
+    // Deterministic per-row coin flip on (seed, row content).
+    Hasher hasher(seed);
+    for (const Value& value : row) value.HashInto(&hasher);
+    double u = static_cast<double>(hasher.Finish().lo >> 11) *
+               (1.0 / 9007199254740992.0);
+    if (u < rate) {
+      CLOUDVIEWS_RETURN_NOT_OK(sample->Append(row));
+    }
+  }
+  return TablePtr(sample);
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,45 @@
+#ifndef CLOUDVIEWS_EXTENSIONS_SAMPLED_VIEWS_H_
+#define CLOUDVIEWS_EXTENSIONS_SAMPLED_VIEWS_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cloudviews {
+
+// Sampled views — section 5.6 ("Sampling"): approximate query execution can
+// run over a sample of a CloudView. "Sampled views will particularly help
+// reduce query latency and cost in queries where substantial work happens
+// after the sampler."
+//
+// The sampler is deterministic (keyed on row content + seed), so repeated
+// jobs over the same view observe the same sample — an invariant reuse
+// depends on.
+
+// Builds a Bernoulli(rate) sample of `view_contents`.
+Result<TablePtr> SampleView(const Table& view_contents, double rate,
+                            uint64_t seed = 0x5A17ED);
+
+// Estimators over a sampled view: scale additive aggregates by 1/rate.
+struct ApproximateAggregate {
+  double rate = 1.0;
+
+  // Estimated COUNT(*) of the unsampled data given the sample's row count.
+  double EstimateCount(size_t sample_rows) const {
+    return rate > 0 ? static_cast<double>(sample_rows) / rate : 0.0;
+  }
+  // Estimated SUM given the sample's sum.
+  double EstimateSum(double sample_sum) const {
+    return rate > 0 ? sample_sum / rate : 0.0;
+  }
+  // AVG needs no scaling (ratio estimator).
+  double EstimateAvg(double sample_sum, size_t sample_rows) const {
+    return sample_rows > 0 ? sample_sum / static_cast<double>(sample_rows)
+                           : 0.0;
+  }
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXTENSIONS_SAMPLED_VIEWS_H_

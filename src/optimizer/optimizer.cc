@@ -1,0 +1,151 @@
+#include "optimizer/optimizer.h"
+
+#include <functional>
+
+#include "core/cardinality_feedback.h"
+
+namespace cloudviews {
+
+void Optimizer::AnnotateWithFeedback(LogicalOp* node) const {
+  if (options_.cardinality_feedback != nullptr) {
+    // Bottom-up: install micro-model estimates wherever a repeated
+    // subexpression has observed history. Parents' static estimates then
+    // build on observed child cardinalities instead of compounding errors.
+    std::function<void(LogicalOp*)> install = [&](LogicalOp* op) {
+      for (const LogicalOpPtr& child : op->children) install(child.get());
+      if (op->stats_from_view) return;  // view stats are already observed
+      if (op->kind == LogicalOpKind::kScan ||
+          op->kind == LogicalOpKind::kViewScan ||
+          op->kind == LogicalOpKind::kSpool) {
+        return;  // leaves are exact; spools are transparent
+      }
+      NodeSignature sig = signatures_.Compute(*op);
+      if (!sig.eligible) return;
+      auto model = options_.cardinality_feedback->Lookup(
+          sig.recurring, /*min_observations=*/2);
+      if (model.has_value()) {
+        op->estimated_rows = model->rows;
+        op->estimated_bytes = model->bytes;
+        op->stats_from_view = true;  // observed, authoritative
+      }
+    };
+    install(node);
+  }
+  estimator_.Annotate(node);
+}
+
+Result<OptimizationOutcome> Optimizer::Optimize(
+    const LogicalOpPtr& plan, const QueryAnnotations& annotations,
+    const ViewStore* view_store, const TryLockFn& try_lock,
+    double now) const {
+  OptimizationOutcome outcome;
+  outcome.plan = plan->Clone();
+
+  // Baseline estimate (what the plan would cost without any reuse).
+  AnnotateWithFeedback(outcome.plan.get());
+  cost_model_.ChooseJoinAlgorithms(outcome.plan.get());
+  outcome.estimated_cost_without_reuse =
+      cost_model_.SubtreeCost(*outcome.plan);
+
+  // Phase 1 — core search, top-down: replace the largest materialized
+  // subexpressions with view scans.
+  if (options_.enable_view_matching && view_store != nullptr) {
+    outcome.views_matched =
+        MatchViews(&outcome.plan, view_store, now, &outcome);
+    // Re-annotate: view scans carry observed statistics which propagate
+    // upward, and join algorithms may change with the corrected estimates.
+    AnnotateWithFeedback(outcome.plan.get());
+    cost_model_.ChooseJoinAlgorithms(outcome.plan.get());
+  }
+
+  // Phase 2 — follow-up optimization, bottom-up: propose materializations
+  // for selected candidates and add spools where the lock is granted.
+  if (options_.enable_view_building && try_lock != nullptr &&
+      !annotations.materialize_candidates.empty()) {
+    int total_added = 0;
+    BuildViews(&outcome.plan, annotations, view_store, try_lock, now,
+               &outcome, &total_added);
+    outcome.spools_added = total_added;
+    AnnotateWithFeedback(outcome.plan.get());
+  }
+
+  outcome.estimated_cost = cost_model_.SubtreeCost(*outcome.plan);
+  return outcome;
+}
+
+int Optimizer::MatchViews(LogicalOpPtr* node, const ViewStore* view_store,
+                          double now, OptimizationOutcome* outcome) const {
+  LogicalOp& op = **node;
+  // Never rewrite reuse infrastructure itself.
+  if (op.kind != LogicalOpKind::kViewScan && op.kind != LogicalOpKind::kSpool) {
+    NodeSignature sig = signatures_.Compute(op);
+    if (sig.eligible && sig.subtree_size > 1) {
+      const MaterializedView* view = view_store->Find(sig.strict, now);
+      if (view != nullptr && view->table != nullptr) {
+        // Cost check: reuse only when scanning the view is cheaper than
+        // recomputing the subexpression (the memo keeps both options and
+        // picks the cheaper; we compare directly).
+        double recompute = cost_model_.SubtreeCost(op);
+        double reuse =
+            cost_model_.ViewScanCost(static_cast<double>(view->observed_rows),
+                                     static_cast<double>(view->observed_bytes));
+        if (reuse < recompute) {
+          LogicalOpPtr scan = LogicalOp::ViewScan(
+              sig.strict, view->output_path, op.output_schema);
+          scan->view_recurring_signature = sig.recurring;
+          // Feed observed statistics from the past execution back into the
+          // plan — the "accurate cost estimates" benefit.
+          scan->estimated_rows = static_cast<double>(view->observed_rows);
+          scan->estimated_bytes = static_cast<double>(view->observed_bytes);
+          scan->stats_from_view = true;
+          *node = std::move(scan);
+          outcome->matched_signatures.push_back(sig.strict);
+          return 1;
+        }
+      }
+    }
+  }
+  // No match here: recurse (top-down means larger subexpressions got their
+  // chance before their descendants).
+  int matched = 0;
+  for (LogicalOpPtr& child : op.children) {
+    matched += MatchViews(&child, view_store, now, outcome);
+  }
+  return matched;
+}
+
+void Optimizer::BuildViews(LogicalOpPtr* node,
+                           const QueryAnnotations& annotations,
+                           const ViewStore* view_store,
+                           const TryLockFn& try_lock, double now,
+                           OptimizationOutcome* outcome,
+                           int* total_added) const {
+  LogicalOp& op = **node;
+  // Bottom-up: children first, so inner candidates materialize too (a spool
+  // below another candidate still contributes to the outer subexpression).
+  for (LogicalOpPtr& child : op.children) {
+    BuildViews(&child, annotations, view_store, try_lock, now, outcome,
+               total_added);
+    if (*total_added >= annotations.max_views_per_job) return;
+  }
+  if (op.kind == LogicalOpKind::kSpool || op.kind == LogicalOpKind::kViewScan) {
+    return;
+  }
+  NodeSignature sig = signatures_.Compute(op);
+  if (!sig.eligible) return;
+  if (annotations.materialize_candidates.count(sig.recurring) == 0) return;
+  // Already materialized (or being materialized by another job)?
+  if (view_store != nullptr && view_store->FindAny(sig.strict) != nullptr) {
+    return;
+  }
+  if (!try_lock(sig.strict)) return;
+  // Wrap with a spool: one consumer feeds the rest of this job, the other
+  // writes the common subexpression to stable storage.
+  LogicalOpPtr spool = LogicalOp::Spool(*node);
+  spool->view_signature = sig.strict;
+  *node = std::move(spool);
+  outcome->proposed_materializations.push_back(sig.strict);
+  *total_added += 1;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,112 @@
+#ifndef CLOUDVIEWS_OPTIMIZER_OPTIMIZER_H_
+#define CLOUDVIEWS_OPTIMIZER_OPTIMIZER_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "plan/logical_plan.h"
+#include "plan/signature.h"
+#include "storage/catalog.h"
+#include "storage/view_store.h"
+
+namespace cloudviews {
+
+// The query annotations fetched from the insights service at compile time:
+// the set of subexpression signatures selected for materialization. In
+// production this arrives as an annotations file indexed by job tags.
+struct QueryAnnotations {
+  // Recurring signatures the view selector chose to materialize. Recurring
+  // (not strict) signatures, because future instances of a recurring job
+  // read bulk-updated inputs with fresh GUIDs: their strict signatures are
+  // new, but the recurring signature survives and identifies the template.
+  std::unordered_set<Hash128, Hash128Hasher> materialize_candidates;
+  // Per-job cap on spools added ("user control for #views/job").
+  int max_views_per_job = 4;
+};
+
+class CardinalityFeedback;
+
+struct OptimizerOptions {
+  bool enable_view_matching = true;
+  bool enable_view_building = true;
+  SignatureOptions signature_options;
+  CardinalityEstimator::Options cardinality_options;
+  CostModel::Options cost_options;
+  // When set, repeated subexpressions take their row/byte estimates from
+  // per-recurring-signature micro-models instead of static estimation (the
+  // section 5.2 cardinality-insights loop). Not owned.
+  const CardinalityFeedback* cardinality_feedback = nullptr;
+};
+
+// What the optimizer did to the plan, surfaced to the monitoring tool and
+// telemetry (paper Figure 5: "modified query plans are surfaced to users").
+struct OptimizationOutcome {
+  LogicalOpPtr plan;
+  int views_matched = 0;
+  int spools_added = 0;
+  std::vector<Hash128> matched_signatures;
+  std::vector<Hash128> proposed_materializations;
+  double estimated_cost = 0.0;
+  double estimated_cost_without_reuse = 0.0;
+};
+
+// The SCOPE-style optimizer with the two CloudViews phases:
+//   1. Core search, top-down: match the largest already-materialized
+//      subexpressions first and replace them with view scans, feeding the
+//      view's observed statistics into the plan.
+//   2. Follow-up optimization, bottom-up: wrap selected candidate
+//      subexpressions with spool operators after acquiring a creation lock.
+class Optimizer {
+ public:
+  // try_lock(signature) -> true if this job obtained the exclusive view
+  // creation lock from the insights service.
+  using TryLockFn = std::function<bool(const Hash128&)>;
+
+  Optimizer(const DatasetCatalog* catalog, OptimizerOptions options = {})
+      : catalog_(catalog), options_(options),
+        estimator_(catalog, options.cardinality_options),
+        cost_model_(options.cost_options),
+        signatures_(options.signature_options) {}
+
+  // Optimizes `plan` in place (the plan is cloned; the input is untouched).
+  // `view_store` may be null (no reuse); `try_lock` may be null (no
+  // materialization). `now` gates view expiry.
+  Result<OptimizationOutcome> Optimize(const LogicalOpPtr& plan,
+                                       const QueryAnnotations& annotations,
+                                       const ViewStore* view_store,
+                                       const TryLockFn& try_lock,
+                                       double now) const;
+
+  const SignatureComputer& signatures() const { return signatures_; }
+
+ private:
+  // Installs micro-model estimates on repeated subexpressions, then runs
+  // the static estimator over the rest.
+  void AnnotateWithFeedback(LogicalOp* node) const;
+
+  // Top-down view matching; returns the number of replacements.
+  int MatchViews(LogicalOpPtr* node, const ViewStore* view_store, double now,
+                 OptimizationOutcome* outcome) const;
+
+  // Bottom-up spool injection; increments *total_added (bounded by the
+  // per-job cap).
+  void BuildViews(LogicalOpPtr* node, const QueryAnnotations& annotations,
+                  const ViewStore* view_store, const TryLockFn& try_lock,
+                  double now, OptimizationOutcome* outcome,
+                  int* total_added) const;
+
+  const DatasetCatalog* catalog_;
+  OptimizerOptions options_;
+  CardinalityEstimator estimator_;
+  CostModel cost_model_;
+  SignatureComputer signatures_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OPTIMIZER_OPTIMIZER_H_

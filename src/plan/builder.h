@@ -1,0 +1,55 @@
+#ifndef CLOUDVIEWS_PLAN_BUILDER_H_
+#define CLOUDVIEWS_PLAN_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace cloudviews {
+
+// Binds a parsed SQL statement against the dataset catalog, producing a
+// logical plan. Column references resolve to ordinals; table references pin
+// the dataset GUID current at bind time (queries run against the dataset
+// version visible at compilation, mirroring SCOPE's snapshot semantics).
+class PlanBuilder {
+ public:
+  explicit PlanBuilder(const DatasetCatalog* catalog) : catalog_(catalog) {}
+
+  // Builds a plan from a SQL string (parse + bind).
+  Result<LogicalOpPtr> BuildFromSql(const std::string& sql) const;
+
+  // Builds a plan from a parsed statement.
+  Result<LogicalOpPtr> Build(const sql::SelectStatement& stmt) const;
+
+ private:
+  // Scope for name resolution: one entry per visible relation.
+  struct RelationBinding {
+    std::string qualifier;  // alias if given, else table name
+    Schema schema;
+    int column_offset = 0;  // ordinal of this relation's first column
+  };
+
+  struct BindingScope {
+    std::vector<RelationBinding> relations;
+
+    Result<ExprPtr> ResolveColumn(const std::string& qualifier,
+                                  const std::string& name) const;
+    Schema CombinedSchema() const;
+  };
+
+  Result<LogicalOpPtr> BuildQueryBlock(const sql::SelectStatement& stmt) const;
+  Result<ExprPtr> BindExpr(const sql::AstExpr& ast,
+                           const BindingScope& scope) const;
+  Result<LogicalOpPtr> BindScan(const sql::TableRef& ref,
+                                BindingScope* scope) const;
+
+  const DatasetCatalog* catalog_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_PLAN_BUILDER_H_

@@ -1,0 +1,393 @@
+#include "plan/normalizer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace cloudviews {
+
+namespace {
+
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind == ExprKind::kBinary &&
+      expr->binary_op == sql::BinaryOp::kAnd) {
+    CollectConjuncts(expr->children[0], out);
+    CollectConjuncts(expr->children[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+// Canonical conjunct order: by strict-style hash of the expression.
+void SortConjuncts(std::vector<ExprPtr>* conjuncts) {
+  std::sort(conjuncts->begin(), conjuncts->end(),
+            [](const ExprPtr& a, const ExprPtr& b) {
+              Hasher ha, hb;
+              a->HashInto(&ha, /*include_literals=*/true);
+              b->HashInto(&hb, /*include_literals=*/true);
+              return ha.Finish() < hb.Finish();
+            });
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr out;
+  for (const ExprPtr& c : conjuncts) {
+    out = out == nullptr ? c
+                         : Expr::MakeBinary(sql::BinaryOp::kAnd, out, c);
+  }
+  return out;
+}
+
+// Applies pending filter conjuncts onto `node` (all referencing its output
+// columns) and returns the filtered plan.
+LogicalOpPtr ApplyFilters(LogicalOpPtr node, std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return node;
+  SortConjuncts(&conjuncts);
+  return LogicalOp::Filter(std::move(node), AndAll(conjuncts));
+}
+
+// Recursive normalization: `pending` carries filter conjuncts pushed from
+// above, expressed over this node's output columns.
+LogicalOpPtr NormalizeNode(const LogicalOp& node,
+                           std::vector<ExprPtr> pending) {
+  switch (node.kind) {
+    case LogicalOpKind::kFilter: {
+      // Merge this filter's conjuncts into the pending set and vanish.
+      CollectConjuncts(node.predicate, &pending);
+      return NormalizeNode(*node.children[0], std::move(pending));
+    }
+    case LogicalOpKind::kJoin: {
+      size_t left_arity = node.children[0]->output_schema.num_columns();
+      size_t right_arity = node.children[1]->output_schema.num_columns();
+      std::vector<ExprPtr> to_left;
+      std::vector<ExprPtr> to_right;
+      std::vector<ExprPtr> stay;
+      const bool left_join = node.join_kind == sql::JoinKind::kLeft;
+      for (ExprPtr& conjunct : pending) {
+        std::vector<int> cols;
+        conjunct->CollectColumns(&cols);
+        bool all_left = true;
+        bool all_right = true;
+        for (int col : cols) {
+          if (static_cast<size_t>(col) >= left_arity) all_left = false;
+          if (static_cast<size_t>(col) < left_arity) all_right = false;
+        }
+        if (all_left && !cols.empty()) {
+          to_left.push_back(std::move(conjunct));
+        } else if (all_right && !cols.empty() && !left_join) {
+          // Remap to the right child's ordinals.
+          std::vector<int> mapping(left_arity + right_arity, -1);
+          for (size_t i = 0; i < right_arity; ++i) {
+            mapping[left_arity + i] = static_cast<int>(i);
+          }
+          ExprPtr remapped = conjunct->RemapColumns(mapping);
+          if (remapped != nullptr) {
+            to_right.push_back(std::move(remapped));
+          } else {
+            stay.push_back(std::move(conjunct));
+          }
+        } else {
+          stay.push_back(std::move(conjunct));
+        }
+      }
+      LogicalOpPtr left = NormalizeNode(*node.children[0], std::move(to_left));
+      LogicalOpPtr right =
+          NormalizeNode(*node.children[1], std::move(to_right));
+      auto join = std::make_shared<LogicalOp>(node);
+      join->children = {std::move(left), std::move(right)};
+      return ApplyFilters(std::move(join), std::move(stay));
+    }
+    case LogicalOpKind::kUnionAll: {
+      // Pending conjuncts replicate into every branch (same output schema).
+      auto copy = std::make_shared<LogicalOp>(node);
+      copy->children.clear();
+      for (const LogicalOpPtr& child : node.children) {
+        copy->children.push_back(NormalizeNode(*child, pending));
+      }
+      return copy;
+    }
+    case LogicalOpKind::kScan:
+    case LogicalOpKind::kViewScan: {
+      auto copy = std::make_shared<LogicalOp>(node);
+      return ApplyFilters(std::move(copy), std::move(pending));
+    }
+    default: {
+      // Opaque or shape-changing operators (project, aggregate, sort,
+      // limit, UDO, spool): normalize children with no pending filters and
+      // re-apply the pending set above this node.
+      auto copy = std::make_shared<LogicalOp>(node);
+      copy->children.clear();
+      for (const LogicalOpPtr& child : node.children) {
+        copy->children.push_back(NormalizeNode(*child, {}));
+      }
+      return ApplyFilters(std::move(copy), std::move(pending));
+    }
+  }
+}
+
+// --- Column pruning -----------------------------------------------------------
+
+// Result of pruning one subtree: the rewritten node plus the mapping from
+// the old output ordinals to the new ones (-1 = column dropped).
+struct Pruned {
+  LogicalOpPtr node;
+  std::vector<int> mapping;
+};
+
+std::vector<int> IdentityMapping(size_t n) {
+  std::vector<int> mapping(n);
+  for (size_t i = 0; i < n; ++i) mapping[i] = static_cast<int>(i);
+  return mapping;
+}
+
+// `required` holds the ordinals of node's output the parent needs (sorted).
+Pruned PruneNode(const LogicalOp& node, std::vector<int> required);
+
+// Keeps every output column: used below opaque barriers.
+Pruned PruneKeepAll(const LogicalOp& node) {
+  std::vector<int> all(node.output_schema.num_columns());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return PruneNode(node, std::move(all));
+}
+
+void AddRequired(std::vector<int>* required, const ExprPtr& expr) {
+  if (expr == nullptr) return;
+  std::vector<int> cols;
+  expr->CollectColumns(&cols);
+  for (int c : cols) {
+    if (std::find(required->begin(), required->end(), c) == required->end()) {
+      required->push_back(c);
+    }
+  }
+}
+
+Pruned PruneNode(const LogicalOp& node, std::vector<int> required) {
+  std::sort(required.begin(), required.end());
+  switch (node.kind) {
+    case LogicalOpKind::kScan: {
+      size_t arity = node.output_schema.num_columns();
+      if (required.size() == arity) {
+        return {std::make_shared<LogicalOp>(node), IdentityMapping(arity)};
+      }
+      // Narrow the scan itself: it emits only the required columns.
+      auto scan = std::make_shared<LogicalOp>(node);
+      Schema schema;
+      std::vector<int> columns;
+      std::vector<int> mapping(arity, -1);
+      for (size_t i = 0; i < required.size(); ++i) {
+        int col = required[i];
+        mapping[static_cast<size_t>(col)] = static_cast<int>(i);
+        // Compose with a previous pruning pass, if any.
+        columns.push_back(node.scan_columns.empty()
+                              ? col
+                              : node.scan_columns[static_cast<size_t>(col)]);
+        const ColumnDef& def =
+            node.output_schema.column(static_cast<size_t>(col));
+        schema.AddColumn(def.name, def.type);
+      }
+      scan->scan_columns = std::move(columns);
+      scan->output_schema = std::move(schema);
+      return {std::move(scan), std::move(mapping)};
+    }
+    case LogicalOpKind::kViewScan: {
+      // A view scan's identity is the materialized subexpression; narrowing
+      // it would break the signature. Pruning stops here.
+      return {std::make_shared<LogicalOp>(node),
+              IdentityMapping(node.output_schema.num_columns())};
+    }
+    case LogicalOpKind::kFilter: {
+      std::vector<int> child_required = required;
+      AddRequired(&child_required, node.predicate);
+      Pruned child = PruneNode(*node.children[0], std::move(child_required));
+      ExprPtr predicate = node.predicate->RemapColumns(child.mapping);
+      if (predicate == nullptr) return PruneKeepAll(node);
+      LogicalOpPtr filter = LogicalOp::Filter(child.node, predicate);
+      // Filter output ordinals = child output ordinals.
+      return {std::move(filter), std::move(child.mapping)};
+    }
+    case LogicalOpKind::kProject: {
+      // Keep only the required projections (parents see them remapped).
+      std::vector<int> child_required;
+      std::vector<ExprPtr> kept;
+      std::vector<std::string> names;
+      std::vector<int> mapping(node.projections.size(), -1);
+      for (int col : required) {
+        mapping[static_cast<size_t>(col)] = static_cast<int>(kept.size());
+        kept.push_back(node.projections[static_cast<size_t>(col)]);
+        names.push_back(
+            node.output_schema.column(static_cast<size_t>(col)).name);
+        AddRequired(&child_required, kept.back());
+      }
+      Pruned child = PruneNode(*node.children[0], std::move(child_required));
+      for (ExprPtr& expr : kept) {
+        ExprPtr remapped = expr->RemapColumns(child.mapping);
+        if (remapped == nullptr) return PruneKeepAll(node);
+        expr = std::move(remapped);
+      }
+      return {LogicalOp::Project(child.node, std::move(kept),
+                                 std::move(names)),
+              std::move(mapping)};
+    }
+    case LogicalOpKind::kJoin: {
+      size_t left_arity = node.children[0]->output_schema.num_columns();
+      size_t right_arity = node.children[1]->output_schema.num_columns();
+      std::vector<int> left_required;
+      std::vector<int> right_required;
+      for (int col : required) {
+        if (static_cast<size_t>(col) < left_arity) {
+          left_required.push_back(col);
+        } else {
+          right_required.push_back(col - static_cast<int>(left_arity));
+        }
+      }
+      for (const auto& [l, r] : node.equi_keys) {
+        if (std::find(left_required.begin(), left_required.end(), l) ==
+            left_required.end()) {
+          left_required.push_back(l);
+        }
+        if (std::find(right_required.begin(), right_required.end(), r) ==
+            right_required.end()) {
+          right_required.push_back(r);
+        }
+      }
+      if (node.predicate != nullptr) {
+        std::vector<int> cols;
+        node.predicate->CollectColumns(&cols);
+        for (int c : cols) {
+          if (static_cast<size_t>(c) < left_arity) {
+            if (std::find(left_required.begin(), left_required.end(), c) ==
+                left_required.end()) {
+              left_required.push_back(c);
+            }
+          } else {
+            int rc = c - static_cast<int>(left_arity);
+            if (std::find(right_required.begin(), right_required.end(), rc) ==
+                right_required.end()) {
+              right_required.push_back(rc);
+            }
+          }
+        }
+      }
+      Pruned left = PruneNode(*node.children[0], std::move(left_required));
+      Pruned right = PruneNode(*node.children[1], std::move(right_required));
+      size_t new_left_arity = left.node->output_schema.num_columns();
+
+      // Rebuild the join with remapped keys and predicate.
+      auto join = std::make_shared<LogicalOp>(node);
+      join->children = {left.node, right.node};
+      join->equi_keys.clear();
+      for (const auto& [l, r] : node.equi_keys) {
+        join->equi_keys.emplace_back(left.mapping[static_cast<size_t>(l)],
+                                     right.mapping[static_cast<size_t>(r)]);
+      }
+      if (node.predicate != nullptr) {
+        std::vector<int> combined(left_arity + right_arity, -1);
+        for (size_t i = 0; i < left_arity; ++i) combined[i] = left.mapping[i];
+        for (size_t i = 0; i < right_arity; ++i) {
+          combined[left_arity + i] =
+              right.mapping[i] < 0
+                  ? -1
+                  : right.mapping[i] + static_cast<int>(new_left_arity);
+        }
+        join->predicate = node.predicate->RemapColumns(combined);
+        if (join->predicate == nullptr) return PruneKeepAll(node);
+      }
+      // Output schema = concatenation of pruned children.
+      Schema schema;
+      for (const ColumnDef& col : left.node->output_schema.columns()) {
+        schema.AddColumn(col.name, col.type);
+      }
+      for (const ColumnDef& col : right.node->output_schema.columns()) {
+        schema.AddColumn(col.name, col.type);
+      }
+      join->output_schema = std::move(schema);
+      std::vector<int> mapping(left_arity + right_arity, -1);
+      for (size_t i = 0; i < left_arity; ++i) mapping[i] = left.mapping[i];
+      for (size_t i = 0; i < right_arity; ++i) {
+        mapping[left_arity + i] =
+            right.mapping[i] < 0
+                ? -1
+                : right.mapping[i] + static_cast<int>(new_left_arity);
+      }
+      return {std::move(join), std::move(mapping)};
+    }
+    case LogicalOpKind::kAggregate: {
+      std::vector<int> child_required;
+      for (const ExprPtr& key : node.group_by) AddRequired(&child_required, key);
+      for (const AggregateSpec& agg : node.aggregates) {
+        AddRequired(&child_required, agg.arg);
+      }
+      Pruned child = PruneNode(*node.children[0], std::move(child_required));
+      std::vector<ExprPtr> keys;
+      for (const ExprPtr& key : node.group_by) {
+        ExprPtr remapped = key->RemapColumns(child.mapping);
+        if (remapped == nullptr) return PruneKeepAll(node);
+        keys.push_back(std::move(remapped));
+      }
+      std::vector<AggregateSpec> aggs;
+      for (const AggregateSpec& agg : node.aggregates) {
+        AggregateSpec copy = agg;
+        if (copy.arg != nullptr) {
+          copy.arg = copy.arg->RemapColumns(child.mapping);
+          if (copy.arg == nullptr) return PruneKeepAll(node);
+        }
+        aggs.push_back(std::move(copy));
+      }
+      LogicalOpPtr rebuilt =
+          LogicalOp::Aggregate(child.node, std::move(keys), std::move(aggs));
+      return {std::move(rebuilt),
+              IdentityMapping(node.output_schema.num_columns())};
+    }
+    case LogicalOpKind::kSort: {
+      std::vector<int> child_required = required;
+      for (const SortKey& key : node.sort_keys) {
+        AddRequired(&child_required, key.expr);
+      }
+      Pruned child = PruneNode(*node.children[0], std::move(child_required));
+      auto sort = std::make_shared<LogicalOp>(node);
+      sort->children = {child.node};
+      sort->output_schema = child.node->output_schema;
+      sort->sort_keys.clear();
+      for (const SortKey& key : node.sort_keys) {
+        ExprPtr remapped = key.expr->RemapColumns(child.mapping);
+        if (remapped == nullptr) return PruneKeepAll(node);
+        sort->sort_keys.push_back({std::move(remapped), key.ascending});
+      }
+      return {std::move(sort), std::move(child.mapping)};
+    }
+    case LogicalOpKind::kLimit: {
+      Pruned child = PruneNode(*node.children[0], std::move(required));
+      auto limit = std::make_shared<LogicalOp>(node);
+      limit->children = {child.node};
+      limit->output_schema = child.node->output_schema;
+      return {std::move(limit), std::move(child.mapping)};
+    }
+    default: {
+      // Opaque barriers (UDO, UnionAll, Spool): every child column must
+      // survive, and the output keeps its full arity. Children are still
+      // pruned internally with full requirements.
+      auto copy = std::make_shared<LogicalOp>(node);
+      copy->children.clear();
+      for (const LogicalOpPtr& child : node.children) {
+        copy->children.push_back(PruneKeepAll(*child).node);
+      }
+      return {std::move(copy),
+              IdentityMapping(node.output_schema.num_columns())};
+    }
+  }
+}
+
+}  // namespace
+
+LogicalOpPtr PlanNormalizer::Normalize(const LogicalOpPtr& plan) {
+  return NormalizeNode(*plan, {});
+}
+
+LogicalOpPtr PlanNormalizer::PruneColumns(const LogicalOpPtr& plan) {
+  std::vector<int> all(plan->output_schema.num_columns());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return PruneNode(*plan, std::move(all)).node;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,39 @@
+#ifndef CLOUDVIEWS_PLAN_NORMALIZER_H_
+#define CLOUDVIEWS_PLAN_NORMALIZER_H_
+
+#include "plan/logical_plan.h"
+
+namespace cloudviews {
+
+// Plan normalization. CloudViews matches "the same logical query
+// subexpressions (with some normalization)": two queries only share a
+// signature if they compile to the same canonical sub-plan. The normalizer
+// applies the semantics-preserving rewrites that make syntactically
+// different-but-equivalent plans converge:
+//
+//   * filter cascades merge into one conjunct set,
+//   * filter conjuncts push below inner joins to the side they reference
+//     (left side only for LEFT joins — the null-extended side cannot be
+//     pre-filtered),
+//   * conjuncts are re-ordered canonically (by expression hash), so
+//     `a AND b` and `b AND a` produce identical signatures.
+//
+// Pushdown stops at opaque or shape-changing operators (UDOs, aggregates,
+// projections), where movement is unsafe or would need full column
+// provenance.
+class PlanNormalizer {
+ public:
+  // Returns a normalized deep copy; the input plan is untouched.
+  static LogicalOpPtr Normalize(const LogicalOpPtr& plan);
+
+  // Column pruning (opt-in): narrows every scan to the columns actually
+  // referenced above it, remapping ordinals throughout. Shrinks both
+  // intermediate rows and — more importantly for CloudViews — the storage
+  // footprint of materialized subexpressions. Opaque operators (UDOs,
+  // union branches) act as pruning barriers. Idempotent.
+  static LogicalOpPtr PruneColumns(const LogicalOpPtr& plan);
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_PLAN_NORMALIZER_H_

@@ -1,0 +1,173 @@
+#include "plan/signature.h"
+
+namespace cloudviews {
+
+namespace {
+
+// Contributes the node-local parameters (not children) to `hasher`.
+// `strict` selects strict vs recurring hashing of literals and GUIDs.
+void HashNodeParams(const LogicalOp& node, bool strict, Hasher* hasher) {
+  hasher->Update(static_cast<uint64_t>(node.kind) + 0x5EED);
+  switch (node.kind) {
+    case LogicalOpKind::kScan:
+      hasher->Update(std::string_view(node.dataset_name));
+      hasher->Update(uint64_t{node.scan_columns.size()});
+      for (int col : node.scan_columns) {
+        hasher->Update(static_cast<uint64_t>(col));
+      }
+      if (strict) {
+        // The strict signature pins the exact input version: a bulk update
+        // (or GDPR forget) rotates the GUID and changes every signature above.
+        hasher->Update(std::string_view(node.dataset_guid));
+      }
+      break;
+    case LogicalOpKind::kViewScan:
+      hasher->Update(node.view_signature);
+      break;
+    case LogicalOpKind::kFilter:
+      node.predicate->HashInto(hasher, strict);
+      break;
+    case LogicalOpKind::kProject:
+      hasher->Update(uint64_t{node.projections.size()});
+      for (const ExprPtr& e : node.projections) {
+        e->HashInto(hasher, strict);
+      }
+      break;
+    case LogicalOpKind::kJoin:
+      hasher->Update(static_cast<uint64_t>(node.join_kind));
+      hasher->Update(uint64_t{node.equi_keys.size()});
+      for (const auto& [l, r] : node.equi_keys) {
+        hasher->Update(static_cast<uint64_t>(l));
+        hasher->Update(static_cast<uint64_t>(r));
+      }
+      if (node.predicate != nullptr) {
+        node.predicate->HashInto(hasher, strict);
+      }
+      break;
+    case LogicalOpKind::kAggregate:
+      hasher->Update(uint64_t{node.group_by.size()});
+      for (const ExprPtr& e : node.group_by) e->HashInto(hasher, strict);
+      hasher->Update(uint64_t{node.aggregates.size()});
+      for (const AggregateSpec& agg : node.aggregates) {
+        hasher->Update(static_cast<uint64_t>(agg.func));
+        hasher->Update(agg.distinct);
+        if (agg.arg != nullptr) agg.arg->HashInto(hasher, strict);
+      }
+      break;
+    case LogicalOpKind::kSort:
+      hasher->Update(uint64_t{node.sort_keys.size()});
+      for (const SortKey& key : node.sort_keys) {
+        key.expr->HashInto(hasher, strict);
+        hasher->Update(key.ascending);
+      }
+      break;
+    case LogicalOpKind::kLimit:
+      if (strict) {
+        hasher->Update(static_cast<uint64_t>(node.limit));
+      }
+      break;
+    case LogicalOpKind::kUnionAll:
+      break;
+    case LogicalOpKind::kUdo:
+      // UDO identity is its (versioned) name; the engine cannot inspect the
+      // code, so two UDOs with the same registered name are assumed equal.
+      hasher->Update(std::string_view(node.udo_name));
+      hasher->Update(node.udo_deterministic);
+      break;
+    case LogicalOpKind::kSpool:
+      break;
+  }
+}
+
+}  // namespace
+
+NodeSignature SignatureComputer::ComputeNode(
+    const LogicalOp& node, std::vector<NodeSignature>* out) const {
+  // Reuse-infrastructure operators are signature-TRANSPARENT: a spool's
+  // signature is its child's, and a view scan's is the signature of the
+  // subexpression it replaced. Ancestors therefore hash identically whether
+  // or not reuse machinery sits below them, which is what lets a bigger
+  // candidate materialize on top of a smaller reused view.
+  if (node.kind == LogicalOpKind::kSpool) {
+    NodeSignature inner = ComputeNode(*node.children[0], out);
+    NodeSignature marker = inner;
+    marker.node = &node;
+    marker.eligible = false;
+    marker.ineligible_reason = "reuse infrastructure operator";
+    marker.subtree_size = 1;  // never a reuse unit of its own
+    if (out != nullptr) out->push_back(marker);
+    return inner;
+  }
+  if (node.kind == LogicalOpKind::kViewScan) {
+    NodeSignature sig;
+    sig.node = &node;
+    sig.strict = node.view_signature;
+    sig.recurring = node.view_recurring_signature;
+    // The replaced subtree was eligible (it was materialized); stay
+    // transparent for ancestors but do not offer the scan itself for reuse.
+    sig.eligible = true;
+    sig.subtree_size = 1;
+    if (out != nullptr) {
+      NodeSignature marker = sig;
+      marker.eligible = false;
+      marker.ineligible_reason = "reuse infrastructure operator";
+      out->push_back(marker);
+    }
+    return sig;
+  }
+
+  NodeSignature sig;
+  sig.node = &node;
+
+  Hasher strict_hasher(options_.runtime_version);
+  Hasher recurring_hasher(options_.runtime_version ^ 0xA5A5A5A5ULL);
+
+  // Children first (post-order).
+  for (const LogicalOpPtr& child : node.children) {
+    NodeSignature child_sig = ComputeNode(*child, out);
+    strict_hasher.Update(child_sig.strict);
+    recurring_hasher.Update(child_sig.recurring);
+    sig.subtree_size += child_sig.subtree_size;
+    if (!child_sig.eligible) {
+      sig.eligible = false;
+      sig.ineligible_reason = child_sig.ineligible_reason;
+    }
+  }
+
+  HashNodeParams(node, /*strict=*/true, &strict_hasher);
+  HashNodeParams(node, /*strict=*/false, &recurring_hasher);
+  sig.strict = strict_hasher.Finish();
+  sig.recurring = recurring_hasher.Finish();
+
+  // Eligibility guards (paper section 4, "Signature correctness").
+  if (node.kind == LogicalOpKind::kUdo) {
+    if (!node.udo_deterministic) {
+      sig.eligible = false;
+      sig.ineligible_reason =
+          "non-deterministic UDO: " + node.udo_name;
+    } else if (node.udo_dependency_depth >
+               options_.max_udo_dependency_depth) {
+      sig.eligible = false;
+      sig.ineligible_reason =
+          "UDO dependency chain too deep: " + node.udo_name + " (" +
+          std::to_string(node.udo_dependency_depth) + " > " +
+          std::to_string(options_.max_udo_dependency_depth) + ")";
+    }
+  }
+  if (out != nullptr) out->push_back(sig);
+  return sig;
+}
+
+std::vector<NodeSignature> SignatureComputer::ComputeAll(
+    const LogicalOp& root) const {
+  std::vector<NodeSignature> out;
+  out.reserve(root.TreeSize());
+  ComputeNode(root, &out);
+  return out;
+}
+
+NodeSignature SignatureComputer::Compute(const LogicalOp& node) const {
+  return ComputeNode(node, nullptr);
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,67 @@
+#ifndef CLOUDVIEWS_PLAN_SIGNATURE_H_
+#define CLOUDVIEWS_PLAN_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "plan/logical_plan.h"
+
+namespace cloudviews {
+
+// Controls signature computation (paper sections 2.3 and 4).
+struct SignatureOptions {
+  // Engine/runtime version. Compilation or optimizer-representation changes
+  // alter signatures in production; we model that with an explicit version
+  // that participates in every hash. Bumping it invalidates all views.
+  uint64_t runtime_version = 1;
+
+  // UDOs whose library dependency chains exceed this depth are skipped for
+  // reuse ("we skip any computation reuse if the dependency chain is too
+  // long") — traversing them would slow compilation unacceptably.
+  int max_udo_dependency_depth = 16;
+};
+
+// Per-node signature output.
+struct NodeSignature {
+  const LogicalOp* node = nullptr;
+  // Strict signature: uniquely captures the subexpression instance,
+  // including the exact inputs (dataset GUIDs) used.
+  Hash128 strict;
+  // Recurring signature: discards time-varying attributes (parameter
+  // literal values, input GUIDs); stable across recurrences of a template.
+  Hash128 recurring;
+  // Reuse eligibility (false for subtrees with non-deterministic UDOs,
+  // over-deep dependency chains, or spool/view internals).
+  bool eligible = true;
+  std::string ineligible_reason;
+  // Size of this subexpression in operators; selection prefers big subtrees.
+  size_t subtree_size = 1;
+};
+
+// Computes strict + recurring signatures for every node of a plan,
+// bottom-up. The returned vector is in post-order (children before parents);
+// the final element is the plan root.
+class SignatureComputer {
+ public:
+  explicit SignatureComputer(SignatureOptions options = {})
+      : options_(options) {}
+
+  std::vector<NodeSignature> ComputeAll(const LogicalOp& root) const;
+
+  // Signature of a single subtree root (convenience; recomputes children).
+  NodeSignature Compute(const LogicalOp& node) const;
+
+  const SignatureOptions& options() const { return options_; }
+
+ private:
+  NodeSignature ComputeNode(const LogicalOp& node,
+                            std::vector<NodeSignature>* out) const;
+
+  SignatureOptions options_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_PLAN_SIGNATURE_H_

@@ -1,0 +1,53 @@
+#include "sql/ast.h"
+
+namespace cloudviews {
+namespace sql {
+
+AstExprPtr AstExpr::Literal(Value v) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+AstExprPtr AstExpr::Column(std::string qualifier, std::string name) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstExprKind::kColumnRef;
+  e->table_qualifier = std::move(qualifier);
+  e->column_name = std::move(name);
+  return e;
+}
+
+AstExprPtr AstExpr::Star() {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstExprKind::kStar;
+  return e;
+}
+
+AstExprPtr AstExpr::Unary(UnaryOp op, AstExprPtr operand) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+AstExprPtr AstExpr::Binary(BinaryOp op, AstExprPtr lhs, AstExprPtr rhs) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+AstExprPtr AstExpr::Call(std::string name, std::vector<AstExprPtr> args) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstExprKind::kFunctionCall;
+  e->function_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+}  // namespace sql
+}  // namespace cloudviews

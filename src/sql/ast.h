@@ -1,0 +1,122 @@
+#ifndef CLOUDVIEWS_SQL_AST_H_
+#define CLOUDVIEWS_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace cloudviews {
+namespace sql {
+
+// Unresolved SQL AST. Name resolution (columns -> ordinals) happens in the
+// plan builder, which turns these nodes into logical-plan expressions.
+
+enum class AstExprKind {
+  kLiteral,
+  kColumnRef,   // optional table qualifier
+  kStar,        // SELECT * (only valid in select lists / COUNT(*))
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kBetween,
+  kInList,
+  kIsNull,      // IS [NOT] NULL
+  kLike,
+};
+
+enum class UnaryOp { kNegate, kNot };
+
+enum class BinaryOp {
+  kAdd,
+  kSubtract,
+  kMultiply,
+  kDivide,
+  kModulo,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string table_qualifier;  // may be empty
+  std::string column_name;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNegate;
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  // kFunctionCall
+  std::string function_name;  // upper-cased
+  bool distinct = false;      // COUNT(DISTINCT x)
+
+  // kIsNull / kLike
+  bool negated = false;
+  std::string like_pattern;
+
+  std::vector<AstExprPtr> children;
+
+  static AstExprPtr Literal(Value v);
+  static AstExprPtr Column(std::string qualifier, std::string name);
+  static AstExprPtr Star();
+  static AstExprPtr Unary(UnaryOp op, AstExprPtr operand);
+  static AstExprPtr Binary(BinaryOp op, AstExprPtr lhs, AstExprPtr rhs);
+  static AstExprPtr Call(std::string name, std::vector<AstExprPtr> args);
+};
+
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;  // empty when none given
+};
+
+enum class JoinKind { kInner, kLeft };
+
+struct TableRef {
+  std::string table_name;
+  std::string alias;  // empty when none given
+};
+
+struct JoinClause {
+  JoinKind kind = JoinKind::kInner;
+  TableRef table;
+  AstExprPtr condition;  // ON expression; may be null for cross join
+};
+
+struct OrderItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+// One SELECT statement (single query block, optionally UNION ALL chained).
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  AstExprPtr where;                 // may be null
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;                // may be null
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;               // -1 = no limit
+  std::unique_ptr<SelectStatement> union_all_next;  // UNION ALL chain
+};
+
+}  // namespace sql
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_SQL_AST_H_

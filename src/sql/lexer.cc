@@ -1,0 +1,323 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace cloudviews {
+
+namespace {
+
+const std::unordered_map<std::string, TokenType>& KeywordMap() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenType>{
+      {"SELECT", TokenType::kSelect},   {"FROM", TokenType::kFrom},
+      {"WHERE", TokenType::kWhere},     {"JOIN", TokenType::kJoin},
+      {"INNER", TokenType::kInner},     {"LEFT", TokenType::kLeft},
+      {"ON", TokenType::kOn},           {"GROUP", TokenType::kGroup},
+      {"ORDER", TokenType::kOrder},     {"BY", TokenType::kBy},
+      {"HAVING", TokenType::kHaving},   {"AS", TokenType::kAs},
+      {"AND", TokenType::kAnd},         {"OR", TokenType::kOr},
+      {"NOT", TokenType::kNot},         {"NULL", TokenType::kNull},
+      {"TRUE", TokenType::kTrue},       {"FALSE", TokenType::kFalse},
+      {"ASC", TokenType::kAsc},         {"DESC", TokenType::kDesc},
+      {"LIMIT", TokenType::kLimit},     {"DISTINCT", TokenType::kDistinct},
+      {"UNION", TokenType::kUnion},     {"ALL", TokenType::kAll},
+      {"BETWEEN", TokenType::kBetween}, {"IN", TokenType::kIn},
+      {"IS", TokenType::kIs},           {"LIKE", TokenType::kLike},
+  };
+  return *kMap;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "<end>";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kIntLiteral:
+      return "int";
+    case TokenType::kDoubleLiteral:
+      return "double";
+    case TokenType::kStringLiteral:
+      return "string";
+    case TokenType::kSelect:
+      return "SELECT";
+    case TokenType::kFrom:
+      return "FROM";
+    case TokenType::kWhere:
+      return "WHERE";
+    case TokenType::kJoin:
+      return "JOIN";
+    case TokenType::kInner:
+      return "INNER";
+    case TokenType::kLeft:
+      return "LEFT";
+    case TokenType::kOn:
+      return "ON";
+    case TokenType::kGroup:
+      return "GROUP";
+    case TokenType::kOrder:
+      return "ORDER";
+    case TokenType::kBy:
+      return "BY";
+    case TokenType::kHaving:
+      return "HAVING";
+    case TokenType::kAs:
+      return "AS";
+    case TokenType::kAnd:
+      return "AND";
+    case TokenType::kOr:
+      return "OR";
+    case TokenType::kNot:
+      return "NOT";
+    case TokenType::kNull:
+      return "NULL";
+    case TokenType::kTrue:
+      return "TRUE";
+    case TokenType::kFalse:
+      return "FALSE";
+    case TokenType::kAsc:
+      return "ASC";
+    case TokenType::kDesc:
+      return "DESC";
+    case TokenType::kLimit:
+      return "LIMIT";
+    case TokenType::kDistinct:
+      return "DISTINCT";
+    case TokenType::kUnion:
+      return "UNION";
+    case TokenType::kAll:
+      return "ALL";
+    case TokenType::kBetween:
+      return "BETWEEN";
+    case TokenType::kIn:
+      return "IN";
+    case TokenType::kIs:
+      return "IS";
+    case TokenType::kLike:
+      return "LIKE";
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kPercent:
+      return "%";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNe:
+      return "<>";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string source) : source_(std::move(source)) {}
+
+char Lexer::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  return i < source_.size() ? source_[i] : '\0';
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < source_.size()) {
+    char c = source_[pos_];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pos_ += 1;
+    } else if (c == '-' && Peek(1) == '-') {
+      while (pos_ < source_.size() && source_[pos_] != '\n') pos_ += 1;
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.position = pos_;
+  if (pos_ >= source_.size()) {
+    tok.type = TokenType::kEnd;
+    return tok;
+  }
+  char c = source_[pos_];
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    size_t start = pos_;
+    while (pos_ < source_.size() &&
+           (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+            source_[pos_] == '_')) {
+      pos_ += 1;
+    }
+    tok.text = source_.substr(start, pos_ - start);
+    auto it = KeywordMap().find(ToUpper(tok.text));
+    tok.type = it != KeywordMap().end() ? it->second : TokenType::kIdentifier;
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < source_.size() &&
+           std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+      pos_ += 1;
+    }
+    if (Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      pos_ += 1;
+      while (pos_ < source_.size() &&
+             std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+        pos_ += 1;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t exp = pos_ + 1;
+      if (exp < source_.size() && (source_[exp] == '+' || source_[exp] == '-'))
+        exp += 1;
+      if (exp < source_.size() &&
+          std::isdigit(static_cast<unsigned char>(source_[exp]))) {
+        is_double = true;
+        pos_ = exp;
+        while (pos_ < source_.size() &&
+               std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+          pos_ += 1;
+        }
+      }
+    }
+    tok.text = source_.substr(start, pos_ - start);
+    if (is_double) {
+      tok.type = TokenType::kDoubleLiteral;
+      tok.double_value = std::strtod(tok.text.c_str(), nullptr);
+    } else {
+      tok.type = TokenType::kIntLiteral;
+      tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+    }
+    return tok;
+  }
+
+  if (c == '\'') {
+    pos_ += 1;
+    std::string value;
+    while (true) {
+      if (pos_ >= source_.size()) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " +
+            std::to_string(tok.position));
+      }
+      char ch = source_[pos_];
+      if (ch == '\'') {
+        if (Peek(1) == '\'') {  // '' escape
+          value.push_back('\'');
+          pos_ += 2;
+          continue;
+        }
+        pos_ += 1;
+        break;
+      }
+      value.push_back(ch);
+      pos_ += 1;
+    }
+    tok.type = TokenType::kStringLiteral;
+    tok.text = std::move(value);
+    return tok;
+  }
+
+  auto single = [&](TokenType type) {
+    tok.type = type;
+    pos_ += 1;
+    return tok;
+  };
+  switch (c) {
+    case ',':
+      return single(TokenType::kComma);
+    case '.':
+      return single(TokenType::kDot);
+    case '(':
+      return single(TokenType::kLParen);
+    case ')':
+      return single(TokenType::kRParen);
+    case '*':
+      return single(TokenType::kStar);
+    case '+':
+      return single(TokenType::kPlus);
+    case '-':
+      return single(TokenType::kMinus);
+    case '/':
+      return single(TokenType::kSlash);
+    case '%':
+      return single(TokenType::kPercent);
+    case '=':
+      return single(TokenType::kEq);
+    case '<':
+      if (Peek(1) == '=') {
+        tok.type = TokenType::kLe;
+        pos_ += 2;
+        return tok;
+      }
+      if (Peek(1) == '>') {
+        tok.type = TokenType::kNe;
+        pos_ += 2;
+        return tok;
+      }
+      return single(TokenType::kLt);
+    case '>':
+      if (Peek(1) == '=') {
+        tok.type = TokenType::kGe;
+        pos_ += 2;
+        return tok;
+      }
+      return single(TokenType::kGt);
+    case '!':
+      if (Peek(1) == '=') {
+        tok.type = TokenType::kNe;
+        pos_ += 2;
+        return tok;
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::InvalidArgument("unexpected character '" +
+                                 std::string(1, c) + "' at offset " +
+                                 std::to_string(pos_));
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    Result<Token> tok = Next();
+    if (!tok.ok()) return tok.status();
+    tokens.push_back(std::move(tok).value());
+    if (tokens.back().type == TokenType::kEnd) break;
+  }
+  return tokens;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,33 @@
+#ifndef CLOUDVIEWS_SQL_LEXER_H_
+#define CLOUDVIEWS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace cloudviews {
+
+// Tokenizes a SQL string. Keywords are case-insensitive; identifiers keep
+// their original spelling. String literals use single quotes with ''
+// escaping. Comments: -- to end of line.
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  // Tokenizes the whole input. On success the final token is kEnd.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  char Peek(size_t ahead = 0) const;
+  void SkipWhitespaceAndComments();
+
+  std::string source_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_SQL_LEXER_H_

@@ -1,0 +1,74 @@
+#ifndef CLOUDVIEWS_SQL_TOKEN_H_
+#define CLOUDVIEWS_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cloudviews {
+
+enum class TokenType {
+  kEnd = 0,
+  kIdentifier,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // Keywords.
+  kSelect,
+  kFrom,
+  kWhere,
+  kJoin,
+  kInner,
+  kLeft,
+  kOn,
+  kGroup,
+  kOrder,
+  kBy,
+  kHaving,
+  kAs,
+  kAnd,
+  kOr,
+  kNot,
+  kNull,
+  kTrue,
+  kFalse,
+  kAsc,
+  kDesc,
+  kLimit,
+  kDistinct,
+  kUnion,
+  kAll,
+  kBetween,
+  kIn,
+  kIs,
+  kLike,
+  // Punctuation / operators.
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // identifier / literal spelling (unquoted)
+  int64_t int_value = 0;  // valid when type == kIntLiteral
+  double double_value = 0.0;
+  size_t position = 0;    // byte offset in the source, for error messages
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_SQL_TOKEN_H_

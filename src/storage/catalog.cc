@@ -1,0 +1,64 @@
+#include "storage/catalog.h"
+
+namespace cloudviews {
+
+Status DatasetCatalog::Register(const std::string& name, TablePtr table,
+                                const std::string& guid) {
+  if (datasets_.count(name) > 0) {
+    return Status::AlreadyExists("dataset already registered: " + name);
+  }
+  if (table == nullptr) {
+    return Status::InvalidArgument("dataset table must not be null: " + name);
+  }
+  Dataset ds;
+  ds.name = name;
+  ds.guid = guid;
+  ds.table = std::move(table);
+  ds.version = 1;
+  datasets_.emplace(name, std::move(ds));
+  return Status::OK();
+}
+
+Status DatasetCatalog::BulkUpdate(const std::string& name, TablePtr table,
+                                  const std::string& guid, double sim_time) {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not registered: " + name);
+  }
+  if (table == nullptr) {
+    return Status::InvalidArgument("dataset table must not be null: " + name);
+  }
+  if (guid == it->second.guid) {
+    return Status::InvalidArgument(
+        "bulk update must install a fresh GUID for dataset: " + name);
+  }
+  it->second.table = std::move(table);
+  it->second.guid = guid;
+  it->second.version += 1;
+  it->second.updated_at = sim_time;
+  return Status::OK();
+}
+
+Status DatasetCatalog::GdprForget(const std::string& name, TablePtr scrubbed,
+                                  const std::string& new_guid,
+                                  double sim_time) {
+  // A forget request is mechanically a bulk update — same invalidation path.
+  return BulkUpdate(name, std::move(scrubbed), new_guid, sim_time);
+}
+
+Result<Dataset> DatasetCatalog::Lookup(const std::string& name) const {
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset not registered: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> DatasetCatalog::ListNames() const {
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, ds] : datasets_) names.push_back(name);
+  return names;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,67 @@
+#ifndef CLOUDVIEWS_STORAGE_CATALOG_H_
+#define CLOUDVIEWS_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cloudviews {
+
+// A versioned shared dataset. Cosmos shared datasets are regenerated in bulk
+// (daily cooking runs, GDPR forget requests); every regeneration installs a
+// fresh GUID. Strict signatures incorporate the GUID, so any subexpression
+// reading the dataset — and any view materialized from it — is automatically
+// invalidated when the data changes.
+struct Dataset {
+  std::string name;
+  std::string guid;          // current version id
+  TablePtr table;            // current contents
+  int64_t version = 0;       // bumps on every bulk update
+  double updated_at = 0.0;   // sim time of last regeneration
+};
+
+// Name -> versioned dataset registry shared by all virtual clusters.
+class DatasetCatalog {
+ public:
+  DatasetCatalog() = default;
+
+  DatasetCatalog(const DatasetCatalog&) = delete;
+  DatasetCatalog& operator=(const DatasetCatalog&) = delete;
+
+  // Registers a new dataset under `name`. Fails if it already exists.
+  Status Register(const std::string& name, TablePtr table,
+                  const std::string& guid);
+
+  // Replaces the contents of an existing dataset with a new version
+  // (bulk update / recurring cooking run). Installs the new GUID.
+  Status BulkUpdate(const std::string& name, TablePtr table,
+                    const std::string& guid, double sim_time = 0.0);
+
+  // GDPR "right to be forgotten": contents change in place (rows removed)
+  // and, critically, the GUID must rotate so downstream consumers stop
+  // reusing stale materializations (paper section 4, "Handling GDPR").
+  Status GdprForget(const std::string& name, TablePtr scrubbed,
+                    const std::string& new_guid, double sim_time = 0.0);
+
+  Result<Dataset> Lookup(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return datasets_.count(name) > 0;
+  }
+
+  std::vector<std::string> ListNames() const;
+
+  size_t size() const { return datasets_.size(); }
+
+ private:
+  std::map<std::string, Dataset> datasets_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_STORAGE_CATALOG_H_

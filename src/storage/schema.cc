@@ -1,0 +1,32 @@
+#include "storage/schema.h"
+
+namespace cloudviews {
+
+std::optional<int> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+void Schema::HashInto(Hasher* hasher) const {
+  hasher->Update(uint64_t{columns_.size()});
+  for (const ColumnDef& col : columns_) {
+    hasher->Update(std::string_view(col.name));
+    hasher->Update(static_cast<uint64_t>(col.type));
+  }
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,52 @@
+#ifndef CLOUDVIEWS_STORAGE_SCHEMA_H_
+#define CLOUDVIEWS_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/value.h"
+
+namespace cloudviews {
+
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const ColumnDef& other) const = default;
+};
+
+// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  // Index of the column with the given name, or nullopt. Lookup is by exact
+  // name; qualified names ("t.col") are resolved by the plan builder.
+  std::optional<int> FindColumn(const std::string& name) const;
+
+  void AddColumn(std::string name, DataType type) {
+    columns_.push_back({std::move(name), type});
+  }
+
+  // Stable hash of names + types; feeds subexpression signatures.
+  void HashInto(Hasher* hasher) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_STORAGE_SCHEMA_H_

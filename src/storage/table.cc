@@ -1,0 +1,31 @@
+#include "storage/table.h"
+
+namespace cloudviews {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema_.ToString() + " of table " + name_);
+  }
+  for (const Value& v : row) byte_size_ += v.ByteSize();
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = name_ + " " + schema_.ToString() + " [" +
+                    std::to_string(rows_.size()) + " rows]\n";
+  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    out += "  ";
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      if (j > 0) out += " | ";
+      out += rows_[i][j].ToString();
+    }
+    out += "\n";
+  }
+  if (rows_.size() > max_rows) out += "  ...\n";
+  return out;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,49 @@
+#ifndef CLOUDVIEWS_STORAGE_TABLE_H_
+#define CLOUDVIEWS_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace cloudviews {
+
+// An immutable-after-load row-store table. Datasets in Cosmos are written
+// once and read many times; bulk updates replace the whole table (see
+// DatasetCatalog), so Table itself has no fine-grained update path.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t byte_size() const { return byte_size_; }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Appends a row; the row arity must match the schema. Type checking is
+  // loose (nulls allowed anywhere) to mirror semi-structured extracted logs.
+  Status Append(Row row);
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  size_t byte_size_ = 0;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_STORAGE_TABLE_H_

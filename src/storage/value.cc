@@ -1,0 +1,153 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cloudviews {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+DataType Value::type() const {
+  switch (v_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt64;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kString;
+  }
+  return DataType::kNull;
+}
+
+double Value::NumericValue() const {
+  if (std::holds_alternative<int64_t>(v_)) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  if (std::holds_alternative<double>(v_)) return std::get<double>(v_);
+  if (std::holds_alternative<bool>(v_)) return std::get<bool>(v_) ? 1.0 : 0.0;
+  return 0.0;
+}
+
+int Value::Compare(const Value& other) const {
+  const bool this_null = is_null();
+  const bool other_null = other.is_null();
+  if (this_null || other_null) {
+    if (this_null && other_null) return 0;
+    return this_null ? -1 : 1;
+  }
+  // Numeric types compare by value across int64/double.
+  const DataType a = type();
+  const DataType b = other.type();
+  const bool a_num = a == DataType::kInt64 || a == DataType::kDouble;
+  const bool b_num = b == DataType::kInt64 || b == DataType::kDouble;
+  if (a_num && b_num) {
+    if (a == DataType::kInt64 && b == DataType::kInt64) {
+      int64_t x = AsInt64();
+      int64_t y = other.AsInt64();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = NumericValue();
+    double y = other.NumericValue();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a != b) return static_cast<int>(a) < static_cast<int>(b) ? -1 : 1;
+  switch (a) {
+    case DataType::kBool: {
+      bool x = AsBool();
+      bool y = other.AsBool();
+      return x == y ? 0 : (x ? 1 : -1);
+    }
+    case DataType::kString:
+      return AsString().compare(other.AsString()) < 0
+                 ? -1
+                 : (AsString() == other.AsString() ? 0 : 1);
+    default:
+      return 0;
+  }
+}
+
+void Value::HashInto(Hasher* hasher) const {
+  switch (type()) {
+    case DataType::kNull:
+      hasher->Update(uint64_t{0xDEAD0011u});
+      break;
+    case DataType::kBool:
+      hasher->Update(AsBool());
+      break;
+    case DataType::kInt64:
+      // Hash integers through double when they are representable so that
+      // int 5 and double 5.0 land in the same hash-join bucket, matching
+      // Compare()'s cross-type numeric equality.
+      hasher->Update(static_cast<double>(AsInt64()));
+      break;
+    case DataType::kDouble:
+      hasher->Update(AsDouble());
+      break;
+    case DataType::kString:
+      hasher->Update(std::string_view(AsString()));
+      break;
+  }
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 1;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return AsString().size() + 4;
+  }
+  return 1;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case DataType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+uint64_t HashRowKey(const Row& row, const std::vector<int>& key_indices) {
+  Hasher h;
+  for (int idx : key_indices) {
+    row[static_cast<size_t>(idx)].HashInto(&h);
+  }
+  Hash128 out = h.Finish();
+  return out.hi ^ out.lo;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,140 @@
+#include "storage/view_store.h"
+
+namespace cloudviews {
+
+const char* ViewStateName(ViewState state) {
+  switch (state) {
+    case ViewState::kMaterializing:
+      return "MATERIALIZING";
+    case ViewState::kSealed:
+      return "SEALED";
+    case ViewState::kExpired:
+      return "EXPIRED";
+  }
+  return "UNKNOWN";
+}
+
+Status ViewStore::BeginMaterialize(const Hash128& strict_signature,
+                                   const Hash128& recurring_signature,
+                                   const std::string& virtual_cluster,
+                                   int64_t producer_job_id, double now) {
+  auto it = views_.find(strict_signature);
+  if (it != views_.end() && it->second.state != ViewState::kExpired) {
+    return Status::AlreadyExists("view already materializing or sealed: " +
+                                 strict_signature.ToHex());
+  }
+  MaterializedView view;
+  view.strict_signature = strict_signature;
+  view.recurring_signature = recurring_signature;
+  view.virtual_cluster = virtual_cluster;
+  view.output_path = "/cloudviews/" + virtual_cluster + "/" +
+                     strict_signature.ToHex() + ".ss";
+  view.state = ViewState::kMaterializing;
+  view.created_at = now;
+  view.expires_at = now + ttl_seconds_;
+  view.producer_job_id = producer_job_id;
+  views_[strict_signature] = std::move(view);
+  return Status::OK();
+}
+
+Status ViewStore::Seal(const Hash128& strict_signature, TablePtr contents,
+                       uint64_t observed_rows, uint64_t observed_bytes,
+                       double now) {
+  auto it = views_.find(strict_signature);
+  if (it == views_.end()) {
+    return Status::NotFound("no view being materialized for signature " +
+                            strict_signature.ToHex());
+  }
+  MaterializedView& view = it->second;
+  if (view.state != ViewState::kMaterializing) {
+    return Status::InvalidArgument("view not in MATERIALIZING state: " +
+                                   strict_signature.ToHex());
+  }
+  view.table = std::move(contents);
+  view.state = ViewState::kSealed;
+  view.sealed_at = now;
+  view.observed_rows = observed_rows;
+  view.observed_bytes = observed_bytes;
+  view.byte_size = view.table != nullptr ? view.table->byte_size()
+                                         : static_cast<size_t>(observed_bytes);
+  total_created_ += 1;
+  return Status::OK();
+}
+
+const MaterializedView* ViewStore::Find(const Hash128& strict_signature,
+                                        double now) const {
+  auto it = views_.find(strict_signature);
+  if (it == views_.end()) return nullptr;
+  const MaterializedView& view = it->second;
+  if (view.state != ViewState::kSealed) return nullptr;
+  if (now < view.sealed_at) return nullptr;  // not yet available
+  if (now >= view.expires_at) return nullptr;
+  return &view;
+}
+
+const MaterializedView* ViewStore::FindAny(
+    const Hash128& strict_signature) const {
+  auto it = views_.find(strict_signature);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+Status ViewStore::RecordReuse(const Hash128& strict_signature) {
+  auto it = views_.find(strict_signature);
+  if (it == views_.end()) {
+    return Status::NotFound("view not found: " + strict_signature.ToHex());
+  }
+  it->second.reuse_count += 1;
+  total_reused_ += 1;
+  return Status::OK();
+}
+
+Status ViewStore::Invalidate(const Hash128& strict_signature) {
+  auto it = views_.find(strict_signature);
+  if (it == views_.end()) {
+    return Status::NotFound("view not found: " + strict_signature.ToHex());
+  }
+  views_.erase(it);
+  return Status::OK();
+}
+
+void ViewStore::InvalidateAll() { views_.clear(); }
+
+size_t ViewStore::PurgeExpired(double now) {
+  size_t removed = 0;
+  for (auto it = views_.begin(); it != views_.end();) {
+    if (now >= it->second.expires_at ||
+        it->second.state == ViewState::kExpired) {
+      it = views_.erase(it);
+      removed += 1;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+size_t ViewStore::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [sig, view] : views_) {
+    if (view.state == ViewState::kSealed) total += view.byte_size;
+  }
+  return total;
+}
+
+size_t ViewStore::NumLive() const {
+  size_t n = 0;
+  for (const auto& [sig, view] : views_) {
+    if (view.state != ViewState::kExpired) n += 1;
+  }
+  return n;
+}
+
+std::vector<const MaterializedView*> ViewStore::LiveViews() const {
+  std::vector<const MaterializedView*> out;
+  for (const auto& [sig, view] : views_) {
+    if (view.state == ViewState::kSealed) out.push_back(&view);
+  }
+  return out;
+}
+
+}  // namespace cloudviews

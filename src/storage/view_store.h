@@ -1,0 +1,110 @@
+#ifndef CLOUDVIEWS_STORAGE_VIEW_STORE_H_
+#define CLOUDVIEWS_STORAGE_VIEW_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace cloudviews {
+
+// State of a materialized view in stable storage.
+enum class ViewState {
+  kMaterializing,  // a producer job holds the creation lock; bytes in flight
+  kSealed,         // available for reuse (possibly sealed early, before the
+                   // producing job finished)
+  kExpired,        // past TTL or invalidated; pending purge
+};
+
+const char* ViewStateName(ViewState state);
+
+// A single materialized common subexpression. The strict signature is the
+// identity; the output path encodes it (paper Figure 5: "encode the strict
+// signature in output path").
+struct MaterializedView {
+  Hash128 strict_signature;
+  Hash128 recurring_signature;
+  std::string output_path;
+  std::string virtual_cluster;
+  TablePtr table;                // nullptr until sealed
+  ViewState state = ViewState::kMaterializing;
+  double created_at = 0.0;       // sim time the spool started writing
+  double sealed_at = 0.0;        // sim time the view became readable
+  double expires_at = 0.0;       // created_at + TTL
+  size_t byte_size = 0;
+  int64_t reuse_count = 0;
+  int64_t producer_job_id = -1;
+  // Observed statistics from the producing execution; fed back to the
+  // optimizer on reuse ("update statistics from materialized view").
+  uint64_t observed_rows = 0;
+  uint64_t observed_bytes = 0;
+};
+
+// Stable storage for CloudViews outputs. Views are throwaway: they expire
+// after a fixed TTL (one week in production) and are invalidated wholesale
+// when their inputs or the engine's signature version change.
+class ViewStore {
+ public:
+  // `ttl_seconds`: views expire this long after creation (paper: one week).
+  explicit ViewStore(double ttl_seconds = 7 * 86400.0)
+      : ttl_seconds_(ttl_seconds) {}
+
+  ViewStore(const ViewStore&) = delete;
+  ViewStore& operator=(const ViewStore&) = delete;
+
+  // Begins materializing a view; the entry is visible but not yet readable.
+  // Fails if a live (materializing or sealed) entry already exists.
+  Status BeginMaterialize(const Hash128& strict_signature,
+                          const Hash128& recurring_signature,
+                          const std::string& virtual_cluster,
+                          int64_t producer_job_id, double now);
+
+  // Seals the view, making it readable. Early sealing: this may happen well
+  // before the producing job completes.
+  Status Seal(const Hash128& strict_signature, TablePtr contents,
+              uint64_t observed_rows, uint64_t observed_bytes, double now);
+
+  // Returns the sealed view for this signature, if present and not expired.
+  const MaterializedView* Find(const Hash128& strict_signature,
+                               double now) const;
+
+  // Returns the entry regardless of state (for tests / the view manager).
+  const MaterializedView* FindAny(const Hash128& strict_signature) const;
+
+  // Records one reuse of the view.
+  Status RecordReuse(const Hash128& strict_signature);
+
+  // Drops a specific view (e.g. invalidated by input GUID rotation).
+  Status Invalidate(const Hash128& strict_signature);
+
+  // Drops every view (signature-version bump invalidates the world).
+  void InvalidateAll();
+
+  // Purges expired entries; returns the number removed.
+  size_t PurgeExpired(double now);
+
+  // Total bytes across live sealed views (storage-budget accounting).
+  size_t TotalBytes() const;
+
+  size_t NumLive() const;
+  int64_t total_views_created() const { return total_created_; }
+  int64_t total_views_reused() const { return total_reused_; }
+  double ttl_seconds() const { return ttl_seconds_; }
+
+  std::vector<const MaterializedView*> LiveViews() const;
+
+ private:
+  double ttl_seconds_;
+  std::unordered_map<Hash128, MaterializedView, Hash128Hasher> views_;
+  int64_t total_created_ = 0;
+  int64_t total_reused_ = 0;
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_STORAGE_VIEW_STORE_H_

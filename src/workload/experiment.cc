@@ -1,0 +1,87 @@
+#include "workload/experiment.h"
+
+#include <cstdio>
+
+namespace cloudviews {
+
+Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
+  // Fresh deterministic stack per arm: same data, same jobs, same order.
+  DatasetCatalog catalog;
+  WorkloadGenerator generator(config_.workload);
+  CLOUDVIEWS_RETURN_NOT_OK(generator.Setup(&catalog));
+
+  ReuseEngineOptions engine_options = config_.engine;
+  engine_options.cluster_name = config_.workload.cluster_name;
+  ReuseEngine engine(&catalog, engine_options);
+  ClusterSimulator simulator(&engine, config_.cluster);
+
+  ArmResult arm;
+  for (int day = 0; day < config_.num_days; ++day) {
+    if (day > 0) {
+      std::vector<std::string> updated;
+      CLOUDVIEWS_RETURN_NOT_OK(generator.AdvanceDay(&catalog, day, &updated));
+      for (const std::string& name : updated) {
+        engine.OnDatasetUpdated(name);
+      }
+    }
+    engine.Maintenance(day * kSecondsPerDay);
+
+    if (cloudviews_enabled) {
+      // Opt-in onboarding ramp: one more VC joins every few days.
+      int enabled_vcs = config_.onboarding_days_per_vc <= 0
+                            ? config_.workload.num_virtual_clusters
+                            : std::min(config_.workload.num_virtual_clusters,
+                                       1 + day / config_.onboarding_days_per_vc);
+      for (int vc = 0; vc < enabled_vcs; ++vc) {
+        engine.insights().controls().enabled_vcs.insert(
+            "vc" + std::to_string(vc));
+      }
+      // Periodic workload analysis + view selection over history so far.
+      engine.RunViewSelection();
+    }
+
+    for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
+      auto telemetry = simulator.SubmitJob(job);
+      if (!telemetry.ok()) arm.failed_jobs += 1;
+    }
+    if (config_.on_day_complete) config_.on_day_complete(day);
+  }
+
+  arm.telemetry = simulator.telemetry();
+  arm.views_created = engine.view_store().total_views_created();
+  arm.views_reused = engine.view_store().total_views_reused();
+  arm.percent_repeated_subexpressions = engine.repository().PercentRepeated();
+  arm.average_repeat_frequency = engine.repository().AverageRepeatFrequency();
+  arm.total_subexpression_instances = engine.repository().total_instances();
+  if (config_.collect_join_records) {
+    arm.join_records = simulator.join_records();
+  }
+  return arm;
+}
+
+Result<ExperimentResult> ProductionExperiment::Run() {
+  ExperimentResult result;
+  auto baseline = RunArm(/*cloudviews_enabled=*/false);
+  if (!baseline.ok()) return baseline.status();
+  result.baseline = std::move(baseline).value();
+  auto cloudviews = RunArm(/*cloudviews_enabled=*/true);
+  if (!cloudviews.ok()) return cloudviews.status();
+  result.cloudviews = std::move(cloudviews).value();
+
+  WorkloadGenerator generator(config_.workload);
+  result.num_pipelines = generator.num_pipelines();
+  result.num_virtual_clusters = config_.workload.num_virtual_clusters;
+  result.num_jobs = static_cast<int64_t>(result.cloudviews.telemetry.jobs().size());
+  return result;
+}
+
+std::string FormatImprovementRow(const std::string& metric, double baseline,
+                                 double with_feature, const char* unit) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-28s %14.1f %14.1f %s %9.2f%%",
+                metric.c_str(), baseline, with_feature, unit,
+                ImprovementPercent(baseline, with_feature));
+  return buf;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,74 @@
+#ifndef CLOUDVIEWS_WORKLOAD_EXPERIMENT_H_
+#define CLOUDVIEWS_WORKLOAD_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/simulator.h"
+#include "cluster/telemetry.h"
+#include "core/view_selection.h"
+#include "core/workload_repository.h"
+#include "workload/generator.h"
+
+namespace cloudviews {
+
+// Configuration of a paired (baseline vs CloudViews) deployment simulation —
+// the experimental design behind Table 1 and Figures 6/7. The same
+// deterministic workload runs through two independent engine+cluster stacks;
+// the only difference is whether the virtual clusters are onboarded.
+struct ExperimentConfig {
+  WorkloadProfile workload;
+  ClusterSimOptions cluster;
+  ReuseEngineOptions engine;
+  int num_days = 58;  // 2020-02-01 .. 2020-03-29
+  // Customer onboarding ramp: VC k is enabled starting on day
+  // k * onboarding_days_per_vc (opt-in arriving gradually, Figure 6a).
+  int onboarding_days_per_vc = 1;
+  bool collect_join_records = true;
+  // Progress callback (day index) for long benches; may be null.
+  std::function<void(int)> on_day_complete;
+};
+
+// One simulation arm's outputs.
+struct ArmResult {
+  TelemetrySeries telemetry;
+  int64_t views_created = 0;
+  int64_t views_reused = 0;
+  double percent_repeated_subexpressions = 0.0;
+  double average_repeat_frequency = 0.0;
+  int64_t total_subexpression_instances = 0;
+  std::vector<JoinExecutionRecord> join_records;
+  int64_t failed_jobs = 0;
+};
+
+struct ExperimentResult {
+  ArmResult baseline;
+  ArmResult cloudviews;
+  int num_pipelines = 0;
+  int num_virtual_clusters = 0;
+  int64_t num_jobs = 0;
+};
+
+// Runs the paired production-deployment simulation.
+class ProductionExperiment {
+ public:
+  explicit ProductionExperiment(ExperimentConfig config)
+      : config_(std::move(config)) {}
+
+  Result<ExperimentResult> Run();
+
+ private:
+  Result<ArmResult> RunArm(bool cloudviews_enabled);
+
+  ExperimentConfig config_;
+};
+
+// Pretty-print helpers shared by the bench binaries.
+std::string FormatImprovementRow(const std::string& metric, double baseline,
+                                 double with_feature, const char* unit);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,53 @@
+#include "workload/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudviews {
+
+std::vector<WorkloadProfile> FiveClusterProfiles() {
+  std::vector<WorkloadProfile> profiles(5);
+  for (int i = 0; i < 5; ++i) {
+    WorkloadProfile& p = profiles[static_cast<size_t>(i)];
+    p.cluster_name = "cluster" + std::to_string(i + 1);
+    p.seed = 1000 + static_cast<uint64_t>(i);
+    p.num_virtual_clusters = 6;
+    p.num_shared_datasets = 60;
+    p.num_motifs = 40;
+    p.num_templates = 120;
+    p.instances_per_template_per_day = 2;
+  }
+  // Cluster1 (Asimov-style): few very hot datasets feed hundreds of
+  // consumers — steep Zipf, many more consumers per dataset. Clusters 2-5
+  // have progressively flatter popularity and fewer downstream consumers.
+  const double kSkews[] = {1.45, 1.2, 1.05, 0.95, 0.85};
+  const int kTemplates[] = {220, 160, 125, 105, 90};
+  const int kDatasets[] = {50, 55, 58, 60, 62};
+  for (int i = 0; i < 5; ++i) {
+    profiles[static_cast<size_t>(i)].zipf_skew = kSkews[i];
+    profiles[static_cast<size_t>(i)].num_templates = kTemplates[i];
+    profiles[static_cast<size_t>(i)].num_shared_datasets = kDatasets[i];
+  }
+  return profiles;
+}
+
+WorkloadProfile ProductionDeploymentProfile(double scale) {
+  scale = std::clamp(scale, 0.01, 1.0);
+  WorkloadProfile p;
+  p.cluster_name = "cosmos_prod";
+  p.seed = 20200201;  // the window starts 2020-02-01
+  p.num_virtual_clusters = std::max(2, static_cast<int>(21 * scale));
+  p.num_shared_datasets = std::max(10, static_cast<int>(80 * scale));
+  p.num_motifs = std::max(5, static_cast<int>(34 * scale));
+  // ~5 templates per motif so each materialized view is reused about six
+  // times per day on average (Table 1: 58k views built, 345k reused).
+  p.num_templates = std::max(12, static_cast<int>(168 * scale));
+  p.instances_per_template_per_day = 3;
+  p.adhoc_fraction = 0.2;  // ~80% of jobs recurring
+  p.zipf_skew = 1.1;
+  p.burst_fraction = 0.15;
+  p.udo_fraction = 0.2;
+  return p;
+}
+
+}  // namespace cloudviews

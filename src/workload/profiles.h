@@ -1,0 +1,23 @@
+#ifndef CLOUDVIEWS_WORKLOAD_PROFILES_H_
+#define CLOUDVIEWS_WORKLOAD_PROFILES_H_
+
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace cloudviews {
+
+// Profiles for the five production clusters analyzed in Figures 2, 3 and 8.
+// Cluster1 feeds the Asimov-style telemetry platform and shows much heavier
+// dataset sharing (10% of its inputs have >16 distinct consumers); the other
+// clusters are progressively less shared.
+std::vector<WorkloadProfile> FiveClusterProfiles();
+
+// The two-month production deployment profile behind Table 1 and Figures 6
+// and 7: 21 opted-in virtual clusters running recurring pipelines.
+// `scale` in (0, 1] shrinks the workload proportionally for fast tests.
+WorkloadProfile ProductionDeploymentProfile(double scale = 1.0);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_WORKLOAD_PROFILES_H_

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/builder.h"
+#include "plan/normalizer.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+class ColumnPruningTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing_util::RegisterFigure4Tables(&catalog_); }
+
+  LogicalOpPtr Build(const std::string& sql) {
+    PlanBuilder builder(&catalog_);
+    auto plan = builder.BuildFromSql(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? *plan : nullptr;
+  }
+
+  TablePtr Run(const LogicalOpPtr& plan) {
+    ExecContext context;
+    context.catalog = &catalog_;
+    Executor executor(context);
+    auto result = executor.Execute(plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result->output : nullptr;
+  }
+
+  ExecutionStats Stats(const LogicalOpPtr& plan) {
+    ExecContext context;
+    context.catalog = &catalog_;
+    Executor executor(context);
+    auto result = executor.Execute(plan);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result->stats : ExecutionStats{};
+  }
+
+  DatasetCatalog catalog_;
+};
+
+TEST_F(ColumnPruningTest, NarrowsScansToUsedColumns) {
+  // Only Price is read from the 6-column Sales table.
+  LogicalOpPtr plan = Build("SELECT Price FROM Sales WHERE Price > 12");
+  LogicalOpPtr pruned = PlanNormalizer::PruneColumns(plan);
+  // Same answer...
+  TablePtr a = Run(plan);
+  TablePtr b = Run(pruned);
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  // ...but far fewer intermediate bytes flow (the scan is 1 column wide
+  // after the narrowing project; total read shrinks accordingly).
+  EXPECT_LT(Stats(pruned).total_bytes_read * 2, Stats(plan).total_bytes_read);
+}
+
+TEST_F(ColumnPruningTest, JoinKeysSurvivePruning) {
+  const char* sql =
+      "SELECT Name FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId WHERE MktSegment = 'Asia'";
+  LogicalOpPtr plan = PlanNormalizer::Normalize(Build(sql));
+  LogicalOpPtr pruned = PlanNormalizer::PruneColumns(plan);
+  TablePtr a = Run(plan);
+  TablePtr b = Run(pruned);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->num_rows(), b->num_rows());
+  EXPECT_LT(Stats(pruned).input_bytes, Stats(plan).input_bytes);
+}
+
+TEST_F(ColumnPruningTest, AggregateInputsPruned) {
+  const char* sql =
+      "SELECT PartId, SUM(Quantity) FROM Sales GROUP BY PartId";
+  LogicalOpPtr plan = Build(sql);
+  LogicalOpPtr pruned = PlanNormalizer::PruneColumns(plan);
+  TablePtr a = Run(plan);
+  TablePtr b = Run(pruned);
+  EXPECT_EQ(a->num_rows(), b->num_rows());
+  // Sales has 6 columns; only PartId and Quantity are needed.
+  EXPECT_LT(Stats(pruned).input_bytes, Stats(plan).input_bytes);
+}
+
+TEST_F(ColumnPruningTest, Idempotent) {
+  const char* sql =
+      "SELECT Name FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId WHERE MktSegment = 'Asia'";
+  LogicalOpPtr once = PlanNormalizer::PruneColumns(Build(sql));
+  LogicalOpPtr twice = PlanNormalizer::PruneColumns(once);
+  EXPECT_EQ(once->TreeSize(), twice->TreeSize());
+  TablePtr a = Run(once);
+  TablePtr b = Run(twice);
+  EXPECT_EQ(a->num_rows(), b->num_rows());
+}
+
+TEST_F(ColumnPruningTest, UdoBlocksPruning) {
+  LogicalOpPtr base = Build("SELECT Price FROM Sales");
+  // Wrap the SCAN below the project with a UDO; the UDO is opaque, so the
+  // full 6-column scan must survive underneath it.
+  LogicalOpPtr scan = base->children[0];
+  LogicalOpPtr udo = LogicalOp::Udo(scan, "Opaque", true, 1);
+  LogicalOpPtr plan = LogicalOp::Project(
+      udo, {Expr::MakeColumn(3, "Price")}, {"Price"});
+  LogicalOpPtr pruned = PlanNormalizer::PruneColumns(plan);
+  EXPECT_EQ(Stats(pruned).input_bytes, Stats(plan).input_bytes);
+  EXPECT_EQ(Run(pruned)->num_rows(), Run(plan)->num_rows());
+}
+
+TEST_F(ColumnPruningTest, OrderByColumnsKept) {
+  const char* sql =
+      "SELECT Name FROM Customer WHERE MktSegment = 'Asia' "
+      "ORDER BY Name DESC LIMIT 5";
+  LogicalOpPtr plan = Build(sql);
+  LogicalOpPtr pruned = PlanNormalizer::PruneColumns(plan);
+  TablePtr a = Run(plan);
+  TablePtr b = Run(pruned);
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    EXPECT_EQ(a->row(i)[0].AsString(), b->row(i)[0].AsString());
+  }
+}
+
+class PruningEquivalenceTest
+    : public ColumnPruningTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(PruningEquivalenceTest, SameAnswerFewerBytes) {
+  LogicalOpPtr plan = PlanNormalizer::Normalize(Build(GetParam()));
+  LogicalOpPtr pruned = PlanNormalizer::PruneColumns(plan);
+  TablePtr a = Run(plan);
+  TablePtr b = Run(pruned);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  auto fingerprint = [](const TablePtr& t) {
+    std::multiset<std::string> rows;
+    for (const Row& row : t->rows()) {
+      std::string s;
+      for (const Value& v : row) s += v.ToString() + "|";
+      rows.insert(s);
+    }
+    return rows;
+  };
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+  EXPECT_LE(Stats(pruned).total_bytes_read, Stats(plan).total_bytes_read);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuerySweep, PruningEquivalenceTest,
+    ::testing::Values(
+        "SELECT Name FROM Customer WHERE MktSegment = 'Asia'",
+        "SELECT Price, Quantity FROM Sales WHERE SaleId < 50",
+        "SELECT Name, Price FROM Sales JOIN Customer "
+        "ON Sales.CustomerId = Customer.CustomerId",
+        "SELECT Brand, AVG(Discount) FROM Sales "
+        "JOIN Parts ON Sales.PartId = Parts.PartId GROUP BY Brand",
+        "SELECT MktSegment, COUNT(*) FROM Customer GROUP BY MktSegment "
+        "HAVING COUNT(*) > 10",
+        "SELECT PartType, MAX(Price) FROM Sales "
+        "JOIN Parts ON Sales.PartId = Parts.PartId "
+        "WHERE Quantity > 2 GROUP BY PartType ORDER BY PartType",
+        "SELECT CustomerId FROM Customer UNION ALL SELECT PartId FROM Parts"));
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,239 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace cloudviews {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllFactoryCodesDistinct) {
+  std::vector<Status> statuses = {
+      Status::InvalidArgument("a"), Status::NotFound("b"),
+      Status::AlreadyExists("c"),   Status::OutOfRange("d"),
+      Status::Corruption("e"),      Status::NotSupported("f"),
+      Status::ResourceExhausted("g"), Status::Internal("h"),
+      Status::Aborted("i")};
+  std::set<StatusCode> codes;
+  for (const Status& s : statuses) codes.insert(s.code());
+  EXPECT_EQ(codes.size(), statuses.size());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(HashTest, DeterministicAcrossInstances) {
+  Hash128 a = HashString("cloudviews");
+  Hash128 b = HashString("cloudviews");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.IsZero());
+}
+
+TEST(HashTest, DifferentInputsDiffer) {
+  EXPECT_NE(HashString("a"), HashString("b"));
+  EXPECT_NE(HashString(""), HashString("a"));
+  // Concatenation boundaries matter.
+  Hash128 ab_c = Hasher().Update("ab").Update("c").Finish();
+  Hash128 a_bc = Hasher().Update("a").Update("bc").Finish();
+  EXPECT_NE(ab_c, a_bc);
+}
+
+TEST(HashTest, SeedChangesResult) {
+  Hash128 s0 = Hasher(0).Update("x").Finish();
+  Hash128 s1 = Hasher(1).Update("x").Finish();
+  EXPECT_NE(s0, s1);
+}
+
+TEST(HashTest, HexIs32Chars) {
+  Hash128 h = HashString("abc");
+  std::string hex = h.ToHex();
+  EXPECT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+TEST(HashTest, IntAndDoubleUpdatesDiffer) {
+  Hash128 i = Hasher().Update(uint64_t{5}).Finish();
+  Hash128 d = Hasher().Update(5.0).Finish();
+  EXPECT_NE(i, d);
+}
+
+TEST(HashTest, NegativeZeroCanonicalized) {
+  Hash128 pos = Hasher().Update(0.0).Finish();
+  Hash128 neg = Hasher().Update(-0.0).Finish();
+  EXPECT_EQ(pos, neg);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, SeedsProduceDifferentStreams) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextUint64() == b.NextUint64()) same += 1;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(11);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random r(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(17);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRate) {
+  Random r(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.Bernoulli(0.3)) hits += 1;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomTest, ZipfSkewsTowardsLowRanks) {
+  Random r(23);
+  int rank0 = 0, rank_high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t z = r.Zipf(1000, 1.1);
+    EXPECT_LT(z, 1000u);
+    if (z == 0) rank0 += 1;
+    if (z >= 500) rank_high += 1;
+  }
+  EXPECT_GT(rank0, rank_high);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random r(29);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = r.Gaussian(5.0, 2.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random r(31);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RandomTest, GuidFormat) {
+  Random r(37);
+  std::string guid = r.Guid();
+  EXPECT_EQ(guid.size(), 36u);
+  EXPECT_EQ(guid[8], '-');
+  EXPECT_EQ(guid[13], '-');
+  EXPECT_EQ(guid[18], '-');
+  EXPECT_EQ(guid[23], '-');
+  EXPECT_NE(guid, r.Guid());
+}
+
+TEST(RandomTest, WeightedPickRespectsWeights) {
+  Random r(41);
+  std::vector<double> weights = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[r.WeightedPick(weights)] += 1;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(SimClockTest, StartsAtZeroAndAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0.0);
+  EXPECT_EQ(clock.DayIndex(), 0);
+  clock.AdvanceTo(3 * kSecondsPerDay + 10);
+  EXPECT_EQ(clock.DayIndex(), 3);
+}
+
+TEST(SimClockTest, NeverMovesBackwards) {
+  SimClock clock;
+  clock.AdvanceTo(100.0);
+  clock.AdvanceTo(50.0);
+  EXPECT_EQ(clock.Now(), 100.0);
+}
+
+TEST(SimClockTest, DayLabelsMatchPaperWindow) {
+  // The production window begins 2020-02-01 (Figures 6 and 7 x-axis).
+  EXPECT_EQ(SimClock::DayLabel(0), "2/1/20");
+  EXPECT_EQ(SimClock::DayLabel(3), "2/4/20");
+  EXPECT_EQ(SimClock::DayLabel(29), "3/1/20");   // 2020 is a leap year
+  EXPECT_EQ(SimClock::DayLabel(57), "3/29/20");  // end of the window
+}
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,484 @@
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "core/insights_service.h"
+#include "core/reuse_engine.h"
+#include "core/view_selection.h"
+#include "core/workload_repository.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+SubexpressionInstance MakeInstance(const std::string& sig_seed, int64_t job_id,
+                                   const std::string& vc, int day,
+                                   double submit_time = 0.0,
+                                   double cpu = 1000.0,
+                                   uint64_t bytes = 4096) {
+  SubexpressionInstance inst;
+  inst.strict_signature = HashString("strict-" + sig_seed);
+  inst.recurring_signature = HashString("recurring-" + sig_seed);
+  inst.job_id = job_id;
+  inst.virtual_cluster = vc;
+  inst.day = day;
+  inst.submit_time = submit_time;
+  inst.subtree_size = 3;
+  inst.cpu_cost = cpu;
+  inst.rows = 10;
+  inst.bytes = bytes;
+  return inst;
+}
+
+// --- WorkloadRepository -------------------------------------------------------
+
+TEST(WorkloadRepositoryTest, GroupsBySignature) {
+  WorkloadRepository repo;
+  repo.Ingest(MakeInstance("a", 1, "vc0", 0));
+  repo.Ingest(MakeInstance("a", 2, "vc0", 0));
+  repo.Ingest(MakeInstance("b", 3, "vc1", 1));
+  EXPECT_EQ(repo.total_instances(), 3);
+  EXPECT_EQ(repo.num_groups(), 2u);
+  const SubexpressionGroup* a = repo.FindGroup(HashString("strict-a"));
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->occurrences, 2);
+  EXPECT_EQ(a->virtual_clusters.size(), 1u);
+}
+
+TEST(WorkloadRepositoryTest, OverlapByDay) {
+  WorkloadRepository repo;
+  repo.Ingest(MakeInstance("a", 1, "vc0", 0));  // first: not repeated
+  repo.Ingest(MakeInstance("a", 2, "vc0", 0));  // repeat
+  repo.Ingest(MakeInstance("a", 3, "vc0", 1));  // repeat on day 1
+  repo.Ingest(MakeInstance("c", 4, "vc0", 1));  // new
+  std::vector<DayOverlapStats> days = repo.OverlapByDay();
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_EQ(days[0].total_subexpressions, 2);
+  EXPECT_EQ(days[0].repeated_subexpressions, 1);
+  EXPECT_DOUBLE_EQ(days[0].PercentRepeated(), 50.0);
+  EXPECT_DOUBLE_EQ(days[1].PercentRepeated(), 50.0);
+}
+
+TEST(WorkloadRepositoryTest, RepeatFrequencyAndPercent) {
+  WorkloadRepository repo;
+  for (int i = 0; i < 5; ++i) repo.Ingest(MakeInstance("a", i, "vc0", 0));
+  repo.Ingest(MakeInstance("b", 10, "vc0", 0));
+  EXPECT_DOUBLE_EQ(repo.AverageRepeatFrequency(), 3.0);  // 6 inst / 2 groups
+  // 5 of 6 instances belong to a repeated group.
+  EXPECT_NEAR(repo.PercentRepeated(), 83.33, 0.1);
+}
+
+TEST(WorkloadRepositoryTest, IneligibleBecomesSticky) {
+  WorkloadRepository repo;
+  SubexpressionInstance good = MakeInstance("x", 1, "vc0", 0);
+  SubexpressionInstance bad = MakeInstance("x", 2, "vc0", 0);
+  bad.eligible = false;
+  repo.Ingest(good);
+  repo.Ingest(bad);
+  const SubexpressionGroup* g = repo.FindGroup(HashString("strict-x"));
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(g->eligible);
+}
+
+TEST(WorkloadRepositoryTest, RecentInstancesBounded) {
+  WorkloadRepository repo;
+  for (int i = 0; i < 200; ++i) {
+    repo.Ingest(MakeInstance("hot", i, "vc0", 0, i * 10.0));
+  }
+  const SubexpressionGroup* g = repo.FindGroup(HashString("strict-hot"));
+  ASSERT_NE(g, nullptr);
+  EXPECT_LE(g->recent_instances.size(), 64u);
+  EXPECT_EQ(g->occurrences, 200);
+}
+
+// --- ViewSelector ---------------------------------------------------------------
+
+class ViewSelectorTest : public ::testing::Test {
+ protected:
+  // Repository with three candidates: a hot expensive one, a cold one, and a
+  // huge low-value one.
+  void FillRepo() {
+    for (int i = 0; i < 10; ++i) {
+      repo_.Ingest(MakeInstance("hot", i, "vc0", 0, i * 1000.0, 50000.0, 1000));
+    }
+    repo_.Ingest(MakeInstance("cold", 100, "vc0", 0, 0.0, 50000.0, 1000));
+    for (int i = 0; i < 3; ++i) {
+      repo_.Ingest(MakeInstance("huge", 200 + i, "vc0", 0, i * 1000.0, 100.0,
+                                100u << 20));
+    }
+  }
+
+  WorkloadRepository repo_;
+};
+
+TEST_F(ViewSelectorTest, SelectsHotNotColdNorHuge) {
+  FillRepo();
+  SelectionConstraints constraints;
+  constraints.storage_budget_bytes = 1 << 20;
+  constraints.schedule_aware = false;
+  constraints.per_virtual_cluster = false;
+  constraints.strategy = SelectionStrategy::kGreedyRatio;
+  ViewSelector selector(constraints);
+  SelectionResult result = selector.Select(repo_);
+  EXPECT_TRUE(result.Contains(HashString("strict-hot")));
+  EXPECT_FALSE(result.Contains(HashString("strict-cold")));  // occurs once
+  EXPECT_FALSE(result.Contains(HashString("strict-huge")));  // negative utility
+  EXPECT_GT(result.expected_savings, 0.0);
+}
+
+TEST_F(ViewSelectorTest, BudgetRejectsWhenTooSmall) {
+  FillRepo();
+  SelectionConstraints constraints;
+  constraints.storage_budget_bytes = 10;  // nothing fits
+  constraints.schedule_aware = false;
+  constraints.per_virtual_cluster = false;
+  constraints.strategy = SelectionStrategy::kGreedyRatio;
+  ViewSelector selector(constraints);
+  SelectionResult result = selector.Select(repo_);
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_GT(result.rejected_budget, 0);
+}
+
+TEST_F(ViewSelectorTest, ScheduleAwareDropsConcurrentOnly) {
+  // All instances of "burst" are submitted within 5 seconds of each other.
+  for (int i = 0; i < 8; ++i) {
+    repo_.Ingest(MakeInstance("burst", i, "vc0", 0, i * 1.0, 50000.0, 1000));
+  }
+  SelectionConstraints constraints;
+  constraints.schedule_aware = true;
+  constraints.concurrency_window_seconds = 120.0;
+  constraints.per_virtual_cluster = false;
+  constraints.strategy = SelectionStrategy::kGreedyRatio;
+  ViewSelector selector(constraints);
+  SelectionResult result = selector.Select(repo_);
+  EXPECT_FALSE(result.Contains(HashString("strict-burst")));
+  EXPECT_EQ(result.rejected_schedule, 1);
+
+  // With schedule awareness off it would be selected.
+  constraints.schedule_aware = false;
+  ViewSelector naive(constraints);
+  EXPECT_TRUE(naive.Select(repo_).Contains(HashString("strict-burst")));
+}
+
+TEST_F(ViewSelectorTest, PerVcBudgetsIsolateCustomers) {
+  // vc0 and vc1 each have a hot candidate of ~1KB; global budget 1.5KB would
+  // starve one, per-VC budgets serve both.
+  for (int i = 0; i < 5; ++i) {
+    repo_.Ingest(MakeInstance("vc0hot", i, "vc0", 0, i * 1000.0, 50000.0, 1000));
+    repo_.Ingest(MakeInstance("vc1hot", 10 + i, "vc1", 0, i * 1000.0, 50000.0,
+                              1000));
+  }
+  SelectionConstraints constraints;
+  constraints.storage_budget_bytes = 1500;
+  constraints.schedule_aware = false;
+  constraints.per_virtual_cluster = true;
+  constraints.strategy = SelectionStrategy::kGreedyRatio;
+  ViewSelector selector(constraints);
+  SelectionResult result = selector.Select(repo_);
+  EXPECT_TRUE(result.Contains(HashString("strict-vc0hot")));
+  EXPECT_TRUE(result.Contains(HashString("strict-vc1hot")));
+
+  constraints.per_virtual_cluster = false;
+  ViewSelector global(constraints);
+  SelectionResult gresult = global.Select(repo_);
+  EXPECT_EQ(gresult.selected.size(), 1u);  // only one fits globally
+}
+
+TEST_F(ViewSelectorTest, BigSubsAvoidsDoubleCounting) {
+  // Two overlapping candidates covering the SAME jobs; the bigger saving
+  // should be picked and the smaller one's marginal utility collapses.
+  for (int i = 0; i < 6; ++i) {
+    repo_.Ingest(MakeInstance("outer", i, "vc0", 0, i * 1000.0, 80000.0, 1000));
+    repo_.Ingest(MakeInstance("inner", i, "vc0", 0, i * 1000.0, 40000.0, 1000));
+  }
+  SelectionConstraints constraints;
+  constraints.schedule_aware = false;
+  constraints.per_virtual_cluster = false;
+  constraints.strategy = SelectionStrategy::kBigSubs;
+  constraints.storage_budget_bytes = 10 << 20;
+  ViewSelector selector(constraints);
+  SelectionResult result = selector.Select(repo_);
+  EXPECT_TRUE(result.Contains(HashString("strict-outer")));
+  // inner only adds 40000-per-job on jobs already saved 80000 -> rejected.
+  EXPECT_FALSE(result.Contains(HashString("strict-inner")));
+
+  // Greedy-ratio (no job awareness) would take both.
+  constraints.strategy = SelectionStrategy::kGreedyRatio;
+  ViewSelector greedy(constraints);
+  SelectionResult gresult = greedy.Select(repo_);
+  EXPECT_TRUE(gresult.Contains(HashString("strict-inner")));
+}
+
+TEST_F(ViewSelectorTest, TopKIgnoresUtility) {
+  FillRepo();
+  SelectionConstraints constraints;
+  constraints.schedule_aware = false;
+  constraints.per_virtual_cluster = false;
+  constraints.strategy = SelectionStrategy::kTopKFrequency;
+  constraints.max_views = 1;
+  constraints.storage_budget_bytes = 1u << 30;
+  ViewSelector selector(constraints);
+  SelectionResult result = selector.Select(repo_);
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0].occurrences, 10);
+}
+
+// --- InsightsService ---------------------------------------------------------------
+
+TEST(InsightsServiceTest, PublishAndFetch) {
+  InsightsService service;
+  SelectionResult selection;
+  ViewCandidate cand;
+  cand.strict_signature = HashString("s1");
+  cand.recurring_signature = HashString("r1");
+  cand.utility = 5.0;
+  cand.occurrences = 3;
+  selection.selected.push_back(cand);
+  service.PublishSelection(selection);
+  EXPECT_EQ(service.num_annotations(), 1u);
+
+  auto hits = service.FetchAnnotations({HashString("r1"), HashString("r2")});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].recurring_signature, HashString("r1"));
+  EXPECT_EQ(service.fetch_count(), 1);
+  EXPECT_GT(service.total_fetch_latency(), 0.0);
+}
+
+TEST(InsightsServiceTest, AnnotationsFileContainsTags) {
+  InsightsService service;
+  SelectionResult selection;
+  ViewCandidate cand;
+  cand.recurring_signature = HashString("r9");
+  selection.selected.push_back(cand);
+  service.PublishSelection(selection);
+  std::string file = service.ExportAnnotationsFile();
+  EXPECT_NE(file.find("cv-"), std::string::npos);
+  EXPECT_NE(file.find(HashString("r9").ToHex()), std::string::npos);
+}
+
+TEST(InsightsServiceTest, AnnotationsFileRoundTrip) {
+  InsightsService service;
+  SelectionResult selection;
+  for (int i = 0; i < 3; ++i) {
+    ViewCandidate cand;
+    cand.recurring_signature = HashString("rt-" + std::to_string(i));
+    cand.utility = 10.0 * i;
+    cand.occurrences = i + 2;
+    selection.selected.push_back(cand);
+  }
+  service.PublishSelection(selection);
+  std::string file = service.ExportAnnotationsFile();
+
+  // A fresh service compiled with the annotations file reproduces the
+  // served candidate set (the incident-debugging path).
+  InsightsService debug_service;
+  ASSERT_TRUE(debug_service.ImportAnnotationsFile(file).ok());
+  EXPECT_EQ(debug_service.num_annotations(), 3u);
+  auto hits = debug_service.FetchAnnotations({HashString("rt-1")});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].observed_occurrences, 3);
+
+  EXPECT_EQ(debug_service.ImportAnnotationsFile("garbage line\n").code(),
+            StatusCode::kCorruption);
+}
+
+TEST(InsightsServiceTest, LockProtocol) {
+  InsightsService service;
+  Hash128 sig = HashString("lock-me");
+  EXPECT_TRUE(service.TryAcquireViewLock(sig, 1));
+  EXPECT_TRUE(service.TryAcquireViewLock(sig, 1));   // re-entrant for holder
+  EXPECT_FALSE(service.TryAcquireViewLock(sig, 2));  // other job denied
+  EXPECT_FALSE(service.ReleaseViewLock(sig, 2).ok());
+  EXPECT_TRUE(service.ReleaseViewLock(sig, 1).ok());
+  EXPECT_TRUE(service.TryAcquireViewLock(sig, 2));
+}
+
+TEST(InsightsServiceTest, MultiLevelControls) {
+  ReuseControls controls;
+  controls.enabled_vcs.insert("vc0");
+  // Opt-in model: only vc0 enabled.
+  EXPECT_TRUE(controls.IsEnabled("c1", "vc0", true));
+  EXPECT_FALSE(controls.IsEnabled("c1", "vc1", true));
+  // Job-level toggle.
+  EXPECT_FALSE(controls.IsEnabled("c1", "vc0", false));
+  // Cluster-level disable.
+  controls.disabled_clusters.insert("c1");
+  EXPECT_FALSE(controls.IsEnabled("c1", "vc0", true));
+  controls.disabled_clusters.clear();
+  // Opt-out model: everything except disabled.
+  controls.opt_out_model = true;
+  EXPECT_TRUE(controls.IsEnabled("c1", "vc7", true));
+  controls.disabled_vcs.insert("vc7");
+  EXPECT_FALSE(controls.IsEnabled("c1", "vc7", true));
+  // Uber switch.
+  controls.service_enabled = false;
+  EXPECT_FALSE(controls.IsEnabled("c1", "vc0", true));
+}
+
+// --- ReuseEngine end-to-end -----------------------------------------------------
+
+class ReuseEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing_util::RegisterFigure4Tables(&catalog_);
+    ReuseEngineOptions options;
+    options.selection.schedule_aware = false;
+    options.selection.per_virtual_cluster = false;
+    options.selection.strategy = SelectionStrategy::kGreedyRatio;
+    engine_ = std::make_unique<ReuseEngine>(&catalog_, options);
+    engine_->insights().controls().enabled_vcs.insert("vc0");
+  }
+
+  JobRequest MakeJob(int64_t id, const std::string& sql, double t = 0.0) {
+    JobRequest req;
+    req.job_id = id;
+    req.virtual_cluster = "vc0";
+    req.sql = sql;
+    req.submit_time = t;
+    req.day = static_cast<int>(t / kSecondsPerDay);
+    return req;
+  }
+
+  DatasetCatalog catalog_;
+  std::unique_ptr<ReuseEngine> engine_;
+};
+
+const char* kAsiaSql =
+    "SELECT Name, Price FROM Sales JOIN Customer "
+    "ON Sales.CustomerId = Customer.CustomerId WHERE MktSegment = 'Asia'";
+
+TEST_F(ReuseEngineTest, FullLoopBuildThenReuse) {
+  // Day 0: run the job twice; no annotations yet, so no views.
+  auto e1 = engine_->RunJob(MakeJob(1, kAsiaSql, 0.0));
+  ASSERT_TRUE(e1.ok()) << e1.status().ToString();
+  EXPECT_EQ(e1->views_built, 0);
+  EXPECT_EQ(e1->views_matched, 0);
+  auto e2 = engine_->RunJob(MakeJob(2, kAsiaSql, 1000.0));
+  ASSERT_TRUE(e2.ok());
+
+  // Offline analysis selects the common subexpression.
+  SelectionResult selection = engine_->RunViewSelection();
+  EXPECT_GT(selection.selected.size(), 0u);
+
+  // Next instance materializes...
+  auto e3 = engine_->RunJob(MakeJob(3, kAsiaSql, 2000.0));
+  ASSERT_TRUE(e3.ok());
+  EXPECT_GT(e3->views_built, 0);
+  EXPECT_GT(e3->stats.bytes_spooled, 0u);
+
+  // ...and the one after reuses.
+  auto e4 = engine_->RunJob(MakeJob(4, kAsiaSql, 3000.0));
+  ASSERT_TRUE(e4.ok());
+  EXPECT_GT(e4->views_matched, 0);
+  EXPECT_GT(e4->stats.view_rows, 0u);
+  EXPECT_LT(e4->stats.input_rows, e1->stats.input_rows);
+  EXPECT_LT(e4->stats.total_cpu_cost, e1->stats.total_cpu_cost);
+  // Same answer either way.
+  EXPECT_EQ(e4->output->num_rows(), e1->output->num_rows());
+  EXPECT_EQ(engine_->view_store().total_views_reused(), 1);
+}
+
+TEST_F(ReuseEngineTest, DisabledVcGetsNoReuse) {
+  auto run_vc = [&](const std::string& vc, int64_t id) {
+    JobRequest req = MakeJob(id, kAsiaSql, id * 1000.0);
+    req.virtual_cluster = vc;
+    return engine_->RunJob(req);
+  };
+  ASSERT_TRUE(run_vc("vc0", 1).ok());
+  ASSERT_TRUE(run_vc("vc0", 2).ok());
+  engine_->RunViewSelection();
+  auto e3 = run_vc("vc1", 3);  // not opted in
+  ASSERT_TRUE(e3.ok());
+  EXPECT_FALSE(e3->reuse_enabled);
+  EXPECT_EQ(e3->views_built, 0);
+}
+
+TEST_F(ReuseEngineTest, BulkUpdateInvalidatesViews) {
+  ASSERT_TRUE(engine_->RunJob(MakeJob(1, kAsiaSql, 0.0)).ok());
+  ASSERT_TRUE(engine_->RunJob(MakeJob(2, kAsiaSql, 1000.0)).ok());
+  engine_->RunViewSelection();
+  ASSERT_TRUE(engine_->RunJob(MakeJob(3, kAsiaSql, 2000.0)).ok());
+  ASSERT_GT(engine_->view_store().NumLive(), 0u);
+
+  // Bulk-update both inputs: views reading them are reclaimed, and the next
+  // job does NOT match stale views (strict signatures moved with the GUIDs).
+  // (Updating only Sales would leave Customer-only subexpression views
+  // valid — which is correct, not an invalidation miss.)
+  ASSERT_TRUE(catalog_
+                  .BulkUpdate("Sales", testing_util::MakeSalesTable(),
+                              "guid-sales-v2", 3000.0)
+                  .ok());
+  ASSERT_TRUE(catalog_
+                  .BulkUpdate("Customer", testing_util::MakeCustomerTable(),
+                              "guid-customer-v2", 3000.0)
+                  .ok());
+  size_t dropped = engine_->OnDatasetUpdated("Sales");
+  dropped += engine_->OnDatasetUpdated("Customer");
+  EXPECT_GT(dropped, 0u);
+  auto e4 = engine_->RunJob(MakeJob(4, kAsiaSql, 4000.0));
+  ASSERT_TRUE(e4.ok());
+  EXPECT_EQ(e4->views_matched, 0);
+  // But it can re-materialize under the new strict signature (the recurring
+  // annotation survived the update).
+  EXPECT_GT(e4->views_built, 0);
+}
+
+TEST_F(ReuseEngineTest, RuntimeVersionBumpInvalidatesWorld) {
+  ASSERT_TRUE(engine_->RunJob(MakeJob(1, kAsiaSql, 0.0)).ok());
+  ASSERT_TRUE(engine_->RunJob(MakeJob(2, kAsiaSql, 1000.0)).ok());
+  engine_->RunViewSelection();
+  ASSERT_TRUE(engine_->RunJob(MakeJob(3, kAsiaSql, 2000.0)).ok());
+  ASSERT_GT(engine_->view_store().NumLive(), 0u);
+
+  engine_->OnRuntimeVersionChange(2);
+  EXPECT_EQ(engine_->view_store().NumLive(), 0u);
+  EXPECT_EQ(engine_->insights().num_annotations(), 0u);
+  auto e4 = engine_->RunJob(MakeJob(4, kAsiaSql, 3000.0));
+  ASSERT_TRUE(e4.ok());
+  EXPECT_EQ(e4->views_matched, 0);
+  EXPECT_EQ(e4->views_built, 0);
+}
+
+TEST_F(ReuseEngineTest, ViewsExpireAfterTtl) {
+  ASSERT_TRUE(engine_->RunJob(MakeJob(1, kAsiaSql, 0.0)).ok());
+  ASSERT_TRUE(engine_->RunJob(MakeJob(2, kAsiaSql, 1000.0)).ok());
+  engine_->RunViewSelection();
+  ASSERT_TRUE(engine_->RunJob(MakeJob(3, kAsiaSql, 2000.0)).ok());
+  ASSERT_GT(engine_->view_store().NumLive(), 0u);
+  // One week + a bit later, maintenance purges them.
+  engine_->Maintenance(8 * kSecondsPerDay);
+  EXPECT_EQ(engine_->view_store().NumLive(), 0u);
+}
+
+TEST_F(ReuseEngineTest, CompileOnlyDoesNotExecute) {
+  auto outcome = engine_->CompileJob(MakeJob(1, kAsiaSql, 0.0));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(engine_->repository().total_instances(), 0);
+}
+
+TEST_F(ReuseEngineTest, JobLevelOptOut) {
+  ASSERT_TRUE(engine_->RunJob(MakeJob(1, kAsiaSql, 0.0)).ok());
+  ASSERT_TRUE(engine_->RunJob(MakeJob(2, kAsiaSql, 1000.0)).ok());
+  engine_->RunViewSelection();
+  JobRequest req = MakeJob(3, kAsiaSql, 2000.0);
+  req.cloudviews_enabled = false;
+  auto e3 = engine_->RunJob(req);
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(e3->views_built, 0);
+  EXPECT_FALSE(e3->reuse_enabled);
+}
+
+TEST_F(ReuseEngineTest, EachViewReusedManyTimes) {
+  ASSERT_TRUE(engine_->RunJob(MakeJob(1, kAsiaSql, 0.0)).ok());
+  ASSERT_TRUE(engine_->RunJob(MakeJob(2, kAsiaSql, 1000.0)).ok());
+  engine_->RunViewSelection();
+  ASSERT_TRUE(engine_->RunJob(MakeJob(3, kAsiaSql, 2000.0)).ok());
+  for (int64_t id = 4; id < 10; ++id) {
+    auto e = engine_->RunJob(MakeJob(id, kAsiaSql, id * 1000.0));
+    ASSERT_TRUE(e.ok());
+    EXPECT_GT(e->views_matched, 0);
+  }
+  EXPECT_EQ(engine_->view_store().total_views_reused(), 6);
+}
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,214 @@
+// Edge cases and failure injection for the execution engine: empty inputs,
+// null join keys, empty groups, limits, and deep plans.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/builder.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+class ExecEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Empty table.
+    Schema schema({{"k", DataType::kInt64}, {"v", DataType::kString}});
+    catalog_.Register("Empty", std::make_shared<Table>("Empty", schema),
+                      "guid-empty")
+        .ok();
+    // Table with nulls in the key column.
+    auto nullish = std::make_shared<Table>("Nullish", schema);
+    nullish->Append({Value(int64_t{1}), Value("a")}).ok();
+    nullish->Append({Value::Null(), Value("b")}).ok();
+    nullish->Append({Value(int64_t{3}), Value("c")}).ok();
+    nullish->Append({Value::Null(), Value("d")}).ok();
+    catalog_.Register("Nullish", nullish, "guid-nullish").ok();
+    // Small reference table.
+    auto ref = std::make_shared<Table>("Ref", schema);
+    ref->Append({Value(int64_t{1}), Value("one")}).ok();
+    ref->Append({Value(int64_t{3}), Value("three")}).ok();
+    catalog_.Register("Ref", ref, "guid-ref").ok();
+    testing_util::RegisterFigure4Tables(&catalog_);
+  }
+
+  Result<ExecResult> Run(const std::string& sql,
+                         JoinAlgorithm algorithm = JoinAlgorithm::kHash) {
+    PlanBuilder builder(&catalog_);
+    auto plan = builder.BuildFromSql(sql);
+    if (!plan.ok()) return plan.status();
+    SetJoin(plan->get(), algorithm);
+    ExecContext context;
+    context.catalog = &catalog_;
+    Executor executor(context);
+    return executor.Execute(*plan);
+  }
+
+  static void SetJoin(LogicalOp* node, JoinAlgorithm algorithm) {
+    if (node->kind == LogicalOpKind::kJoin && !node->equi_keys.empty()) {
+      node->join_algorithm = algorithm;
+    }
+    for (const LogicalOpPtr& child : node->children) {
+      SetJoin(child.get(), algorithm);
+    }
+  }
+
+  DatasetCatalog catalog_;
+};
+
+TEST_F(ExecEdgeTest, EmptyScan) {
+  auto r = Run("SELECT k FROM Empty");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output->num_rows(), 0u);
+}
+
+TEST_F(ExecEdgeTest, EmptyAggregateNoGroups) {
+  // Aggregates over empty input with no GROUP BY produce one row.
+  auto r = Run("SELECT COUNT(*), SUM(k), MIN(k) FROM Empty");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->output->num_rows(), 1u);
+  EXPECT_EQ(r->output->row(0)[0].AsInt64(), 0);
+  EXPECT_TRUE(r->output->row(0)[1].is_null());  // SUM of nothing is NULL
+  EXPECT_TRUE(r->output->row(0)[2].is_null());
+}
+
+TEST_F(ExecEdgeTest, EmptyAggregateWithGroups) {
+  auto r = Run("SELECT v, COUNT(*) FROM Empty GROUP BY v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output->num_rows(), 0u);
+}
+
+TEST_F(ExecEdgeTest, JoinWithEmptySide) {
+  for (JoinAlgorithm alg :
+       {JoinAlgorithm::kHash, JoinAlgorithm::kMerge, JoinAlgorithm::kLoop}) {
+    auto inner = Run("SELECT Ref.v FROM Empty JOIN Ref ON Empty.k = Ref.k", alg);
+    ASSERT_TRUE(inner.ok());
+    EXPECT_EQ(inner->output->num_rows(), 0u) << JoinAlgorithmName(alg);
+    auto flipped =
+        Run("SELECT Ref.v FROM Ref JOIN Empty ON Ref.k = Empty.k", alg);
+    ASSERT_TRUE(flipped.ok());
+    EXPECT_EQ(flipped->output->num_rows(), 0u) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST_F(ExecEdgeTest, NullKeysNeverMatch) {
+  for (JoinAlgorithm alg :
+       {JoinAlgorithm::kHash, JoinAlgorithm::kMerge, JoinAlgorithm::kLoop}) {
+    auto r = Run(
+        "SELECT Nullish.v, Ref.v FROM Nullish JOIN Ref "
+        "ON Nullish.k = Ref.k", alg);
+    ASSERT_TRUE(r.ok());
+    // Only k=1 and k=3 match; NULL keys match nothing (SQL semantics).
+    EXPECT_EQ(r->output->num_rows(), 2u) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST_F(ExecEdgeTest, LeftJoinNullKeysPreserved) {
+  for (JoinAlgorithm alg :
+       {JoinAlgorithm::kHash, JoinAlgorithm::kMerge, JoinAlgorithm::kLoop}) {
+    auto r = Run(
+        "SELECT Nullish.v, Ref.v FROM Nullish LEFT JOIN Ref "
+        "ON Nullish.k = Ref.k", alg);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->output->num_rows(), 4u) << JoinAlgorithmName(alg);
+    int null_padded = 0;
+    for (const Row& row : r->output->rows()) {
+      if (row[1].is_null()) null_padded += 1;
+    }
+    EXPECT_EQ(null_padded, 2) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST_F(ExecEdgeTest, LimitZeroAndOversized) {
+  auto zero = Run("SELECT k FROM Ref LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->output->num_rows(), 0u);
+  auto big = Run("SELECT k FROM Ref LIMIT 100000");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->output->num_rows(), 2u);
+}
+
+TEST_F(ExecEdgeTest, FilterNullPredicateRowsDropped) {
+  // k > 0 is NULL for NULL k: those rows are dropped, not kept.
+  auto r = Run("SELECT v FROM Nullish WHERE k > 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output->num_rows(), 2u);
+  // IS NULL finds them.
+  auto nulls = Run("SELECT v FROM Nullish WHERE k IS NULL");
+  ASSERT_TRUE(nulls.ok());
+  EXPECT_EQ(nulls->output->num_rows(), 2u);
+}
+
+TEST_F(ExecEdgeTest, SortWithNullsFirst) {
+  auto r = Run("SELECT k FROM Nullish ORDER BY k");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->output->num_rows(), 4u);
+  EXPECT_TRUE(r->output->row(0)[0].is_null());
+  EXPECT_TRUE(r->output->row(1)[0].is_null());
+  EXPECT_EQ(r->output->row(2)[0].AsInt64(), 1);
+  EXPECT_EQ(r->output->row(3)[0].AsInt64(), 3);
+}
+
+TEST_F(ExecEdgeTest, AggregatesSkipNulls) {
+  auto r = Run("SELECT COUNT(k), COUNT(*), AVG(k) FROM Nullish");
+  ASSERT_TRUE(r.ok());
+  const Row& row = r->output->row(0);
+  EXPECT_EQ(row[0].AsInt64(), 2);  // COUNT(k) skips nulls
+  EXPECT_EQ(row[1].AsInt64(), 4);  // COUNT(*) does not
+  EXPECT_DOUBLE_EQ(row[2].AsDouble(), 2.0);
+}
+
+TEST_F(ExecEdgeTest, RuntimeErrorSurfacesAsStatus) {
+  // Division by zero during execution: the job fails cleanly.
+  auto r = Run("SELECT 1 / (k - 1) FROM Ref");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecEdgeTest, DeepFilterChainExecutes) {
+  // 200 stacked filters exercise recursion depth in build + execute.
+  PlanBuilder builder(&catalog_);
+  auto base = builder.BuildFromSql("SELECT SaleId FROM Sales");
+  ASSERT_TRUE(base.ok());
+  LogicalOpPtr plan = *base;
+  for (int i = 0; i < 200; ++i) {
+    plan = LogicalOp::Filter(
+        plan, Expr::MakeBinary(sql::BinaryOp::kGe,
+                               Expr::MakeColumn(0, "SaleId"),
+                               Expr::MakeLiteral(Value(int64_t{0}))));
+  }
+  ExecContext context;
+  context.catalog = &catalog_;
+  Executor executor(context);
+  auto r = executor.Execute(plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output->num_rows(), 500u);
+}
+
+TEST_F(ExecEdgeTest, CrossTypeNumericJoinKeys) {
+  // int64 keys on one side, doubles on the other: hash and compare agree.
+  Schema schema({{"k", DataType::kDouble}});
+  auto doubles = std::make_shared<Table>("Doubles", schema);
+  doubles->Append({Value(1.0)}).ok();
+  doubles->Append({Value(2.5)}).ok();
+  doubles->Append({Value(3.0)}).ok();
+  catalog_.Register("Doubles", doubles, "guid-doubles").ok();
+  for (JoinAlgorithm alg :
+       {JoinAlgorithm::kHash, JoinAlgorithm::kMerge, JoinAlgorithm::kLoop}) {
+    auto r = Run(
+        "SELECT Ref.v FROM Doubles JOIN Ref ON Doubles.k = Ref.k", alg);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->output->num_rows(), 2u) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST_F(ExecEdgeTest, UnionAllWithEmptyBranch) {
+  auto r = Run("SELECT k FROM Ref UNION ALL SELECT k FROM Empty "
+               "UNION ALL SELECT k FROM Ref");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output->num_rows(), 4u);
+}
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,320 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/builder.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing_util::RegisterFigure4Tables(&catalog_); }
+
+  Result<ExecResult> Run(const std::string& sql,
+                         JoinAlgorithm algorithm = JoinAlgorithm::kHash) {
+    PlanBuilder builder(&catalog_);
+    auto plan = builder.BuildFromSql(sql);
+    if (!plan.ok()) return plan.status();
+    SetJoinAlgorithm(plan->get(), algorithm);
+    ExecContext context;
+    context.catalog = &catalog_;
+    Executor executor(context);
+    return executor.Execute(*plan);
+  }
+
+  static void SetJoinAlgorithm(LogicalOp* node, JoinAlgorithm algorithm) {
+    if (node->kind == LogicalOpKind::kJoin && !node->equi_keys.empty()) {
+      node->join_algorithm = algorithm;
+    }
+    for (const LogicalOpPtr& child : node->children) {
+      SetJoinAlgorithm(child.get(), algorithm);
+    }
+  }
+
+  DatasetCatalog catalog_;
+};
+
+TEST_F(ExecTest, ScanProjectsAllRows) {
+  auto r = Run("SELECT CustomerId FROM Customer");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->output->num_rows(), 100u);
+  EXPECT_EQ(r->stats.input_rows, 100u);
+  EXPECT_GT(r->stats.input_bytes, 0u);
+}
+
+TEST_F(ExecTest, FilterSelectsMatching) {
+  auto r = Run("SELECT Name FROM Customer WHERE MktSegment = 'Asia'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Segments cycle Asia/Europe/America over 100 customers: 34 Asia.
+  EXPECT_EQ(r->output->num_rows(), 34u);
+}
+
+TEST_F(ExecTest, FilterComparisonsAndBetween) {
+  auto r = Run("SELECT SaleId FROM Sales WHERE SaleId BETWEEN 10 AND 19");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output->num_rows(), 10u);
+  auto r2 = Run("SELECT SaleId FROM Sales WHERE SaleId NOT BETWEEN 10 AND 499");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->output->num_rows(), 10u);
+  auto r3 = Run("SELECT SaleId FROM Sales WHERE SaleId IN (1, 2, 999)");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->output->num_rows(), 2u);
+}
+
+TEST_F(ExecTest, LikeFilter) {
+  auto r = Run("SELECT Name FROM Customer WHERE Name LIKE 'cust1%'");
+  ASSERT_TRUE(r.ok());
+  // cust1, cust10..cust19, cust100? No — ids 0..99, so cust1, cust10-19 = 11.
+  EXPECT_EQ(r->output->num_rows(), 11u);
+}
+
+TEST_F(ExecTest, AllJoinAlgorithmsAgree) {
+  const char* sql =
+      "SELECT Name, Price FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId WHERE MktSegment = 'Asia'";
+  auto hash = Run(sql, JoinAlgorithm::kHash);
+  auto merge = Run(sql, JoinAlgorithm::kMerge);
+  auto loop = Run(sql, JoinAlgorithm::kLoop);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(merge.ok());
+  ASSERT_TRUE(loop.ok());
+  ASSERT_EQ(hash->output->num_rows(), merge->output->num_rows());
+  ASSERT_EQ(hash->output->num_rows(), loop->output->num_rows());
+  EXPECT_GT(hash->output->num_rows(), 0u);
+
+  // Row multisets must be identical (order may differ).
+  auto to_multiset = [](const TablePtr& t) {
+    std::multiset<std::string> out;
+    for (const Row& row : t->rows()) {
+      std::string s;
+      for (const Value& v : row) s += v.ToString() + "|";
+      out.insert(s);
+    }
+    return out;
+  };
+  EXPECT_EQ(to_multiset(hash->output), to_multiset(merge->output));
+  EXPECT_EQ(to_multiset(hash->output), to_multiset(loop->output));
+}
+
+TEST_F(ExecTest, LeftJoinKeepsUnmatched) {
+  // Parts has 20 parts; Sales references PartId 0..19, so add a part table
+  // with extra rows via a fresh catalog entry.
+  DatasetCatalog catalog;
+  Schema left_schema({{"id", DataType::kInt64}});
+  auto left = std::make_shared<Table>("L", left_schema);
+  for (int i = 0; i < 5; ++i) left->Append({Value(int64_t{i})}).ok();
+  Schema right_schema({{"rid", DataType::kInt64}, {"v", DataType::kString}});
+  auto right = std::make_shared<Table>("R", right_schema);
+  right->Append({Value(int64_t{1}), Value("one")}).ok();
+  right->Append({Value(int64_t{3}), Value("three")}).ok();
+  catalog.Register("L", left, "gl").ok();
+  catalog.Register("R", right, "gr").ok();
+
+  PlanBuilder builder(&catalog);
+  auto plan =
+      builder.BuildFromSql("SELECT id, v FROM L LEFT JOIN R ON L.id = R.rid");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  for (JoinAlgorithm alg :
+       {JoinAlgorithm::kHash, JoinAlgorithm::kMerge, JoinAlgorithm::kLoop}) {
+    LogicalOpPtr copy = (*plan)->Clone();
+    SetJoinAlgorithm(copy.get(), alg);
+    ExecContext context;
+    context.catalog = &catalog;
+    Executor executor(context);
+    auto r = executor.Execute(copy);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->output->num_rows(), 5u) << JoinAlgorithmName(alg);
+    int nulls = 0;
+    for (const Row& row : r->output->rows()) {
+      if (row[1].is_null()) nulls += 1;
+    }
+    EXPECT_EQ(nulls, 3) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST_F(ExecTest, AggregateSumAvgMinMaxCount) {
+  auto r = Run(
+      "SELECT MktSegment, COUNT(*) AS n, SUM(CustomerId) AS s, "
+      "MIN(CustomerId) AS lo, MAX(CustomerId) AS hi FROM Customer "
+      "GROUP BY MktSegment ORDER BY MktSegment");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->output->num_rows(), 3u);
+  // Ordered: America, Asia, Europe. Asia = ids 0,3,6,...,99 (34 ids).
+  const Row& asia = r->output->row(1);
+  EXPECT_EQ(asia[0].AsString(), "Asia");
+  EXPECT_EQ(asia[1].AsInt64(), 34);
+  EXPECT_EQ(asia[3].AsInt64(), 0);
+  EXPECT_EQ(asia[4].AsInt64(), 99);
+}
+
+TEST_F(ExecTest, AggregateWithoutGroupBy) {
+  auto r = Run("SELECT COUNT(*), AVG(Price) FROM Sales");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->output->num_rows(), 1u);
+  EXPECT_EQ(r->output->row(0)[0].AsInt64(), 500);
+}
+
+TEST_F(ExecTest, CountDistinct) {
+  auto r = Run("SELECT COUNT(DISTINCT MktSegment) FROM Customer");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output->row(0)[0].AsInt64(), 3);
+}
+
+TEST_F(ExecTest, HavingFiltersGroups) {
+  auto r = Run(
+      "SELECT PartId, COUNT(*) AS n FROM Sales GROUP BY PartId "
+      "HAVING COUNT(*) > 24");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 500 sales spread over 20 parts: 25 each, all pass > 24.
+  EXPECT_EQ(r->output->num_rows(), 20u);
+  auto r2 = Run(
+      "SELECT PartId, COUNT(*) AS n FROM Sales GROUP BY PartId "
+      "HAVING COUNT(*) > 25");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->output->num_rows(), 0u);
+}
+
+TEST_F(ExecTest, OrderByAndLimit) {
+  auto r = Run("SELECT SaleId FROM Sales ORDER BY SaleId DESC LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->output->num_rows(), 3u);
+  EXPECT_EQ(r->output->row(0)[0].AsInt64(), 499);
+  EXPECT_EQ(r->output->row(1)[0].AsInt64(), 498);
+  EXPECT_EQ(r->output->row(2)[0].AsInt64(), 497);
+}
+
+TEST_F(ExecTest, DistinctDeduplicates) {
+  auto r = Run("SELECT DISTINCT MktSegment FROM Customer");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output->num_rows(), 3u);
+}
+
+TEST_F(ExecTest, UnionAllConcatenates) {
+  auto r = Run(
+      "SELECT CustomerId FROM Customer UNION ALL SELECT PartId FROM Parts");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output->num_rows(), 120u);
+}
+
+TEST_F(ExecTest, Figure4QueryEndToEnd) {
+  auto r = Run(
+      "SELECT Customer.CustomerId, AVG(Price * Quantity) AS avg_sales FROM Sales "
+      "JOIN Customer ON Sales.CustomerId = Customer.CustomerId "
+      "WHERE MktSegment = 'Asia' GROUP BY Customer.CustomerId");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 34 Asia customers, 500 sales over 100 customers -> 5 sales each; every
+  // Asia customer has sales.
+  EXPECT_EQ(r->output->num_rows(), 34u);
+  for (const Row& row : r->output->rows()) {
+    EXPECT_FALSE(row[1].is_null());
+    EXPECT_GT(row[1].AsDouble(), 0.0);
+  }
+}
+
+TEST_F(ExecTest, StaleGuidAborts) {
+  PlanBuilder builder(&catalog_);
+  auto plan = builder.BuildFromSql("SELECT Name FROM Customer");
+  ASSERT_TRUE(plan.ok());
+  // Dataset is bulk-updated between compile and execute.
+  ASSERT_TRUE(catalog_
+                  .BulkUpdate("Customer", testing_util::MakeCustomerTable(),
+                              "guid-customer-v2")
+                  .ok());
+  ExecContext context;
+  context.catalog = &catalog_;
+  Executor executor(context);
+  auto r = executor.Execute(*plan);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+}
+
+TEST_F(ExecTest, SpoolMaterializesAndPassesThrough) {
+  PlanBuilder builder(&catalog_);
+  auto plan =
+      builder.BuildFromSql("SELECT Name FROM Customer WHERE MktSegment = 'Asia'");
+  ASSERT_TRUE(plan.ok());
+  // Wrap the filter subtree with a spool.
+  LogicalOpPtr spooled = LogicalOp::Spool((*plan)->children[0]);
+  LogicalOpPtr root = (*plan)->Clone();
+  root->children[0] = spooled;
+
+  TablePtr captured;
+  OperatorStats captured_stats;
+  ExecContext context;
+  context.catalog = &catalog_;
+  context.on_spool_complete = [&](const LogicalOp& spool, TablePtr contents,
+                                  const OperatorStats& stats) {
+    captured = std::move(contents);
+    captured_stats = stats;
+    EXPECT_EQ(spool.kind, LogicalOpKind::kSpool);
+  };
+  Executor executor(context);
+  auto r = executor.Execute(root);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->output->num_rows(), 34u);
+  ASSERT_NE(captured, nullptr);
+  EXPECT_EQ(captured->num_rows(), 34u);
+  EXPECT_EQ(captured_stats.rows_out, 34u);
+  EXPECT_GT(r->stats.bytes_spooled, 0u);
+  EXPECT_GT(r->stats.spool_cpu_cost, 0.0);
+}
+
+TEST_F(ExecTest, DeterministicUdoStableAcrossJobs) {
+  PlanBuilder builder(&catalog_);
+  auto base = builder.BuildFromSql("SELECT Name FROM Customer");
+  ASSERT_TRUE(base.ok());
+  LogicalOpPtr udo = LogicalOp::Udo((*base)->children[0], "MyExtractor",
+                                    /*deterministic=*/true, 2,
+                                    /*selectivity=*/0.5);
+  auto run = [&](uint64_t seed) {
+    ExecContext context;
+    context.catalog = &catalog_;
+    context.job_seed = seed;
+    Executor executor(context);
+    auto r = executor.Execute(udo);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? r->output->num_rows() : 0;
+  };
+  size_t a = run(1);
+  size_t b = run(999);
+  EXPECT_EQ(a, b);  // deterministic UDO ignores the job seed
+  EXPECT_GT(a, 10u);
+  EXPECT_LT(a, 90u);
+}
+
+TEST_F(ExecTest, NonDeterministicUdoVariesAcrossJobs) {
+  PlanBuilder builder(&catalog_);
+  auto base = builder.BuildFromSql("SELECT Name FROM Customer");
+  ASSERT_TRUE(base.ok());
+  LogicalOpPtr udo = LogicalOp::Udo((*base)->children[0], "Random.Next",
+                                    /*deterministic=*/false, 2,
+                                    /*selectivity=*/0.5);
+  std::set<size_t> counts;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    ExecContext context;
+    context.catalog = &catalog_;
+    context.job_seed = seed;
+    Executor executor(context);
+    auto r = executor.Execute(udo);
+    ASSERT_TRUE(r.ok());
+    counts.insert(r->output->num_rows());
+  }
+  EXPECT_GT(counts.size(), 1u);
+}
+
+TEST_F(ExecTest, StatsAccountExchangeBoundaries) {
+  auto r = Run(
+      "SELECT PartId, COUNT(*) FROM Sales GROUP BY PartId");
+  ASSERT_TRUE(r.ok());
+  // Data read should exceed pure input bytes (aggregate output re-read).
+  EXPECT_GT(r->stats.total_bytes_read, r->stats.input_bytes);
+  EXPECT_GT(r->stats.total_cpu_cost, 0.0);
+  EXPECT_GT(r->stats.num_operators, 2);
+}
+
+}  // namespace
+}  // namespace cloudviews

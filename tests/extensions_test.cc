@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "extensions/bitvector_filter.h"
+#include "extensions/checkpointing.h"
+#include "extensions/containment.h"
+#include "extensions/generalized_views.h"
+#include "extensions/sampled_views.h"
+#include "plan/builder.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+// --- Containment --------------------------------------------------------------
+
+ExprPtr ColGt(int col, int64_t v) {
+  return Expr::MakeBinary(sql::BinaryOp::kGt, Expr::MakeColumn(col, "c"),
+                          Expr::MakeLiteral(Value(v)));
+}
+ExprPtr ColLt(int col, int64_t v) {
+  return Expr::MakeBinary(sql::BinaryOp::kLt, Expr::MakeColumn(col, "c"),
+                          Expr::MakeLiteral(Value(v)));
+}
+ExprPtr ColEq(int col, int64_t v) {
+  return Expr::MakeBinary(sql::BinaryOp::kEq, Expr::MakeColumn(col, "c"),
+                          Expr::MakeLiteral(Value(v)));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::MakeBinary(sql::BinaryOp::kAnd, std::move(a), std::move(b));
+}
+
+TEST(ContainmentTest, RangeImplication) {
+  // The paper's example: CustomerId > 6 is contained in CustomerId > 5.
+  EXPECT_TRUE(Implies(ColGt(0, 6), ColGt(0, 5)));
+  EXPECT_FALSE(Implies(ColGt(0, 5), ColGt(0, 6)));
+  EXPECT_TRUE(Implies(ColGt(0, 5), ColGt(0, 5)));  // reflexive
+}
+
+TEST(ContainmentTest, EqualityWithinRange) {
+  EXPECT_TRUE(Implies(ColEq(0, 7), ColGt(0, 5)));
+  EXPECT_FALSE(Implies(ColEq(0, 3), ColGt(0, 5)));
+  EXPECT_TRUE(Implies(ColEq(0, 7), And(ColGt(0, 5), ColLt(0, 10))));
+}
+
+TEST(ContainmentTest, ConjunctionsAndMultipleColumns) {
+  // p = (c0 > 6 AND c1 < 3) implies v = (c0 > 5): extra constraints only
+  // narrow.
+  EXPECT_TRUE(Implies(And(ColGt(0, 6), ColLt(1, 3)), ColGt(0, 5)));
+  // v constrains a column p does not: no containment.
+  EXPECT_FALSE(Implies(ColGt(0, 6), And(ColGt(0, 5), ColLt(1, 3))));
+  // Tighter both-sided range inside looser one.
+  EXPECT_TRUE(Implies(And(ColGt(0, 10), ColLt(0, 20)),
+                      And(ColGt(0, 5), ColLt(0, 25))));
+  EXPECT_FALSE(Implies(And(ColGt(0, 10), ColLt(0, 30)),
+                       And(ColGt(0, 5), ColLt(0, 25))));
+}
+
+TEST(ContainmentTest, InclusivityMatters) {
+  auto ge = Expr::MakeBinary(sql::BinaryOp::kGe, Expr::MakeColumn(0, "c"),
+                             Expr::MakeLiteral(Value(int64_t{5})));
+  auto gt = ColGt(0, 5);
+  EXPECT_TRUE(Implies(gt, ge));   // x > 5 implies x >= 5
+  EXPECT_FALSE(Implies(ge, gt));  // x >= 5 does not imply x > 5
+}
+
+TEST(ContainmentTest, ReversedOperands) {
+  // 5 < c0 is c0 > 5.
+  auto reversed = Expr::MakeBinary(sql::BinaryOp::kLt,
+                                   Expr::MakeLiteral(Value(int64_t{5})),
+                                   Expr::MakeColumn(0, "c"));
+  EXPECT_TRUE(Implies(ColGt(0, 6), reversed));
+}
+
+TEST(ContainmentTest, UnsupportedShapesAreSoundlyRejected) {
+  // OR is outside the fragment: must return false, never true.
+  auto orexpr = Expr::MakeBinary(sql::BinaryOp::kOr, ColGt(0, 5), ColLt(0, 2));
+  EXPECT_FALSE(Implies(orexpr, ColGt(0, 5)));
+  // Cross-column comparison.
+  auto cross = Expr::MakeBinary(sql::BinaryOp::kGt, Expr::MakeColumn(0, "a"),
+                                Expr::MakeColumn(1, "b"));
+  EXPECT_FALSE(Implies(cross, ColGt(0, 5)));
+  // The paper's undecidable example: 2*c > 10 vs c > 5 — we soundly bail.
+  auto arith = Expr::MakeBinary(
+      sql::BinaryOp::kGt,
+      Expr::MakeBinary(sql::BinaryOp::kMultiply,
+                       Expr::MakeLiteral(Value(int64_t{2})),
+                       Expr::MakeColumn(0, "c")),
+      Expr::MakeLiteral(Value(int64_t{10})));
+  EXPECT_FALSE(Implies(arith, ColGt(0, 5)));
+}
+
+TEST(ContainmentTest, NullPredicates) {
+  EXPECT_TRUE(Implies(ColGt(0, 5), nullptr));   // view kept everything
+  EXPECT_FALSE(Implies(nullptr, ColGt(0, 5)));  // query keeps everything
+}
+
+TEST(ContainmentTest, UnsatisfiableQueryContainedInAnything) {
+  auto empty = And(ColGt(0, 10), ColLt(0, 5));
+  EXPECT_TRUE(Implies(empty, ColGt(0, 100)));
+}
+
+// --- GeneralizedViewMatcher ----------------------------------------------------
+
+class GeneralizedViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing_util::RegisterFigure4Tables(&catalog_); }
+
+  LogicalOpPtr Build(const std::string& sql) {
+    PlanBuilder builder(&catalog_);
+    auto plan = builder.BuildFromSql(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? PlanNormalizer::Normalize(*plan) : nullptr;
+  }
+
+  Result<ExecResult> Execute(const LogicalOpPtr& plan, const ViewStore* store) {
+    ExecContext context;
+    context.catalog = &catalog_;
+    context.view_store = store;
+    Executor executor(context);
+    return executor.Execute(plan);
+  }
+
+  DatasetCatalog catalog_;
+};
+
+TEST_F(GeneralizedViewTest, WiderViewAnswersNarrowerQuery) {
+  // Materialize SELECT * FROM Sales WHERE SaleId < 400 (the "view"), then
+  // answer ... WHERE SaleId < 100 from it with a compensating filter.
+  LogicalOpPtr wide = Build("SELECT * FROM Sales WHERE SaleId < 400");
+  LogicalOpPtr narrow = Build("SELECT * FROM Sales WHERE SaleId < 100");
+
+  // wide = Project(Filter(Scan)); the filter subtree is the view source.
+  LogicalOpPtr view_subtree = wide->children[0];
+  ASSERT_EQ(view_subtree->kind, LogicalOpKind::kFilter);
+  GeneralizedViewKey key = GeneralizedKeyFor(*view_subtree);
+  SignatureComputer signatures;
+  Hash128 view_sig = signatures.Compute(*view_subtree).strict;
+
+  ViewStore store;
+  ASSERT_TRUE(store
+                  .BeginMaterialize(view_sig,
+                                    signatures.Compute(*view_subtree).recurring,
+                                    "vc0", 1, 0.0)
+                  .ok());
+  auto run = Execute(view_subtree, nullptr);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(store
+                  .Seal(view_sig, run->output, run->output->num_rows(), 1000,
+                        0.0)
+                  .ok());
+
+  GeneralizedViewMatcher matcher(&store);
+  matcher.RegisterView(key.strict, view_sig, key.view_predicate);
+
+  LogicalOpPtr rewritten = narrow->Clone();
+  int rewrites = matcher.RewriteAll(&rewritten, 1.0);
+  EXPECT_EQ(rewrites, 1);
+
+  // The rewritten plan computes the same answer, reading only the view.
+  auto original = Execute(narrow, &store);
+  auto via_view = Execute(rewritten, &store);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(via_view.ok()) << via_view.status().ToString();
+  EXPECT_EQ(original->output->num_rows(), via_view->output->num_rows());
+  EXPECT_EQ(via_view->stats.input_rows, 0u);  // no base tables touched
+  EXPECT_GT(via_view->stats.view_rows, 0u);
+}
+
+TEST_F(GeneralizedViewTest, NonContainedQueryNotRewritten) {
+  LogicalOpPtr wide = Build("SELECT * FROM Sales WHERE SaleId < 100");
+  LogicalOpPtr narrow = Build("SELECT * FROM Sales WHERE SaleId < 400");
+  LogicalOpPtr view_subtree = wide->children[0];
+  GeneralizedViewKey key = GeneralizedKeyFor(*view_subtree);
+  SignatureComputer signatures;
+  Hash128 view_sig = signatures.Compute(*view_subtree).strict;
+  ViewStore store;
+  store.BeginMaterialize(view_sig, view_sig, "vc0", 1, 0.0).ok();
+  auto run = Execute(view_subtree, nullptr);
+  store.Seal(view_sig, run->output, 1, 1, 0.0).ok();
+  GeneralizedViewMatcher matcher(&store);
+  matcher.RegisterView(key.strict, view_sig, key.view_predicate);
+
+  LogicalOpPtr rewritten = narrow->Clone();
+  // SaleId < 400 is NOT contained in SaleId < 100.
+  EXPECT_EQ(matcher.RewriteAll(&rewritten, 1.0), 0);
+}
+
+// --- Checkpointing ---------------------------------------------------------------
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing_util::RegisterFigure4Tables(&catalog_); }
+
+  LogicalOpPtr Build(const std::string& sql) {
+    PlanBuilder builder(&catalog_);
+    auto plan = builder.BuildFromSql(sql);
+    EXPECT_TRUE(plan.ok());
+    return plan.ok() ? *plan : nullptr;
+  }
+
+  DatasetCatalog catalog_;
+};
+
+TEST_F(CheckpointTest, PlacesCheckpointsOverExpensiveSubtrees) {
+  LogicalOpPtr plan = Build(
+      "SELECT Name, COUNT(*) FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId GROUP BY Name");
+  CheckpointManager manager(&catalog_);
+  LogicalOpPtr with_cp = manager.PlanWithCheckpoints(plan);
+  // At least one spool was inserted.
+  EXPECT_GT(with_cp->TreeSize(), plan->TreeSize());
+}
+
+TEST_F(CheckpointTest, RestartReusesSealedCheckpoint) {
+  LogicalOpPtr plan = Build(
+      "SELECT Name, COUNT(*) FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId GROUP BY Name");
+  CheckpointManager manager(&catalog_);
+  LogicalOpPtr with_cp = manager.PlanWithCheckpoints(plan);
+
+  // Attempt 1 fails right after the first checkpoint seals.
+  auto attempt1 = manager.Execute(with_cp, /*fail_after_checkpoints=*/1);
+  ASSERT_TRUE(attempt1.ok());
+  EXPECT_TRUE(attempt1->failed);
+  EXPECT_EQ(attempt1->checkpoints_written, 1);
+  EXPECT_EQ(attempt1->output, nullptr);
+
+  // Attempt 2 restores the checkpoint and completes.
+  auto attempt2 = manager.Execute(with_cp);
+  ASSERT_TRUE(attempt2.ok());
+  EXPECT_FALSE(attempt2->failed);
+  EXPECT_EQ(attempt2->checkpoints_restored, 1);
+  ASSERT_NE(attempt2->output, nullptr);
+
+  // Resubmission reads less base input than a cold run would.
+  auto cold = manager.Execute(plan);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_LT(attempt2->stats.input_rows, cold->stats.input_rows);
+  EXPECT_EQ(attempt2->output->num_rows(), cold->output->num_rows());
+}
+
+TEST_F(CheckpointTest, NoFailureMeansNoRestore) {
+  LogicalOpPtr plan = Build("SELECT Name FROM Customer WHERE MktSegment = 'Asia'");
+  CheckpointManager manager(&catalog_);
+  LogicalOpPtr with_cp = manager.PlanWithCheckpoints(plan);
+  auto run = manager.Execute(with_cp);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->failed);
+  EXPECT_EQ(run->checkpoints_restored, 0);
+  ASSERT_NE(run->output, nullptr);
+  EXPECT_EQ(run->output->num_rows(), 34u);
+}
+
+// --- Bit-vector filters --------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1000);
+  for (int64_t i = 0; i < 1000; ++i) filter.Add(Value(i));
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(filter.MayContain(Value(i)));
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter filter(1000);
+  for (int64_t i = 0; i < 1000; ++i) filter.Add(Value(i));
+  int false_positives = 0;
+  for (int64_t i = 10000; i < 20000; ++i) {
+    if (filter.MayContain(Value(i))) false_positives += 1;
+  }
+  EXPECT_LT(false_positives, 300);  // << 3% on a ~1%-target filter
+}
+
+TEST(BitVectorStoreTest, RegisterFindInvalidate) {
+  Schema schema({{"k", DataType::kInt64}});
+  Table build("b", schema);
+  for (int64_t i = 0; i < 50; ++i) build.Append({Value(i)}).ok();
+  BitVectorFilterStore store;
+  Hash128 sig = HashString("build-side");
+  ASSERT_TRUE(store.Register(sig, build, {0}).ok());
+  ASSERT_NE(store.Find(sig), nullptr);
+  EXPECT_EQ(store.Find(sig)->items_added(), 50);
+  EXPECT_GT(store.TotalBytes(), 0u);
+  store.Invalidate(sig);
+  EXPECT_EQ(store.Find(sig), nullptr);
+}
+
+TEST(BitVectorStoreTest, BadKeyColumnRejected) {
+  Schema schema({{"k", DataType::kInt64}});
+  Table build("b", schema);
+  BitVectorFilterStore store;
+  EXPECT_FALSE(store.Register(HashString("s"), build, {5}).ok());
+}
+
+TEST(BitVectorStoreTest, SemiJoinReduceEliminatesNonMatching) {
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kString}});
+  Table build("b", schema);
+  for (int64_t i = 0; i < 20; ++i) build.Append({Value(i), Value("x")}).ok();
+  BloomFilter filter(20);
+  for (const Row& row : build.rows()) filter.AddKey(row, {0});
+
+  Table probe("p", schema);
+  for (int64_t i = 0; i < 200; ++i) probe.Append({Value(i), Value("y")}).ok();
+  TablePtr reduced;
+  auto eliminated = SemiJoinReduce(filter, probe, {0}, &reduced);
+  ASSERT_TRUE(eliminated.ok());
+  // 180 probe rows (k in [20,200)) do not match; nearly all eliminated.
+  EXPECT_GT(*eliminated, 160);
+  EXPECT_EQ(probe.num_rows() - static_cast<size_t>(*eliminated),
+            reduced->num_rows());
+  // Every true match survived.
+  int matches = 0;
+  for (const Row& row : reduced->rows()) {
+    if (row[0].AsInt64() < 20) matches += 1;
+  }
+  EXPECT_EQ(matches, 20);
+}
+
+// --- Sampled views ---------------------------------------------------------------------
+
+TEST(SampledViewsTest, RateRespectedAndDeterministic) {
+  Schema schema({{"x", DataType::kInt64}});
+  Table view("v", schema);
+  for (int64_t i = 0; i < 10000; ++i) view.Append({Value(i)}).ok();
+  auto s1 = SampleView(view, 0.1);
+  auto s2 = SampleView(view, 0.1);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ((*s1)->num_rows(), (*s2)->num_rows());  // deterministic
+  EXPECT_NEAR(static_cast<double>((*s1)->num_rows()), 1000.0, 120.0);
+}
+
+TEST(SampledViewsTest, InvalidRateRejected) {
+  Schema schema({{"x", DataType::kInt64}});
+  Table view("v", schema);
+  EXPECT_FALSE(SampleView(view, 0.0).ok());
+  EXPECT_FALSE(SampleView(view, 1.5).ok());
+}
+
+TEST(SampledViewsTest, EstimatorsScaleCorrectly) {
+  // Rows carry a unique id: the sampler is content-keyed, so duplicate rows
+  // sample together (all-or-nothing) — fine for views with keys, but the
+  // estimator test wants independent coin flips.
+  Schema schema({{"id", DataType::kInt64}, {"x", DataType::kInt64}});
+  Table view("v", schema);
+  double true_sum = 0;
+  for (int64_t i = 0; i < 20000; ++i) {
+    view.Append({Value(i), Value(i % 100)}).ok();
+    true_sum += static_cast<double>(i % 100);
+  }
+  auto sample = SampleView(view, 0.2);
+  ASSERT_TRUE(sample.ok());
+  double sample_sum = 0;
+  for (const Row& row : (*sample)->rows()) {
+    sample_sum += row[1].NumericValue();
+  }
+  ApproximateAggregate approx{0.2};
+  EXPECT_NEAR(approx.EstimateCount((*sample)->num_rows()), 20000.0, 800.0);
+  EXPECT_NEAR(approx.EstimateSum(sample_sum), true_sum, true_sum * 0.06);
+  EXPECT_NEAR(approx.EstimateAvg(sample_sum, (*sample)->num_rows()), 49.5,
+              2.5);
+}
+
+}  // namespace
+}  // namespace cloudviews

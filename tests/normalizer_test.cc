@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/builder.h"
+#include "plan/normalizer.h"
+#include "plan/signature.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+class NormalizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing_util::RegisterFigure4Tables(&catalog_); }
+
+  LogicalOpPtr Build(const std::string& sql) {
+    PlanBuilder builder(&catalog_);
+    auto plan = builder.BuildFromSql(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString() << " for: " << sql;
+    return plan.ok() ? *plan : nullptr;
+  }
+
+  TablePtr Run(const LogicalOpPtr& plan) {
+    ExecContext context;
+    context.catalog = &catalog_;
+    Executor executor(context);
+    auto result = executor.Execute(plan);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result->output : nullptr;
+  }
+
+  DatasetCatalog catalog_;
+};
+
+TEST_F(NormalizerTest, PushesFilterBelowJoin) {
+  LogicalOpPtr plan = Build(
+      "SELECT Name FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId WHERE MktSegment = 'Asia'");
+  LogicalOpPtr normalized = PlanNormalizer::Normalize(plan);
+  // Project <- Join <- (Scan Sales, Filter <- Scan Customer).
+  ASSERT_EQ(normalized->kind, LogicalOpKind::kProject);
+  const LogicalOp* join = normalized->children[0].get();
+  ASSERT_EQ(join->kind, LogicalOpKind::kJoin);
+  EXPECT_EQ(join->children[0]->kind, LogicalOpKind::kScan);
+  ASSERT_EQ(join->children[1]->kind, LogicalOpKind::kFilter);
+  EXPECT_EQ(join->children[1]->children[0]->kind, LogicalOpKind::kScan);
+  // The pushed filter references the Customer-local column ordinal.
+  std::vector<int> cols;
+  join->children[1]->predicate->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_EQ(cols[0], 2);  // MktSegment within Customer
+}
+
+TEST_F(NormalizerTest, ConjunctOrderCanonicalized) {
+  LogicalOpPtr a =
+      Build("SELECT Name FROM Customer WHERE MktSegment = 'Asia' AND "
+            "CustomerId > 10");
+  LogicalOpPtr b =
+      Build("SELECT Name FROM Customer WHERE CustomerId > 10 AND "
+            "MktSegment = 'Asia'");
+  SignatureComputer computer;
+  EXPECT_NE(computer.Compute(*a).strict, computer.Compute(*b).strict)
+      << "un-normalized plans differ (sanity)";
+  LogicalOpPtr na = PlanNormalizer::Normalize(a);
+  LogicalOpPtr nb = PlanNormalizer::Normalize(b);
+  EXPECT_EQ(computer.Compute(*na).strict, computer.Compute(*nb).strict);
+}
+
+TEST_F(NormalizerTest, FilterCascadesMerge) {
+  // Build Filter(Filter(x)) programmatically.
+  LogicalOpPtr base = Build("SELECT Name, MktSegment FROM Customer");
+  LogicalOpPtr inner = LogicalOp::Filter(
+      base, Expr::MakeBinary(sql::BinaryOp::kEq,
+                             Expr::MakeColumn(1, "MktSegment"),
+                             Expr::MakeLiteral(Value("Asia"))));
+  LogicalOpPtr outer = LogicalOp::Filter(
+      inner, Expr::MakeLike(Expr::MakeColumn(0, "Name"), "cust1%", false));
+  LogicalOpPtr normalized = PlanNormalizer::Normalize(outer);
+  // A single filter remains (above the project, which blocks pushdown).
+  int filters = 0;
+  std::vector<const LogicalOp*> stack = {normalized.get()};
+  while (!stack.empty()) {
+    const LogicalOp* op = stack.back();
+    stack.pop_back();
+    if (op->kind == LogicalOpKind::kFilter) filters += 1;
+    for (const LogicalOpPtr& child : op->children) stack.push_back(child.get());
+  }
+  EXPECT_EQ(filters, 1);
+}
+
+TEST_F(NormalizerTest, LeftJoinRightSideNotPushed) {
+  LogicalOpPtr plan = Build(
+      "SELECT Name FROM Sales LEFT JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId WHERE MktSegment = 'Asia'");
+  LogicalOpPtr normalized = PlanNormalizer::Normalize(plan);
+  // Filter must stay above the left join (it would change null-extension
+  // semantics below); the right child stays a bare scan.
+  const LogicalOp* filter = normalized->children[0].get();
+  ASSERT_EQ(filter->kind, LogicalOpKind::kFilter);
+  const LogicalOp* join = filter->children[0].get();
+  ASSERT_EQ(join->kind, LogicalOpKind::kJoin);
+  EXPECT_EQ(join->children[1]->kind, LogicalOpKind::kScan);
+}
+
+TEST_F(NormalizerTest, DoesNotPushThroughUdo) {
+  LogicalOpPtr base = Build("SELECT Name, MktSegment FROM Customer");
+  LogicalOpPtr udo = LogicalOp::Udo(base, "Opaque", true, 1);
+  LogicalOpPtr filtered = LogicalOp::Filter(
+      udo, Expr::MakeBinary(sql::BinaryOp::kEq,
+                            Expr::MakeColumn(1, "MktSegment"),
+                            Expr::MakeLiteral(Value("Asia"))));
+  LogicalOpPtr normalized = PlanNormalizer::Normalize(filtered);
+  // The filter stays above the UDO: the engine cannot see inside user code.
+  EXPECT_EQ(normalized->kind, LogicalOpKind::kFilter);
+  EXPECT_EQ(normalized->children[0]->kind, LogicalOpKind::kUdo);
+}
+
+// --- Property sweep: normalization preserves results --------------------------
+
+class NormalizerEquivalenceTest
+    : public NormalizerTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(NormalizerEquivalenceTest, SameResultMultiset) {
+  LogicalOpPtr plan = Build(GetParam());
+  ASSERT_NE(plan, nullptr);
+  LogicalOpPtr normalized = PlanNormalizer::Normalize(plan);
+  TablePtr original = Run(plan);
+  TablePtr rewritten = Run(normalized);
+  ASSERT_NE(original, nullptr);
+  ASSERT_NE(rewritten, nullptr);
+  ASSERT_EQ(original->num_rows(), rewritten->num_rows());
+
+  auto fingerprint = [](const TablePtr& t) {
+    std::multiset<std::string> rows;
+    for (const Row& row : t->rows()) {
+      std::string s;
+      for (const Value& v : row) s += v.ToString() + "|";
+      rows.insert(s);
+    }
+    return rows;
+  };
+  EXPECT_EQ(fingerprint(original), fingerprint(rewritten));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuerySweep, NormalizerEquivalenceTest,
+    ::testing::Values(
+        "SELECT Name FROM Customer WHERE MktSegment = 'Asia'",
+        "SELECT Name FROM Sales JOIN Customer "
+        "ON Sales.CustomerId = Customer.CustomerId WHERE MktSegment = 'Asia'",
+        "SELECT Name FROM Sales JOIN Customer "
+        "ON Sales.CustomerId = Customer.CustomerId "
+        "WHERE MktSegment = 'Asia' AND Price > 11 AND SaleId < 300",
+        "SELECT Brand FROM Sales JOIN Customer "
+        "ON Sales.CustomerId = Customer.CustomerId "
+        "JOIN Parts ON Sales.PartId = Parts.PartId "
+        "WHERE MktSegment = 'Europe' AND Brand = 'acme'",
+        "SELECT Name FROM Sales LEFT JOIN Customer "
+        "ON Sales.CustomerId = Customer.CustomerId WHERE Price > 12",
+        "SELECT MktSegment, COUNT(*) FROM Customer "
+        "WHERE CustomerId BETWEEN 10 AND 80 GROUP BY MktSegment",
+        "SELECT Name FROM Customer WHERE MktSegment = 'Asia' "
+        "AND Name LIKE 'cust%' AND CustomerId NOT IN (3, 6, 9)",
+        "SELECT PartType, SUM(Quantity) FROM Sales "
+        "JOIN Parts ON Sales.PartId = Parts.PartId "
+        "WHERE Discount < 0.05 AND PartType = 'widget' GROUP BY PartType",
+        "SELECT Name FROM Customer WHERE CustomerId % 2 = 0 "
+        "AND MktSegment <> 'Asia'",
+        "SELECT CustomerId FROM Customer WHERE CustomerId > 5 UNION ALL "
+        "SELECT PartId FROM Parts WHERE PartId < 10"));
+
+// --- Property sweep: signatures stable under conjunct permutations -------------
+
+class ConjunctOrderTest
+    : public NormalizerTest,
+      public ::testing::WithParamInterface<std::pair<const char*, const char*>> {
+};
+
+TEST_P(ConjunctOrderTest, PermutedConjunctsShareSignature) {
+  auto [q1, q2] = GetParam();
+  LogicalOpPtr a = PlanNormalizer::Normalize(Build(q1));
+  LogicalOpPtr b = PlanNormalizer::Normalize(Build(q2));
+  SignatureComputer computer;
+  EXPECT_EQ(computer.Compute(*a).strict, computer.Compute(*b).strict);
+  EXPECT_EQ(computer.Compute(*a).recurring, computer.Compute(*b).recurring);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PermutationSweep, ConjunctOrderTest,
+    ::testing::Values(
+        std::make_pair("SELECT Name FROM Customer WHERE MktSegment = 'Asia' "
+                       "AND CustomerId > 10 AND CustomerId < 90",
+                       "SELECT Name FROM Customer WHERE CustomerId < 90 AND "
+                       "MktSegment = 'Asia' AND CustomerId > 10"),
+        std::make_pair("SELECT SaleId FROM Sales WHERE Price > 10 AND "
+                       "Quantity = 2 AND Discount < 0.06",
+                       "SELECT SaleId FROM Sales WHERE Discount < 0.06 AND "
+                       "Price > 10 AND Quantity = 2"),
+        std::make_pair(
+            "SELECT Name FROM Sales JOIN Customer "
+            "ON Sales.CustomerId = Customer.CustomerId "
+            "WHERE MktSegment = 'Asia' AND Price > 11",
+            "SELECT Name FROM Sales JOIN Customer "
+            "ON Sales.CustomerId = Customer.CustomerId "
+            "WHERE Price > 11 AND MktSegment = 'Asia'")));
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,149 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/repository_io.h"
+#include "core/view_selection.h"
+
+namespace cloudviews {
+namespace {
+
+SubexpressionInstance MakeInstance(const std::string& seed, int64_t job,
+                                   const std::string& vc, int day) {
+  SubexpressionInstance inst;
+  inst.strict_signature = HashString("s-" + seed);
+  inst.recurring_signature = HashString("r-" + seed);
+  inst.job_id = job;
+  inst.virtual_cluster = vc;
+  inst.day = day;
+  inst.submit_time = day * 86400.0 + job;
+  inst.subtree_size = 4;
+  inst.cpu_cost = 1234.5;
+  inst.rows = 42;
+  inst.bytes = 4096;
+  inst.input_datasets = {"ds1", "ds2"};
+  return inst;
+}
+
+WorkloadRepository* MakeFilled() {
+  auto* repo = new WorkloadRepository();
+  for (int i = 0; i < 6; ++i) repo->Ingest(MakeInstance("hot", i, "vc0", 0));
+  for (int i = 0; i < 3; ++i) repo->Ingest(MakeInstance("hot", i, "vc1", 1));
+  repo->Ingest(MakeInstance("cold", 100, "vc0", 1));
+  SubexpressionInstance bad = MakeInstance("bad", 101, "vc0", 1);
+  bad.eligible = false;
+  repo->Ingest(bad);
+  return repo;
+}
+
+TEST(RepositoryIoTest, RoundTripPreservesAggregates) {
+  std::unique_ptr<WorkloadRepository> original(MakeFilled());
+  std::string snapshot = SerializeRepository(*original);
+
+  WorkloadRepository restored;
+  ASSERT_TRUE(DeserializeRepository(snapshot, &restored).ok());
+
+  EXPECT_EQ(restored.total_instances(), original->total_instances());
+  EXPECT_EQ(restored.num_groups(), original->num_groups());
+  EXPECT_DOUBLE_EQ(restored.AverageRepeatFrequency(),
+                   original->AverageRepeatFrequency());
+  EXPECT_DOUBLE_EQ(restored.PercentRepeated(), original->PercentRepeated());
+
+  const SubexpressionGroup* hot = restored.FindGroup(HashString("s-hot"));
+  ASSERT_NE(hot, nullptr);
+  EXPECT_EQ(hot->occurrences, 9);
+  EXPECT_EQ(hot->cost_samples, 9);
+  EXPECT_DOUBLE_EQ(hot->AvgCpuCost(), 1234.5);
+  EXPECT_EQ(hot->virtual_clusters,
+            (std::vector<std::string>{"vc0", "vc1"}));
+  EXPECT_EQ(hot->input_datasets, (std::vector<std::string>{"ds1", "ds2"}));
+  EXPECT_EQ(hot->first_day, 0);
+  EXPECT_EQ(hot->last_day, 1);
+
+  const SubexpressionGroup* bad = restored.FindGroup(HashString("s-bad"));
+  ASSERT_NE(bad, nullptr);
+  EXPECT_FALSE(bad->eligible);
+
+  // Day stats survive too.
+  auto days = restored.OverlapByDay();
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_EQ(days[0].total_subexpressions, 6);
+  EXPECT_EQ(days[0].repeated_subexpressions, 5);
+}
+
+TEST(RepositoryIoTest, SelectionOverRestoredRepository) {
+  // The point of persistence: analysis can run over a restored snapshot.
+  std::unique_ptr<WorkloadRepository> original(MakeFilled());
+  WorkloadRepository restored;
+  ASSERT_TRUE(
+      DeserializeRepository(SerializeRepository(*original), &restored).ok());
+  SelectionConstraints constraints;
+  constraints.schedule_aware = false;  // instance history is not persisted
+  constraints.per_virtual_cluster = false;
+  constraints.strategy = SelectionStrategy::kGreedyRatio;
+  ViewSelector selector(constraints);
+  SelectionResult from_original = selector.Select(*original);
+  SelectionResult from_restored = selector.Select(restored);
+  EXPECT_EQ(from_original.selected.size(), from_restored.selected.size());
+  EXPECT_EQ(from_restored.Contains(HashString("s-hot")),
+            from_original.Contains(HashString("s-hot")));
+}
+
+TEST(RepositoryIoTest, RejectsNonEmptyTarget) {
+  std::unique_ptr<WorkloadRepository> original(MakeFilled());
+  std::string snapshot = SerializeRepository(*original);
+  WorkloadRepository not_empty;
+  not_empty.Ingest(MakeInstance("x", 1, "vc0", 0));
+  EXPECT_FALSE(DeserializeRepository(snapshot, &not_empty).ok());
+}
+
+TEST(RepositoryIoTest, RejectsCorruptInput) {
+  WorkloadRepository repo;
+  EXPECT_EQ(DeserializeRepository("", &repo).code(), StatusCode::kCorruption);
+  EXPECT_EQ(DeserializeRepository("wrong header\n", &repo).code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DeserializeRepository(
+                "cloudviews-repository v1\nbogus\trecord\n", &repo)
+                .code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DeserializeRepository(
+                "cloudviews-repository v1\ngroup\tnot-hex\tnot-hex\t1\t1\t1"
+                "\t1\t1\t1\t1\t0\t0\t-\t-\n",
+                &repo)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(RepositoryIoTest, EmptyRepositoryRoundTrips) {
+  WorkloadRepository empty;
+  WorkloadRepository restored;
+  ASSERT_TRUE(
+      DeserializeRepository(SerializeRepository(empty), &restored).ok());
+  EXPECT_EQ(restored.num_groups(), 0u);
+}
+
+TEST(RepositoryIoTest, FileSaveAndLoad) {
+  std::unique_ptr<WorkloadRepository> original(MakeFilled());
+  std::string path = ::testing::TempDir() + "/repo_snapshot.txt";
+  ASSERT_TRUE(SaveRepository(*original, path).ok());
+  WorkloadRepository restored;
+  ASSERT_TRUE(LoadRepository(path, &restored).ok());
+  EXPECT_EQ(restored.num_groups(), original->num_groups());
+  std::remove(path.c_str());
+
+  WorkloadRepository other;
+  EXPECT_EQ(LoadRepository("/nonexistent/path.txt", &other).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Hash128Test, FromHexRoundTrip) {
+  Hash128 h = HashString("roundtrip");
+  Hash128 parsed;
+  ASSERT_TRUE(Hash128::FromHex(h.ToHex(), &parsed));
+  EXPECT_EQ(parsed, h);
+  EXPECT_FALSE(Hash128::FromHex("short", &parsed));
+  EXPECT_FALSE(Hash128::FromHex(std::string(32, 'z'), &parsed));
+}
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,217 @@
+// Property tests over generated workloads: invariants the reuse machinery
+// depends on, swept across generator seeds with parameterized gtest.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/normalizer.h"
+#include "plan/signature.h"
+#include "workload/generator.h"
+
+namespace cloudviews {
+namespace {
+
+WorkloadProfile ProfileForSeed(uint64_t seed) {
+  WorkloadProfile profile;
+  profile.cluster_name = "prop";
+  profile.seed = seed;
+  profile.num_virtual_clusters = 3;
+  profile.num_shared_datasets = 8;
+  profile.num_motifs = 5;
+  profile.num_templates = 12;
+  profile.min_rows = 40;
+  profile.max_rows = 120;
+  return profile;
+}
+
+class SignaturePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    generator_ = std::make_unique<WorkloadGenerator>(ProfileForSeed(GetParam()));
+    ASSERT_TRUE(generator_->Setup(&catalog_).ok());
+    jobs_ = generator_->JobsForDay(catalog_, 0);
+    ASSERT_GT(jobs_.size(), 5u);
+  }
+
+  DatasetCatalog catalog_;
+  std::unique_ptr<WorkloadGenerator> generator_;
+  std::vector<GeneratedJob> jobs_;
+};
+
+TEST_P(SignaturePropertyTest, SignaturesAreDeterministic) {
+  // Two independent computers agree on every node of every plan.
+  SignatureComputer a;
+  SignatureComputer b;
+  for (const GeneratedJob& job : jobs_) {
+    auto sa = a.ComputeAll(*job.plan);
+    auto sb = b.ComputeAll(*job.plan);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].strict, sb[i].strict);
+      EXPECT_EQ(sa[i].recurring, sb[i].recurring);
+      EXPECT_EQ(sa[i].eligible, sb[i].eligible);
+    }
+  }
+}
+
+TEST_P(SignaturePropertyTest, CloneHasIdenticalSignatures) {
+  SignatureComputer computer;
+  for (const GeneratedJob& job : jobs_) {
+    LogicalOpPtr clone = job.plan->Clone();
+    EXPECT_EQ(computer.Compute(*job.plan).strict,
+              computer.Compute(*clone).strict);
+  }
+}
+
+TEST_P(SignaturePropertyTest, NormalizationIsIdempotent) {
+  SignatureComputer computer;
+  for (const GeneratedJob& job : jobs_) {
+    LogicalOpPtr once = PlanNormalizer::Normalize(job.plan);
+    LogicalOpPtr twice = PlanNormalizer::Normalize(once);
+    EXPECT_EQ(computer.Compute(*once).strict, computer.Compute(*twice).strict)
+        << "normalize(normalize(p)) must equal normalize(p)";
+  }
+}
+
+TEST_P(SignaturePropertyTest, StrictImpliesRecurringCollision) {
+  // Any two nodes with equal strict signatures must have equal recurring
+  // signatures (strict is a refinement of recurring).
+  SignatureComputer computer;
+  std::map<Hash128, Hash128> recurring_of;
+  for (const GeneratedJob& job : jobs_) {
+    for (const NodeSignature& sig : computer.ComputeAll(*job.plan)) {
+      auto [it, inserted] = recurring_of.emplace(sig.strict, sig.recurring);
+      if (!inserted) {
+        EXPECT_EQ(it->second, sig.recurring);
+      }
+    }
+  }
+}
+
+TEST_P(SignaturePropertyTest, GuidRotationMovesStrictKeepsRecurring) {
+  SignatureComputer computer;
+  std::map<int, std::pair<Hash128, Hash128>> day0;
+  for (const GeneratedJob& job : jobs_) {
+    if (job.template_id < 0) continue;
+    NodeSignature sig = computer.Compute(*job.plan);
+    day0.emplace(job.template_id, std::make_pair(sig.strict, sig.recurring));
+  }
+  WorkloadProfile profile = ProfileForSeed(GetParam());
+  profile.daily_update_fraction = 1.0;
+  WorkloadGenerator fresh(profile);
+  DatasetCatalog catalog2;
+  ASSERT_TRUE(fresh.Setup(&catalog2).ok());
+  fresh.JobsForDay(catalog2, 0);  // advance the job-id counter identically
+  ASSERT_TRUE(fresh.AdvanceDay(&catalog2, 1).ok());
+  int checked = 0;
+  for (const GeneratedJob& job : fresh.JobsForDay(catalog2, 1)) {
+    auto it = day0.find(job.template_id);
+    if (it == day0.end()) continue;
+    NodeSignature sig = computer.Compute(*job.plan);
+    // Recurring survives the bulk update; strict moves unless the template
+    // also has a time-varying motif parameter (strict moves then too).
+    EXPECT_NE(sig.strict, it->second.first);
+    EXPECT_EQ(sig.recurring, it->second.second);
+    checked += 1;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_P(SignaturePropertyTest, ExecutionIsDeterministic) {
+  ExecContext context;
+  context.catalog = &catalog_;
+  context.job_seed = 99;
+  Executor executor(context);
+  for (size_t i = 0; i < jobs_.size() && i < 4; ++i) {
+    auto r1 = executor.Execute(jobs_[i].plan);
+    auto r2 = executor.Execute(jobs_[i].plan);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    ASSERT_EQ(r1->output->num_rows(), r2->output->num_rows());
+    for (size_t row = 0; row < r1->output->num_rows(); ++row) {
+      for (size_t col = 0; col < r1->output->row(row).size(); ++col) {
+        EXPECT_EQ(r1->output->row(row)[col].Compare(
+                      r2->output->row(row)[col]),
+                  0);
+      }
+    }
+    EXPECT_DOUBLE_EQ(r1->stats.total_cpu_cost, r2->stats.total_cpu_cost);
+  }
+}
+
+TEST_P(SignaturePropertyTest, SubtreeSizeConsistent) {
+  SignatureComputer computer;
+  for (const GeneratedJob& job : jobs_) {
+    std::vector<NodeSignature> sigs = computer.ComputeAll(*job.plan);
+    EXPECT_EQ(sigs.size(), job.plan->TreeSize());
+    EXPECT_EQ(sigs.back().subtree_size, job.plan->TreeSize());
+    // Post-order: children precede parents, so sizes never exceed the root.
+    for (const NodeSignature& sig : sigs) {
+      EXPECT_LE(sig.subtree_size, job.plan->TreeSize());
+      EXPECT_GE(sig.subtree_size, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, SignaturePropertyTest,
+                         ::testing::Values(1, 7, 42, 1337, 99991));
+
+// --- View-reuse equivalence property: reusing a materialized view never
+// changes a query's answer, across generated workloads. -----------------------
+
+class ReuseEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReuseEquivalenceTest, RewrittenPlansProduceIdenticalResults) {
+  WorkloadProfile profile = ProfileForSeed(GetParam());
+  WorkloadGenerator generator(profile);
+  DatasetCatalog catalog;
+  ASSERT_TRUE(generator.Setup(&catalog).ok());
+
+  ReuseEngineOptions options;
+  options.selection.schedule_aware = false;
+  options.selection.per_virtual_cluster = false;
+  options.selection.strategy = SelectionStrategy::kGreedyRatio;
+  options.selection.min_occurrences = 2;
+  options.seal_delay_seconds = 0.0;
+  ReuseEngine engine(&catalog, options);
+  engine.insights().controls().opt_out_model = true;
+
+  std::vector<GeneratedJob> jobs = generator.JobsForDay(catalog, 0);
+  // First pass records history; selection; second pass reuses. Compare each
+  // second-pass output against an isolated (no-reuse) execution.
+  std::map<int64_t, size_t> first_pass_rows;
+  for (const GeneratedJob& job : jobs) {
+    JobRequest request;
+    request.job_id = job.job_id;
+    request.virtual_cluster = job.virtual_cluster;
+    request.plan = job.plan;
+    request.submit_time = job.submit_time;
+    auto exec = engine.RunJob(request);
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    first_pass_rows[job.job_id] = exec->output->num_rows();
+  }
+  engine.RunViewSelection();
+  int reused_jobs = 0;
+  for (const GeneratedJob& job : jobs) {
+    JobRequest request;
+    request.job_id = job.job_id + 100000;
+    request.virtual_cluster = job.virtual_cluster;
+    request.plan = job.plan;
+    request.submit_time = job.submit_time + 86400.0;  // later, views sealed
+    auto exec = engine.RunJob(request);
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    if (exec->views_matched > 0) reused_jobs += 1;
+    EXPECT_EQ(exec->output->num_rows(), first_pass_rows[job.job_id])
+        << "job " << job.job_id << " changed its answer under reuse";
+  }
+  EXPECT_GT(reused_jobs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, ReuseEquivalenceTest,
+                         ::testing::Values(3, 17, 2026));
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "storage/value.h"
+#include "storage/view_store.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+// --- Value ------------------------------------------------------------------
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(int64_t{7}).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_TRUE(Value(true).AsBool());
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{5}).Compare(Value(5.0)), 0);
+  EXPECT_LT(Value(int64_t{4}).Compare(Value(4.5)), 0);
+  EXPECT_GT(Value(5.5).Compare(Value(int64_t{5})), 0);
+}
+
+TEST(ValueTest, NullsSortFirst) {
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{0})), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_GT(Value("a").Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("apple").Compare(Value("banana")), 0);
+  EXPECT_EQ(Value("x").Compare(Value("x")), 0);
+}
+
+TEST(ValueTest, HashEqualForCrossTypeEqualNumbers) {
+  Hasher h1, h2;
+  Value(int64_t{9}).HashInto(&h1);
+  Value(9.0).HashInto(&h2);
+  EXPECT_EQ(h1.Finish(), h2.Finish());
+}
+
+TEST(ValueTest, ByteSizeAccounting) {
+  EXPECT_EQ(Value(int64_t{1}).ByteSize(), 8u);
+  EXPECT_EQ(Value(1.0).ByteSize(), 8u);
+  EXPECT_EQ(Value("abcd").ByteSize(), 8u);  // 4 chars + 4 overhead
+  EXPECT_EQ(Value::Null().ByteSize(), 1u);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("s").ToString(), "s");
+}
+
+TEST(ValueTest, HashRowKeySelectsColumns) {
+  Row r1 = {Value(int64_t{1}), Value("a"), Value(2.0)};
+  Row r2 = {Value(int64_t{1}), Value("b"), Value(2.0)};
+  std::vector<int> keys = {0, 2};
+  EXPECT_EQ(HashRowKey(r1, keys), HashRowKey(r2, keys));
+  std::vector<int> all = {0, 1, 2};
+  EXPECT_NE(HashRowKey(r1, all), HashRowKey(r2, all));
+}
+
+// --- Schema ------------------------------------------------------------------
+
+TEST(SchemaTest, FindColumn) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_FALSE(s.FindColumn("c").has_value());
+}
+
+TEST(SchemaTest, HashChangesWithNameAndType) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b({{"y", DataType::kInt64}});
+  Schema c({{"x", DataType::kDouble}});
+  Hasher ha, hb, hc;
+  a.HashInto(&ha);
+  b.HashInto(&hb);
+  c.HashInto(&hc);
+  EXPECT_NE(ha.Finish(), hb.Finish());
+  EXPECT_NE(ha.Finish(), hc.Finish());
+}
+
+TEST(SchemaTest, ToStringReadable) {
+  Schema s({{"a", DataType::kInt64}});
+  EXPECT_EQ(s.ToString(), "(a:INT64)");
+}
+
+// --- Table -------------------------------------------------------------------
+
+TEST(TableTest, AppendAndRead) {
+  Schema schema({{"id", DataType::kInt64}});
+  Table t("t", schema);
+  ASSERT_TRUE(t.Append({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(t.Append({Value(int64_t{2})}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.row(1)[0].AsInt64(), 2);
+  EXPECT_EQ(t.byte_size(), 16u);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Schema schema({{"id", DataType::kInt64}});
+  Table t("t", schema);
+  Status s = t.Append({Value(int64_t{1}), Value(int64_t{2})});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+// --- DatasetCatalog ------------------------------------------------------------
+
+TEST(CatalogTest, RegisterAndLookup) {
+  DatasetCatalog catalog;
+  testing_util::RegisterFigure4Tables(&catalog);
+  EXPECT_EQ(catalog.size(), 3u);
+  auto ds = catalog.Lookup("Sales");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->guid, "guid-sales-v1");
+  EXPECT_EQ(ds->version, 1);
+}
+
+TEST(CatalogTest, DuplicateRegisterRejected) {
+  DatasetCatalog catalog;
+  testing_util::RegisterFigure4Tables(&catalog);
+  Status s = catalog.Register("Sales", testing_util::MakeSalesTable(), "g2");
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, BulkUpdateRotatesGuidAndBumpsVersion) {
+  DatasetCatalog catalog;
+  testing_util::RegisterFigure4Tables(&catalog);
+  ASSERT_TRUE(catalog
+                  .BulkUpdate("Sales", testing_util::MakeSalesTable(100),
+                              "guid-sales-v2", 42.0)
+                  .ok());
+  auto ds = catalog.Lookup("Sales");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->guid, "guid-sales-v2");
+  EXPECT_EQ(ds->version, 2);
+  EXPECT_EQ(ds->updated_at, 42.0);
+  EXPECT_EQ(ds->table->num_rows(), 100u);
+}
+
+TEST(CatalogTest, BulkUpdateRequiresFreshGuid) {
+  DatasetCatalog catalog;
+  testing_util::RegisterFigure4Tables(&catalog);
+  Status s = catalog.BulkUpdate("Sales", testing_util::MakeSalesTable(),
+                                "guid-sales-v1");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, GdprForgetIsBulkUpdate) {
+  DatasetCatalog catalog;
+  testing_util::RegisterFigure4Tables(&catalog);
+  ASSERT_TRUE(catalog
+                  .GdprForget("Customer", testing_util::MakeCustomerTable(90),
+                              "guid-customer-v2")
+                  .ok());
+  auto ds = catalog.Lookup("Customer");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->table->num_rows(), 90u);
+  EXPECT_EQ(ds->guid, "guid-customer-v2");
+}
+
+TEST(CatalogTest, LookupMissingFails) {
+  DatasetCatalog catalog;
+  EXPECT_EQ(catalog.Lookup("nope").status().code(), StatusCode::kNotFound);
+}
+
+// --- ViewStore ------------------------------------------------------------------
+
+class ViewStoreTest : public ::testing::Test {
+ protected:
+  Hash128 sig_ = HashString("sig-a");
+  Hash128 rec_ = HashString("rec-a");
+
+  TablePtr MakeContents() {
+    Schema schema({{"x", DataType::kInt64}});
+    auto t = std::make_shared<Table>("v", schema);
+    t->Append({Value(int64_t{1})}).ok();
+    return t;
+  }
+};
+
+TEST_F(ViewStoreTest, MaterializeThenSealThenFind) {
+  ViewStore store(100.0);
+  ASSERT_TRUE(store.BeginMaterialize(sig_, rec_, "vc0", 1, 0.0).ok());
+  EXPECT_EQ(store.Find(sig_, 0.0), nullptr);  // not yet sealed
+  ASSERT_TRUE(store.Seal(sig_, MakeContents(), 1, 12, 5.0).ok());
+  const MaterializedView* view = store.Find(sig_, 6.0);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->state, ViewState::kSealed);
+  EXPECT_EQ(view->observed_rows, 1u);
+  EXPECT_EQ(view->sealed_at, 5.0);
+  EXPECT_EQ(store.total_views_created(), 1);
+}
+
+TEST_F(ViewStoreTest, OutputPathEncodesSignature) {
+  ViewStore store;
+  ASSERT_TRUE(store.BeginMaterialize(sig_, rec_, "vc7", 1, 0.0).ok());
+  const MaterializedView* view = store.FindAny(sig_);
+  ASSERT_NE(view, nullptr);
+  EXPECT_NE(view->output_path.find(sig_.ToHex()), std::string::npos);
+  EXPECT_NE(view->output_path.find("vc7"), std::string::npos);
+}
+
+TEST_F(ViewStoreTest, DoubleMaterializeRejected) {
+  ViewStore store;
+  ASSERT_TRUE(store.BeginMaterialize(sig_, rec_, "vc0", 1, 0.0).ok());
+  Status s = store.BeginMaterialize(sig_, rec_, "vc0", 2, 0.0);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ViewStoreTest, ExpiryHidesAndPurges) {
+  ViewStore store(10.0);  // 10-second TTL
+  ASSERT_TRUE(store.BeginMaterialize(sig_, rec_, "vc0", 1, 0.0).ok());
+  ASSERT_TRUE(store.Seal(sig_, MakeContents(), 1, 12, 1.0).ok());
+  EXPECT_NE(store.Find(sig_, 9.0), nullptr);
+  EXPECT_EQ(store.Find(sig_, 10.0), nullptr);  // past TTL
+  EXPECT_EQ(store.PurgeExpired(11.0), 1u);
+  EXPECT_EQ(store.NumLive(), 0u);
+}
+
+TEST_F(ViewStoreTest, ReuseCounting) {
+  ViewStore store;
+  ASSERT_TRUE(store.BeginMaterialize(sig_, rec_, "vc0", 1, 0.0).ok());
+  ASSERT_TRUE(store.Seal(sig_, MakeContents(), 1, 12, 0.0).ok());
+  ASSERT_TRUE(store.RecordReuse(sig_).ok());
+  ASSERT_TRUE(store.RecordReuse(sig_).ok());
+  EXPECT_EQ(store.total_views_reused(), 2);
+  EXPECT_EQ(store.FindAny(sig_)->reuse_count, 2);
+}
+
+TEST_F(ViewStoreTest, InvalidateRemoves) {
+  ViewStore store;
+  ASSERT_TRUE(store.BeginMaterialize(sig_, rec_, "vc0", 1, 0.0).ok());
+  ASSERT_TRUE(store.Seal(sig_, MakeContents(), 1, 12, 0.0).ok());
+  ASSERT_TRUE(store.Invalidate(sig_).ok());
+  EXPECT_EQ(store.FindAny(sig_), nullptr);
+  EXPECT_EQ(store.Invalidate(sig_).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ViewStoreTest, TotalBytesTracksSealedViews) {
+  ViewStore store;
+  ASSERT_TRUE(store.BeginMaterialize(sig_, rec_, "vc0", 1, 0.0).ok());
+  EXPECT_EQ(store.TotalBytes(), 0u);
+  ASSERT_TRUE(store.Seal(sig_, MakeContents(), 1, 12, 0.0).ok());
+  EXPECT_GT(store.TotalBytes(), 0u);
+  store.InvalidateAll();
+  EXPECT_EQ(store.TotalBytes(), 0u);
+}
+
+TEST_F(ViewStoreTest, SealWithoutBeginFails) {
+  ViewStore store;
+  EXPECT_EQ(store.Seal(sig_, MakeContents(), 1, 12, 0.0).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cloudviews

@@ -1,0 +1,77 @@
+#ifndef CLOUDVIEWS_TESTS_TEST_UTIL_H_
+#define CLOUDVIEWS_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace cloudviews {
+namespace testing_util {
+
+// Builds the TPC-H-flavoured mini schema used throughout the tests: the
+// Sales / Customer / Parts tables from the paper's Figure 4 example.
+inline TablePtr MakeCustomerTable(int n = 100) {
+  Schema schema({{"CustomerId", DataType::kInt64},
+                 {"Name", DataType::kString},
+                 {"MktSegment", DataType::kString}});
+  auto table = std::make_shared<Table>("Customer", schema);
+  const char* segments[] = {"Asia", "Europe", "America"};
+  for (int i = 0; i < n; ++i) {
+    table
+        ->Append({Value(static_cast<int64_t>(i)),
+                  Value("cust" + std::to_string(i)), Value(segments[i % 3])})
+        .ok();
+  }
+  return table;
+}
+
+inline TablePtr MakeSalesTable(int n = 500) {
+  Schema schema({{"SaleId", DataType::kInt64},
+                 {"CustomerId", DataType::kInt64},
+                 {"PartId", DataType::kInt64},
+                 {"Price", DataType::kDouble},
+                 {"Quantity", DataType::kInt64},
+                 {"Discount", DataType::kDouble}});
+  auto table = std::make_shared<Table>("Sales", schema);
+  for (int i = 0; i < n; ++i) {
+    table
+        ->Append({Value(static_cast<int64_t>(i)),
+                  Value(static_cast<int64_t>(i % 100)),
+                  Value(static_cast<int64_t>(i % 20)),
+                  Value(10.0 + (i % 7)), Value(static_cast<int64_t>(1 + i % 5)),
+                  Value(0.01 * (i % 10))})
+        .ok();
+  }
+  return table;
+}
+
+inline TablePtr MakePartsTable(int n = 20) {
+  Schema schema({{"PartId", DataType::kInt64},
+                 {"Brand", DataType::kString},
+                 {"PartType", DataType::kString}});
+  auto table = std::make_shared<Table>("Parts", schema);
+  const char* brands[] = {"acme", "globex", "initech"};
+  const char* types[] = {"widget", "gadget"};
+  for (int i = 0; i < n; ++i) {
+    table
+        ->Append({Value(static_cast<int64_t>(i)), Value(brands[i % 3]),
+                  Value(types[i % 2])})
+        .ok();
+  }
+  return table;
+}
+
+// Registers the three tables in a fresh catalog.
+inline void RegisterFigure4Tables(DatasetCatalog* catalog) {
+  catalog->Register("Customer", MakeCustomerTable(), "guid-customer-v1").ok();
+  catalog->Register("Sales", MakeSalesTable(), "guid-sales-v1").ok();
+  catalog->Register("Parts", MakePartsTable(), "guid-parts-v1").ok();
+}
+
+}  // namespace testing_util
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_TESTS_TEST_UTIL_H_

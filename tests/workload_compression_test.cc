@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/workload_compression.h"
+#include "core/workload_analyzer.h"
+#include "plan/signature.h"
+#include "workload/generator.h"
+
+namespace cloudviews {
+namespace {
+
+SubexpressionInstance Inst(const std::string& sig, int64_t job, double cpu) {
+  SubexpressionInstance inst;
+  inst.strict_signature = HashString(sig);
+  inst.recurring_signature = HashString("r" + sig);
+  inst.job_id = job;
+  inst.virtual_cluster = "vc0";
+  inst.day = 0;
+  inst.submit_time = static_cast<double>(job);
+  inst.subtree_size = 3;
+  inst.cpu_cost = cpu;
+  inst.input_datasets = {"a", "b"};
+  return inst;
+}
+
+TEST(WorkloadCompressionTest, OneJobCoversItsClones) {
+  // Jobs 1..5 all contain exactly the same subexpressions: one job is a
+  // complete representative.
+  WorkloadRepository repo;
+  for (int64_t job = 1; job <= 5; ++job) {
+    repo.Ingest(Inst("x", job, 100));
+    repo.Ingest(Inst("y", job, 200));
+  }
+  CompressedWorkload compressed = CompressWorkload(repo);
+  EXPECT_EQ(compressed.jobs_in_workload, 5);
+  EXPECT_EQ(compressed.representative_jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(compressed.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(compressed.compression_ratio, 0.2);
+}
+
+TEST(WorkloadCompressionTest, DisjointJobsAllNeeded) {
+  WorkloadRepository repo;
+  for (int64_t job = 1; job <= 4; ++job) {
+    repo.Ingest(Inst("only-" + std::to_string(job), job, 100));
+  }
+  CompressionOptions options;
+  options.coverage_target = 1.0;
+  CompressedWorkload compressed = CompressWorkload(repo, options);
+  EXPECT_EQ(compressed.representative_jobs.size(), 4u);
+}
+
+TEST(WorkloadCompressionTest, CostWeightingPrefersExpensiveCoverage) {
+  WorkloadRepository repo;
+  // Job 1 carries one expensive subexpression; jobs 2..4 carry many cheap,
+  // disjoint ones.
+  repo.Ingest(Inst("big", 1, 1e6));
+  for (int64_t job = 2; job <= 4; ++job) {
+    for (int k = 0; k < 3; ++k) {
+      repo.Ingest(
+          Inst("small-" + std::to_string(job) + "-" + std::to_string(k), job,
+               10));
+    }
+  }
+  CompressionOptions options;
+  options.coverage_target = 0.9;
+  CompressedWorkload compressed = CompressWorkload(repo, options);
+  // 90% of the cost mass is the one big subexpression: job 1 suffices.
+  ASSERT_EQ(compressed.representative_jobs.size(), 1u);
+  EXPECT_EQ(compressed.representative_jobs[0], 1);
+}
+
+TEST(WorkloadCompressionTest, MaxJobsCapRespected) {
+  WorkloadRepository repo;
+  for (int64_t job = 1; job <= 20; ++job) {
+    repo.Ingest(Inst("only-" + std::to_string(job), job, 100));
+  }
+  CompressionOptions options;
+  options.coverage_target = 1.0;
+  options.max_jobs = 5;
+  CompressedWorkload compressed = CompressWorkload(repo, options);
+  EXPECT_EQ(compressed.representative_jobs.size(), 5u);
+  EXPECT_NEAR(compressed.coverage, 0.25, 1e-9);
+}
+
+TEST(WorkloadCompressionTest, EmptyRepository) {
+  WorkloadRepository repo;
+  CompressedWorkload compressed = CompressWorkload(repo);
+  EXPECT_TRUE(compressed.representative_jobs.empty());
+  EXPECT_EQ(compressed.jobs_in_workload, 0);
+}
+
+TEST(WorkloadCompressionTest, GeneratedWorkloadCompressesWell) {
+  // A recurring workload (many instances of few templates) should compress
+  // to a small representative set at high coverage.
+  WorkloadProfile profile;
+  profile.cluster_name = "compress";
+  profile.seed = 5;
+  profile.num_shared_datasets = 10;
+  profile.num_motifs = 6;
+  profile.num_templates = 15;
+  profile.min_rows = 30;
+  profile.max_rows = 80;
+  WorkloadGenerator generator(profile);
+  DatasetCatalog catalog;
+  ASSERT_TRUE(generator.Setup(&catalog).ok());
+  WorkloadRepository repo;
+  SignatureComputer signatures;
+  int64_t jobs = 0;
+  for (int day = 0; day < 2; ++day) {
+    if (day > 0) {
+      ASSERT_TRUE(generator.AdvanceDay(&catalog, day).ok());
+    }
+    for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
+      repo.IngestJob(job.job_id, job.virtual_cluster, day, job.submit_time,
+                     signatures.ComputeAll(*job.plan), MetricsBySignature{});
+      jobs += 1;
+    }
+  }
+  CompressionOptions options;
+  options.coverage_target = 0.9;
+  options.cost_weighted = false;
+  CompressedWorkload compressed = CompressWorkload(repo, options);
+  EXPECT_EQ(compressed.jobs_in_workload, jobs);
+  EXPECT_GE(compressed.coverage, 0.9);
+  EXPECT_LT(compressed.compression_ratio, 0.75)
+      << "recurring workloads must compress";
+}
+
+// --- WorkloadAnalyzer unit coverage --------------------------------------------
+
+TEST(WorkloadAnalyzerTest, GeneralizedOpportunitiesGroupByInputs) {
+  WorkloadRepository repo;
+  // Three distinct subexpressions over {a,b}, one over {c,d}, one single-input.
+  for (int v = 0; v < 3; ++v) {
+    for (int64_t i = 0; i < 4; ++i) {
+      repo.Ingest(Inst("ab-variant-" + std::to_string(v), 10 * v + i, 100));
+    }
+  }
+  SubexpressionInstance other = Inst("cd", 100, 100);
+  other.input_datasets = {"c", "d"};
+  repo.Ingest(other);
+  SubexpressionInstance single = Inst("solo", 101, 100);
+  single.input_datasets = {"a"};
+  repo.Ingest(single);
+
+  WorkloadAnalyzer analyzer(&repo);
+  auto opportunities = analyzer.GeneralizedReuseOpportunities();
+  ASSERT_EQ(opportunities.size(), 1u);  // only {a,b} has >=2 variants
+  EXPECT_EQ(opportunities[0].input_datasets,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(opportunities[0].distinct_subexpressions, 3);
+  EXPECT_EQ(opportunities[0].total_frequency, 12);
+}
+
+TEST(WorkloadAnalyzerTest, ConsumerCdfMonotone) {
+  auto cdf = WorkloadAnalyzer::ConsumerCdf({5, 1, 3, 1, 17});
+  ASSERT_EQ(cdf.size(), 5u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].distinct_consumers, cdf[i - 1].distinct_consumers);
+    EXPECT_GT(cdf[i].fraction_of_datasets, cdf[i - 1].fraction_of_datasets);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction_of_datasets, 1.0);
+  EXPECT_EQ(cdf.back().distinct_consumers, 17);
+}
+
+}  // namespace
+}  // namespace cloudviews
