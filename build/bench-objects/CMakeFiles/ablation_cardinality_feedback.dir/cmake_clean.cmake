@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cardinality_feedback"
+  "../bench/ablation_cardinality_feedback.pdb"
+  "CMakeFiles/ablation_cardinality_feedback.dir/ablation_cardinality_feedback.cc.o"
+  "CMakeFiles/ablation_cardinality_feedback.dir/ablation_cardinality_feedback.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cardinality_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_column_pruning"
+  "../bench/ablation_column_pruning.pdb"
+  "CMakeFiles/ablation_column_pruning.dir/ablation_column_pruning.cc.o"
+  "CMakeFiles/ablation_column_pruning.dir/ablation_column_pruning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_column_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_concurrent_reuse"
+  "../bench/ablation_concurrent_reuse.pdb"
+  "CMakeFiles/ablation_concurrent_reuse.dir/ablation_concurrent_reuse.cc.o"
+  "CMakeFiles/ablation_concurrent_reuse.dir/ablation_concurrent_reuse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_concurrent_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

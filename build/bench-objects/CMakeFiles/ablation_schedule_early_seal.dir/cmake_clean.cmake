@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_schedule_early_seal"
+  "../bench/ablation_schedule_early_seal.pdb"
+  "CMakeFiles/ablation_schedule_early_seal.dir/ablation_schedule_early_seal.cc.o"
+  "CMakeFiles/ablation_schedule_early_seal.dir/ablation_schedule_early_seal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schedule_early_seal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

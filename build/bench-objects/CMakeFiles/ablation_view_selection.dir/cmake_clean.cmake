@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_view_selection"
+  "../bench/ablation_view_selection.pdb"
+  "CMakeFiles/ablation_view_selection.dir/ablation_view_selection.cc.o"
+  "CMakeFiles/ablation_view_selection.dir/ablation_view_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_view_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

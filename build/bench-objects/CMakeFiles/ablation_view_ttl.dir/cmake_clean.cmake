@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_view_ttl"
+  "../bench/ablation_view_ttl.pdb"
+  "CMakeFiles/ablation_view_ttl.dir/ablation_view_ttl.cc.o"
+  "CMakeFiles/ablation_view_ttl.dir/ablation_view_ttl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_view_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

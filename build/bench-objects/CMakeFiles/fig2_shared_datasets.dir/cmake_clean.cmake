@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_shared_datasets"
+  "../bench/fig2_shared_datasets.pdb"
+  "CMakeFiles/fig2_shared_datasets.dir/fig2_shared_datasets.cc.o"
+  "CMakeFiles/fig2_shared_datasets.dir/fig2_shared_datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_shared_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

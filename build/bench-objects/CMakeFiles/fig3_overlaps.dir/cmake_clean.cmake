@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_overlaps"
+  "../bench/fig3_overlaps.pdb"
+  "CMakeFiles/fig3_overlaps.dir/fig3_overlaps.cc.o"
+  "CMakeFiles/fig3_overlaps.dir/fig3_overlaps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_overlaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_usage_impact"
+  "../bench/fig6_usage_impact.pdb"
+  "CMakeFiles/fig6_usage_impact.dir/fig6_usage_impact.cc.o"
+  "CMakeFiles/fig6_usage_impact.dir/fig6_usage_impact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_usage_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_resource_impact"
+  "../bench/fig7_resource_impact.pdb"
+  "CMakeFiles/fig7_resource_impact.dir/fig7_resource_impact.cc.o"
+  "CMakeFiles/fig7_resource_impact.dir/fig7_resource_impact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_resource_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

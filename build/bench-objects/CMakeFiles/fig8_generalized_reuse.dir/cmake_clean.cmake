@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_generalized_reuse"
+  "../bench/fig8_generalized_reuse.pdb"
+  "CMakeFiles/fig8_generalized_reuse.dir/fig8_generalized_reuse.cc.o"
+  "CMakeFiles/fig8_generalized_reuse.dir/fig8_generalized_reuse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_generalized_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

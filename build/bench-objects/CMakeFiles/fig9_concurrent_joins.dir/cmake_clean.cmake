@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_concurrent_joins"
+  "../bench/fig9_concurrent_joins.pdb"
+  "CMakeFiles/fig9_concurrent_joins.dir/fig9_concurrent_joins.cc.o"
+  "CMakeFiles/fig9_concurrent_joins.dir/fig9_concurrent_joins.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_concurrent_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

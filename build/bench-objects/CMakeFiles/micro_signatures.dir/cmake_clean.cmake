@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_signatures"
+  "../bench/micro_signatures.pdb"
+  "CMakeFiles/micro_signatures.dir/micro_signatures.cc.o"
+  "CMakeFiles/micro_signatures.dir/micro_signatures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

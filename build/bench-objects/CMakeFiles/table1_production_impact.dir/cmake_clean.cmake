@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_production_impact"
+  "../bench/table1_production_impact.pdb"
+  "CMakeFiles/table1_production_impact.dir/table1_production_impact.cc.o"
+  "CMakeFiles/table1_production_impact.dir/table1_production_impact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_production_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_cooking.dir/data_cooking.cc.o"
+  "CMakeFiles/data_cooking.dir/data_cooking.cc.o.d"
+  "data_cooking"
+  "data_cooking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_cooking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

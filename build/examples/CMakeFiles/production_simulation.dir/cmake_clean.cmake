@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_simulation.dir/production_simulation.cc.o"
+  "CMakeFiles/production_simulation.dir/production_simulation.cc.o.d"
+  "production_simulation"
+  "production_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_extensions.dir/reuse_extensions.cc.o"
+  "CMakeFiles/reuse_extensions.dir/reuse_extensions.cc.o.d"
+  "reuse_extensions"
+  "reuse_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_insights.dir/workload_insights.cc.o"
+  "CMakeFiles/workload_insights.dir/workload_insights.cc.o.d"
+  "workload_insights"
+  "workload_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/baseline_estimator.cc" "src/CMakeFiles/cloudviews.dir/cluster/baseline_estimator.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/cluster/baseline_estimator.cc.o.d"
+  "/root/repo/src/cluster/simulator.cc" "src/CMakeFiles/cloudviews.dir/cluster/simulator.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/cluster/simulator.cc.o.d"
+  "/root/repo/src/cluster/telemetry.cc" "src/CMakeFiles/cloudviews.dir/cluster/telemetry.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/cluster/telemetry.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/cloudviews.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/cloudviews.dir/common/random.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/common/random.cc.o.d"
+  "/root/repo/src/common/sim_clock.cc" "src/CMakeFiles/cloudviews.dir/common/sim_clock.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/common/sim_clock.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cloudviews.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/common/status.cc.o.d"
+  "/root/repo/src/core/cardinality_feedback.cc" "src/CMakeFiles/cloudviews.dir/core/cardinality_feedback.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/core/cardinality_feedback.cc.o.d"
+  "/root/repo/src/core/insights_service.cc" "src/CMakeFiles/cloudviews.dir/core/insights_service.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/core/insights_service.cc.o.d"
+  "/root/repo/src/core/repository_io.cc" "src/CMakeFiles/cloudviews.dir/core/repository_io.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/core/repository_io.cc.o.d"
+  "/root/repo/src/core/reuse_engine.cc" "src/CMakeFiles/cloudviews.dir/core/reuse_engine.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/core/reuse_engine.cc.o.d"
+  "/root/repo/src/core/view_manager.cc" "src/CMakeFiles/cloudviews.dir/core/view_manager.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/core/view_manager.cc.o.d"
+  "/root/repo/src/core/view_selection.cc" "src/CMakeFiles/cloudviews.dir/core/view_selection.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/core/view_selection.cc.o.d"
+  "/root/repo/src/core/workload_analyzer.cc" "src/CMakeFiles/cloudviews.dir/core/workload_analyzer.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/core/workload_analyzer.cc.o.d"
+  "/root/repo/src/core/workload_compression.cc" "src/CMakeFiles/cloudviews.dir/core/workload_compression.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/core/workload_compression.cc.o.d"
+  "/root/repo/src/core/workload_repository.cc" "src/CMakeFiles/cloudviews.dir/core/workload_repository.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/core/workload_repository.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/cloudviews.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/physical_op.cc" "src/CMakeFiles/cloudviews.dir/exec/physical_op.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/exec/physical_op.cc.o.d"
+  "/root/repo/src/extensions/bitvector_filter.cc" "src/CMakeFiles/cloudviews.dir/extensions/bitvector_filter.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/extensions/bitvector_filter.cc.o.d"
+  "/root/repo/src/extensions/checkpointing.cc" "src/CMakeFiles/cloudviews.dir/extensions/checkpointing.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/extensions/checkpointing.cc.o.d"
+  "/root/repo/src/extensions/concurrent_reuse.cc" "src/CMakeFiles/cloudviews.dir/extensions/concurrent_reuse.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/extensions/concurrent_reuse.cc.o.d"
+  "/root/repo/src/extensions/containment.cc" "src/CMakeFiles/cloudviews.dir/extensions/containment.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/extensions/containment.cc.o.d"
+  "/root/repo/src/extensions/generalized_views.cc" "src/CMakeFiles/cloudviews.dir/extensions/generalized_views.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/extensions/generalized_views.cc.o.d"
+  "/root/repo/src/extensions/sampled_views.cc" "src/CMakeFiles/cloudviews.dir/extensions/sampled_views.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/extensions/sampled_views.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/cloudviews.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/cloudviews.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/cloudviews.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/plan/builder.cc" "src/CMakeFiles/cloudviews.dir/plan/builder.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/plan/builder.cc.o.d"
+  "/root/repo/src/plan/expr.cc" "src/CMakeFiles/cloudviews.dir/plan/expr.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/plan/expr.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/cloudviews.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/normalizer.cc" "src/CMakeFiles/cloudviews.dir/plan/normalizer.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/plan/normalizer.cc.o.d"
+  "/root/repo/src/plan/signature.cc" "src/CMakeFiles/cloudviews.dir/plan/signature.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/plan/signature.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/cloudviews.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/cloudviews.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/cloudviews.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/cloudviews.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/cloudviews.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/cloudviews.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/cloudviews.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/storage/value.cc.o.d"
+  "/root/repo/src/storage/view_store.cc" "src/CMakeFiles/cloudviews.dir/storage/view_store.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/storage/view_store.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "src/CMakeFiles/cloudviews.dir/workload/experiment.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/workload/experiment.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/cloudviews.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/profiles.cc" "src/CMakeFiles/cloudviews.dir/workload/profiles.cc.o" "gcc" "src/CMakeFiles/cloudviews.dir/workload/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

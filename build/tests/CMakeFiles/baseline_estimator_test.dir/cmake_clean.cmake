@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_estimator_test.dir/baseline_estimator_test.cc.o"
+  "CMakeFiles/baseline_estimator_test.dir/baseline_estimator_test.cc.o.d"
+  "baseline_estimator_test"
+  "baseline_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_pruning_test.dir/column_pruning_test.cc.o"
+  "CMakeFiles/column_pruning_test.dir/column_pruning_test.cc.o.d"
+  "column_pruning_test"
+  "column_pruning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

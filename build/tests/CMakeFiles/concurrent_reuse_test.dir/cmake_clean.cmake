@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_reuse_test.dir/concurrent_reuse_test.cc.o"
+  "CMakeFiles/concurrent_reuse_test.dir/concurrent_reuse_test.cc.o.d"
+  "concurrent_reuse_test"
+  "concurrent_reuse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_reuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

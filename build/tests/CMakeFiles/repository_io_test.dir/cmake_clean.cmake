@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repository_io_test.dir/repository_io_test.cc.o"
+  "CMakeFiles/repository_io_test.dir/repository_io_test.cc.o.d"
+  "repository_io_test"
+  "repository_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repository_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_property_test.dir/signature_property_test.cc.o"
+  "CMakeFiles/signature_property_test.dir/signature_property_test.cc.o.d"
+  "signature_property_test"
+  "signature_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
