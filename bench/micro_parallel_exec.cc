@@ -1,0 +1,129 @@
+// Microbenchmarks: morsel-driven parallel execution.
+//
+// Runs the Figure 7 workload's query shapes (scan-heavy filters, the
+// fact-dimension join, and group-by aggregation) on ~40x-scaled tables,
+// serially and at increasing DOP on the shared work-stealing pool. The
+// `speedup` counter on each DOP>1 run is serial seconds / parallel seconds
+// for the same query; on a 4-core machine the join and aggregate shapes
+// should clear 2x at DOP=4. On fewer cores the harness clamps to whatever
+// parallelism exists (DOP > hardware threads just adds stealing overhead).
+
+#include <benchmark/benchmark.h>
+
+#include "common/thread_pool.h"
+#include "exec/executor.h"
+#include "plan/builder.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+// Figure-4 schema at ~40x the unit-test row counts.
+constexpr int kCustomers = 4000;
+constexpr int kSales = 20000;
+constexpr int kParts = 800;
+
+const DatasetCatalog& ScaledCatalog() {
+  static const DatasetCatalog* catalog = [] {
+    auto* c = new DatasetCatalog();
+    c->Register("Customer", testing_util::MakeCustomerTable(kCustomers),
+                "guid-customer-v1")
+        .ok();
+    c->Register("Sales", testing_util::MakeSalesTable(kSales), "guid-sales-v1")
+        .ok();
+    c->Register("Parts", testing_util::MakePartsTable(kParts), "guid-parts-v1")
+        .ok();
+    return c;
+  }();
+  return *catalog;
+}
+
+LogicalOpPtr Plan(const std::string& sql) {
+  PlanBuilder builder(&ScaledCatalog());
+  auto plan = builder.BuildFromSql(sql);
+  if (!plan.ok()) std::abort();
+  return std::move(*plan);
+}
+
+double RunSeconds(const LogicalOpPtr& plan, int dop) {
+  ExecContext context;
+  context.catalog = &ScaledCatalog();
+  context.dop = dop;
+  Executor executor(context);
+  auto r = executor.Execute(plan);
+  if (!r.ok()) std::abort();
+  return r->stats.wall_seconds;
+}
+
+// Benchmarks one query at state.range(0) DOP and reports the speedup over
+// a serial run measured in the same process.
+void BenchQuery(benchmark::State& state, const std::string& sql) {
+  LogicalOpPtr plan = Plan(sql);
+  const int dop = static_cast<int>(state.range(0));
+
+  // Warm-up (first touch of tables, pool spin-up), then a serial baseline.
+  RunSeconds(plan, 1);
+  double serial_seconds = 0.0;
+  constexpr int kBaselineRuns = 3;
+  for (int i = 0; i < kBaselineRuns; ++i) serial_seconds += RunSeconds(plan, 1);
+  serial_seconds /= kBaselineRuns;
+
+  double parallel_seconds = 0.0;
+  int64_t rows = 0;
+  for (auto _ : state) {
+    ExecContext context;
+    context.catalog = &ScaledCatalog();
+    context.dop = dop;
+    Executor executor(context);
+    auto r = executor.Execute(plan);
+    if (!r.ok()) std::abort();
+    parallel_seconds += r->stats.wall_seconds;
+    rows = static_cast<int64_t>(r->output->num_rows());
+    benchmark::DoNotOptimize(r->output);
+  }
+
+  state.SetItemsProcessed(state.iterations() * int64_t{kSales});
+  state.counters["rows_out"] =
+      benchmark::Counter(static_cast<double>(rows));
+  if (state.iterations() > 0 && parallel_seconds > 0.0) {
+    double mean_parallel =
+        parallel_seconds / static_cast<double>(state.iterations());
+    state.counters["speedup"] =
+        benchmark::Counter(serial_seconds / mean_parallel);
+  }
+}
+
+void BM_ParallelScanFilter(benchmark::State& state) {
+  BenchQuery(state,
+             "SELECT SaleId, Price * Quantity FROM Sales "
+             "WHERE Discount < 0.05 AND Quantity > 2");
+}
+BENCHMARK(BM_ParallelScanFilter)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ParallelHashJoin(benchmark::State& state) {
+  BenchQuery(state,
+             "SELECT Name, Price FROM Sales JOIN Customer "
+             "ON Sales.CustomerId = Customer.CustomerId "
+             "WHERE MktSegment = 'Asia'");
+}
+BENCHMARK(BM_ParallelHashJoin)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ParallelAggregate(benchmark::State& state) {
+  BenchQuery(state,
+             "SELECT CustomerId, SUM(Price * Quantity), COUNT(*) FROM Sales "
+             "GROUP BY CustomerId");
+}
+BENCHMARK(BM_ParallelAggregate)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ParallelFigure4Query(benchmark::State& state) {
+  BenchQuery(state,
+             "SELECT Customer.CustomerId, AVG(Price * Quantity) FROM Sales "
+             "JOIN Customer ON Sales.CustomerId = Customer.CustomerId "
+             "WHERE MktSegment = 'Asia' GROUP BY Customer.CustomerId");
+}
+BENCHMARK(BM_ParallelFigure4Query)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+}  // namespace cloudviews
+
+BENCHMARK_MAIN();

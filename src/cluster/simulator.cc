@@ -81,14 +81,31 @@ ClusterSimulator::NodeAnalysis ClusterSimulator::AnalyzeNode(
     out->containers += width;
     out->max_width = std::max(out->max_width, width);
     double stage_cost = cpu + fused_child_cost;
+    // Containers scale work down by width, degraded by the parallel
+    // efficiency the executor measured on real hardware: a job that only
+    // achieved 60% morsel efficiency locally won't magically scale
+    // perfectly across containers either.
     double elapsed =
-        stage_cost / (static_cast<double>(width) * options_.cpu_rate) +
+        stage_cost / (static_cast<double>(width) * options_.cpu_rate *
+                      MeasuredEfficiency(stats)) +
         options_.container_startup_seconds * std::log2(width + 1.0);
     return {child_latency + elapsed, 0.0};
   }
 
   // Fused operator: its cost rides along until the next stage boundary.
   return {child_latency, cpu + fused_child_cost};
+}
+
+double ClusterSimulator::MeasuredEfficiency(
+    const ExecutionStats& stats) const {
+  if (!options_.use_measured_parallel_time) return 1.0;
+  if (stats.dop <= 1 || stats.wall_seconds <= 0.0 ||
+      stats.morsel_busy_seconds < options_.min_measured_busy_seconds) {
+    return 1.0;
+  }
+  double efficiency = stats.morsel_busy_seconds /
+                      (stats.wall_seconds * static_cast<double>(stats.dop));
+  return std::clamp(efficiency, options_.min_parallel_efficiency, 1.0);
 }
 
 ClusterSimulator::StageAnalysis ClusterSimulator::AnalyzeStages(

@@ -1,0 +1,216 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace cloudviews {
+
+namespace {
+
+// Per-queue cap; beyond roughly this many queued tasks per worker, Submit
+// degrades to inline execution (backpressure without blocking).
+constexpr size_t kMaxQueuedPerWorker = 1024;
+
+// Identifies the pool (and worker slot) owning the current thread so nested
+// Submit calls land on the caller's own deque.
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(2u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Run anything still queued so no TaskGroup is left waiting forever.
+  std::function<void()> task;
+  while (Steal(queues_.size(), &task)) task();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (stop_.load()) {
+    task();
+    return;
+  }
+  size_t slot;
+  if (tls_worker.pool == this) {
+    slot = tls_worker.index;  // nested spawn: stay on the local deque
+  } else {
+    slot = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+           queues_.size();
+  }
+  {
+    std::unique_lock<std::mutex> lock(queues_[slot]->mu);
+    if (queues_[slot]->tasks.size() >= kMaxQueuedPerWorker) {
+      // Saturated: run inline. The caller makes progress either way.
+      lock.unlock();
+      task();
+      return;
+    }
+    // Increment before the push, under the queue lock: a popper can only
+    // see the task after the count reflects it, so the count never dips
+    // below zero.
+    pending_.fetch_add(1, std::memory_order_release);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  // Empty critical section pairs with the sleeper's predicate check so the
+  // notify cannot slip between its predicate evaluation and its wait.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_one();
+}
+
+bool ThreadPool::PopLocal(size_t index, std::function<void()>* task) {
+  WorkerQueue& q = *queues_[index];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  *task = std::move(q.tasks.back());  // LIFO: most recently spawned first
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::Steal(size_t thief, std::function<void()>* task) {
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    size_t victim = (thief + i) % queues_.size();
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    *task = std::move(q.tasks.front());  // FIFO: steal the oldest work
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::RunOne() {
+  std::function<void()> task;
+  bool found = false;
+  if (tls_worker.pool == this) {
+    found = PopLocal(tls_worker.index, &task);
+  }
+  if (!found) found = Steal(next_queue_.load() % queues_.size(), &task);
+  if (!found) return false;
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker = {this, index};
+  std::function<void()> task;
+  while (true) {
+    if (PopLocal(index, &task) || Steal(index + 1, &task)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return stop_.load() || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load() && pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::DefaultDop() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += 1;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    Status status;
+    try {
+      status = fn();
+    } catch (const std::exception& e) {
+      status = Status::Internal(std::string("uncaught exception in task: ") +
+                                e.what());
+    } catch (...) {
+      status = Status::Internal("uncaught non-standard exception in task");
+    }
+    Finish(status);
+  });
+}
+
+void TaskGroup::Finish(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status.ok() && status_.ok()) status_ = status;
+  pending_ -= 1;
+  if (pending_ == 0) cv_.notify_all();
+}
+
+Status TaskGroup::Wait() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_ == 0) return status_;
+    }
+    // Help drain the pool instead of idling; fall back to a short timed
+    // wait when there is nothing to run (our tasks are in flight elsewhere).
+    if (!pool_->RunOne()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return status_;
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+}
+
+Status ParallelFor(ThreadPool* pool, int dop, size_t n, size_t grain,
+                   const std::function<Status(size_t morsel, size_t begin,
+                                              size_t end)>& fn) {
+  if (n == 0) return Status::OK();
+  if (grain == 0) grain = 1;
+  size_t morsels = (n + grain - 1) / grain;
+  if (dop <= 1 || pool == nullptr || morsels == 1) {
+    for (size_t m = 0; m < morsels; ++m) {
+      CLOUDVIEWS_RETURN_NOT_OK(
+          fn(m, m * grain, std::min(n, (m + 1) * grain)));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(morsels);
+  TaskGroup group(pool);
+  for (size_t m = 0; m < morsels; ++m) {
+    group.Spawn([&, m]() -> Status {
+      statuses[m] = fn(m, m * grain, std::min(n, (m + 1) * grain));
+      return statuses[m];
+    });
+  }
+  Status wait_status = group.Wait();
+  // Deterministic error selection: the lowest-indexed failing morsel wins,
+  // matching the row order a serial run would have failed in.
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return wait_status;
+}
+
+}  // namespace cloudviews

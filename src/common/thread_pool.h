@@ -1,0 +1,107 @@
+#ifndef CLOUDVIEWS_COMMON_THREAD_POOL_H_
+#define CLOUDVIEWS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudviews {
+
+// Work-stealing thread pool shared by every morsel-parallel operator in the
+// process. Each worker owns a deque: it pushes and pops its own work LIFO
+// (cache-friendly for nested spawns) and steals FIFO from siblings when it
+// runs dry. Queues are bounded; once the pool is saturated, Submit runs the
+// task inline on the calling thread, which keeps producers from outrunning
+// consumers and cannot deadlock (inline execution makes progress).
+class ThreadPool {
+ public:
+  // 0 threads = one per hardware thread (minimum 2 so single-core machines
+  // can still interleave concurrency tests).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task. May execute it inline when the queues are saturated.
+  void Submit(std::function<void()> task);
+
+  // Runs one queued task on the calling thread, if any is available.
+  // Blocked waiters use this to help drain the pool instead of idling,
+  // which makes nested parallelism (tasks that spawn and wait on subtasks)
+  // deadlock-free.
+  bool RunOne();
+
+  // Process-wide pool used by the executor when ExecContext supplies none.
+  static ThreadPool& Shared();
+
+  // Default degree of parallelism: hardware_concurrency, at least 1.
+  static int DefaultDop();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  bool PopLocal(size_t index, std::function<void()>* task);
+  bool Steal(size_t thief, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+// Wait-group with Status propagation: Spawn N fallible tasks, Wait for all
+// of them. The first non-OK Status wins; uncaught exceptions are converted
+// to Status::Internal instead of crossing thread boundaries. Wait() helps
+// execute pool tasks while blocked, so a task may itself use a TaskGroup on
+// the same pool without deadlocking.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Spawn(std::function<Status()> fn);
+  Status Wait();
+
+ private:
+  void Finish(const Status& status);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  Status status_;
+};
+
+// Splits [0, n) into morsels of `grain` rows and runs
+// fn(morsel_index, begin, end) for each, in parallel when `dop` > 1 and a
+// pool is given, inline otherwise. Morsel boundaries depend only on (n,
+// grain), never on dop, so per-morsel results are reproducible across any
+// degree of parallelism. Error reporting is deterministic too: the non-OK
+// Status of the lowest-indexed failing morsel is returned.
+Status ParallelFor(ThreadPool* pool, int dop, size_t n, size_t grain,
+                   const std::function<Status(size_t morsel, size_t begin,
+                                              size_t end)>& fn);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_COMMON_THREAD_POOL_H_

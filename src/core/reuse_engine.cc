@@ -137,6 +137,7 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   context.job_seed = static_cast<uint64_t>(request.job_id) * 0x9E3779B9ULL +
                      static_cast<uint64_t>(request.day);
   context.now = request.submit_time;
+  context.dop = options_.exec_dop;
   context.on_spool_complete = [this, &request, &views_built](
                                   const LogicalOp& spool, TablePtr contents,
                                   const OperatorStats& child_stats) {

@@ -39,6 +39,12 @@ struct ReuseEngineOptions {
   // default (pruned and unpruned plans have different signatures; a fleet
   // must flip this together, like a runtime-version change).
   bool prune_columns = false;
+  // Degree of parallelism for job execution. The engine pins this to 1 by
+  // default — simulator telemetry must be machine-independent, and measured
+  // efficiency on a loaded CI box would leak into latency figures. Set to 0
+  // for hardware concurrency or to an explicit DOP; outputs are identical
+  // at any setting (the executor's morsel pipelines are order-preserving).
+  int exec_dop = 1;
   // Time between the producing job's submission and the view becoming
   // visible to other compilations. Early sealing publishes as soon as the
   // spool stage finishes — a couple of minutes — rather than at job

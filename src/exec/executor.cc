@@ -1,83 +1,154 @@
 #include "exec/executor.h"
 
+#include <chrono>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace cloudviews {
 
 namespace {
 
+// True for operators a morsel pipeline can absorb: row-preserving, stateless
+// per row, and deterministic. Non-deterministic UDOs are excluded — their
+// keep/drop decision depends on global row arrival order.
+bool Fusable(const LogicalOp& node) {
+  switch (node.kind) {
+    case LogicalOpKind::kFilter:
+    case LogicalOpKind::kProject:
+      return true;
+    case LogicalOpKind::kUdo:
+      return node.udo_deterministic;
+    default:
+      return false;
+  }
+}
+
 // Builds the physical tree, registering every operator in `registry` so
 // statistics can be harvested after the run.
 class PhysicalBuilder {
  public:
-  PhysicalBuilder(const ExecContext* context,
+  PhysicalBuilder(const ExecContext* context, ParallelRuntime runtime,
                   std::vector<PhysicalOp*>* registry)
-      : context_(context), registry_(registry) {}
+      : context_(context), runtime_(runtime), registry_(registry) {}
 
-  Result<PhysicalOpPtr> Build(const LogicalOpPtr& node) {
-    auto op = BuildNode(node);
+  // `pipeline_ok` is false while an ancestor (a Limit with no intervening
+  // fully-materializing operator) may stop pulling early: materializing
+  // parallel strategies would then do — and count — work a serial run never
+  // performs, so those subtrees stay streaming and serial.
+  Result<PhysicalOpPtr> Build(const LogicalOpPtr& node, bool pipeline_ok) {
+    auto op = BuildNode(node, pipeline_ok);
     if (op.ok()) registry_->push_back(op.value().get());
     return op;
   }
 
  private:
-  Result<PhysicalOpPtr> BuildNode(const LogicalOpPtr& node) {
-    switch (node->kind) {
-      case LogicalOpKind::kScan: {
-        if (context_->catalog == nullptr) {
-          return Status::Internal("executor has no dataset catalog");
-        }
-        auto dataset = context_->catalog->Lookup(node->dataset_name);
-        if (!dataset.ok()) return dataset.status();
-        if (!node->dataset_guid.empty() &&
-            dataset->guid != node->dataset_guid) {
-          return Status::Aborted("dataset " + node->dataset_name +
-                                 " changed version since compilation (bound " +
-                                 node->dataset_guid + ", current " +
-                                 dataset->guid + ")");
-        }
-        return PhysicalOpPtr(std::make_unique<TableScanOp>(
-            node.get(), dataset->table, /*is_view_scan=*/false));
+  // Resolves a scan leaf to its backing table, enforcing version pinning.
+  Result<TablePtr> BindScan(const LogicalOp& node, bool* is_view_scan) {
+    if (node.kind == LogicalOpKind::kScan) {
+      *is_view_scan = false;
+      if (context_->catalog == nullptr) {
+        return Status::Internal("executor has no dataset catalog");
       }
+      auto dataset = context_->catalog->Lookup(node.dataset_name);
+      if (!dataset.ok()) return dataset.status();
+      if (!node.dataset_guid.empty() && dataset->guid != node.dataset_guid) {
+        return Status::Aborted("dataset " + node.dataset_name +
+                               " changed version since compilation (bound " +
+                               node.dataset_guid + ", current " +
+                               dataset->guid + ")");
+      }
+      return dataset->table;
+    }
+    *is_view_scan = true;
+    if (context_->view_store == nullptr) {
+      return Status::Internal("plan reads a view but no view store set");
+    }
+    const MaterializedView* view =
+        context_->view_store->Find(node.view_signature, context_->now);
+    if (view == nullptr || view->table == nullptr) {
+      return Status::Aborted("materialized view vanished: " +
+                             node.view_signature.ToHex());
+    }
+    return view->table;
+  }
+
+  // Fuses the maximal {Filter|Project|deterministic Udo}* chain over a
+  // Scan/ViewScan rooted at `node` into a morsel pipeline. Returns null (not
+  // an error) when `node` does not root such a chain.
+  Result<PhysicalOpPtr> TryBuildPipeline(const LogicalOpPtr& node) {
+    const LogicalOp* cur = node.get();
+    std::vector<const LogicalOp*> top_down;
+    while (Fusable(*cur)) {
+      top_down.push_back(cur);
+      cur = cur->children[0].get();
+    }
+    if (cur->kind != LogicalOpKind::kScan &&
+        cur->kind != LogicalOpKind::kViewScan) {
+      return PhysicalOpPtr();
+    }
+    bool is_view_scan = false;
+    auto table = BindScan(*cur, &is_view_scan);
+    if (!table.ok()) return table.status();
+    std::vector<const LogicalOp*> chain;
+    chain.reserve(top_down.size() + 1);
+    chain.push_back(cur);
+    for (auto it = top_down.rbegin(); it != top_down.rend(); ++it) {
+      chain.push_back(*it);
+    }
+    return PhysicalOpPtr(std::make_unique<MorselPipelineOp>(
+        node.get(), std::move(chain), std::move(table).value(), is_view_scan,
+        runtime_));
+  }
+
+  Result<PhysicalOpPtr> BuildNode(const LogicalOpPtr& node, bool pipeline_ok) {
+    if (runtime_.Enabled() && pipeline_ok) {
+      auto pipeline = TryBuildPipeline(node);
+      if (!pipeline.ok()) return pipeline.status();
+      if (*pipeline != nullptr) return pipeline;
+    }
+    switch (node->kind) {
+      case LogicalOpKind::kScan:
       case LogicalOpKind::kViewScan: {
-        if (context_->view_store == nullptr) {
-          return Status::Internal("plan reads a view but no view store set");
-        }
-        const MaterializedView* view =
-            context_->view_store->Find(node->view_signature, context_->now);
-        if (view == nullptr || view->table == nullptr) {
-          return Status::Aborted("materialized view vanished: " +
-                                 node->view_signature.ToHex());
-        }
+        bool is_view_scan = false;
+        auto table = BindScan(*node, &is_view_scan);
+        if (!table.ok()) return table.status();
         return PhysicalOpPtr(std::make_unique<TableScanOp>(
-            node.get(), view->table, /*is_view_scan=*/true));
+            node.get(), std::move(table).value(), is_view_scan));
       }
       case LogicalOpKind::kFilter: {
-        auto child = Build(node->children[0]);
+        auto child = Build(node->children[0], pipeline_ok);
         if (!child.ok()) return child.status();
         return PhysicalOpPtr(
             std::make_unique<FilterOp>(node.get(), std::move(child).value()));
       }
       case LogicalOpKind::kProject: {
-        auto child = Build(node->children[0]);
+        auto child = Build(node->children[0], pipeline_ok);
         if (!child.ok()) return child.status();
         return PhysicalOpPtr(
             std::make_unique<ProjectOp>(node.get(), std::move(child).value()));
       }
       case LogicalOpKind::kJoin: {
-        auto left = Build(node->children[0]);
+        // The build (right) side is fully drained no matter what sits above
+        // the join, so it may always pipeline; the probe (left) side streams
+        // and inherits the ancestor constraint.
+        auto left = Build(node->children[0], pipeline_ok);
         if (!left.ok()) return left.status();
-        auto right = Build(node->children[1]);
+        auto right = Build(node->children[1], /*pipeline_ok=*/true);
         if (!right.ok()) return right.status();
         switch (node->join_algorithm) {
-          case JoinAlgorithm::kHash:
+          case JoinAlgorithm::kHash: {
             if (node->equi_keys.empty()) {
               return Status::InvalidArgument(
                   "hash join requires at least one equi key");
             }
-            return PhysicalOpPtr(std::make_unique<HashJoinOp>(
-                node.get(), std::move(left).value(),
-                std::move(right).value()));
+            auto join = std::make_unique<HashJoinOp>(
+                node.get(), std::move(left).value(), std::move(right).value());
+            if (runtime_.Enabled()) {
+              join->set_parallel(runtime_, /*probe_ok=*/pipeline_ok);
+            }
+            return PhysicalOpPtr(std::move(join));
+          }
           case JoinAlgorithm::kMerge:
             if (node->equi_keys.empty()) {
               return Status::InvalidArgument(
@@ -94,19 +165,22 @@ class PhysicalBuilder {
         return Status::Internal("unknown join algorithm");
       }
       case LogicalOpKind::kAggregate: {
-        auto child = Build(node->children[0]);
+        // Aggregation drains its child completely regardless of ancestors.
+        auto child = Build(node->children[0], /*pipeline_ok=*/true);
         if (!child.ok()) return child.status();
-        return PhysicalOpPtr(std::make_unique<HashAggregateOp>(
-            node.get(), std::move(child).value()));
+        auto agg = std::make_unique<HashAggregateOp>(node.get(),
+                                                     std::move(child).value());
+        if (runtime_.Enabled()) agg->set_parallel(runtime_);
+        return PhysicalOpPtr(std::move(agg));
       }
       case LogicalOpKind::kSort: {
-        auto child = Build(node->children[0]);
+        auto child = Build(node->children[0], /*pipeline_ok=*/true);
         if (!child.ok()) return child.status();
         return PhysicalOpPtr(
             std::make_unique<SortOp>(node.get(), std::move(child).value()));
       }
       case LogicalOpKind::kLimit: {
-        auto child = Build(node->children[0]);
+        auto child = Build(node->children[0], /*pipeline_ok=*/false);
         if (!child.ok()) return child.status();
         return PhysicalOpPtr(
             std::make_unique<LimitOp>(node.get(), std::move(child).value()));
@@ -114,7 +188,7 @@ class PhysicalBuilder {
       case LogicalOpKind::kUnionAll: {
         std::vector<PhysicalOpPtr> children;
         for (const LogicalOpPtr& child : node->children) {
-          auto built = Build(child);
+          auto built = Build(child, pipeline_ok);
           if (!built.ok()) return built.status();
           children.push_back(std::move(built).value());
         }
@@ -122,13 +196,13 @@ class PhysicalBuilder {
             std::make_unique<UnionAllOp>(node.get(), std::move(children)));
       }
       case LogicalOpKind::kUdo: {
-        auto child = Build(node->children[0]);
+        auto child = Build(node->children[0], pipeline_ok);
         if (!child.ok()) return child.status();
         return PhysicalOpPtr(std::make_unique<UdoOp>(
             node.get(), std::move(child).value(), context_->job_seed));
       }
       case LogicalOpKind::kSpool: {
-        auto child = Build(node->children[0]);
+        auto child = Build(node->children[0], pipeline_ok);
         if (!child.ok()) return child.status();
         return PhysicalOpPtr(std::make_unique<SpoolOp>(
             node.get(), std::move(child).value(),
@@ -139,6 +213,7 @@ class PhysicalBuilder {
   }
 
   const ExecContext* context_;
+  ParallelRuntime runtime_;
   std::vector<PhysicalOp*>* registry_;
 };
 
@@ -157,11 +232,20 @@ bool IsExchangeBoundary(LogicalOpKind kind) {
 }  // namespace
 
 Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
+  ParallelRuntime runtime;
+  runtime.dop = context_.dop > 0 ? context_.dop : ThreadPool::DefaultDop();
+  runtime.morsel_rows = context_.morsel_rows > 0 ? context_.morsel_rows : 1;
+  if (runtime.dop > 1) {
+    runtime.pool =
+        context_.pool != nullptr ? context_.pool : &ThreadPool::Shared();
+  }
+
   std::vector<PhysicalOp*> registry;
-  PhysicalBuilder builder(&context_, &registry);
-  auto root = builder.Build(plan);
+  PhysicalBuilder builder(&context_, runtime, &registry);
+  auto root = builder.Build(plan, /*pipeline_ok=*/true);
   if (!root.ok()) return root.status();
 
+  auto wall_start = std::chrono::steady_clock::now();
   CLOUDVIEWS_RETURN_NOT_OK((*root)->Open());
   auto output = std::make_shared<Table>("result", plan->output_schema);
   while (true) {
@@ -172,34 +256,45 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
     CLOUDVIEWS_RETURN_NOT_OK(output->Append(std::move(row)));
   }
   (*root)->Close();
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   ExecResult result;
   result.output = output;
   ExecutionStats& stats = result.stats;
+  stats.dop = runtime.dop;
+  stats.wall_seconds = wall_seconds;
   for (PhysicalOp* op : registry) {
-    const OperatorStats& op_stats = op->stats();
-    stats.per_node[op->logical()] = op_stats;
-    stats.total_cpu_cost += op_stats.cpu_cost;
-    stats.num_operators += 1;
-    switch (op->logical()->kind) {
-      case LogicalOpKind::kScan:
-        stats.input_rows += op_stats.rows_out;
-        stats.input_bytes += op_stats.bytes_out;
-        stats.total_bytes_read += op_stats.bytes_out;
-        break;
-      case LogicalOpKind::kViewScan:
-        stats.view_rows += op_stats.rows_out;
-        stats.view_bytes += op_stats.bytes_out;
-        stats.total_bytes_read += op_stats.bytes_out;
-        break;
-      default:
-        // Exchange boundaries persist intermediate outputs to the local
-        // store; their outputs are re-read by the next stage.
-        if (IsExchangeBoundary(op->logical()->kind)) {
+    // A fused operator reports one (node, stats) pair per logical node it
+    // implements, so per-node accounting is DOP-invariant.
+    op->ExportStats([&](const LogicalOp* node, const OperatorStats& op_stats) {
+      stats.per_node[node] = op_stats;
+      stats.total_cpu_cost += op_stats.cpu_cost;
+      stats.num_operators += 1;
+      stats.morsels += op_stats.morsels;
+      stats.morsel_busy_seconds += op_stats.busy_seconds;
+      switch (node->kind) {
+        case LogicalOpKind::kScan:
+          stats.input_rows += op_stats.rows_out;
+          stats.input_bytes += op_stats.bytes_out;
           stats.total_bytes_read += op_stats.bytes_out;
-        }
-        break;
-    }
+          break;
+        case LogicalOpKind::kViewScan:
+          stats.view_rows += op_stats.rows_out;
+          stats.view_bytes += op_stats.bytes_out;
+          stats.total_bytes_read += op_stats.bytes_out;
+          break;
+        default:
+          // Exchange boundaries persist intermediate outputs to the local
+          // store; their outputs are re-read by the next stage.
+          if (IsExchangeBoundary(node->kind)) {
+            stats.total_bytes_read += op_stats.bytes_out;
+          }
+          break;
+      }
+    });
     if (auto* spool = dynamic_cast<SpoolOp*>(op)) {
       stats.bytes_spooled += spool->bytes_spooled();
       stats.spool_cpu_cost += spool->spool_cpu_cost();

@@ -1,6 +1,7 @@
 #ifndef CLOUDVIEWS_EXEC_EXECUTOR_H_
 #define CLOUDVIEWS_EXEC_EXECUTOR_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 
@@ -14,7 +15,17 @@
 
 namespace cloudviews {
 
+class ThreadPool;
+
 // Everything an executing job can touch.
+//
+// Threading contract: Execute() may fan work out to `dop` pool threads, so
+// every member below must stay immutable (and the pointed-to catalog /
+// view store unmodified) for the duration of the call. `on_spool_complete`
+// itself is only ever invoked from the driver thread that called Execute(),
+// but when several Executors run concurrently (see
+// extensions/concurrent_reuse.cc) the callback fires concurrently across
+// jobs and must synchronize any state it shares between them.
 struct ExecContext {
   const DatasetCatalog* catalog = nullptr;
   // View store for ViewScan reads. May be null when reuse is disabled.
@@ -26,6 +37,18 @@ struct ExecContext {
   uint64_t job_seed = 0;
   // Simulated "now" used to check view expiry during ViewScan binding.
   double now = 0.0;
+  // Degree of parallelism for morsel-driven execution. 0 = auto (one per
+  // hardware thread); 1 = serial, reproducing the pre-parallel executor
+  // byte for byte. Any DOP produces the same output rows in the same
+  // order; only wall-clock time and floating-point cost *accumulation
+  // order* (not totals beyond rounding) differ.
+  int dop = 0;
+  // Rows per morsel. Morsel boundaries depend only on input size and this
+  // knob — never on dop — which is what keeps outputs DOP-invariant.
+  size_t morsel_rows = 4096;
+  // Pool to run morsels on. Null = the process-wide ThreadPool::Shared()
+  // (only consulted when the resolved dop > 1).
+  ThreadPool* pool = nullptr;
 };
 
 struct ExecResult {
@@ -33,8 +56,13 @@ struct ExecResult {
   ExecutionStats stats;
 };
 
-// Interprets an (optimized) logical plan. Single-threaded, row-at-a-time;
-// the cluster simulator models parallelism on top of the collected stats.
+// Interprets an (optimized) logical plan. The Open/Next/Close driver loop is
+// single-threaded, but operators parallelize internally: linear
+// scan/filter/project/UDO chains fuse into morsel pipelines, hash joins
+// build partitioned tables and probe in morsels, and aggregations
+// hash-partition their input — all on a shared work-stealing pool. The
+// cluster simulator combines the collected stats with the measured morsel
+// telemetry to model cluster-scale parallelism.
 class Executor {
  public:
   explicit Executor(ExecContext context) : context_(std::move(context)) {}
@@ -43,9 +71,6 @@ class Executor {
   Result<ExecResult> Execute(const LogicalOpPtr& plan) const;
 
  private:
-  Result<PhysicalOpPtr> BuildPhysical(const LogicalOpPtr& node) const;
-  static void CollectStats(PhysicalOp* op, ExecutionStats* stats);
-
   ExecContext context_;
 };
 

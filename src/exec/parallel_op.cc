@@ -1,0 +1,246 @@
+// Morsel-driven parallel execution: the fused scan pipeline plus the shared
+// helpers other operators use to fan work out to the thread pool. Everything
+// here preserves the serial executor's output byte for byte at any DOP —
+// morsel boundaries depend only on input size, morsel results are emitted in
+// morsel order, and per-row semantics replicate the serial operators
+// exactly.
+
+#include <chrono>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "exec/physical_op.h"
+
+namespace cloudviews {
+
+Status TimedParallelFor(const ParallelRuntime& runtime, size_t n, size_t grain,
+                        const std::function<Status(size_t morsel, size_t begin,
+                                                   size_t end)>& fn,
+                        OperatorStats* stats) {
+  if (n == 0) return Status::OK();
+  if (grain == 0) grain = 1;
+  size_t morsels = (n + grain - 1) / grain;
+  std::vector<double> busy(morsels, 0.0);
+  CLOUDVIEWS_RETURN_NOT_OK(ParallelFor(
+      runtime.pool, runtime.dop, n, grain,
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        auto start = std::chrono::steady_clock::now();
+        Status status = fn(m, begin, end);
+        busy[m] = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        return status;
+      }));
+  stats->morsels += morsels;
+  for (double b : busy) stats->busy_seconds += b;
+  return Status::OK();
+}
+
+Status DrainChild(PhysicalOp* child, std::vector<Row>* out) {
+  if (auto* pipeline = dynamic_cast<MorselPipelineOp*>(child)) {
+    *out = pipeline->TakeRows();
+    return Status::OK();
+  }
+  while (true) {
+    Row row;
+    bool done = false;
+    CLOUDVIEWS_RETURN_NOT_OK(child->Next(&row, &done));
+    if (done) return Status::OK();
+    out->push_back(std::move(row));
+  }
+}
+
+// --- MorselPipelineOp -------------------------------------------------------
+
+MorselPipelineOp::MorselPipelineOp(const LogicalOp* logical,
+                                   std::vector<const LogicalOp*> chain,
+                                   TablePtr table, bool is_view_scan,
+                                   ParallelRuntime runtime)
+    : PhysicalOp(logical), table_(std::move(table)),
+      is_view_scan_(is_view_scan), runtime_(runtime) {
+  stages_.reserve(chain.size());
+  for (const LogicalOp* op : chain) {
+    Stage stage;
+    stage.op = op;
+    if (op->kind == LogicalOpKind::kUdo) {
+      // Only deterministic UDOs are fused; they key purely on the UDO name
+      // (same seeding as UdoOp).
+      stage.udo_seed = HashString(op->udo_name).lo;
+    }
+    stages_.push_back(std::move(stage));
+  }
+}
+
+Status MorselPipelineOp::RunMorsel(size_t begin, size_t end,
+                                   std::vector<Row>* out,
+                                   std::vector<OperatorStats>* stage_stats)
+    const {
+  const LogicalOp* scan = stages_[0].op;
+  double byte_weight =
+      is_view_scan_ ? CostWeights::kViewScanByte : CostWeights::kScanByte;
+  auto count_row = [](OperatorStats* stats, const Row& row, double cpu_cost) {
+    stats->rows_out += 1;
+    for (const Value& v : row) stats->bytes_out += v.ByteSize();
+    stats->cpu_cost += cpu_cost;
+  };
+  for (size_t idx = begin; idx < end; ++idx) {
+    const Row& source = table_->row(idx);
+    Row row;
+    if (scan->kind == LogicalOpKind::kScan && !scan->scan_columns.empty()) {
+      // Pruned scan: emit only the selected columns.
+      row.reserve(scan->scan_columns.size());
+      for (int col : scan->scan_columns) {
+        if (col < 0 || static_cast<size_t>(col) >= source.size()) {
+          return Status::Internal("scan column " + std::to_string(col) +
+                                  " out of range for dataset " +
+                                  scan->dataset_name);
+        }
+        row.push_back(source[static_cast<size_t>(col)]);
+      }
+    } else {
+      row = source;
+    }
+    size_t row_bytes = 0;
+    for (const Value& v : row) row_bytes += v.ByteSize();
+    count_row(&(*stage_stats)[0], row,
+              CostWeights::kScanRow +
+                  byte_weight * static_cast<double>(row_bytes));
+
+    bool keep = true;
+    for (size_t s = 1; s < stages_.size() && keep; ++s) {
+      const LogicalOp* op = stages_[s].op;
+      OperatorStats& stats = (*stage_stats)[s];
+      switch (op->kind) {
+        case LogicalOpKind::kFilter: {
+          stats.cpu_cost += CostWeights::kFilterRow;
+          auto v = op->predicate->Evaluate(row);
+          if (!v.ok()) return v.status();
+          keep = !v.value().is_null() &&
+                 v.value().type() == DataType::kBool && v.value().AsBool();
+          if (keep) count_row(&stats, row, 0.0);
+          break;
+        }
+        case LogicalOpKind::kProject: {
+          Row output;
+          output.reserve(op->projections.size());
+          for (const ExprPtr& expr : op->projections) {
+            auto v = expr->Evaluate(row);
+            if (!v.ok()) return v.status();
+            output.push_back(std::move(v).value());
+          }
+          row = std::move(output);
+          count_row(&stats, row, CostWeights::kProjectRow);
+          break;
+        }
+        case LogicalOpKind::kUdo: {
+          stats.cpu_cost += op->udo_cost_per_row;
+          // Deterministic pseudo-random keep/drop on (seed, row content) —
+          // identical to UdoOp for deterministic UDOs (which never mix in
+          // an arrival counter).
+          Hasher h(stages_[s].udo_seed);
+          for (const Value& v : row) v.HashInto(&h);
+          double u = static_cast<double>(h.Finish().lo >> 11) *
+                     (1.0 / 9007199254740992.0);
+          keep = u < op->udo_selectivity;
+          if (keep) count_row(&stats, row, 0.0);
+          break;
+        }
+        default:
+          return Status::Internal("unsupported morsel pipeline stage");
+      }
+    }
+    if (keep) out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status MorselPipelineOp::Open() {
+  if (table_ == nullptr) {
+    const LogicalOp* scan = stages_[0].op;
+    return Status::NotFound("scan target not available: " +
+                            (scan->kind == LogicalOpKind::kScan
+                                 ? scan->dataset_name
+                                 : scan->view_path));
+  }
+  out_morsel_ = 0;
+  out_index_ = 0;
+  const size_t n = table_->num_rows();
+  size_t grain = runtime_.morsel_rows > 0 ? runtime_.morsel_rows : 1;
+  size_t morsels = n == 0 ? 0 : (n + grain - 1) / grain;
+  morsel_outputs_.assign(morsels, {});
+  std::vector<std::vector<OperatorStats>> morsel_stats(
+      morsels, std::vector<OperatorStats>(stages_.size()));
+  OperatorStats telemetry;
+  CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+      runtime_, n, grain,
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        return RunMorsel(begin, end, &morsel_outputs_[m], &morsel_stats[m]);
+      },
+      &telemetry));
+  // Fold per-morsel stats into each stage in morsel order; integer counters
+  // match the serial operators exactly.
+  for (size_t m = 0; m < morsels; ++m) {
+    for (size_t s = 0; s < stages_.size(); ++s) {
+      OperatorStats& dst = stages_[s].stats;
+      const OperatorStats& src = morsel_stats[m][s];
+      dst.rows_out += src.rows_out;
+      dst.bytes_out += src.bytes_out;
+      dst.cpu_cost += src.cpu_cost;
+    }
+  }
+  // Morsel telemetry is attributed once (to the chain's top node) so job
+  // totals don't multiply-count a morsel per fused stage.
+  stages_.back().stats.morsels += telemetry.morsels;
+  stages_.back().stats.busy_seconds += telemetry.busy_seconds;
+  // Parents that consult stats() (e.g. a Spool sealing hook) see the top
+  // stage's numbers, as they would with discrete operators.
+  stats_ = stages_.back().stats;
+  return Status::OK();
+}
+
+Status MorselPipelineOp::Next(Row* row, bool* done) {
+  while (out_morsel_ < morsel_outputs_.size()) {
+    std::vector<Row>& buf = morsel_outputs_[out_morsel_];
+    if (out_index_ < buf.size()) {
+      *row = std::move(buf[out_index_]);
+      out_index_ += 1;
+      *done = false;
+      return Status::OK();
+    }
+    buf.clear();
+    out_morsel_ += 1;
+    out_index_ = 0;
+  }
+  *done = true;
+  return Status::OK();
+}
+
+void MorselPipelineOp::Close() {
+  morsel_outputs_.clear();
+  out_morsel_ = 0;
+  out_index_ = 0;
+}
+
+std::vector<Row> MorselPipelineOp::TakeRows() {
+  std::vector<Row> rows;
+  size_t total = 0;
+  for (const std::vector<Row>& buf : morsel_outputs_) total += buf.size();
+  rows.reserve(total);
+  for (std::vector<Row>& buf : morsel_outputs_) {
+    for (Row& row : buf) rows.push_back(std::move(row));
+    buf.clear();
+  }
+  morsel_outputs_.clear();
+  out_morsel_ = 0;
+  out_index_ = 0;
+  return rows;
+}
+
+void MorselPipelineOp::ExportStats(
+    const std::function<void(const LogicalOp*, const OperatorStats&)>& fn)
+    const {
+  for (const Stage& stage : stages_) fn(stage.op, stage.stats);
+}
+
+}  // namespace cloudviews

@@ -201,13 +201,7 @@ Status SortOp::Open() {
   CLOUDVIEWS_RETURN_NOT_OK(child_->Open());
   rows_.clear();
   index_ = 0;
-  while (true) {
-    Row row;
-    bool done = false;
-    CLOUDVIEWS_RETURN_NOT_OK(child_->Next(&row, &done));
-    if (done) break;
-    rows_.push_back(std::move(row));
-  }
+  CLOUDVIEWS_RETURN_NOT_OK(DrainChild(child_.get(), &rows_));
   // Precompute sort keys per row to keep the comparator cheap and fallible
   // evaluation out of std::sort.
   std::vector<std::vector<Value>> keys(rows_.size());
@@ -259,12 +253,140 @@ Status HashAggregateOp::Open() {
   CLOUDVIEWS_RETURN_NOT_OK(child_->Open());
   output_.clear();
   index_ = 0;
+  if (runtime_.Enabled()) return OpenParallel();
+  return OpenSerial();
+}
 
-  struct Group {
-    Row key;
-    std::vector<AggState> states;
-  };
-  std::unordered_map<uint64_t, std::vector<Group>> groups;
+HashAggregateOp::Group* HashAggregateOp::FindOrCreateGroup(
+    GroupBuckets* buckets, uint64_t hash, Row&& key,
+    size_t* num_groups) const {
+  std::vector<Group>& bucket = (*buckets)[hash];
+  for (Group& g : bucket) {
+    bool equal = true;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (g.key[i].Compare(key[i]) != 0 ||
+          g.key[i].is_null() != key[i].is_null()) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return &g;
+  }
+  bucket.push_back(
+      {std::move(key), std::vector<AggState>(logical_->aggregates.size())});
+  *num_groups += 1;
+  return &bucket.back();
+}
+
+Status HashAggregateOp::AccumulateRow(const Row& row, Group* group) const {
+  for (size_t i = 0; i < logical_->aggregates.size(); ++i) {
+    const AggregateSpec& spec = logical_->aggregates[i];
+    AggState& state = group->states[i];
+    if (spec.func == AggFunc::kCountStar) {
+      state.count += 1;
+      continue;
+    }
+    auto v = spec.arg->Evaluate(row);
+    if (!v.ok()) return v.status();
+    const Value& val = v.value();
+    if (val.is_null()) continue;  // SQL semantics: aggregates skip nulls
+    if (spec.distinct) {
+      bool seen = false;
+      for (const Value& d : state.distinct_values) {
+        if (d.Compare(val) == 0) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      state.distinct_values.push_back(val);
+    }
+    switch (spec.func) {
+      case AggFunc::kCount:
+        state.count += 1;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        state.count += 1;
+        state.sum += val.NumericValue();
+        if (val.type() == DataType::kInt64) {
+          state.sum_int += val.AsInt64();
+        } else {
+          state.int_only = false;
+        }
+        break;
+      case AggFunc::kMin:
+        if (state.min.is_null() || val.Compare(state.min) < 0) {
+          state.min = val;
+        }
+        break;
+      case AggFunc::kMax:
+        if (state.max.is_null() || val.Compare(state.max) > 0) {
+          state.max = val;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void HashAggregateOp::EmitGroup(Group* group, std::vector<Row>* out) const {
+  Row row = std::move(group->key);
+  for (size_t i = 0; i < logical_->aggregates.size(); ++i) {
+    const AggregateSpec& spec = logical_->aggregates[i];
+    const AggState& state = group->states[i];
+    switch (spec.func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        row.push_back(Value(state.count));
+        break;
+      case AggFunc::kSum:
+        if (state.count == 0) {
+          row.push_back(Value::Null());
+        } else if (state.int_only) {
+          row.push_back(Value(state.sum_int));
+        } else {
+          row.push_back(Value(state.sum));
+        }
+        break;
+      case AggFunc::kAvg:
+        row.push_back(state.count == 0
+                          ? Value::Null()
+                          : Value(state.sum /
+                                  static_cast<double>(state.count)));
+        break;
+      case AggFunc::kMin:
+        row.push_back(state.min);
+        break;
+      case AggFunc::kMax:
+        row.push_back(state.max);
+        break;
+    }
+  }
+  out->push_back(std::move(row));
+}
+
+void HashAggregateOp::SortOutput() {
+  // Deterministic output order regardless of hash-map iteration: sort by key
+  // columns. Aggregation output order is not semantically meaningful, but
+  // determinism keeps signatures honest when views are compared in tests.
+  // Distinct groups always differ on some key column under Value::Compare,
+  // so this order is total — parallel and serial runs emit identically.
+  size_t num_keys = logical_->group_by.size();
+  std::stable_sort(output_.begin(), output_.end(),
+                   [num_keys](const Row& a, const Row& b) {
+                     for (size_t i = 0; i < num_keys; ++i) {
+                       int cmp = a[i].Compare(b[i]);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+}
+
+Status HashAggregateOp::OpenSerial() {
+  GroupBuckets buckets;
   size_t num_groups = 0;
 
   while (true) {
@@ -285,140 +407,100 @@ Status HashAggregateOp::Open() {
     for (const Value& v : key) v.HashInto(&h);
     uint64_t hash = h.Finish().lo;
 
-    std::vector<Group>& bucket = groups[hash];
-    Group* group = nullptr;
-    for (Group& g : bucket) {
-      bool equal = true;
-      for (size_t i = 0; i < key.size(); ++i) {
-        if (g.key[i].Compare(key[i]) != 0 ||
-            g.key[i].is_null() != key[i].is_null()) {
-          equal = false;
-          break;
-        }
-      }
-      if (equal) {
-        group = &g;
-        break;
-      }
-    }
-    if (group == nullptr) {
-      bucket.push_back({std::move(key),
-                        std::vector<AggState>(logical_->aggregates.size())});
-      group = &bucket.back();
-      num_groups += 1;
-    }
-
-    for (size_t i = 0; i < logical_->aggregates.size(); ++i) {
-      const AggregateSpec& spec = logical_->aggregates[i];
-      AggState& state = group->states[i];
-      if (spec.func == AggFunc::kCountStar) {
-        state.count += 1;
-        continue;
-      }
-      auto v = spec.arg->Evaluate(row);
-      if (!v.ok()) return v.status();
-      const Value& val = v.value();
-      if (val.is_null()) continue;  // SQL semantics: aggregates skip nulls
-      if (spec.distinct) {
-        bool seen = false;
-        for (const Value& d : state.distinct_values) {
-          if (d.Compare(val) == 0) {
-            seen = true;
-            break;
-          }
-        }
-        if (seen) continue;
-        state.distinct_values.push_back(val);
-      }
-      switch (spec.func) {
-        case AggFunc::kCount:
-          state.count += 1;
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kAvg:
-          state.count += 1;
-          state.sum += val.NumericValue();
-          if (val.type() == DataType::kInt64) {
-            state.sum_int += val.AsInt64();
-          } else {
-            state.int_only = false;
-          }
-          break;
-        case AggFunc::kMin:
-          if (state.min.is_null() || val.Compare(state.min) < 0) {
-            state.min = val;
-          }
-          break;
-        case AggFunc::kMax:
-          if (state.max.is_null() || val.Compare(state.max) > 0) {
-            state.max = val;
-          }
-          break;
-        default:
-          break;
-      }
-    }
+    Group* group =
+        FindOrCreateGroup(&buckets, hash, std::move(key), &num_groups);
+    CLOUDVIEWS_RETURN_NOT_OK(AccumulateRow(row, group));
   }
 
   // Scalar aggregation (no GROUP BY) over empty input still produces one
   // row: COUNT = 0, other aggregates NULL (SQL semantics).
   if (num_groups == 0 && logical_->group_by.empty()) {
-    groups[0].push_back({Row{},
-                         std::vector<AggState>(logical_->aggregates.size())});
+    buckets[0].push_back({Row{},
+                          std::vector<AggState>(logical_->aggregates.size())});
     num_groups = 1;
   }
 
   // Emit one output row per group: keys then aggregate results.
   output_.reserve(num_groups);
-  for (auto& [hash, bucket] : groups) {
-    for (Group& group : bucket) {
-      Row out = std::move(group.key);
-      for (size_t i = 0; i < logical_->aggregates.size(); ++i) {
-        const AggregateSpec& spec = logical_->aggregates[i];
-        const AggState& state = group.states[i];
-        switch (spec.func) {
-          case AggFunc::kCountStar:
-          case AggFunc::kCount:
-            out.push_back(Value(state.count));
-            break;
-          case AggFunc::kSum:
-            if (state.count == 0) {
-              out.push_back(Value::Null());
-            } else if (state.int_only) {
-              out.push_back(Value(state.sum_int));
-            } else {
-              out.push_back(Value(state.sum));
-            }
-            break;
-          case AggFunc::kAvg:
-            out.push_back(state.count == 0
-                              ? Value::Null()
-                              : Value(state.sum /
-                                      static_cast<double>(state.count)));
-            break;
-          case AggFunc::kMin:
-            out.push_back(state.min);
-            break;
-          case AggFunc::kMax:
-            out.push_back(state.max);
-            break;
-        }
-      }
-      output_.push_back(std::move(out));
-    }
+  for (auto& [hash, bucket] : buckets) {
+    for (Group& group : bucket) EmitGroup(&group, &output_);
   }
-  // Deterministic output order regardless of hash-map iteration: sort by key
-  // columns. Aggregation output order is not semantically meaningful, but
-  // determinism keeps signatures honest when views are compared in tests.
-  size_t num_keys = logical_->group_by.size();
-  std::stable_sort(output_.begin(), output_.end(),
-                   [num_keys](const Row& a, const Row& b) {
-                     for (size_t i = 0; i < num_keys; ++i) {
-                       int cmp = a[i].Compare(b[i]);
-                       if (cmp != 0) return cmp < 0;
-                     }
-                     return false;
-                   });
+  SortOutput();
+  return Status::OK();
+}
+
+Status HashAggregateOp::OpenParallel() {
+  std::vector<Row> input;
+  CLOUDVIEWS_RETURN_NOT_OK(DrainChild(child_.get(), &input));
+  const size_t n = input.size();
+  AddCost(CostWeights::kAggRow * static_cast<double>(n));
+
+  // Phase 1: evaluate group keys and hashes for every row, in parallel.
+  std::vector<Row> keys(n);
+  std::vector<uint64_t> hashes(n);
+  CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+      runtime_, n, runtime_.morsel_rows,
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          Row key;
+          key.reserve(logical_->group_by.size());
+          for (const ExprPtr& expr : logical_->group_by) {
+            auto v = expr->Evaluate(input[i]);
+            if (!v.ok()) return v.status();
+            key.push_back(std::move(v).value());
+          }
+          Hasher h;
+          for (const Value& v : key) v.HashInto(&h);
+          hashes[i] = h.Finish().lo;
+          keys[i] = std::move(key);
+        }
+        return Status::OK();
+      },
+      &stats_));
+
+  // Hash-partition row indices. A group's rows all share a hash, hence a
+  // partition, and each partition keeps global input order — so every group
+  // accumulates exactly as the serial loop would (floating-point sums,
+  // DISTINCT discovery order, and the representative key included).
+  const size_t num_partitions = static_cast<size_t>(runtime_.dop);
+  std::vector<std::vector<size_t>> partitions(num_partitions);
+  for (size_t i = 0; i < n; ++i) {
+    partitions[hashes[i] % num_partitions].push_back(i);
+  }
+
+  // Phase 2: aggregate the partitions independently.
+  std::vector<std::vector<Row>> partial(num_partitions);
+  CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+      runtime_, num_partitions, /*grain=*/1,
+      [&](size_t p, size_t, size_t) -> Status {
+        GroupBuckets buckets;
+        size_t num_groups = 0;
+        for (size_t i : partitions[p]) {
+          Group* group = FindOrCreateGroup(&buckets, hashes[i],
+                                           std::move(keys[i]), &num_groups);
+          CLOUDVIEWS_RETURN_NOT_OK(AccumulateRow(input[i], group));
+        }
+        partial[p].reserve(num_groups);
+        for (auto& [hash, bucket] : buckets) {
+          for (Group& group : bucket) EmitGroup(&group, &partial[p]);
+        }
+        return Status::OK();
+      },
+      &stats_));
+
+  size_t total = 0;
+  for (const std::vector<Row>& rows : partial) total += rows.size();
+  if (total == 0 && logical_->group_by.empty()) {
+    // Scalar aggregation over empty input: COUNT = 0, other aggregates NULL.
+    Group empty{Row{}, std::vector<AggState>(logical_->aggregates.size())};
+    EmitGroup(&empty, &output_);
+    return Status::OK();
+  }
+  output_.reserve(total);
+  for (std::vector<Row>& rows : partial) {
+    for (Row& row : rows) output_.push_back(std::move(row));
+  }
+  SortOutput();
   return Status::OK();
 }
 
@@ -459,8 +541,9 @@ Status SpoolOp::Next(Row* row, bool* done) {
   bool child_done = false;
   CLOUDVIEWS_RETURN_NOT_OK(child_->Next(row, &child_done));
   if (child_done) {
-    if (!completed_) {
-      completed_ = true;
+    // Exactly-once latch: the exchange makes concurrent end-of-stream
+    // observers race safely — one wins, the rest see completed_ == true.
+    if (!completed_.exchange(true)) {
       // The stream is exhausted: the common subexpression is fully
       // materialized. In production the job manager seals the view here —
       // before the rest of the job finishes ("early sealing").
@@ -498,6 +581,45 @@ HashJoinOp::HashJoinOp(const LogicalOp* logical, PhysicalOpPtr left,
 }
 
 Status HashJoinOp::BuildRight() {
+  partitions_.clear();
+  if (runtime_.Enabled()) {
+    // Partitioned parallel build: hash every build row in morsels, assign
+    // rows to partitions by hash (serially — this fixes the relative order
+    // of equal keys to the global input order, exactly as a single-map
+    // serial build would), then populate the partitions concurrently.
+    std::vector<Row> rows;
+    CLOUDVIEWS_RETURN_NOT_OK(DrainChild(right_.get(), &rows));
+    const size_t n = rows.size();
+    AddCost(CostWeights::kHashBuildRow * static_cast<double>(n));
+    if (n > 0) right_arity_ = rows[0].size();
+    std::vector<uint64_t> hashes(n);
+    CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+        runtime_, n, runtime_.morsel_rows,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            hashes[i] = HashRowKey(rows[i], right_keys_);
+          }
+          return Status::OK();
+        },
+        &stats_));
+    const size_t num_partitions = static_cast<size_t>(runtime_.dop);
+    std::vector<std::vector<size_t>> index(num_partitions);
+    for (size_t i = 0; i < n; ++i) {
+      index[hashes[i] % num_partitions].push_back(i);
+    }
+    partitions_.resize(num_partitions);
+    CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+        runtime_, num_partitions, /*grain=*/1,
+        [&](size_t p, size_t, size_t) -> Status {
+          for (size_t i : index[p]) {
+            partitions_[p].emplace(hashes[i], std::move(rows[i]));
+          }
+          return Status::OK();
+        },
+        &stats_));
+    return Status::OK();
+  }
+  partitions_.resize(1);
   while (true) {
     Row row;
     bool done = false;
@@ -506,7 +628,7 @@ Status HashJoinOp::BuildRight() {
     AddCost(CostWeights::kHashBuildRow);
     right_arity_ = row.size();
     uint64_t hash = HashRowKey(row, right_keys_);
-    build_.emplace(hash, std::move(row));
+    partitions_[0].emplace(hash, std::move(row));
   }
   return Status::OK();
 }
@@ -517,10 +639,95 @@ Status HashJoinOp::Open() {
   if (right_arity_ == 0) {
     right_arity_ = logical_->children[1]->output_schema.num_columns();
   }
-  return BuildRight();
+  CLOUDVIEWS_RETURN_NOT_OK(BuildRight());
+  if (runtime_.Enabled() && probe_ok_) return ProbeParallel();
+  return Status::OK();
+}
+
+Status HashJoinOp::ProbeOne(const Row& left_row, std::vector<Row>* out,
+                            OperatorStats* local) const {
+  local->cpu_cost += CostWeights::kHashProbeRow;
+  uint64_t hash = HashRowKey(left_row, left_keys_);
+  const BuildMap& partition = partitions_[hash % partitions_.size()];
+  auto range = partition.equal_range(hash);
+  bool matched = false;
+  for (auto it = range.first; it != range.second; ++it) {
+    const Row& right_row = it->second;
+    // Verify key equality (hash collisions) then residual predicate.
+    bool keys_equal = true;
+    for (size_t i = 0; i < left_keys_.size(); ++i) {
+      const Value& l = left_row[static_cast<size_t>(left_keys_[i])];
+      const Value& r = right_row[static_cast<size_t>(right_keys_[i])];
+      if (l.is_null() || r.is_null() || l.Compare(r) != 0) {
+        keys_equal = false;
+        break;
+      }
+    }
+    if (!keys_equal) continue;
+    Row combined = left_row;
+    combined.insert(combined.end(), right_row.begin(), right_row.end());
+    auto pass = EvalJoinResidual(*logical_, combined);
+    if (!pass.ok()) return pass.status();
+    if (!*pass) continue;
+    matched = true;
+    local->rows_out += 1;
+    for (const Value& v : combined) local->bytes_out += v.ByteSize();
+    out->push_back(std::move(combined));
+  }
+  if (logical_->join_kind == sql::JoinKind::kLeft && !matched) {
+    Row combined = left_row;
+    combined.resize(combined.size() + right_arity_);  // nulls
+    local->rows_out += 1;
+    for (const Value& v : combined) local->bytes_out += v.ByteSize();
+    out->push_back(std::move(combined));
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::ProbeParallel() {
+  std::vector<Row> probe_rows;
+  CLOUDVIEWS_RETURN_NOT_OK(DrainChild(left_.get(), &probe_rows));
+  const size_t n = probe_rows.size();
+  size_t grain = runtime_.morsel_rows > 0 ? runtime_.morsel_rows : 1;
+  size_t morsels = n == 0 ? 0 : (n + grain - 1) / grain;
+  probe_out_.assign(morsels, {});
+  std::vector<OperatorStats> local(morsels);
+  CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+      runtime_, n, grain,
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          CLOUDVIEWS_RETURN_NOT_OK(
+              ProbeOne(probe_rows[i], &probe_out_[m], &local[m]));
+        }
+        return Status::OK();
+      },
+      &stats_));
+  // Merge per-morsel stats in morsel order (matches serial accumulation).
+  for (const OperatorStats& s : local) MergeStats(s);
+  parallel_probe_ = true;
+  out_morsel_ = 0;
+  out_index_ = 0;
+  return Status::OK();
 }
 
 Status HashJoinOp::Next(Row* row, bool* done) {
+  if (parallel_probe_) {
+    // Emit buffered matches in morsel order = global probe order.
+    while (out_morsel_ < probe_out_.size()) {
+      std::vector<Row>& buf = probe_out_[out_morsel_];
+      if (out_index_ < buf.size()) {
+        *row = std::move(buf[out_index_]);
+        out_index_ += 1;
+        *done = false;
+        return Status::OK();
+      }
+      buf.clear();
+      out_morsel_ += 1;
+      out_index_ = 0;
+    }
+    *done = true;
+    return Status::OK();
+  }
   while (true) {
     if (!have_left_) {
       bool left_done = false;
@@ -533,7 +740,7 @@ Status HashJoinOp::Next(Row* row, bool* done) {
       have_left_ = true;
       left_matched_ = false;
       uint64_t hash = HashRowKey(current_left_, left_keys_);
-      probe_range_ = build_.equal_range(hash);
+      probe_range_ = partitions_[hash % partitions_.size()].equal_range(hash);
     }
     while (probe_range_.first != probe_range_.second) {
       const Row& right_row = probe_range_.first->second;
@@ -577,7 +784,8 @@ Status HashJoinOp::Next(Row* row, bool* done) {
 void HashJoinOp::Close() {
   left_->Close();
   right_->Close();
-  build_.clear();
+  partitions_.clear();
+  probe_out_.clear();
 }
 
 // --- MergeJoinOp ------------------------------------------------------------------
@@ -594,17 +802,8 @@ Status MergeJoinOp::Open() {
   output_.clear();
   index_ = 0;
 
-  auto drain = [](PhysicalOp* op, std::vector<Row>* out) -> Status {
-    while (true) {
-      Row row;
-      bool done = false;
-      CLOUDVIEWS_RETURN_NOT_OK(op->Next(&row, &done));
-      if (done) return Status::OK();
-      out->push_back(std::move(row));
-    }
-  };
-  CLOUDVIEWS_RETURN_NOT_OK(drain(left_.get(), &left_rows_));
-  CLOUDVIEWS_RETURN_NOT_OK(drain(right_.get(), &right_rows_));
+  CLOUDVIEWS_RETURN_NOT_OK(DrainChild(left_.get(), &left_rows_));
+  CLOUDVIEWS_RETURN_NOT_OK(DrainChild(right_.get(), &right_rows_));
 
   std::vector<int> lk, rk;
   for (const auto& [l, r] : logical_->equi_keys) {
@@ -728,13 +927,7 @@ Status LoopJoinOp::Open() {
   CLOUDVIEWS_RETURN_NOT_OK(left_->Open());
   CLOUDVIEWS_RETURN_NOT_OK(right_->Open());
   right_rows_.clear();
-  while (true) {
-    Row row;
-    bool done = false;
-    CLOUDVIEWS_RETURN_NOT_OK(right_->Next(&row, &done));
-    if (done) break;
-    right_rows_.push_back(std::move(row));
-  }
+  CLOUDVIEWS_RETURN_NOT_OK(DrainChild(right_.get(), &right_rows_));
   return Status::OK();
 }
 

@@ -17,6 +17,11 @@ struct OperatorStats {
   uint64_t bytes_out = 0;
   double cpu_cost = 0.0;  // abstract cost units; the cluster simulator
                           // converts these to container-seconds
+  // Morsel-parallel execution telemetry: number of morsels this operator
+  // ran and the summed wall-clock seconds its morsel tasks were busy. Zero
+  // for operators that executed serially.
+  uint64_t morsels = 0;
+  double busy_seconds = 0.0;
 };
 
 // Whole-job execution statistics.
@@ -37,6 +42,15 @@ struct ExecutionStats {
   double spool_cpu_cost = 0.0;
   // Number of operators executed.
   int num_operators = 0;
+  // Degree of parallelism the executor ran with (1 = serial).
+  int dop = 1;
+  // Morsels executed across all parallel operators, their summed busy wall
+  // time, and the measured wall time of the whole Execute call. The cluster
+  // simulator uses busy/wall to derive the parallel efficiency actually
+  // achieved instead of assuming perfect scaling.
+  uint64_t morsels = 0;
+  double morsel_busy_seconds = 0.0;
+  double wall_seconds = 0.0;
 
   std::unordered_map<const LogicalOp*, OperatorStats> per_node;
 
@@ -50,11 +64,17 @@ struct ExecutionStats {
     total_cpu_cost += other.total_cpu_cost;
     spool_cpu_cost += other.spool_cpu_cost;
     num_operators += other.num_operators;
+    dop = dop > other.dop ? dop : other.dop;
+    morsels += other.morsels;
+    morsel_busy_seconds += other.morsel_busy_seconds;
+    wall_seconds += other.wall_seconds;
     for (const auto& [node, stats] : other.per_node) {
       OperatorStats& mine = per_node[node];
       mine.rows_out += stats.rows_out;
       mine.bytes_out += stats.bytes_out;
       mine.cpu_cost += stats.cpu_cost;
+      mine.morsels += stats.morsels;
+      mine.busy_seconds += stats.busy_seconds;
     }
   }
 };

@@ -123,6 +123,40 @@ TEST_F(OptimizerTest, CostModelPrefersSmallerPlans) {
   EXPECT_GT(model.SubtreeCost(*big), model.SubtreeCost(*small));
 }
 
+TEST_F(OptimizerTest, LatencyCostShrinksWithDop) {
+  LogicalOpPtr plan = Build(
+      "SELECT Name, Price FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId WHERE Price > 11");
+  CardinalityEstimator estimator(&catalog_);
+  estimator.Annotate(plan.get());
+
+  // Serial latency is exactly the total work.
+  CostModel serial;
+  EXPECT_DOUBLE_EQ(serial.SubtreeLatencyCost(*plan),
+                   serial.SubtreeCost(*plan));
+
+  // Parallel latency follows Amdahl: monotonically decreasing in dop, but
+  // never below the serial fraction of the work.
+  CostModelOptions dop4_options;
+  dop4_options.dop = 4;
+  CostModel dop4(dop4_options);
+  CostModelOptions dop16_options;
+  dop16_options.dop = 16;
+  CostModel dop16(dop16_options);
+  double work = serial.SubtreeCost(*plan);
+  double latency4 = dop4.SubtreeLatencyCost(*plan);
+  double latency16 = dop16.SubtreeLatencyCost(*plan);
+  EXPECT_LT(latency4, work);
+  EXPECT_LT(latency16, latency4);
+  EXPECT_GT(latency16, work * (1.0 - dop16_options.parallel_fraction));
+
+  // Tiny morsels mean more scheduling overhead: latency rises.
+  CostModelOptions tiny_morsels = dop4_options;
+  tiny_morsels.morsel_rows = 1.0;
+  CostModel overheady(tiny_morsels);
+  EXPECT_GT(overheady.SubtreeLatencyCost(*plan), latency4);
+}
+
 TEST_F(OptimizerTest, MatchReplacesSubtreeWithViewScan) {
   LogicalOpPtr plan = Build(kAsiaJoinSql);
   // Materialize the filter subtree (Filter over Join).
