@@ -6,6 +6,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/json_writer.h"
+
 namespace cloudviews {
 namespace bench_util {
 
@@ -41,6 +43,39 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("==============================================================="
               "=================\n");
 }
+
+// Machine-readable bench output: accumulates named metrics and prints one
+// greppable `JSON {...}` line. All benches share this emitter (built on
+// obs::JsonWriter) so downstream tooling parses every bench the same way.
+class JsonReport {
+ public:
+  explicit JsonReport(const char* bench_name) {
+    writer_.BeginObject();
+    writer_.Field("bench", bench_name);
+  }
+
+  JsonReport& Metric(const char* name, double value) {
+    writer_.Field(name, value);
+    return *this;
+  }
+  JsonReport& Metric(const char* name, int64_t value) {
+    writer_.Field(name, value);
+    return *this;
+  }
+  JsonReport& Metric(const char* name, const std::string& value) {
+    writer_.Field(name, value);
+    return *this;
+  }
+
+  // Prints the report; call once, at the end of the bench.
+  void Print() {
+    writer_.EndObject();
+    std::printf("JSON %s\n", writer_.str().c_str());
+  }
+
+ private:
+  obs::JsonWriter writer_;
+};
 
 }  // namespace bench_util
 }  // namespace cloudviews

@@ -70,6 +70,14 @@ int RunFig7(int argc, char** argv) {
               "39%%), queue lengths %.1f%% (paper 13%%)\n",
               ImprovementPercent(cont_b, cont_c), ImprovementPercent(in_b, in_c),
               ImprovementPercent(rd_b, rd_c), ImprovementPercent(q_b, q_c));
+
+  bench_util::JsonReport report("fig7_resource_impact");
+  report.Metric("days", static_cast<int64_t>(days))
+      .Metric("containers_improvement_pct", ImprovementPercent(cont_b, cont_c))
+      .Metric("input_improvement_pct", ImprovementPercent(in_b, in_c))
+      .Metric("data_read_improvement_pct", ImprovementPercent(rd_b, rd_c))
+      .Metric("queue_improvement_pct", ImprovementPercent(q_b, q_c));
+  report.Print();
   return 0;
 }
 

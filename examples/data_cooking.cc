@@ -21,6 +21,7 @@
 #include "common/sim_clock.h"
 #include "core/reuse_engine.h"
 #include "exec/executor.h"
+#include "obs/log.h"
 #include "plan/builder.h"
 
 namespace {
@@ -120,8 +121,9 @@ int main() {
       request.submit_time = day * kSecondsPerDay + wave_offset + 3600.0 * (i + 1);
       auto exec = engine.RunJob(request);
       if (!exec.ok()) {
-        std::fprintf(stderr, "%s failed: %s\n", teams[i],
-                     exec.status().ToString().c_str());
+        obs::LogError("data_cooking", "job_failed",
+                      {{"team", teams[i]},
+                       {"error", exec.status().ToString()}});
         std::exit(1);
       }
       std::printf("  %-12s %2zu rows | cpu %7.0f | built %d reused %d\n",

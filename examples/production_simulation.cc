@@ -6,15 +6,55 @@
 // of the headline metrics.
 //
 // Build & run:  ./build/examples/production_simulation
+//
+// Observability: pass --trace=PATH to record a Chrome trace (open it at
+// chrome://tracing or https://ui.perfetto.dev) and --metrics=PATH to dump a
+// JSON snapshot of the engine's metrics registry. CLOUDVIEWS_OBS_TRACE=1
+// enables tracing without writing a file.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "common/sim_clock.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/experiment.h"
 #include "workload/profiles.h"
 
-int main() {
+namespace {
+
+// Returns the value of a `--flag=value` argument, or empty if absent.
+std::string FlagValue(int argc, char** argv, const char* flag) {
+  size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return "";
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace cloudviews;  // NOLINT: example brevity
+
+  const std::string trace_path = FlagValue(argc, argv, "--trace");
+  const std::string metrics_path = FlagValue(argc, argv, "--metrics");
+  if (!trace_path.empty()) {
+    obs::Tracer::Global().Enable();
+    obs::Tracer::Global().Clear();
+  }
 
   std::printf("CloudViews production simulation — 1 week, paired arms\n\n");
 
@@ -33,8 +73,8 @@ int main() {
   ProductionExperiment experiment(config);
   auto result = experiment.Run();
   if (!result.ok()) {
-    std::fprintf(stderr, "simulation failed: %s\n",
-                 result.status().ToString().c_str());
+    obs::LogError("production_simulation", "simulation_failed",
+                  {{"error", result.status().ToString()}});
     return 1;
   }
 
@@ -75,5 +115,26 @@ int main() {
                                  c.bonus_processing_seconds));
   std::printf("\n(the onboarding ramp is visible: early days improve little "
               "because few VCs have opted in)\n");
+
+  if (!trace_path.empty()) {
+    std::string trace = obs::Tracer::Global().ExportChromeJson();
+    if (!WriteFile(trace_path, trace)) {
+      obs::LogError("production_simulation", "trace_write_failed",
+                    {{"path", trace_path}});
+      return 1;
+    }
+    std::printf("\nwrote Chrome trace (%zu bytes) to %s\n", trace.size(),
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::string snapshot = obs::MetricsRegistry::Global().SnapshotJson();
+    if (!WriteFile(metrics_path, snapshot)) {
+      obs::LogError("production_simulation", "metrics_write_failed",
+                    {{"path", metrics_path}});
+      return 1;
+    }
+    std::printf("wrote metrics snapshot (%zu bytes) to %s\n", snapshot.size(),
+                metrics_path.c_str());
+  }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/reuse_engine.h"
+#include "obs/log.h"
 #include "storage/catalog.h"
 
 namespace {
@@ -114,9 +115,8 @@ int main() {
     request.submit_time = t;
     auto exec = engine.RunJob(request);
     if (!exec.ok()) {
-      std::fprintf(stderr, "job %lld failed: %s\n",
-                   static_cast<long long>(id),
-                   exec.status().ToString().c_str());
+      obs::LogError("quickstart", "job_failed",
+                    {{"job_id", id}, {"error", exec.status().ToString()}});
       std::exit(1);
     }
     return std::move(exec).value();

@@ -18,6 +18,7 @@
 #include "extensions/concurrent_reuse.h"
 #include "extensions/generalized_views.h"
 #include "extensions/sampled_views.h"
+#include "obs/log.h"
 #include "plan/builder.h"
 #include "plan/normalizer.h"
 #include "tests/test_util.h"
@@ -30,7 +31,8 @@ LogicalOpPtr Build(const DatasetCatalog& catalog, const std::string& sql) {
   PlanBuilder builder(&catalog);
   auto plan = builder.BuildFromSql(sql);
   if (!plan.ok()) {
-    std::fprintf(stderr, "build failed: %s\n", plan.status().ToString().c_str());
+    obs::LogError("reuse_extensions", "build_failed",
+                  {{"error", plan.status().ToString()}});
     std::exit(1);
   }
   return PlanNormalizer::Normalize(*plan);
@@ -44,8 +46,8 @@ ExecResult Execute(const DatasetCatalog& catalog, const LogicalOpPtr& plan,
   Executor executor(context);
   auto result = executor.Execute(plan);
   if (!result.ok()) {
-    std::fprintf(stderr, "exec failed: %s\n",
-                 result.status().ToString().c_str());
+    obs::LogError("reuse_extensions", "exec_failed",
+                  {{"error", result.status().ToString()}});
     std::exit(1);
   }
   return std::move(result).value();

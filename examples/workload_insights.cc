@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "core/reuse_engine.h"
 #include "core/view_selection.h"
 #include "core/workload_analyzer.h"
 #include "core/workload_repository.h"
@@ -133,6 +134,42 @@ int main() {
     std::printf("  %s\n",
                 annotations.substr(pos, next - pos).c_str());
     pos = next == std::string::npos ? next : next + 1;
+  }
+
+  // Per-query profiles: run a small slice of the workload through a live
+  // engine (with reuse on) and show the phase/stat reports the insights
+  // service retains — the "why did this job match or miss a view" view.
+  std::printf("\n## Per-query profiles (live engine, day 0 sample)\n");
+  DatasetCatalog exec_catalog;
+  WorkloadGenerator exec_generator(profile);
+  if (!exec_generator.Setup(&exec_catalog).ok()) return 1;
+  ReuseEngineOptions engine_options;
+  engine_options.cluster_name = profile.cluster_name;
+  ReuseEngine engine(&exec_catalog, engine_options);
+  engine.insights().controls().opt_out_model = true;  // all VCs participate
+  engine.insights().PublishSelection(selection);
+  int executed = 0;
+  for (const GeneratedJob& job : exec_generator.JobsForDay(exec_catalog, 0)) {
+    if (executed >= 6) break;
+    JobRequest request;
+    request.job_id = job.job_id;
+    request.virtual_cluster = job.virtual_cluster;
+    request.plan = job.plan;
+    request.submit_time = job.submit_time;
+    request.day = job.day;
+    if (!engine.RunJob(request).ok()) continue;
+    executed += 1;
+  }
+  const auto& profiles = engine.insights().recent_profiles();
+  int printed = 0;
+  for (const obs::QueryProfile& query_profile : profiles) {
+    if (printed >= 2) break;
+    std::printf("%s\n", query_profile.ToText().c_str());
+    printed += 1;
+  }
+  if (!profiles.empty()) {
+    std::printf("as JSON (one line per query):\n  %s\n",
+                profiles.back().ToJson().c_str());
   }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/signature.h"
 
 namespace cloudviews {
@@ -142,6 +144,16 @@ void ClusterSimulator::RecordJoins(const LogicalOp& node, int day,
 }
 
 Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
+  static obs::Counter& jobs_counter =
+      obs::MetricsRegistry::Global().counter("sim.jobs");
+  static obs::Histogram& wait_hist =
+      obs::MetricsRegistry::Global().histogram("sim.queue_wait_seconds",
+                                               obs::WaitBucketsSeconds());
+  jobs_counter.Increment();
+  obs::Span span("job", "sim");
+  span.Arg("job_id", static_cast<int64_t>(job.job_id));
+  span.Arg("day", static_cast<int64_t>(job.day));
+
   clock_.AdvanceTo(job.submit_time);
 
   // --- Queueing at the job service -----------------------------------------
@@ -159,6 +171,7 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
   auto earliest = std::min_element(vc.running.begin(), vc.running.end());
   double start_time = std::max(job.submit_time, *earliest);
   double queue_wait = start_time - job.submit_time;
+  wait_hist.Observe(queue_wait);
 
   // --- Execute through the reuse engine ------------------------------------
   JobRequest request;

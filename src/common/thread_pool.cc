@@ -4,6 +4,9 @@
 #include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cloudviews {
 
 namespace {
@@ -46,6 +49,22 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  static obs::Counter& submitted =
+      obs::MetricsRegistry::Global().counter("threadpool.tasks");
+  submitted.Increment();
+  if (obs::Tracer::Enabled()) {
+    // Queue-wait telemetry costs a wrapper allocation, so it is only
+    // collected while tracing is on; the disabled path stays allocation-free.
+    static obs::Histogram& queue_wait =
+        obs::MetricsRegistry::Global().histogram("threadpool.queue_wait_us",
+                                                 obs::LatencyBucketsUs());
+    const uint64_t enqueued_us = obs::Tracer::NowMicros();
+    task = [inner = std::move(task), enqueued_us] {
+      queue_wait.Observe(
+          static_cast<double>(obs::Tracer::NowMicros() - enqueued_us));
+      inner();
+    };
+  }
   if (stop_.load()) {
     task();
     return;

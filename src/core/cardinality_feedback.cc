@@ -1,5 +1,7 @@
 #include "core/cardinality_feedback.h"
 
+#include "obs/metrics.h"
+
 namespace cloudviews {
 
 void CardinalityFeedback::Record(const Hash128& recurring_signature,
@@ -21,12 +23,19 @@ void CardinalityFeedback::Record(const Hash128& recurring_signature,
 
 std::optional<ObservedCardinality> CardinalityFeedback::Lookup(
     const Hash128& recurring_signature, int64_t min_observations) const {
+  // Signature-keyed micro-model cache telemetry (the section 5.2 loop).
+  static obs::Counter& cache_hits =
+      obs::MetricsRegistry::Global().counter("signature_cache.lookup.hit");
+  static obs::Counter& cache_misses =
+      obs::MetricsRegistry::Global().counter("signature_cache.lookup.miss");
   lookups_ += 1;
   auto it = models_.find(recurring_signature);
   if (it == models_.end() || it->second.observations < min_observations) {
+    cache_misses.Increment();
     return std::nullopt;
   }
   hits_ += 1;
+  cache_hits.Increment();
   return it->second;
 }
 

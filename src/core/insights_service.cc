@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace cloudviews {
 
 bool ReuseControls::IsEnabled(const std::string& cluster,
@@ -34,6 +36,9 @@ void InsightsService::PublishSelection(const SelectionResult& selection) {
 
 std::vector<AnnotationEntry> InsightsService::FetchAnnotations(
     const std::vector<Hash128>& recurring_signatures) const {
+  static obs::Counter& fetches =
+      obs::MetricsRegistry::Global().counter("insights.fetches");
+  fetches.Increment();
   fetch_count_ += 1;
   std::vector<AnnotationEntry> out;
   for (const Hash128& sig : recurring_signatures) {
@@ -98,6 +103,11 @@ Status InsightsService::ImportAnnotationsFile(const std::string& contents) {
   }
   annotations_ = std::move(imported);
   return Status::OK();
+}
+
+void InsightsService::RecordProfile(const obs::QueryProfile& profile) {
+  profiles_.push_back(profile);
+  while (profiles_.size() > kMaxProfiles) profiles_.pop_front();
 }
 
 bool InsightsService::TryAcquireViewLock(const Hash128& strict_signature,

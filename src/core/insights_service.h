@@ -2,6 +2,7 @@
 #define CLOUDVIEWS_CORE_INSIGHTS_SERVICE_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,6 +11,7 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "core/view_selection.h"
+#include "obs/profile.h"
 
 namespace cloudviews {
 
@@ -103,10 +105,22 @@ class InsightsService {
   ReuseControls& controls() { return controls_; }
   const ReuseControls& controls() const { return controls_; }
 
+  // --- Per-query profiles ----------------------------------------------------
+
+  // Retains the most recent `kMaxProfiles` query profiles reported by the
+  // engine (the per-job telemetry the production service keeps for
+  // debugging). Oldest profiles are evicted first.
+  static constexpr size_t kMaxProfiles = 64;
+  void RecordProfile(const obs::QueryProfile& profile);
+  const std::deque<obs::QueryProfile>& recent_profiles() const {
+    return profiles_;
+  }
+
  private:
   std::unordered_map<Hash128, AnnotationEntry, Hash128Hasher> annotations_;
   std::unordered_map<Hash128, int64_t, Hash128Hasher> view_locks_;
   ReuseControls controls_;
+  std::deque<obs::QueryProfile> profiles_;
   mutable int64_t fetch_count_ = 0;
 };
 

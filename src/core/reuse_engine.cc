@@ -1,6 +1,21 @@
 #include "core/reuse_engine.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cloudviews {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 ReuseEngine::ReuseEngine(DatasetCatalog* catalog, ReuseEngineOptions options)
     : catalog_(catalog), options_(std::move(options)),
@@ -79,18 +94,42 @@ Result<OptimizationOutcome> ReuseEngine::CompileBound(
 }
 
 Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
+  static obs::Counter& jobs_counter =
+      obs::MetricsRegistry::Global().counter("engine.jobs");
+  static obs::Counter& matched_counter =
+      obs::MetricsRegistry::Global().counter("engine.views_matched");
+  static obs::Counter& built_counter =
+      obs::MetricsRegistry::Global().counter("engine.views_built");
+  jobs_counter.Increment();
+
+  obs::Span query_span("query", "engine");
+  query_span.Arg("job_id", static_cast<int64_t>(request.job_id));
+  query_span.Arg("vc", request.virtual_cluster);
+
   const bool reuse_enabled = ReuseEnabledFor(request);
+  obs::QueryProfile profile;
+  profile.job_id = request.job_id;
+  profile.virtual_cluster = request.virtual_cluster;
+  profile.day = request.day;
+  profile.reuse_enabled = reuse_enabled;
 
   // Bind first and keep the as-compiled plan: the workload repository counts
   // subexpressions as they appear in compiled plans, regardless of whether
   // execution later answers them from views.
-  auto bound = BindPlan(request);
+  auto bind_start = std::chrono::steady_clock::now();
+  auto bound = [&] {
+    obs::Span span("parse", "engine");
+    return BindPlan(request);
+  }();
   if (!bound.ok()) return bound.status();
   std::vector<NodeSignature> compiled_sigs =
       optimizer_->signatures().ComputeAll(**bound);
+  profile.phases.push_back({"bind", SecondsSince(bind_start)});
 
+  auto compile_start = std::chrono::steady_clock::now();
   auto outcome = CompileBound(request, *bound, reuse_enabled);
   if (!outcome.ok()) return outcome.status();
+  profile.phases.push_back({"compile", SecondsSince(compile_start)});
 
   JobExecution exec;
   exec.job_id = request.job_id;
@@ -149,6 +188,7 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   };
 
   Executor executor(context);
+  auto exec_start = std::chrono::steady_clock::now();
   auto run = executor.Execute(outcome->plan);
   if (!run.ok()) {
     // Job failed: release creation locks and drop half-written views.
@@ -156,6 +196,7 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
                              outcome->proposed_materializations);
     return run.status();
   }
+  profile.phases.push_back({"execute", SecondsSince(exec_start)});
   exec.output = run->output;
   exec.stats = run->stats;
   exec.views_built = views_built;
@@ -168,23 +209,45 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   // Feed the workload repository: occurrences come from the as-compiled
   // plan, runtime metrics from whatever actually executed (joined on
   // signature).
-  std::vector<NodeSignature> executed_sigs =
-      optimizer_->signatures().ComputeAll(*outcome->plan);
-  MetricsBySignature metrics =
-      WorkloadRepository::CollectMetrics(executed_sigs, exec.stats);
-  repository_.IngestJob(request.job_id, request.virtual_cluster, request.day,
-                        request.submit_time, compiled_sigs, metrics);
+  auto ingest_start = std::chrono::steady_clock::now();
+  {
+    obs::Span span("ingest", "engine");
+    std::vector<NodeSignature> executed_sigs =
+        optimizer_->signatures().ComputeAll(*outcome->plan);
+    MetricsBySignature metrics =
+        WorkloadRepository::CollectMetrics(executed_sigs, exec.stats);
+    repository_.IngestJob(request.job_id, request.virtual_cluster,
+                          request.day, request.submit_time, compiled_sigs,
+                          metrics);
 
-  // Feed the cardinality micro-models with what executed.
-  if (options_.enable_cardinality_feedback) {
-    for (const NodeSignature& sig : executed_sigs) {
-      if (!sig.eligible || sig.subtree_size < 2) continue;
-      auto it = metrics.find(sig.strict);
-      if (it != metrics.end()) {
-        feedback_.Record(sig.recurring, it->second.rows, it->second.bytes);
+    // Feed the cardinality micro-models with what executed.
+    if (options_.enable_cardinality_feedback) {
+      for (const NodeSignature& sig : executed_sigs) {
+        if (!sig.eligible || sig.subtree_size < 2) continue;
+        auto it = metrics.find(sig.strict);
+        if (it != metrics.end()) {
+          feedback_.Record(sig.recurring, it->second.rows, it->second.bytes);
+        }
       }
     }
   }
+  profile.phases.push_back({"ingest", SecondsSince(ingest_start)});
+
+  // Assemble the per-query profile and hand it to the insights service.
+  matched_counter.Add(static_cast<uint64_t>(exec.views_matched));
+  built_counter.Add(static_cast<uint64_t>(exec.views_built));
+  profile.views_matched = exec.views_matched;
+  profile.views_built = exec.views_built;
+  profile.matched_signatures.reserve(exec.matched_signatures.size());
+  for (const Hash128& sig : exec.matched_signatures) {
+    profile.matched_signatures.push_back(sig.ToHex());
+  }
+  profile.FillFromStats(exec.stats);
+  query_span.Arg("views_matched",
+                 static_cast<int64_t>(exec.views_matched));
+  query_span.Arg("views_built", static_cast<int64_t>(exec.views_built));
+  exec.profile = profile;
+  insights_.RecordProfile(std::move(profile));
   return exec;
 }
 

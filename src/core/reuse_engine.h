@@ -12,6 +12,7 @@
 #include "core/view_selection.h"
 #include "core/workload_repository.h"
 #include "exec/executor.h"
+#include "obs/profile.h"
 #include "optimizer/optimizer.h"
 #include "plan/builder.h"
 #include "plan/normalizer.h"
@@ -81,6 +82,9 @@ struct JobExecution {
   // Compile-time overhead charged for fetching annotations.
   double compile_overhead_seconds = 0.0;
   bool reuse_enabled = false;  // after applying all control levels
+  // Phase breakdown + executor roll-up; also retained by the insights
+  // service (`recent_profiles()`) for post-hoc debugging.
+  obs::QueryProfile profile;
 };
 
 // The CloudViews engine: ties together the optimizer, executor, workload

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cloudviews {
 
@@ -232,6 +234,7 @@ bool IsExchangeBoundary(LogicalOpKind kind) {
 }  // namespace
 
 Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
+  obs::Span exec_span("execute", "exec");
   ParallelRuntime runtime;
   runtime.dop = context_.dop > 0 ? context_.dop : ThreadPool::DefaultDop();
   runtime.morsel_rows = context_.morsel_rows > 0 ? context_.morsel_rows : 1;
@@ -239,21 +242,31 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
     runtime.pool =
         context_.pool != nullptr ? context_.pool : &ThreadPool::Shared();
   }
+  exec_span.Arg("dop", static_cast<int64_t>(runtime.dop));
 
   std::vector<PhysicalOp*> registry;
   PhysicalBuilder builder(&context_, runtime, &registry);
-  auto root = builder.Build(plan, /*pipeline_ok=*/true);
+  auto root = [&] {
+    obs::Span span("build-physical", "exec");
+    return builder.Build(plan, /*pipeline_ok=*/true);
+  }();
   if (!root.ok()) return root.status();
 
   auto wall_start = std::chrono::steady_clock::now();
-  CLOUDVIEWS_RETURN_NOT_OK((*root)->Open());
+  {
+    obs::Span span("open-operators", "exec");
+    CLOUDVIEWS_RETURN_NOT_OK((*root)->Open());
+  }
   auto output = std::make_shared<Table>("result", plan->output_schema);
-  while (true) {
-    Row row;
-    bool done = false;
-    CLOUDVIEWS_RETURN_NOT_OK((*root)->Next(&row, &done));
-    if (done) break;
-    CLOUDVIEWS_RETURN_NOT_OK(output->Append(std::move(row)));
+  {
+    obs::Span span("drain-output", "exec");
+    while (true) {
+      Row row;
+      bool done = false;
+      CLOUDVIEWS_RETURN_NOT_OK((*root)->Next(&row, &done));
+      if (done) break;
+      CLOUDVIEWS_RETURN_NOT_OK(output->Append(std::move(row)));
+    }
   }
   (*root)->Close();
   double wall_seconds =
@@ -300,6 +313,22 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
       stats.spool_cpu_cost += spool->spool_cpu_cost();
     }
   }
+
+  // Process-wide roll-up (one sharded-atomic add per metric per query).
+  static obs::Counter& queries =
+      obs::MetricsRegistry::Global().counter("exec.queries");
+  static obs::Counter& bytes_read =
+      obs::MetricsRegistry::Global().counter("exec.bytes_read");
+  static obs::Counter& bytes_spooled =
+      obs::MetricsRegistry::Global().counter("exec.bytes_spooled");
+  static obs::Counter& morsels =
+      obs::MetricsRegistry::Global().counter("exec.morsels");
+  queries.Increment();
+  bytes_read.Add(stats.total_bytes_read);
+  bytes_spooled.Add(stats.bytes_spooled);
+  morsels.Add(stats.morsels);
+  exec_span.Arg("rows_out", static_cast<uint64_t>(output->num_rows()));
+  exec_span.Arg("morsels", stats.morsels);
   return result;
 }
 

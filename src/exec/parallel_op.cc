@@ -11,6 +11,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "exec/physical_op.h"
+#include "obs/trace.h"
 
 namespace cloudviews {
 
@@ -25,11 +26,21 @@ Status TimedParallelFor(const ParallelRuntime& runtime, size_t n, size_t grain,
   CLOUDVIEWS_RETURN_NOT_OK(ParallelFor(
       runtime.pool, runtime.dop, n, grain,
       [&](size_t m, size_t begin, size_t end) -> Status {
+        // The trace span reuses the telemetry's measured interval, so the
+        // tracer's per-morsel durations sum to busy_seconds (to microsecond
+        // rounding) and its span count equals OperatorStats::morsels.
+        const bool traced = obs::Tracer::Enabled();
+        const uint64_t trace_start = traced ? obs::Tracer::NowMicros() : 0;
         auto start = std::chrono::steady_clock::now();
         Status status = fn(m, begin, end);
         busy[m] = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+        if (traced) {
+          obs::Tracer::Global().RecordComplete(
+              "morsel", "morsel", trace_start,
+              static_cast<uint64_t>(busy[m] * 1e6 + 0.5));
+        }
         return status;
       }));
   stats->morsels += morsels;
@@ -156,6 +167,7 @@ Status MorselPipelineOp::RunMorsel(size_t begin, size_t end,
 }
 
 Status MorselPipelineOp::Open() {
+  obs::Span span("pipeline", "operator");
   if (table_ == nullptr) {
     const LogicalOp* scan = stages_[0].op;
     return Status::NotFound("scan target not available: " +

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/hash.h"
+#include "obs/trace.h"
 
 namespace cloudviews {
 
@@ -198,6 +199,7 @@ SortOp::SortOp(const LogicalOp* logical, PhysicalOpPtr child)
     : PhysicalOp(logical), child_(std::move(child)) {}
 
 Status SortOp::Open() {
+  obs::Span span("sort", "operator");
   CLOUDVIEWS_RETURN_NOT_OK(child_->Open());
   rows_.clear();
   index_ = 0;
@@ -250,6 +252,7 @@ void SortOp::Close() {
 // --- HashAggregateOp -------------------------------------------------------------
 
 Status HashAggregateOp::Open() {
+  obs::Span span("aggregate", "operator");
   CLOUDVIEWS_RETURN_NOT_OK(child_->Open());
   output_.clear();
   index_ = 0;
@@ -634,13 +637,20 @@ Status HashJoinOp::BuildRight() {
 }
 
 Status HashJoinOp::Open() {
+  obs::Span span("hash-join", "operator");
   CLOUDVIEWS_RETURN_NOT_OK(left_->Open());
   CLOUDVIEWS_RETURN_NOT_OK(right_->Open());
   if (right_arity_ == 0) {
     right_arity_ = logical_->children[1]->output_schema.num_columns();
   }
-  CLOUDVIEWS_RETURN_NOT_OK(BuildRight());
-  if (runtime_.Enabled() && probe_ok_) return ProbeParallel();
+  {
+    obs::Span span("join-build", "operator");
+    CLOUDVIEWS_RETURN_NOT_OK(BuildRight());
+  }
+  if (runtime_.Enabled() && probe_ok_) {
+    obs::Span span("join-probe", "operator");
+    return ProbeParallel();
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,62 @@
+#ifndef CLOUDVIEWS_OBS_JSON_WRITER_H_
+#define CLOUDVIEWS_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudviews {
+namespace obs {
+
+// Minimal streaming JSON emitter shared by the trace/metrics exporters, the
+// per-query profile reports, and the bench harnesses. Handles comma
+// placement and string escaping; the caller is responsible for balanced
+// Begin/End calls.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Emits `"key":` inside an object. Follow with exactly one value call.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);  // non-finite values emit null
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // Splices pre-rendered JSON verbatim (e.g. a nested object built earlier).
+  JsonWriter& RawValue(std::string_view json);
+
+  // Convenience: Key(key) followed by the value.
+  JsonWriter& Field(std::string_view key, std::string_view value);
+  JsonWriter& Field(std::string_view key, const char* value);
+  JsonWriter& Field(std::string_view key, int value);
+  JsonWriter& Field(std::string_view key, int64_t value);
+  JsonWriter& Field(std::string_view key, uint64_t value);
+  JsonWriter& Field(std::string_view key, double value);
+  JsonWriter& Field(std::string_view key, bool value);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  // JSON string-escapes `raw` (quotes, backslashes, control characters).
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true until its first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OBS_JSON_WRITER_H_

@@ -1,0 +1,158 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/sim_clock.h"
+
+namespace cloudviews {
+namespace obs {
+
+namespace {
+
+// Quotes a value when it contains characters that would break key=value
+// parsing (spaces, quotes, '=').
+std::string RenderValue(std::string_view value) {
+  bool needs_quotes = value.empty();
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(value);
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+LogField::LogField(std::string_view k, std::string_view v)
+    : key(k), value(RenderValue(v)) {}
+LogField::LogField(std::string_view k, const char* v)
+    : key(k), value(RenderValue(v)) {}
+LogField::LogField(std::string_view k, const std::string& v)
+    : key(k), value(RenderValue(v)) {}
+LogField::LogField(std::string_view k, int v)
+    : key(k), value(std::to_string(v)) {}
+LogField::LogField(std::string_view k, int64_t v)
+    : key(k), value(std::to_string(v)) {}
+LogField::LogField(std::string_view k, uint64_t v)
+    : key(k), value(std::to_string(v)) {}
+LogField::LogField(std::string_view k, double v)
+    : key(k), value(FormatDouble(v)) {}
+LogField::LogField(std::string_view k, bool v)
+    : key(k), value(v ? "true" : "false") {}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::set_min_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_level_;
+}
+
+void Logger::set_sim_clock(const SimClock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim_clock_ = clock;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::Log(LogLevel level, const char* component, const char* event,
+                 std::initializer_list<LogField> fields) {
+  if (!ShouldLog(level)) return;
+  std::string line = "level=";
+  line += LogLevelName(level);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sim_clock_ != nullptr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", sim_clock_->Now());
+    line += " sim=";
+    line += buf;
+  } else {
+    double unix_seconds =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6f", unix_seconds);
+    line += " ts=";
+    line += buf;
+  }
+  line += " component=";
+  line += component;
+  line += " event=";
+  line += event;
+  for (const LogField& field : fields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    line += field.value;
+  }
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void LogDebug(const char* component, const char* event,
+              std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kDebug, component, event, fields);
+}
+void LogInfo(const char* component, const char* event,
+             std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kInfo, component, event, fields);
+}
+void LogWarn(const char* component, const char* event,
+             std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kWarn, component, event, fields);
+}
+void LogError(const char* component, const char* event,
+              std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kError, component, event, fields);
+}
+
+}  // namespace obs
+}  // namespace cloudviews

@@ -1,0 +1,87 @@
+#ifndef CLOUDVIEWS_OBS_LOG_H_
+#define CLOUDVIEWS_OBS_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace cloudviews {
+
+class SimClock;
+
+namespace obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+// One key=value pair on a log line. Values are pre-rendered at the call
+// site; construction from the common scalar types is provided.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string_view k, std::string_view v);
+  LogField(std::string_view k, const char* v);
+  LogField(std::string_view k, const std::string& v);
+  LogField(std::string_view k, int v);
+  LogField(std::string_view k, int64_t v);
+  LogField(std::string_view k, uint64_t v);
+  LogField(std::string_view k, double v);
+  LogField(std::string_view k, bool v);
+};
+
+// Leveled structured logger emitting one `level=... ts=... component=...
+// event=... k=v ...` line per call. Replaces the ad-hoc fprintf/std::cerr
+// calls that used to be scattered through the engine and examples.
+//
+// Determinism: when a SimClock is installed (the simulator does this), the
+// timestamp field is `sim=<simulated seconds>` — identical across runs —
+// instead of wall-clock time, so logged output is reproducible.
+class Logger {
+ public:
+  using Sink = std::function<void(const std::string& line)>;
+
+  static Logger& Global();
+
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  // Installs (or clears, with nullptr) the simulated clock used for
+  // timestamps. The clock must outlive its installation.
+  void set_sim_clock(const SimClock* clock);
+
+  // Replaces the sink; nullptr restores the default stderr sink.
+  void set_sink(Sink sink);
+
+  bool ShouldLog(LogLevel level) const { return level >= min_level(); }
+
+  void Log(LogLevel level, const char* component, const char* event,
+           std::initializer_list<LogField> fields = {});
+
+ private:
+  Logger() = default;
+
+  mutable std::mutex mu_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  const SimClock* sim_clock_ = nullptr;
+  Sink sink_;
+};
+
+// Convenience wrappers over Logger::Global().
+void LogDebug(const char* component, const char* event,
+              std::initializer_list<LogField> fields = {});
+void LogInfo(const char* component, const char* event,
+             std::initializer_list<LogField> fields = {});
+void LogWarn(const char* component, const char* event,
+             std::initializer_list<LogField> fields = {});
+void LogError(const char* component, const char* event,
+              std::initializer_list<LogField> fields = {});
+
+}  // namespace obs
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OBS_LOG_H_

@@ -1,0 +1,197 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "obs/json_writer.h"
+
+namespace cloudviews {
+namespace obs {
+
+// --- Counter -----------------------------------------------------------------
+
+size_t Counter::ShardIndex() {
+  // Stable per-thread shard: hash the thread id once, then reuse.
+  thread_local const size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shard;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = bounds_.size();  // overflow bucket
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of atomic<double>::fetch_add for toolchain portability.
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.bucket_counts.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.bucket_counts.push_back(counts_[i].load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::SnapshotText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += name;
+    out += ' ';
+    out += std::to_string(counter->Value());
+    out += '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += name;
+    out += ' ';
+    out += std::to_string(gauge->Value());
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->GetSnapshot();
+    for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      out += name;
+      out += "{le=";
+      if (i < snap.upper_bounds.size()) {
+        JsonWriter w;
+        w.Double(snap.upper_bounds[i]);
+        out += w.str();
+      } else {
+        out += "+inf";
+      }
+      out += "} ";
+      out += std::to_string(snap.bucket_counts[i]);
+      out += '\n';
+    }
+    out += name + "_count " + std::to_string(snap.count) + '\n';
+    JsonWriter w;
+    w.Double(snap.sum);
+    out += name + "_sum " + w.str() + '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Field(name, counter->Value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Field(name, gauge->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->GetSnapshot();
+    w.Key(name).BeginObject();
+    w.Key("upper_bounds").BeginArray();
+    for (double b : snap.upper_bounds) w.Double(b);
+    w.EndArray();
+    w.Key("bucket_counts").BeginArray();
+    for (uint64_t c : snap.bucket_counts) w.UInt(c);
+    w.EndArray();
+    w.Field("count", snap.count);
+    w.Field("sum", snap.sum);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<double> LatencyBucketsUs() {
+  return {10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0, 100000.0, 1e6};
+}
+
+std::vector<double> WaitBucketsSeconds() {
+  return {0.1, 1.0, 10.0, 60.0, 300.0, 1800.0, 7200.0};
+}
+
+}  // namespace obs
+}  // namespace cloudviews

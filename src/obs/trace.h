@@ -1,0 +1,124 @@
+#ifndef CLOUDVIEWS_OBS_TRACE_H_
+#define CLOUDVIEWS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudviews {
+namespace obs {
+
+// One completed span. Timestamps are microseconds on a process-local
+// monotonic clock (steady_clock, anchored at the first tracer use), so a
+// merged trace across threads is self-consistent.
+struct TraceEvent {
+  std::string name;
+  const char* category = "engine";  // must point to a static string
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  uint64_t id = 0;         // unique per span, process-wide
+  uint64_t parent_id = 0;  // enclosing span on the same thread (0 = root)
+  int depth = 0;           // nesting depth on its thread (0 = thread root)
+  uint32_t tid = 0;        // stable small per-thread index
+  std::string args;        // pre-rendered JSON object *body* ("" = none)
+};
+
+// Hierarchical tracer recording spans into per-thread buffers. Disabled by
+// default; when disabled, starting a span costs exactly one relaxed atomic
+// load and records nothing. Enable programmatically or by setting the
+// CLOUDVIEWS_OBS_TRACE environment variable (checked once, at first use).
+//
+// Recording never mutates engine state, so query results are identical with
+// tracing on or off at any DOP.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  // Hot-path gate for all instrumentation sites.
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  // Drops every recorded event (buffers stay registered).
+  void Clear();
+
+  // Records a completed span with caller-measured timing — used where the
+  // interval is already being measured (e.g. per-morsel busy time), so the
+  // trace agrees with the telemetry to microsecond rounding.
+  void RecordComplete(std::string name, const char* category,
+                      uint64_t start_us, uint64_t dur_us,
+                      std::string args = {});
+
+  // Merged snapshot of every thread's buffer, sorted by (start_us, id).
+  std::vector<TraceEvent> Collect() const;
+
+  // Chrome trace_event JSON ("complete" events), loadable in
+  // chrome://tracing or https://ui.perfetto.dev.
+  std::string ExportChromeJson() const;
+
+  // Microseconds since the tracer's clock anchor.
+  static uint64_t NowMicros();
+
+ private:
+  friend class Span;
+
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint32_t tid = 0;
+  };
+
+  Tracer();
+  ThreadBuffer* LocalBuffer();
+  void Record(TraceEvent event);
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::atomic<uint32_t> next_tid_{0};
+  std::atomic<uint64_t> next_id_{0};
+};
+
+// RAII span: records a TraceEvent on destruction when the tracer was
+// enabled at construction. Maintains the per-thread parent/depth chain, so
+// nested spans reconstruct the call hierarchy.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "engine");
+  Span(std::string name, const char* category = "engine");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+  // Attaches a key/value pair rendered into the span's trace args.
+  void Arg(std::string_view key, std::string_view value);
+  void Arg(std::string_view key, int64_t value);
+  void Arg(std::string_view key, uint64_t value);
+  void Arg(std::string_view key, double value);
+
+ private:
+  void Init(const char* category);
+
+  bool active_ = false;
+  std::string name_;
+  const char* category_ = "engine";
+  uint64_t start_us_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  int depth_ = 0;
+  std::string args_;
+};
+
+}  // namespace obs
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OBS_TRACE_H_

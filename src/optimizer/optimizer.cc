@@ -3,6 +3,8 @@
 #include <functional>
 
 #include "core/cardinality_feedback.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cloudviews {
 
@@ -38,6 +40,7 @@ Result<OptimizationOutcome> Optimizer::Optimize(
     const LogicalOpPtr& plan, const QueryAnnotations& annotations,
     const ViewStore* view_store, const TryLockFn& try_lock,
     double now) const {
+  obs::Span span("optimize", "opt");
   OptimizationOutcome outcome;
   outcome.plan = plan->Clone();
 
@@ -50,8 +53,10 @@ Result<OptimizationOutcome> Optimizer::Optimize(
   // Phase 1 — core search, top-down: replace the largest materialized
   // subexpressions with view scans.
   if (options_.enable_view_matching && view_store != nullptr) {
+    obs::Span match_span("view-match", "opt");
     outcome.views_matched =
         MatchViews(&outcome.plan, view_store, now, &outcome);
+    match_span.Arg("matched", static_cast<int64_t>(outcome.views_matched));
     // Re-annotate: view scans carry observed statistics which propagate
     // upward, and join algorithms may change with the corrected estimates.
     AnnotateWithFeedback(outcome.plan.get());
@@ -62,11 +67,13 @@ Result<OptimizationOutcome> Optimizer::Optimize(
   // for selected candidates and add spools where the lock is granted.
   if (options_.enable_view_building && try_lock != nullptr &&
       !annotations.materialize_candidates.empty()) {
+    obs::Span build_span("view-build", "opt");
     int total_added = 0;
     BuildViews(&outcome.plan, annotations, view_store, try_lock, now,
                &outcome, &total_added);
     outcome.spools_added = total_added;
     AnnotateWithFeedback(outcome.plan.get());
+    build_span.Arg("spools_added", static_cast<int64_t>(total_added));
   }
 
   outcome.estimated_cost = cost_model_.SubtreeCost(*outcome.plan);
@@ -89,7 +96,14 @@ int Optimizer::MatchViews(LogicalOpPtr* node, const ViewStore* view_store,
         double reuse =
             cost_model_.ViewScanCost(static_cast<double>(view->observed_rows),
                                      static_cast<double>(view->observed_bytes));
+        static obs::Counter& rule_fired =
+            obs::MetricsRegistry::Global().counter(
+                "optimizer.rule.view_match");
+        static obs::Counter& cost_rejected =
+            obs::MetricsRegistry::Global().counter(
+                "optimizer.view_match.cost_rejected");
         if (reuse < recompute) {
+          rule_fired.Increment();
           LogicalOpPtr scan = LogicalOp::ViewScan(
               sig.strict, view->output_path, op.output_schema);
           scan->view_recurring_signature = sig.recurring;
@@ -102,6 +116,7 @@ int Optimizer::MatchViews(LogicalOpPtr* node, const ViewStore* view_store,
           outcome->matched_signatures.push_back(sig.strict);
           return 1;
         }
+        cost_rejected.Increment();
       }
     }
   }
@@ -144,6 +159,9 @@ void Optimizer::BuildViews(LogicalOpPtr* node,
   LogicalOpPtr spool = LogicalOp::Spool(*node);
   spool->view_signature = sig.strict;
   *node = std::move(spool);
+  static obs::Counter& rule_fired =
+      obs::MetricsRegistry::Global().counter("optimizer.rule.spool_inject");
+  rule_fired.Increment();
   outcome->proposed_materializations.push_back(sig.strict);
   *total_added += 1;
 }

@@ -1,5 +1,8 @@
 #include "storage/view_store.h"
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+
 namespace cloudviews {
 
 const char* ViewStateName(ViewState state) {
@@ -58,18 +61,36 @@ Status ViewStore::Seal(const Hash128& strict_signature, TablePtr contents,
   view.byte_size = view.table != nullptr ? view.table->byte_size()
                                          : static_cast<size_t>(observed_bytes);
   total_created_ += 1;
+  static obs::Counter& sealed =
+      obs::MetricsRegistry::Global().counter("views.sealed");
+  sealed.Increment();
+  if (obs::Logger::Global().ShouldLog(obs::LogLevel::kDebug)) {
+    obs::LogDebug("views", "sealed",
+                  {{"signature", strict_signature.ToHex()},
+                   {"rows", observed_rows},
+                   {"bytes", observed_bytes},
+                   {"sealed_at", now}});
+  }
   return Status::OK();
 }
 
 const MaterializedView* ViewStore::Find(const Hash128& strict_signature,
                                         double now) const {
+  static obs::Counter& hits =
+      obs::MetricsRegistry::Global().counter("views.lookup.hit");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::Global().counter("views.lookup.miss");
   auto it = views_.find(strict_signature);
-  if (it == views_.end()) return nullptr;
-  const MaterializedView& view = it->second;
-  if (view.state != ViewState::kSealed) return nullptr;
-  if (now < view.sealed_at) return nullptr;  // not yet available
-  if (now >= view.expires_at) return nullptr;
-  return &view;
+  const MaterializedView* found = nullptr;
+  if (it != views_.end()) {
+    const MaterializedView& view = it->second;
+    if (view.state == ViewState::kSealed && now >= view.sealed_at &&
+        now < view.expires_at) {
+      found = &view;
+    }
+  }
+  (found != nullptr ? hits : misses).Increment();
+  return found;
 }
 
 const MaterializedView* ViewStore::FindAny(

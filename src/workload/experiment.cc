@@ -2,9 +2,15 @@
 
 #include <cstdio>
 
+#include "obs/log.h"
+#include "obs/trace.h"
+
 namespace cloudviews {
 
 Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
+  obs::Span arm_span("simulate-arm", "sim");
+  arm_span.Arg("cloudviews",
+               static_cast<int64_t>(cloudviews_enabled ? 1 : 0));
   // Fresh deterministic stack per arm: same data, same jobs, same order.
   DatasetCatalog catalog;
   WorkloadGenerator generator(config_.workload);
@@ -17,6 +23,8 @@ Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
 
   ArmResult arm;
   for (int day = 0; day < config_.num_days; ++day) {
+    obs::Span day_span("day", "sim");
+    day_span.Arg("day", static_cast<int64_t>(day));
     if (day > 0) {
       std::vector<std::string> updated;
       CLOUDVIEWS_RETURN_NOT_OK(generator.AdvanceDay(&catalog, day, &updated));
@@ -42,7 +50,19 @@ Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
 
     for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
       auto telemetry = simulator.SubmitJob(job);
-      if (!telemetry.ok()) arm.failed_jobs += 1;
+      if (!telemetry.ok()) {
+        arm.failed_jobs += 1;
+        obs::LogWarn("experiment", "job_failed",
+                     {{"job_id", job.job_id},
+                      {"day", day},
+                      {"error", telemetry.status().message()}});
+      }
+    }
+    if (obs::Logger::Global().ShouldLog(obs::LogLevel::kDebug)) {
+      obs::LogDebug("experiment", "day_complete",
+                    {{"day", day},
+                     {"arm", cloudviews_enabled ? "cloudviews" : "baseline"},
+                     {"failed_jobs", arm.failed_jobs}});
     }
     if (config_.on_day_complete) config_.on_day_complete(day);
   }

@@ -11,6 +11,7 @@
 
 #include "common/thread_pool.h"
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "plan/builder.h"
 #include "tests/test_util.h"
 
@@ -237,6 +238,68 @@ TEST_F(ParallelExecTest, ExplicitPoolIsUsed) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->stats.dop, 3);
   EXPECT_GT(r->stats.morsels, 1u);
+}
+
+TEST_F(ParallelExecTest, TracerSpansAgreeWithMorselTelemetry) {
+  // With the tracer on, every TimedParallelFor morsel records one "morsel"
+  // span reusing the telemetry's measured interval: the span count must
+  // equal stats.morsels and the span durations must sum to
+  // morsel_busy_seconds (each span rounds to whole microseconds).
+  LogicalOpPtr plan = Plan(
+      "SELECT Customer.CustomerId, AVG(Price * Quantity) FROM Sales "
+      "JOIN Customer ON Sales.CustomerId = Customer.CustomerId "
+      "WHERE MktSegment = 'Asia' GROUP BY Customer.CustomerId");
+  ASSERT_NE(plan, nullptr);
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Enable();
+  tracer.Clear();
+  auto r = Run(plan, /*dop=*/4, /*morsel_rows=*/16);
+  std::vector<obs::TraceEvent> events = tracer.Collect();
+  tracer.Disable();
+  tracer.Clear();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(r->stats.morsels, 1u);
+
+  uint64_t morsel_spans = 0;
+  uint64_t total_dur_us = 0;
+  for (const obs::TraceEvent& event : events) {
+    if (event.name == "morsel") {
+      morsel_spans += 1;
+      total_dur_us += event.dur_us;
+    }
+  }
+  EXPECT_EQ(morsel_spans, r->stats.morsels);
+  // Each span's duration is the telemetry's busy interval rounded to whole
+  // microseconds, so the sums agree within 1us per morsel.
+  EXPECT_NEAR(static_cast<double>(total_dur_us) * 1e-6,
+              r->stats.morsel_busy_seconds,
+              1e-6 * static_cast<double>(r->stats.morsels) + 1e-9);
+}
+
+TEST_F(ParallelExecTest, TracingDoesNotChangeOutput) {
+  // dop=1 with the tracer enabled must be byte-identical to the untraced
+  // run: observability never mutates engine state.
+  LogicalOpPtr plan = Plan(
+      "SELECT Name, Price FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId WHERE Price > 11");
+  ASSERT_NE(plan, nullptr);
+  auto untraced = Run(plan, /*dop=*/1, /*morsel_rows=*/4096);
+  ASSERT_TRUE(untraced.ok()) << untraced.status().ToString();
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Enable();
+  auto traced = Run(plan, /*dop=*/1, /*morsel_rows=*/4096);
+  tracer.Disable();
+  tracer.Clear();
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+
+  std::vector<std::string> expected = Render(untraced->output);
+  std::vector<std::string> got = Render(traced->output);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(got[i], expected[i]) << "row " << i;
+  }
 }
 
 TEST_F(ParallelExecTest, ErrorsPropagateFromParallelMorsels) {
