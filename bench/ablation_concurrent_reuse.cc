@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "extensions/concurrent_reuse.h"
+#include "obs/log.h"
 #include "workload/generator.h"
 #include "workload/profiles.h"
 
@@ -48,8 +49,8 @@ int RunBench(int argc, char** argv) {
     ConcurrentBatchExecutor executor(&catalog);
     auto result = executor.ExecuteBatch(batch);
     if (!result.ok()) {
-      std::fprintf(stderr, "batch failed: %s\n",
-                   result.status().ToString().c_str());
+      obs::LogError("bench", "batch_failed",
+                    {{"status", result.status().ToString()}});
       return 1;
     }
     std::printf("%-8s %6zu %14d %16.0f %16.0f %9.1f%%\n", vc.c_str(),

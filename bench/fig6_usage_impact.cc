@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "common/sim_clock.h"
+#include "obs/log.h"
 #include "workload/experiment.h"
 #include "workload/profiles.h"
 
@@ -34,8 +35,8 @@ int RunFig6(int argc, char** argv) {
   ProductionExperiment experiment(config);
   auto result = experiment.Run();
   if (!result.ok()) {
-    std::fprintf(stderr, "experiment failed: %s\n",
-                 result.status().ToString().c_str());
+    obs::LogError("bench", "experiment_failed",
+                  {{"status", result.status().ToString()}});
     return 1;
   }
 

@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "common/sim_clock.h"
+#include "obs/log.h"
 #include "workload/experiment.h"
 #include "workload/profiles.h"
 
@@ -35,8 +36,8 @@ int RunFig7(int argc, char** argv) {
   ProductionExperiment experiment(config);
   auto result = experiment.Run();
   if (!result.ok()) {
-    std::fprintf(stderr, "experiment failed: %s\n",
-                 result.status().ToString().c_str());
+    obs::LogError("bench", "experiment_failed",
+                  {{"status", result.status().ToString()}});
     return 1;
   }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/log.h"
 #include "workload/experiment.h"
 #include "workload/profiles.h"
 
@@ -44,8 +45,8 @@ int RunFig9(int argc, char** argv) {
   ProductionExperiment experiment(config);
   auto result = experiment.Run();
   if (!result.ok()) {
-    std::fprintf(stderr, "experiment failed: %s\n",
-                 result.status().ToString().c_str());
+    obs::LogError("bench", "experiment_failed",
+                  {{"status", result.status().ToString()}});
     return 1;
   }
 

@@ -16,6 +16,7 @@
 // Build & run:  ./build/bench/micro_obs_overhead [--scale=...]
 
 #include <cstdio>
+#include <memory>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -31,8 +32,8 @@ namespace {
 
 // Figure-4 schema at ~40x the unit-test row counts (micro_parallel_exec's
 // substrate), scaled further by --scale.
-DatasetCatalog* MakeCatalog(double scale) {
-  auto* c = new DatasetCatalog();
+std::unique_ptr<DatasetCatalog> MakeCatalog(double scale) {
+  auto c = std::make_unique<DatasetCatalog>();
   c->Register("Customer",
               testing_util::MakeCustomerTable(
                   static_cast<int>(4000 * scale)),
@@ -92,7 +93,7 @@ int RunBench(int argc, char** argv) {
       "Observability overhead: executor throughput, tracer off / on / off",
       "obs subsystem acceptance: <5% regression with tracing compiled in");
 
-  DatasetCatalog* catalog = MakeCatalog(scale);
+  std::unique_ptr<DatasetCatalog> catalog = MakeCatalog(scale);
   const QueryShape shapes[] = {
       {"scan_filter_project",
        "SELECT SaleId, Price * Quantity FROM Sales "

@@ -25,6 +25,7 @@ constexpr int kParts = 800;
 
 const DatasetCatalog& ScaledCatalog() {
   static const DatasetCatalog* catalog = [] {
+    // lint:allow-new -- intentionally leaked singleton (lives for the run)
     auto* c = new DatasetCatalog();
     c->Register("Customer", testing_util::MakeCustomerTable(kCustomers),
                 "guid-customer-v1")

@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "cluster/telemetry.h"
+#include "obs/log.h"
 #include "workload/experiment.h"
 #include "workload/profiles.h"
 
@@ -42,8 +43,8 @@ int RunTable1(int argc, char** argv) {
   ProductionExperiment experiment(config);
   auto result = experiment.Run();
   if (!result.ok()) {
-    std::fprintf(stderr, "experiment failed: %s\n",
-                 result.status().ToString().c_str());
+    obs::LogError("bench", "experiment_failed",
+                  {{"status", result.status().ToString()}});
     return 1;
   }
 

@@ -12,12 +12,12 @@
 
 #include <cstdio>
 
+#include "core/insights_service.h"
 #include "core/reuse_engine.h"
 #include "core/view_selection.h"
 #include "core/workload_analyzer.h"
 #include "core/workload_repository.h"
 #include "plan/signature.h"
-#include "core/insights_service.h"
 #include "workload/generator.h"
 #include "workload/profiles.h"
 

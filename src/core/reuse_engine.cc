@@ -2,8 +2,10 @@
 
 #include <chrono>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "verify/verify.h"
 
 namespace cloudviews {
 
@@ -25,6 +27,7 @@ ReuseEngine::ReuseEngine(DatasetCatalog* catalog, ReuseEngineOptions options)
     options_.optimizer.cardinality_feedback = &feedback_;
   }
   optimizer_ = std::make_unique<Optimizer>(catalog_, options_.optimizer);
+  auditor_ = verify::SignatureAuditor(options_.optimizer.signature_options);
 }
 
 Result<LogicalOpPtr> ReuseEngine::BindPlan(const JobRequest& request) const {
@@ -67,6 +70,12 @@ Result<OptimizationOutcome> ReuseEngine::CompileBound(
     const JobRequest& request, const LogicalOpPtr& bound,
     bool reuse_enabled) {
   const LogicalOpPtr& plan = bound;
+  if constexpr (verify::RuntimeChecksEnabled()) {
+    // Audit the as-compiled plan's signatures against everything this
+    // engine has compiled before: a collision or instability here would
+    // corrupt every downstream reuse decision keyed on these hashes.
+    CLOUDVIEWS_RETURN_NOT_OK(auditor_.AuditPlan(*plan));
+  }
   QueryAnnotations annotations;
   annotations.max_views_per_job = options_.max_views_per_job;
   if (reuse_enabled) {
@@ -252,6 +261,15 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
 }
 
 SelectionResult ReuseEngine::RunViewSelection() {
+  if constexpr (verify::RuntimeChecksEnabled()) {
+    // Selection trusts repository aggregates; cross-check them against the
+    // signatures of every plan compiled so far before choosing views.
+    Status audit = auditor_.CrossCheckRepository(repository_);
+    if (!audit.ok()) {
+      obs::LogError("engine", "repository_audit_failed",
+                    {{"status", audit.ToString()}});
+    }
+  }
   SelectionConstraints constraints = options_.selection;
   ViewSelector selector(constraints);
   SelectionResult result = selector.Select(repository_);
@@ -268,6 +286,9 @@ size_t ReuseEngine::OnDatasetUpdated(const std::string& dataset_name) {
 void ReuseEngine::OnRuntimeVersionChange(uint64_t new_version) {
   options_.optimizer.signature_options.runtime_version = new_version;
   optimizer_ = std::make_unique<Optimizer>(catalog_, options_.optimizer);
+  // All hashes moved: the auditor's accumulated hash<->canonical maps are
+  // keyed by the old version and must restart from scratch.
+  auditor_ = verify::SignatureAuditor(options_.optimizer.signature_options);
   // Every existing view and annotation was keyed by the old signatures.
   view_manager_.InvalidateAll();
   insights_.PublishSelection(SelectionResult{});

@@ -18,6 +18,7 @@
 #include "plan/normalizer.h"
 #include "storage/catalog.h"
 #include "storage/view_store.h"
+#include "verify/signature_auditor.h"
 
 namespace cloudviews {
 
@@ -126,6 +127,13 @@ class ReuseEngine {
   // and every published annotation is invalid and history must be re-mined.
   void OnRuntimeVersionChange(uint64_t new_version);
 
+  // Cumulative signature-audit findings (collisions/instabilities) across
+  // every plan compiled by this engine. Populated only in verification
+  // builds; empty (and never failing) in Release.
+  const verify::AuditReport& signature_audit() const {
+    return auditor_.report();
+  }
+
   DatasetCatalog* catalog() { return catalog_; }
   WorkloadRepository& repository() { return repository_; }
   const WorkloadRepository& repository() const { return repository_; }
@@ -151,6 +159,9 @@ class ReuseEngine {
   ViewManager view_manager_;
   WorkloadRepository repository_;
   std::unique_ptr<Optimizer> optimizer_;
+  // Cross-checks every compiled plan's signatures via an independent second
+  // canonicalization path (verification builds only).
+  verify::SignatureAuditor auditor_;
 };
 
 }  // namespace cloudviews

@@ -6,6 +6,9 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "verify/physical_verifier.h"
+#include "verify/plan_verifier.h"
+#include "verify/verify.h"
 
 namespace cloudviews {
 
@@ -244,6 +247,14 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
   }
   exec_span.Arg("dop", static_cast<int64_t>(runtime.dop));
 
+  if constexpr (verify::RuntimeChecksEnabled()) {
+    // Fail before building anything: the executor trusts plan shape (child
+    // arities, schema contracts) everywhere below.
+    verify::PlanVerifyOptions options;
+    options.catalog = context_.catalog;
+    CLOUDVIEWS_RETURN_NOT_OK(verify::PlanVerifier(options).Verify(*plan));
+  }
+
   std::vector<PhysicalOp*> registry;
   PhysicalBuilder builder(&context_, runtime, &registry);
   auto root = [&] {
@@ -251,6 +262,11 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
     return builder.Build(plan, /*pipeline_ok=*/true);
   }();
   if (!root.ok()) return root.status();
+
+  if constexpr (verify::RuntimeChecksEnabled()) {
+    CLOUDVIEWS_RETURN_NOT_OK(verify::PhysicalVerifier::VerifyWiring(
+        *plan, registry, runtime.dop, runtime.morsel_rows));
+  }
 
   auto wall_start = std::chrono::steady_clock::now();
   {
@@ -269,6 +285,12 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
     }
   }
   (*root)->Close();
+  if constexpr (verify::RuntimeChecksEnabled()) {
+    // The run completed: spool sealing must have fired exactly once per
+    // spool, and per-operator row counts must respect operator contracts.
+    CLOUDVIEWS_RETURN_NOT_OK(
+        verify::PhysicalVerifier::VerifyPostRun(*plan, registry));
+  }
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

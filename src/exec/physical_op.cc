@@ -547,6 +547,7 @@ Status SpoolOp::Next(Row* row, bool* done) {
     // Exactly-once latch: the exchange makes concurrent end-of-stream
     // observers race safely — one wins, the rest see completed_ == true.
     if (!completed_.exchange(true)) {
+      completion_fires_.fetch_add(1, std::memory_order_acq_rel);
       // The stream is exhausted: the common subexpression is fully
       // materialized. In production the job manager seals the view here —
       // before the rest of the job finishes ("early sealing").

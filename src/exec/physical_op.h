@@ -300,6 +300,13 @@ class SpoolOp : public PhysicalOp {
 
   uint64_t bytes_spooled() const { return bytes_spooled_; }
   double spool_cpu_cost() const { return spool_cpu_cost_; }
+  // How many times the completion latch actually fired. The exchange makes
+  // >1 impossible by construction; the PhysicalVerifier checks ==1 after a
+  // successful run (0 means the spool was never drained — the view would
+  // silently never seal).
+  uint32_t completion_fires() const {
+    return completion_fires_.load(std::memory_order_acquire);
+  }
 
  private:
   PhysicalOpPtr child_;
@@ -310,6 +317,7 @@ class SpoolOp : public PhysicalOp {
   // Exactly-once completion latch: even if end-of-stream is observed from
   // more than one thread, only the first transition fires `on_complete_`.
   std::atomic<bool> completed_{false};
+  std::atomic<uint32_t> completion_fires_{0};
 };
 
 // --- Binary operators -------------------------------------------------------

@@ -74,6 +74,7 @@ LogField::LogField(std::string_view k, bool v)
     : key(k), value(v ? "true" : "false") {}
 
 Logger& Logger::Global() {
+  // lint:allow-new -- intentionally leaked singleton (no exit-order dtor)
   static Logger* logger = new Logger();
   return *logger;
 }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <thread>
 
 #include "obs/json_writer.h"
@@ -34,7 +35,8 @@ void Counter::Reset() {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),
-      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+      counts_(std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() +
+                                                        1)) {
   for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
 }
 
@@ -78,6 +80,7 @@ void Histogram::Reset() {
 // --- MetricsRegistry ---------------------------------------------------------
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // lint:allow-new -- intentionally leaked singleton (no exit-order dtor)
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

@@ -35,6 +35,7 @@ Tracer::Tracer() {
 }
 
 Tracer& Tracer::Global() {
+  // lint:allow-new -- intentionally leaked singleton (no exit-order dtor)
   static Tracer* tracer = new Tracer();
   return *tracer;
 }

@@ -5,8 +5,27 @@
 #include "core/cardinality_feedback.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "verify/plan_verifier.h"
+#include "verify/verify.h"
 
 namespace cloudviews {
+
+Status Optimizer::VerifyAfterRule(const char* rule,
+                                  const OptimizationOutcome& outcome,
+                                  bool algorithms_chosen) const {
+  if constexpr (!verify::RuntimeChecksEnabled()) {
+    (void)rule;
+    (void)outcome;
+    (void)algorithms_chosen;
+    return Status::OK();
+  }
+  verify::PlanVerifyOptions options;
+  options.catalog = catalog_;
+  options.signatures = &signatures_;
+  options.require_reuse_signatures = true;
+  options.algorithms_chosen = algorithms_chosen;
+  return verify::PlanVerifier(options).VerifyAfterRule(rule, *outcome.plan);
+}
 
 void Optimizer::AnnotateWithFeedback(LogicalOp* node) const {
   if (options_.cardinality_feedback != nullptr) {
@@ -44,23 +63,34 @@ Result<OptimizationOutcome> Optimizer::Optimize(
   OptimizationOutcome outcome;
   outcome.plan = plan->Clone();
 
+  // Entry check: a malformed input plan fails before any rule runs, so rule
+  // firings below can only be blamed for violations they introduced.
+  CLOUDVIEWS_RETURN_NOT_OK(
+      VerifyAfterRule("input", outcome, /*algorithms_chosen=*/false));
+
   // Baseline estimate (what the plan would cost without any reuse).
   AnnotateWithFeedback(outcome.plan.get());
   cost_model_.ChooseJoinAlgorithms(outcome.plan.get());
   outcome.estimated_cost_without_reuse =
       cost_model_.SubtreeCost(*outcome.plan);
+  CLOUDVIEWS_RETURN_NOT_OK(VerifyAfterRule("choose_join_algorithms", outcome,
+                                           /*algorithms_chosen=*/true));
 
   // Phase 1 — core search, top-down: replace the largest materialized
   // subexpressions with view scans.
   if (options_.enable_view_matching && view_store != nullptr) {
     obs::Span match_span("view-match", "opt");
-    outcome.views_matched =
-        MatchViews(&outcome.plan, view_store, now, &outcome);
+    auto matched = MatchViews(&outcome.plan, view_store, now, &outcome);
+    if (!matched.ok()) return matched.status();
+    outcome.views_matched = *matched;
     match_span.Arg("matched", static_cast<int64_t>(outcome.views_matched));
     // Re-annotate: view scans carry observed statistics which propagate
     // upward, and join algorithms may change with the corrected estimates.
     AnnotateWithFeedback(outcome.plan.get());
     cost_model_.ChooseJoinAlgorithms(outcome.plan.get());
+    CLOUDVIEWS_RETURN_NOT_OK(VerifyAfterRule("rechoose_join_algorithms",
+                                             outcome,
+                                             /*algorithms_chosen=*/true));
   }
 
   // Phase 2 — follow-up optimization, bottom-up: propose materializations
@@ -69,8 +99,9 @@ Result<OptimizationOutcome> Optimizer::Optimize(
       !annotations.materialize_candidates.empty()) {
     obs::Span build_span("view-build", "opt");
     int total_added = 0;
-    BuildViews(&outcome.plan, annotations, view_store, try_lock, now,
-               &outcome, &total_added);
+    CLOUDVIEWS_RETURN_NOT_OK(BuildViews(&outcome.plan, annotations,
+                                        view_store, try_lock, now, &outcome,
+                                        &total_added));
     outcome.spools_added = total_added;
     AnnotateWithFeedback(outcome.plan.get());
     build_span.Arg("spools_added", static_cast<int64_t>(total_added));
@@ -80,8 +111,9 @@ Result<OptimizationOutcome> Optimizer::Optimize(
   return outcome;
 }
 
-int Optimizer::MatchViews(LogicalOpPtr* node, const ViewStore* view_store,
-                          double now, OptimizationOutcome* outcome) const {
+Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
+                                  const ViewStore* view_store, double now,
+                                  OptimizationOutcome* outcome) const {
   LogicalOp& op = **node;
   // Never rewrite reuse infrastructure itself.
   if (op.kind != LogicalOpKind::kViewScan && op.kind != LogicalOpKind::kSpool) {
@@ -114,6 +146,8 @@ int Optimizer::MatchViews(LogicalOpPtr* node, const ViewStore* view_store,
           scan->stats_from_view = true;
           *node = std::move(scan);
           outcome->matched_signatures.push_back(sig.strict);
+          CLOUDVIEWS_RETURN_NOT_OK(VerifyAfterRule(
+              "view_match", *outcome, /*algorithms_chosen=*/true));
           return 1;
         }
         cost_rejected.Increment();
@@ -124,36 +158,40 @@ int Optimizer::MatchViews(LogicalOpPtr* node, const ViewStore* view_store,
   // chance before their descendants).
   int matched = 0;
   for (LogicalOpPtr& child : op.children) {
-    matched += MatchViews(&child, view_store, now, outcome);
+    auto child_matched = MatchViews(&child, view_store, now, outcome);
+    if (!child_matched.ok()) return child_matched.status();
+    matched += *child_matched;
   }
   return matched;
 }
 
-void Optimizer::BuildViews(LogicalOpPtr* node,
-                           const QueryAnnotations& annotations,
-                           const ViewStore* view_store,
-                           const TryLockFn& try_lock, double now,
-                           OptimizationOutcome* outcome,
-                           int* total_added) const {
+Status Optimizer::BuildViews(LogicalOpPtr* node,
+                             const QueryAnnotations& annotations,
+                             const ViewStore* view_store,
+                             const TryLockFn& try_lock, double now,
+                             OptimizationOutcome* outcome,
+                             int* total_added) const {
   LogicalOp& op = **node;
   // Bottom-up: children first, so inner candidates materialize too (a spool
   // below another candidate still contributes to the outer subexpression).
   for (LogicalOpPtr& child : op.children) {
-    BuildViews(&child, annotations, view_store, try_lock, now, outcome,
-               total_added);
-    if (*total_added >= annotations.max_views_per_job) return;
+    CLOUDVIEWS_RETURN_NOT_OK(BuildViews(&child, annotations, view_store,
+                                        try_lock, now, outcome, total_added));
+    if (*total_added >= annotations.max_views_per_job) return Status::OK();
   }
   if (op.kind == LogicalOpKind::kSpool || op.kind == LogicalOpKind::kViewScan) {
-    return;
+    return Status::OK();
   }
   NodeSignature sig = signatures_.Compute(op);
-  if (!sig.eligible) return;
-  if (annotations.materialize_candidates.count(sig.recurring) == 0) return;
+  if (!sig.eligible) return Status::OK();
+  if (annotations.materialize_candidates.count(sig.recurring) == 0) {
+    return Status::OK();
+  }
   // Already materialized (or being materialized by another job)?
   if (view_store != nullptr && view_store->FindAny(sig.strict) != nullptr) {
-    return;
+    return Status::OK();
   }
-  if (!try_lock(sig.strict)) return;
+  if (!try_lock(sig.strict)) return Status::OK();
   // Wrap with a spool: one consumer feeds the rest of this job, the other
   // writes the common subexpression to stable storage.
   LogicalOpPtr spool = LogicalOp::Spool(*node);
@@ -164,6 +202,8 @@ void Optimizer::BuildViews(LogicalOpPtr* node,
   rule_fired.Increment();
   outcome->proposed_materializations.push_back(sig.strict);
   *total_added += 1;
+  return VerifyAfterRule("spool_inject", *outcome,
+                         /*algorithms_chosen=*/true);
 }
 
 }  // namespace cloudviews

@@ -89,16 +89,23 @@ class Optimizer {
   // the static estimator over the rest.
   void AnnotateWithFeedback(LogicalOp* node) const;
 
-  // Top-down view matching; returns the number of replacements.
-  int MatchViews(LogicalOpPtr* node, const ViewStore* view_store, double now,
-                 OptimizationOutcome* outcome) const;
+  // Top-down view matching; returns the number of replacements. In
+  // verification builds the whole plan is re-validated after every rewrite,
+  // so a schema-breaking match fails at the rule that introduced it.
+  Result<int> MatchViews(LogicalOpPtr* node, const ViewStore* view_store,
+                         double now, OptimizationOutcome* outcome) const;
 
   // Bottom-up spool injection; increments *total_added (bounded by the
-  // per-job cap).
-  void BuildViews(LogicalOpPtr* node, const QueryAnnotations& annotations,
-                  const ViewStore* view_store, const TryLockFn& try_lock,
-                  double now, OptimizationOutcome* outcome,
-                  int* total_added) const;
+  // per-job cap). Re-validates after every injection in verification builds.
+  Status BuildViews(LogicalOpPtr* node, const QueryAnnotations& annotations,
+                    const ViewStore* view_store, const TryLockFn& try_lock,
+                    double now, OptimizationOutcome* outcome,
+                    int* total_added) const;
+
+  // Re-validates the full plan after optimizer stage `rule`; compiled to a
+  // no-op unless CLOUDVIEWS_VERIFY_RUNTIME is defined.
+  Status VerifyAfterRule(const char* rule, const OptimizationOutcome& outcome,
+                         bool algorithms_chosen) const;
 
   const DatasetCatalog* catalog_;
   OptimizerOptions options_;

@@ -9,6 +9,7 @@ namespace cloudviews {
 namespace {
 
 const std::unordered_map<std::string, TokenType>& KeywordMap() {
+  // lint:allow-new -- intentionally leaked singleton (no exit-order dtor)
   static const auto* kMap = new std::unordered_map<std::string, TokenType>{
       {"SELECT", TokenType::kSelect},   {"FROM", TokenType::kFrom},
       {"WHERE", TokenType::kWhere},     {"JOIN", TokenType::kJoin},

@@ -1,0 +1,44 @@
+#ifndef CLOUDVIEWS_VERIFY_PHYSICAL_VERIFIER_H_
+#define CLOUDVIEWS_VERIFY_PHYSICAL_VERIFIER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/physical_op.h"
+#include "plan/logical_plan.h"
+
+namespace cloudviews {
+namespace verify {
+
+// Checks the physical operator tree the Executor builds against the logical
+// plan it implements. Two entry points bracket a run:
+//
+//   VerifyWiring   — after PhysicalBuilder, before Open(): every logical
+//                    node is implemented by exactly one registered physical
+//                    operator, every spool node is backed by a real SpoolOp
+//                    (never fused away), and the resolved parallel runtime
+//                    satisfies the DOP-invariance preconditions (dop >= 1,
+//                    morsel_rows >= 1 — morsel boundaries must depend only
+//                    on input size, never on dop).
+//
+//   VerifyPostRun  — after Close(): spool sealing fired exactly once per
+//                    spool (0 = the view silently never seals, >1 is ruled
+//                    out by the latch but re-checked here), Limit emitted no
+//                    more than its bound, and row-preserving operators did
+//                    not emit more rows than their child produced.
+//
+// Every failure is Status::Corruption naming the offending operator.
+class PhysicalVerifier {
+ public:
+  static Status VerifyWiring(const LogicalOp& root,
+                             const std::vector<PhysicalOp*>& registry,
+                             int dop, size_t morsel_rows);
+
+  static Status VerifyPostRun(const LogicalOp& root,
+                              const std::vector<PhysicalOp*>& registry);
+};
+
+}  // namespace verify
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_VERIFY_PHYSICAL_VERIFIER_H_

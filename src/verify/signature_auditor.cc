@@ -1,0 +1,301 @@
+#include "verify/signature_auditor.h"
+
+#include <unordered_map>
+
+#include "storage/value.h"
+
+namespace cloudviews {
+namespace verify {
+
+namespace {
+
+// Serializes an expression covering exactly what Expr::HashInto(strict=true)
+// hashes: kind, operator enums, literal values with their types, column
+// ordinals, function names, negation flags, LIKE patterns, and the child
+// list. Deliberately built by string concatenation — no Hasher involved —
+// so it cannot share a bug with the hashing path.
+void ExprCanonical(const Expr& expr, std::string* out) {
+  out->push_back('e');
+  out->append(std::to_string(static_cast<int>(expr.kind)));
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      out->push_back(':');
+      out->append(DataTypeName(expr.literal.type()));
+      out->push_back('=');
+      out->append(expr.literal.ToString());
+      break;
+    case ExprKind::kColumn:
+      out->push_back('$');
+      out->append(std::to_string(expr.column_index));
+      break;
+    case ExprKind::kUnary:
+      out->push_back('u');
+      out->append(std::to_string(static_cast<int>(expr.unary_op)));
+      break;
+    case ExprKind::kBinary:
+      out->push_back('b');
+      out->append(std::to_string(static_cast<int>(expr.binary_op)));
+      break;
+    case ExprKind::kCall:
+      out->push_back('f');
+      out->append(expr.function_name);
+      break;
+    case ExprKind::kBetween:
+    case ExprKind::kInList:
+    case ExprKind::kIsNull:
+      out->push_back(expr.negated ? '!' : '.');
+      break;
+    case ExprKind::kLike:
+      out->push_back(expr.negated ? '!' : '.');
+      out->push_back('~');
+      out->append(expr.like_pattern);
+      break;
+  }
+  out->push_back('(');
+  for (const ExprPtr& child : expr.children) {
+    ExprCanonical(*child, out);
+    out->push_back(',');
+  }
+  out->push_back(')');
+}
+
+// Mirrors HashNodeParams(strict=true) in plan/signature.cc, again by
+// string building rather than hashing.
+void NodeCanonical(const LogicalOp& node, std::string* out) {
+  out->append(LogicalOpKindName(node.kind));
+  out->push_back('{');
+  switch (node.kind) {
+    case LogicalOpKind::kScan:
+      out->append(node.dataset_name);
+      out->push_back('#');
+      out->append(node.dataset_guid);
+      out->push_back('[');
+      for (int col : node.scan_columns) {
+        out->append(std::to_string(col));
+        out->push_back(',');
+      }
+      out->push_back(']');
+      break;
+    case LogicalOpKind::kViewScan:
+      out->append(node.view_signature.ToHex());
+      break;
+    case LogicalOpKind::kFilter:
+      ExprCanonical(*node.predicate, out);
+      break;
+    case LogicalOpKind::kProject:
+      for (const ExprPtr& e : node.projections) {
+        ExprCanonical(*e, out);
+        out->push_back(',');
+      }
+      break;
+    case LogicalOpKind::kJoin:
+      out->append(std::to_string(static_cast<int>(node.join_kind)));
+      out->push_back('[');
+      for (const auto& [l, r] : node.equi_keys) {
+        out->append(std::to_string(l));
+        out->push_back('=');
+        out->append(std::to_string(r));
+        out->push_back(',');
+      }
+      out->push_back(']');
+      if (node.predicate != nullptr) ExprCanonical(*node.predicate, out);
+      break;
+    case LogicalOpKind::kAggregate:
+      out->push_back('[');
+      for (const ExprPtr& e : node.group_by) {
+        ExprCanonical(*e, out);
+        out->push_back(',');
+      }
+      out->push_back(';');
+      for (const AggregateSpec& agg : node.aggregates) {
+        out->append(std::to_string(static_cast<int>(agg.func)));
+        out->push_back(agg.distinct ? 'd' : '.');
+        if (agg.arg != nullptr) ExprCanonical(*agg.arg, out);
+        out->push_back(',');
+      }
+      out->push_back(']');
+      break;
+    case LogicalOpKind::kSort:
+      for (const SortKey& key : node.sort_keys) {
+        ExprCanonical(*key.expr, out);
+        out->push_back(key.ascending ? 'a' : 'd');
+        out->push_back(',');
+      }
+      break;
+    case LogicalOpKind::kLimit:
+      out->append(std::to_string(node.limit));
+      break;
+    case LogicalOpKind::kUnionAll:
+      break;
+    case LogicalOpKind::kUdo:
+      out->append(node.udo_name);
+      out->push_back(node.udo_deterministic ? 'd' : 'n');
+      break;
+    case LogicalOpKind::kSpool:
+      break;
+  }
+  out->push_back('}');
+  out->push_back('(');
+  for (const LogicalOpPtr& child : node.children) {
+    NodeCanonical(*child, out);
+    out->push_back(',');
+  }
+  out->push_back(')');
+}
+
+bool SubtreeContainsReuseOp(const LogicalOp& node) {
+  if (node.kind == LogicalOpKind::kSpool ||
+      node.kind == LogicalOpKind::kViewScan) {
+    return true;
+  }
+  for (const LogicalOpPtr& child : node.children) {
+    if (SubtreeContainsReuseOp(*child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CanonicalForm(const LogicalOp& node) {
+  std::string out;
+  out.reserve(node.TreeSize() * 24);
+  NodeCanonical(node, &out);
+  return out;
+}
+
+Status SignatureAuditor::AuditPlan(const LogicalOp& root) {
+  report_.plans_audited += 1;
+
+  // Determinism: computing the same plan's signatures twice must agree bit
+  // for bit. (An unseeded hash, iteration-order dependence, or
+  // uninitialized field shows up here immediately.)
+  std::vector<NodeSignature> first = computer_.ComputeAll(root);
+  std::vector<NodeSignature> second = computer_.ComputeAll(root);
+  if (first.size() != second.size()) {
+    std::string msg = "signature audit: recomputation returned " +
+                      std::to_string(second.size()) + " signatures vs " +
+                      std::to_string(first.size());
+    report_.instabilities.push_back(msg);
+    return Status::Corruption(msg);
+  }
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (!(first[i].strict == second[i].strict) ||
+        !(first[i].recurring == second[i].recurring)) {
+      std::string msg =
+          "signature audit: nondeterministic recomputation at " +
+          std::string(LogicalOpKindName(first[i].node->kind)) +
+          " (strict " + first[i].strict.ToHex() + " vs " +
+          second[i].strict.ToHex() + ")";
+      report_.instabilities.push_back(msg);
+      return Status::Corruption(msg);
+    }
+  }
+
+  // Cross-check each subtree's strict hash against the accumulated
+  // canonical-form maps.
+  Status status = Status::OK();
+  for (const NodeSignature& sig : first) {
+    const LogicalOp& node = *sig.node;
+    if (SubtreeContainsReuseOp(node)) continue;  // transparency by design
+    report_.nodes_audited += 1;
+
+    std::string canonical = CanonicalForm(node);
+    auto by_hash = by_strict_.find(sig.strict);
+    if (by_hash != by_strict_.end() &&
+        by_hash->second.canonical != canonical) {
+      std::string msg = "signature audit: strict hash COLLISION on " +
+                        sig.strict.ToHex() + ": '" + canonical +
+                        "' vs previously seen '" + by_hash->second.canonical +
+                        "'";
+      report_.collisions.push_back(msg);
+      if (status.ok()) status = Status::Corruption(msg);
+      continue;
+    }
+    if (by_hash != by_strict_.end() &&
+        !(by_hash->second.recurring == sig.recurring)) {
+      std::string msg =
+          "signature audit: strict signature " + sig.strict.ToHex() +
+          " maps to two recurring signatures (" + sig.recurring.ToHex() +
+          " vs " + by_hash->second.recurring.ToHex() + ")";
+      report_.instabilities.push_back(msg);
+      if (status.ok()) status = Status::Corruption(msg);
+      continue;
+    }
+    auto by_text = by_canonical_.find(canonical);
+    if (by_text != by_canonical_.end() && !(by_text->second == sig.strict)) {
+      std::string msg = "signature audit: hash INSTABILITY: '" + canonical +
+                        "' hashed to " + sig.strict.ToHex() +
+                        " but previously to " + by_text->second.ToHex();
+      report_.instabilities.push_back(msg);
+      if (status.ok()) status = Status::Corruption(msg);
+      continue;
+    }
+    if (by_strict_.size() < kMaxTrackedEntries) {
+      by_strict_.emplace(sig.strict,
+                         SeenEntry{canonical, sig.recurring,
+                                   sig.subtree_size});
+      by_canonical_.emplace(std::move(canonical), sig.strict);
+    }
+  }
+  return status;
+}
+
+Status SignatureAuditor::CrossCheckRepository(
+    const WorkloadRepository& repository) {
+  std::unordered_map<Hash128, Hash128, Hash128Hasher> recurring_seen;
+  for (const SubexpressionGroup* group : repository.AllGroups()) {
+    if (group->strict_signature.IsZero()) {
+      std::string msg = "repository audit: group with zero strict signature";
+      report_.instabilities.push_back(msg);
+      return Status::Corruption(msg);
+    }
+    if (group->subtree_size < 1 || group->occurrences < 1 ||
+        group->cost_samples > group->occurrences ||
+        group->last_day < group->first_day) {
+      std::string msg = "repository audit: inconsistent group " +
+                        group->strict_signature.ToHex() + " (" +
+                        std::to_string(group->occurrences) + " occurrences, " +
+                        std::to_string(group->cost_samples) +
+                        " cost samples, subtree size " +
+                        std::to_string(group->subtree_size) + ")";
+      report_.instabilities.push_back(msg);
+      return Status::Corruption(msg);
+    }
+    // A strict signature determines the subexpression, hence its recurring
+    // signature — within the repository and against audited plans.
+    auto [it, inserted] = recurring_seen.emplace(group->strict_signature,
+                                                 group->recurring_signature);
+    if (!inserted && !(it->second == group->recurring_signature)) {
+      std::string msg = "repository audit: strict signature " +
+                        group->strict_signature.ToHex() +
+                        " has two recurring signatures";
+      report_.instabilities.push_back(msg);
+      return Status::Corruption(msg);
+    }
+    auto audited = by_strict_.find(group->strict_signature);
+    if (audited != by_strict_.end()) {
+      if (!(audited->second.recurring == group->recurring_signature)) {
+        std::string msg =
+            "repository audit: strict signature " +
+            group->strict_signature.ToHex() +
+            " recurring signature disagrees with the compiled plan's";
+        report_.instabilities.push_back(msg);
+        return Status::Corruption(msg);
+      }
+      if (audited->second.subtree_size != group->subtree_size) {
+        std::string msg = "repository audit: strict signature " +
+                          group->strict_signature.ToHex() +
+                          " subtree size " +
+                          std::to_string(group->subtree_size) +
+                          " disagrees with the compiled plan's " +
+                          std::to_string(audited->second.subtree_size);
+        report_.instabilities.push_back(msg);
+        return Status::Corruption(msg);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace verify
+}  // namespace cloudviews

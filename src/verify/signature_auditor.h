@@ -1,0 +1,88 @@
+#ifndef CLOUDVIEWS_VERIFY_SIGNATURE_AUDITOR_H_
+#define CLOUDVIEWS_VERIFY_SIGNATURE_AUDITOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "core/workload_repository.h"
+#include "plan/logical_plan.h"
+#include "plan/signature.h"
+
+namespace cloudviews {
+namespace verify {
+
+// Canonical textual form of a subexpression: an independent second
+// canonicalization path that serializes exactly the attributes the strict
+// signature hashes (operator kinds, expression trees with literal values,
+// dataset names/GUIDs, join kinds, key ordinals) — but through string
+// concatenation instead of the Hasher. Two subtrees share a canonical form
+// iff the strict hasher consumed identical input, so:
+//
+//   equal strict hash, different canonical form  =>  hash COLLISION
+//   equal canonical form, different strict hash  =>  hash INSTABILITY
+//
+// Either one silently corrupts every downstream reuse decision (a collision
+// serves the wrong view's rows; an instability loses every reuse hit).
+std::string CanonicalForm(const LogicalOp& node);
+
+// Findings accumulated across every plan an auditor has seen.
+struct AuditReport {
+  size_t nodes_audited = 0;
+  size_t plans_audited = 0;
+  std::vector<std::string> collisions;
+  std::vector<std::string> instabilities;
+
+  bool ok() const { return collisions.empty() && instabilities.empty(); }
+};
+
+// Cross-checks signature integrity over compiled plans and the workload
+// repository. Maintains hash<->canonical-form maps across calls, so a
+// collision between two *different* jobs' subexpressions is caught when the
+// second one compiles.
+//
+// Subtrees containing reuse-infrastructure operators (spool / view scan)
+// are skipped on purpose: signature transparency means a view scan and the
+// subtree it replaced hash identically while serializing differently —
+// that is the design, not a collision.
+class SignatureAuditor {
+ public:
+  explicit SignatureAuditor(SignatureOptions options = {})
+      : computer_(options) {}
+
+  // Audits one compiled plan: recomputes every node's signature twice
+  // (determinism), then cross-checks each reuse-eligible subtree's strict
+  // hash against the canonical-form maps. Returns Corruption describing the
+  // first finding; all findings are retained in report().
+  Status AuditPlan(const LogicalOp& root);
+
+  // Cross-checks repository aggregates: every strict signature must pair
+  // with a single recurring signature / subtree size, both here and against
+  // every plan audited so far.
+  Status CrossCheckRepository(const WorkloadRepository& repository);
+
+  const AuditReport& report() const { return report_; }
+
+ private:
+  // Bounds the cross-plan maps; beyond this, new entries are not retained
+  // (within-plan auditing still runs in full).
+  static constexpr size_t kMaxTrackedEntries = 1 << 16;
+
+  struct SeenEntry {
+    std::string canonical;
+    Hash128 recurring;
+    size_t subtree_size = 0;
+  };
+
+  SignatureComputer computer_;
+  std::unordered_map<Hash128, SeenEntry, Hash128Hasher> by_strict_;
+  std::unordered_map<std::string, Hash128> by_canonical_;
+  AuditReport report_;
+};
+
+}  // namespace verify
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_VERIFY_SIGNATURE_AUDITOR_H_

@@ -1,0 +1,11 @@
+#include "verify/verify.h"
+
+namespace cloudviews {
+namespace verify {
+
+std::string NodePath(const std::string& kind_name, const std::string& path) {
+  return kind_name + " at plan path " + (path.empty() ? "root" : path);
+}
+
+}  // namespace verify
+}  // namespace cloudviews

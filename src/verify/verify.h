@@ -1,0 +1,37 @@
+#ifndef CLOUDVIEWS_VERIFY_VERIFY_H_
+#define CLOUDVIEWS_VERIFY_VERIFY_H_
+
+#include <string>
+
+namespace cloudviews {
+namespace verify {
+
+// The verify subsystem mechanically checks engine invariants that the rest
+// of the code takes for granted: plan well-formedness (plan_verifier.h),
+// physical operator wiring (physical_verifier.h), and signature
+// determinism/collision-freedom (signature_auditor.h).
+//
+// The verifier *library* is always compiled, so tests can exercise it in any
+// build type. What the CLOUDVIEWS_VERIFY_RUNTIME macro gates is the
+// automatic invocation inside the optimizer, executor, and reuse engine:
+// Debug/RelWithDebInfo/CI builds re-validate every plan after every rule
+// firing, while Release builds compile those call sites down to nothing so
+// benchmark throughput is unaffected.
+constexpr bool RuntimeChecksEnabled() {
+#ifdef CLOUDVIEWS_VERIFY_RUNTIME
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Formats a node's position for diagnostics: "Join at plan path root.0.1"
+// means root's first child's second child. Every verifier error message
+// names the offending operator this way, so a violation points at the node
+// (and, in the optimizer, the rule) that introduced it.
+std::string NodePath(const std::string& kind_name, const std::string& path);
+
+}  // namespace verify
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_VERIFY_VERIFY_H_

@@ -6,6 +6,7 @@
 #include "exec/executor.h"
 #include "plan/builder.h"
 #include "tests/test_util.h"
+#include "verify/plan_verifier.h"
 
 namespace cloudviews {
 namespace {
@@ -39,6 +40,11 @@ class ExecEdgeTest : public ::testing::Test {
     auto plan = builder.BuildFromSql(sql);
     if (!plan.ok()) return plan.status();
     SetJoin(plan->get(), algorithm);
+    // Every edge-case plan is verified before execution, so malformed-plan
+    // failures point at the builder, not at whatever operator trips first.
+    verify::PlanVerifyOptions options;
+    options.catalog = &catalog_;
+    CLOUDVIEWS_RETURN_NOT_OK(verify::PlanVerifier(options).Verify(**plan));
     ExecContext context;
     context.catalog = &catalog_;
     Executor executor(context);

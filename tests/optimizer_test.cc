@@ -6,6 +6,7 @@
 #include "optimizer/optimizer.h"
 #include "plan/builder.h"
 #include "tests/test_util.h"
+#include "verify/plan_verifier.h"
 
 namespace cloudviews {
 namespace {
@@ -14,11 +15,19 @@ class OptimizerTest : public ::testing::Test {
  protected:
   void SetUp() override { testing_util::RegisterFigure4Tables(&catalog_); }
 
+  // Every plan built by the suite is verified for free: a builder or test
+  // regression producing a malformed plan fails here with a diagnostic
+  // instead of a downstream mystery.
   LogicalOpPtr Build(const std::string& sql) {
     PlanBuilder builder(&catalog_);
     auto plan = builder.BuildFromSql(sql);
     EXPECT_TRUE(plan.ok()) << plan.status().ToString();
-    return plan.ok() ? *plan : nullptr;
+    if (!plan.ok()) return nullptr;
+    verify::PlanVerifyOptions options;
+    options.catalog = &catalog_;
+    Status verified = verify::PlanVerifier(options).Verify(**plan);
+    EXPECT_TRUE(verified.ok()) << verified.ToString();
+    return *plan;
   }
 
   // Runs `plan` with a spool over the subtree whose strict signature is

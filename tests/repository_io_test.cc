@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/repository_io.h"
 #include "core/view_selection.h"
 
@@ -25,8 +27,8 @@ SubexpressionInstance MakeInstance(const std::string& seed, int64_t job,
   return inst;
 }
 
-WorkloadRepository* MakeFilled() {
-  auto* repo = new WorkloadRepository();
+std::unique_ptr<WorkloadRepository> MakeFilled() {
+  auto repo = std::make_unique<WorkloadRepository>();
   for (int i = 0; i < 6; ++i) repo->Ingest(MakeInstance("hot", i, "vc0", 0));
   for (int i = 0; i < 3; ++i) repo->Ingest(MakeInstance("hot", i, "vc1", 1));
   repo->Ingest(MakeInstance("cold", 100, "vc0", 1));

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "core/workload_compression.h"
 #include "core/workload_analyzer.h"
+#include "core/workload_compression.h"
 #include "plan/signature.h"
 #include "workload/generator.h"
 

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Project-idiom lint for the CloudViews codebase.
+
+Checks, over src/, tests/, bench/, and examples/:
+
+  stderr     no raw fprintf(stderr, ...) / std::cerr outside src/obs — all
+             diagnostics go through the structured logger (obs/log.h)
+  new        no raw owning new/delete outside arenas; intentional leaks
+             (singletons) carry a `lint:allow-new` comment on the line above
+  rng        no unseeded randomness (rand/srand/random_device, or a
+             default-constructed std engine) — determinism is a core
+             engine invariant (signatures must be stable run to run)
+  guard      header include guards spell the file path
+             (src/plan/expr.h -> CLOUDVIEWS_PLAN_EXPR_H_)
+  self-first a .cc file's first #include is its own header, so every
+             header proves it is self-contained
+  includes   no duplicate #includes; project-include blocks sorted
+
+Exit status 0 = clean; 1 = violations (printed one per line as
+path:line: [rule] message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+ALLOW_NEW = "lint:allow-new"
+
+violations = []
+
+
+def report(path, line_no, rule, message):
+    violations.append(f"{path.relative_to(REPO)}:{line_no}: [{rule}] {message}")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure, so token rules don't fire on prose or log text."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in ('"', "'"):
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def check_stderr(path, raw_lines, code_lines):
+    if path.is_relative_to(REPO / "src" / "obs"):
+        return  # the logger's own sink writes to stderr by design
+    for no, line in enumerate(code_lines, 1):
+        if re.search(r"\bfprintf\s*\(\s*stderr\b", line):
+            report(path, no, "stderr",
+                   "raw fprintf(stderr, ...); use obs::LogError instead")
+        if "std::cerr" in line:
+            report(path, no, "stderr",
+                   "std::cerr; use obs::LogError instead")
+
+
+def check_new_delete(path, raw_lines, code_lines):
+    for no, line in enumerate(code_lines, 1):
+        allowed = ALLOW_NEW in raw_lines[no - 1] or (
+            no >= 2 and ALLOW_NEW in raw_lines[no - 2])
+        if re.search(r"\bnew\b(?!\s*\()", line) or re.search(
+                r"\bnew\s+\(", line):
+            if not allowed:
+                report(path, no, "new",
+                       "raw owning new; use make_unique/make_shared, or "
+                       "annotate an intentional leak with " + ALLOW_NEW)
+        if re.search(r"\bdelete\b(?!\s*;)", line):
+            # `= delete;` declarations are idiomatic and fine.
+            if re.search(r"=\s*delete\b", line):
+                continue
+            if not allowed:
+                report(path, no, "new", "raw delete; owning pointers only")
+
+
+def check_rng(path, raw_lines, code_lines):
+    for no, line in enumerate(code_lines, 1):
+        if "std::random_device" in line:
+            report(path, no, "rng",
+                   "std::random_device is nondeterministic; derive seeds "
+                   "from job ids / signatures")
+        if re.search(r"(?<![\w:])s?rand\s*\(", line):
+            report(path, no, "rng", "rand()/srand(); use a seeded engine")
+        if re.search(r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine)"
+                     r"\s+\w+\s*(;|\{\s*\}|\(\s*\))", line):
+            report(path, no, "rng",
+                   "default-constructed RNG engine; pass an explicit seed")
+
+
+def expected_guard(path):
+    rel = path.relative_to(REPO / "src") if path.is_relative_to(
+        REPO / "src") else path.relative_to(REPO)
+    token = re.sub(r"[^A-Za-z0-9]", "_", str(rel)).upper()
+    return f"CLOUDVIEWS_{token}_"
+
+
+def check_guard(path, raw_lines):
+    guard = expected_guard(path)
+    head = "".join(raw_lines[:8])
+    if f"#ifndef {guard}" not in head or f"#define {guard}" not in head:
+        report(path, 1, "guard", f"include guard must be {guard}")
+
+
+def check_self_include_first(path, raw_lines):
+    header = path.with_suffix(".h")
+    if not header.exists():
+        return
+    rel = header.relative_to(REPO / "src") if header.is_relative_to(
+        REPO / "src") else header.name
+    first = next(
+        (l.strip() for l in raw_lines if l.strip().startswith("#include")),
+        None)
+    if first != f'#include "{rel}"':
+        report(path, 1, "self-first",
+               f'first #include must be "{rel}" (self-containedness proof)')
+
+
+def check_include_blocks(path, raw_lines):
+    seen = {}
+    block = []  # (line_no, include_text) for the current "..." block
+    for no, line in enumerate(raw_lines, 1):
+        m = re.match(r'\s*#include\s+(["<][^">]+[">])', line)
+        if m:
+            inc = m.group(1)
+            if inc in seen:
+                report(path, no, "includes",
+                       f"duplicate #include {inc} (first at line {seen[inc]})")
+            else:
+                seen[inc] = no
+            if inc.startswith('"'):
+                block.append((no, inc))
+                continue
+        if line.strip() == "" or m:
+            # blank lines separate blocks; system includes end a "..." block
+            if block and (line.strip() == "" or not m):
+                incs = [i for _, i in block]
+                if incs != sorted(incs):
+                    report(path, block[0][0], "includes",
+                           "project include block is not sorted")
+                block = []
+            continue
+        if block:
+            incs = [i for _, i in block]
+            if incs != sorted(incs):
+                report(path, block[0][0], "includes",
+                       "project include block is not sorted")
+            block = []
+    if block:
+        incs = [i for _, i in block]
+        if incs != sorted(incs):
+            report(path, block[0][0], "includes",
+                   "project include block is not sorted")
+
+
+def lint_file(path):
+    raw = path.read_text()
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    # Pad so 1-based indexing never falls off the end.
+    while len(code_lines) < len(raw_lines):
+        code_lines.append("")
+
+    check_stderr(path, raw_lines, code_lines)
+    check_new_delete(path, raw_lines, code_lines)
+    check_rng(path, raw_lines, code_lines)
+    check_include_blocks(path, raw_lines)
+    if path.suffix == ".h":
+        check_guard(path, raw_lines)
+    if path.suffix == ".cc":
+        check_self_include_first(path, raw_lines)
+
+
+def main():
+    targets = []
+    for d in SCAN_DIRS:
+        targets += sorted((REPO / d).rglob("*.h"))
+        targets += sorted((REPO / d).rglob("*.cc"))
+    for path in targets:
+        lint_file(path)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint: {len(violations)} violation(s) in "
+              f"{len(set(v.split(':')[0] for v in violations))} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint: {len(targets)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
