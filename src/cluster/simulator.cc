@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/fault.h"
+#include "fault/fault_sites.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "plan/signature.h"
@@ -191,6 +194,32 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
   telemetry.queue_length_at_submit = queue_length;
   telemetry.queue_wait_seconds = queue_wait;
 
+  // --- Node placement faults ------------------------------------------------
+  // Injected BEFORE the engine runs so a retried job executes (and ingests
+  // into the workload repository) exactly once. Each retry models the job
+  // manager rescheduling the lost containers on a fresh node, with
+  // exponential backoff charged to the job's latency.
+  double retry_delay = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    Status placed = fault::Inject(fault::sites::kNodeFail);
+    if (placed.ok()) break;
+    if (attempt + 1 >= options_.max_node_retries) {
+      telemetry.failed = true;
+      *earliest = start_time;  // failed jobs release their slot immediately
+      telemetry_.Record(telemetry);
+      obs::LogWarn("sim", "job_failed_node_retries_exhausted",
+                   {{"job_id", job.job_id},
+                    {"retries", telemetry.node_retries}});
+      return placed;
+    }
+    telemetry.node_retries += 1;
+    retry_delay +=
+        options_.node_retry_backoff_seconds * std::pow(2.0, attempt);
+    static obs::Counter& retries =
+        obs::MetricsRegistry::Global().counter("faults.retries");
+    retries.Increment();
+  }
+
   auto exec = engine_->RunJob(request);
   if (!exec.ok()) {
     telemetry.failed = true;
@@ -213,7 +242,8 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
 
   // Opportunistic (bonus) allocation: stages wider than the VC's guaranteed
   // tokens borrow idle cluster capacity, with high variance.
-  double latency = stages.latency_seconds + exec->compile_overhead_seconds;
+  double latency =
+      stages.latency_seconds + exec->compile_overhead_seconds + retry_delay;
   if (stages.max_width > options_.vc_guaranteed_tokens) {
     double overflow =
         static_cast<double>(stages.max_width - options_.vc_guaranteed_tokens) /
@@ -227,6 +257,13 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
     // Unavailable bonus capacity stretches the critical path: this is the
     // runtime unpredictability the paper attributes to bonus reliance.
     latency *= 1.0 + overflow * (1.0 - availability);
+  }
+  // Straggler injection: one slow node holds the whole stage hostage, so the
+  // critical path stretches by the slowdown factor. Results are unaffected
+  // (the engine already ran); only the latency tail moves.
+  if (!fault::Inject(fault::sites::kNodeStraggler).ok()) {
+    latency *= options_.straggler_slowdown;
+    telemetry.straggler = true;
   }
   telemetry.latency_seconds = latency;
 

@@ -34,6 +34,13 @@ struct ClusterSimOptions {
   bool use_measured_parallel_time = true;
   double min_measured_busy_seconds = 0.005;
   double min_parallel_efficiency = 0.25;   // clamp pathological measurements
+  // Failure model (exercised only when fault injection arms the
+  // cluster.node.* sites): a placement that lands on a dead node is retried
+  // on a fresh node with exponential backoff charged to job latency; a
+  // straggler node stretches the critical path by the slowdown factor.
+  int max_node_retries = 3;
+  double node_retry_backoff_seconds = 5.0;
+  double straggler_slowdown = 4.0;
   int vc_guaranteed_tokens = 12;       // guaranteed containers per VC
   int vc_concurrent_jobs = 2;          // job-service slots per VC
   double bonus_availability_mean = 0.6;    // mean spare-capacity fraction

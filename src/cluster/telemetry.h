@@ -30,6 +30,10 @@ struct JobTelemetry {
   int views_built = 0;
   int views_matched = 0;
   bool failed = false;
+  // Failure-model annotations (fault injection): node placements retried
+  // before the job ran, and whether a straggler node stretched the tail.
+  int node_retries = 0;
+  bool straggler = false;
 };
 
 // One day's aggregate across all jobs.
@@ -46,6 +50,7 @@ struct DailyTelemetry {
   int64_t views_built = 0;
   int64_t views_matched = 0;
   int64_t failures = 0;
+  int64_t node_retries = 0;
 
   void Add(const JobTelemetry& job) {
     jobs += 1;
@@ -59,6 +64,7 @@ struct DailyTelemetry {
     views_built += job.views_built;
     views_matched += job.views_matched;
     if (job.failed) failures += 1;
+    node_retries += job.node_retries;
   }
 };
 
@@ -94,6 +100,7 @@ class TelemetrySeries {
       total.views_built += d.views_built;
       total.views_matched += d.views_matched;
       total.failures += d.failures;
+      total.node_retries += d.node_retries;
     }
     return total;
   }

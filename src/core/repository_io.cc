@@ -5,11 +5,26 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.h"
+#include "fault/fault_sites.h"
+#include "obs/metrics.h"
+
 namespace cloudviews {
 
 namespace {
 
 constexpr char kHeader[] = "cloudviews-repository v1";
+
+// The persistent store behind the repository is remote in production;
+// transient request failures are expected and retried a bounded number of
+// times. Parse/corruption errors are never retried.
+constexpr int kMaxIoAttempts = 3;
+
+void CountIoRetry() {
+  static obs::Counter& retries =
+      obs::MetricsRegistry::Global().counter("faults.retries");
+  retries.Increment();
+}
 
 std::string JoinList(const std::vector<std::string>& items) {
   if (items.empty()) return "-";
@@ -117,6 +132,13 @@ Status DeserializeRepository(const std::string& snapshot,
 
 Status SaveRepository(const WorkloadRepository& repository,
                       const std::string& path) {
+  Status transient = Status::OK();
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    transient = fault::Inject(fault::sites::kRepoWrite);
+    if (transient.ok()) break;
+    if (attempt + 1 < kMaxIoAttempts) CountIoRetry();
+  }
+  if (!transient.ok()) return transient;
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     return Status::InvalidArgument("cannot open for writing: " + path);
@@ -131,6 +153,13 @@ Status SaveRepository(const WorkloadRepository& repository,
 
 Status LoadRepository(const std::string& path,
                       WorkloadRepository* repository) {
+  Status transient = Status::OK();
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    transient = fault::Inject(fault::sites::kRepoRead);
+    if (transient.ok()) break;
+    if (attempt + 1 < kMaxIoAttempts) CountIoRetry();
+  }
+  if (!transient.ok()) return transient;
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::NotFound("cannot open for reading: " + path);

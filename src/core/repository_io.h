@@ -30,7 +30,9 @@ std::string SerializeRepository(const WorkloadRepository& repository);
 Status DeserializeRepository(const std::string& snapshot,
                              WorkloadRepository* repository);
 
-// File convenience wrappers.
+// File convenience wrappers. Both retry transient store faults (the
+// core.repository.read/write injection sites) up to 3 attempts before
+// surfacing the error; real parse/corruption errors are never retried.
 Status SaveRepository(const WorkloadRepository& repository,
                       const std::string& path);
 Status LoadRepository(const std::string& path,

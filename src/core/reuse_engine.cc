@@ -195,6 +195,11 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
         request.submit_time + options_.seal_delay_seconds);
     if (sealed.ok()) views_built += 1;
   };
+  context.on_spool_abort = [this, &request](const LogicalOp& spool,
+                                            const Status& cause) {
+    view_manager_.AbortMaterialize(spool.view_signature, request.job_id,
+                                   cause);
+  };
 
   Executor executor(context);
   auto exec_start = std::chrono::steady_clock::now();
@@ -203,15 +208,42 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
     // Job failed: release creation locks and drop half-written views.
     view_manager_.AbandonJob(request.job_id,
                              outcome->proposed_materializations);
-    return run.status();
+    if (outcome->plan_without_reuse == nullptr) return run.status();
+    // Graceful degradation: a reuse artifact — a matched view, a spool, or
+    // the machinery around them — failed at execution time. Invalidate what
+    // was matched and re-run the unrewritten alternative the optimizer kept;
+    // the query answers from base scans with byte-identical output.
+    static obs::Counter& fallbacks =
+        obs::MetricsRegistry::Global().counter("engine.fallbacks");
+    fallbacks.Increment();
+    obs::LogWarn("engine", "fallback_to_base_plan",
+                 {{"job_id", request.job_id},
+                  {"cause", run.status().ToString()},
+                  {"views_matched", exec.views_matched}});
+    for (const Hash128& sig : outcome->matched_signatures) {
+      view_store_.Invalidate(sig).ok();
+    }
+    views_built = 0;
+    exec.views_matched = 0;
+    exec.matched_signatures.clear();
+    exec.built_signatures.clear();
+    exec.fell_back = true;
+    exec.estimated_cost = outcome->estimated_cost_without_reuse;
+    exec.executed_plan = outcome->plan_without_reuse;
+    ExecContext fallback_context = context;
+    fallback_context.on_spool_complete = nullptr;
+    fallback_context.on_spool_abort = nullptr;
+    Executor fallback_executor(fallback_context);
+    run = fallback_executor.Execute(outcome->plan_without_reuse);
+    if (!run.ok()) return run.status();
   }
   profile.phases.push_back({"execute", SecondsSince(exec_start)});
   exec.output = run->output;
   exec.stats = run->stats;
   exec.views_built = views_built;
 
-  // Record reuse hits.
-  for (const Hash128& sig : outcome->matched_signatures) {
+  // Record reuse hits (none when the job fell back to the base plan).
+  for (const Hash128& sig : exec.matched_signatures) {
     view_store_.RecordReuse(sig).ok();
   }
 
@@ -222,7 +254,7 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   {
     obs::Span span("ingest", "engine");
     std::vector<NodeSignature> executed_sigs =
-        optimizer_->signatures().ComputeAll(*outcome->plan);
+        optimizer_->signatures().ComputeAll(*exec.executed_plan);
     MetricsBySignature metrics =
         WorkloadRepository::CollectMetrics(executed_sigs, exec.stats);
     repository_.IngestJob(request.job_id, request.virtual_cluster,

@@ -83,6 +83,9 @@ struct JobExecution {
   // Compile-time overhead charged for fetching annotations.
   double compile_overhead_seconds = 0.0;
   bool reuse_enabled = false;  // after applying all control levels
+  // The rewritten plan failed at execution time (corrupt view, spool fault)
+  // and the job was answered by re-executing the unrewritten base plan.
+  bool fell_back = false;
   // Phase breakdown + executor roll-up; also retained by the insights
   // service (`recent_profiles()`) for post-hoc debugging.
   obs::QueryProfile profile;

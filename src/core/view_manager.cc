@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+#include "fault/fault_sites.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
 namespace cloudviews {
 
 Status ViewManager::BeginMaterialize(
@@ -19,6 +24,17 @@ Status ViewManager::BeginMaterialize(
 Status ViewManager::SealEarly(const Hash128& strict, TablePtr contents,
                               uint64_t observed_rows, uint64_t observed_bytes,
                               int64_t job_id, double now) {
+  Status fault = fault::Inject(fault::sites::kSpoolSeal);
+  if (!fault.ok()) {
+    // The job manager failed to publish the fully written view. Withdraw it
+    // so other jobs can retry the materialization; the producing query
+    // keeps its own copy of the rows and is unaffected.
+    static obs::Counter& aborts =
+        obs::MetricsRegistry::Global().counter("exec.spool_aborts");
+    aborts.Increment();
+    AbortMaterialize(strict, job_id, fault);
+    return fault;
+  }
   CLOUDVIEWS_RETURN_NOT_OK(
       store_->Seal(strict, std::move(contents), observed_rows, observed_bytes,
                    now));
@@ -33,6 +49,22 @@ Status ViewManager::SealEarly(const Hash128& strict, TablePtr contents,
     }
   }
   return Status::OK();
+}
+
+void ViewManager::AbortMaterialize(const Hash128& strict, int64_t job_id,
+                                   const Status& cause) {
+  if (insights_ != nullptr) {
+    insights_->ReleaseViewLock(strict, job_id).ok();
+  }
+  const MaterializedView* view = store_->FindAny(strict);
+  if (view != nullptr && view->state == ViewState::kMaterializing) {
+    store_->Invalidate(strict).ok();
+    view_inputs_.erase(strict);
+  }
+  obs::LogWarn("views", "materialization_aborted",
+               {{"signature", strict.ToHex()},
+                {"job_id", job_id},
+                {"cause", cause.ToString()}});
 }
 
 void ViewManager::AbandonJob(int64_t job_id,

@@ -32,10 +32,18 @@ class ViewManager {
   // Early sealing: the spool finished writing, so the view becomes readable
   // and the creation lock is released — even though the producing job is
   // still running ("the job manager makes the view available even before
-  // the query finishes").
+  // the query finishes"). An injected `exec.spool.seal` fault turns the
+  // seal into an abort (entry withdrawn, lock released) and returns the
+  // fault status; the producing query is unaffected.
   Status SealEarly(const Hash128& strict, TablePtr contents,
                    uint64_t observed_rows, uint64_t observed_bytes,
                    int64_t job_id, double now);
+
+  // A materialization failed mid-flight (spool write fault or seal fault):
+  // withdraw the materializing entry, release the creation lock, and log.
+  // Idempotent — a second abort for the same signature is a no-op.
+  void AbortMaterialize(const Hash128& strict, int64_t job_id,
+                        const Status& cause);
 
   // A job holding creation locks failed: release locks and drop any
   // half-written views so other jobs can retry.

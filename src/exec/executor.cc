@@ -211,7 +211,7 @@ class PhysicalBuilder {
         if (!child.ok()) return child.status();
         return PhysicalOpPtr(std::make_unique<SpoolOp>(
             node.get(), std::move(child).value(),
-            context_->on_spool_complete));
+            context_->on_spool_complete, context_->on_spool_abort));
       }
     }
     return Status::Internal("unhandled logical operator kind");

@@ -33,6 +33,11 @@ struct ExecContext {
   // Called when a spool finishes materializing its subexpression (the early
   // sealing hook). May be null.
   SpoolOp::CompletionFn on_spool_complete;
+  // Called when a spool aborts materialization after a write fault (the
+  // failure-hardening hook: withdraw the materializing view entry and
+  // release the creation lock). May be null. Fired from the driver thread,
+  // exactly once per aborted spool, instead of `on_spool_complete`.
+  SpoolOp::AbortFn on_spool_abort;
   // Seed for non-deterministic UDO instances (jobs differ run to run).
   uint64_t job_seed = 0;
   // Simulated "now" used to check view expiry during ViewScan binding.

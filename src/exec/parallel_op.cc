@@ -11,6 +11,9 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "exec/physical_op.h"
+#include "fault/fault.h"
+#include "fault/fault_sites.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cloudviews {
@@ -26,6 +29,20 @@ Status TimedParallelFor(const ParallelRuntime& runtime, size_t n, size_t grain,
   CLOUDVIEWS_RETURN_NOT_OK(ParallelFor(
       runtime.pool, runtime.dop, n, grain,
       [&](size_t m, size_t begin, size_t end) -> Status {
+        // Container preemption: the task is evicted before it runs and the
+        // scheduler re-queues it. Retrying before fn() keeps the morsel
+        // exactly-once on success — outputs stay byte-identical, only
+        // latency and the retry counter move. Bounded so a permanently
+        // failing site still surfaces as an error.
+        constexpr int kMaxPreemptRetries = 3;
+        for (int attempt = 0;; ++attempt) {
+          Status preempt = fault::Inject(fault::sites::kMorselPreempt);
+          if (preempt.ok()) break;
+          if (attempt + 1 >= kMaxPreemptRetries) return preempt;
+          static obs::Counter& retries =
+              obs::MetricsRegistry::Global().counter("faults.retries");
+          retries.Increment();
+        }
         // The trace span reuses the telemetry's measured interval, so the
         // tracer's per-morsel durations sum to busy_seconds (to microsecond
         // rounding) and its span count equals OperatorStats::morsels.

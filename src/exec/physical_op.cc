@@ -4,6 +4,10 @@
 #include <cmath>
 
 #include "common/hash.h"
+#include "fault/fault.h"
+#include "fault/fault_sites.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cloudviews {
@@ -530,9 +534,9 @@ void HashAggregateOp::Close() {
 // --- SpoolOp -------------------------------------------------------------------
 
 SpoolOp::SpoolOp(const LogicalOp* logical, PhysicalOpPtr child,
-                 CompletionFn on_complete)
+                 CompletionFn on_complete, AbortFn on_abort)
     : PhysicalOp(logical), child_(std::move(child)),
-      on_complete_(std::move(on_complete)) {}
+      on_complete_(std::move(on_complete)), on_abort_(std::move(on_abort)) {}
 
 Status SpoolOp::Open() {
   CLOUDVIEWS_RETURN_NOT_OK(child_->Open());
@@ -548,24 +552,46 @@ Status SpoolOp::Next(Row* row, bool* done) {
     // observers race safely — one wins, the rest see completed_ == true.
     if (!completed_.exchange(true)) {
       completion_fires_.fetch_add(1, std::memory_order_acq_rel);
-      // The stream is exhausted: the common subexpression is fully
-      // materialized. In production the job manager seals the view here —
-      // before the rest of the job finishes ("early sealing").
-      if (on_complete_ != nullptr) {
+      if (aborted_) {
+        // Materialization failed mid-write: never seal. The abort hook
+        // withdraws the half-registered view and releases the lock.
+        if (on_abort_ != nullptr) on_abort_(*logical_, abort_cause_);
+      } else if (on_complete_ != nullptr) {
+        // The stream is exhausted: the common subexpression is fully
+        // materialized. In production the job manager seals the view here —
+        // before the rest of the job finishes ("early sealing").
         on_complete_(*logical_, side_table_, child_->stats());
       }
     }
     *done = true;
     return Status::OK();
   }
-  size_t row_bytes = 0;
-  for (const Value& v : *row) row_bytes += v.ByteSize();
-  bytes_spooled_ += row_bytes;
-  double cost = CostWeights::kSpoolRow +
-                CostWeights::kSpoolByte * static_cast<double>(row_bytes);
-  spool_cpu_cost_ += cost;
-  Status append = side_table_->Append(*row);
-  if (!append.ok()) return append;
+  double cost = 0.0;
+  if (!aborted_) {
+    Status fault = fault::Inject(fault::sites::kSpoolWrite);
+    if (!fault.ok()) {
+      // Abort cleanly: drop the partial output and keep streaming. The
+      // consumer above never notices — reuse degrades, results don't.
+      aborted_ = true;
+      abort_cause_ = fault;
+      side_table_.reset();
+      static obs::Counter& aborts =
+          obs::MetricsRegistry::Global().counter("exec.spool_aborts");
+      aborts.Increment();
+      obs::LogWarn("exec", "spool_aborted",
+                   {{"signature", logical_->view_signature.ToHex()},
+                    {"cause", fault.ToString()}});
+    } else {
+      size_t row_bytes = 0;
+      for (const Value& v : *row) row_bytes += v.ByteSize();
+      bytes_spooled_ += row_bytes;
+      cost = CostWeights::kSpoolRow +
+             CostWeights::kSpoolByte * static_cast<double>(row_bytes);
+      spool_cpu_cost_ += cost;
+      Status append = side_table_->Append(*row);
+      if (!append.ok()) return append;
+    }
+  }
   *done = false;
   CountRow(*row, cost);
   return Status::OK();

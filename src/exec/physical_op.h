@@ -290,9 +290,16 @@ class SpoolOp : public PhysicalOp {
   using CompletionFn =
       std::function<void(const LogicalOp& spool, TablePtr contents,
                          const OperatorStats& child_stats)>;
+  // Fired (instead of the completion callback, still exactly once) when the
+  // spool's write path failed mid-materialization: the view manager must
+  // withdraw the materializing entry and release the creation lock so
+  // another job can retry. The query itself keeps streaming — a failed
+  // spool degrades to a pass-through, never a failed job.
+  using AbortFn =
+      std::function<void(const LogicalOp& spool, const Status& cause)>;
 
   SpoolOp(const LogicalOp* logical, PhysicalOpPtr child,
-          CompletionFn on_complete);
+          CompletionFn on_complete, AbortFn on_abort = nullptr);
 
   Status Open() override;
   Status Next(Row* row, bool* done) override;
@@ -300,10 +307,14 @@ class SpoolOp : public PhysicalOp {
 
   uint64_t bytes_spooled() const { return bytes_spooled_; }
   double spool_cpu_cost() const { return spool_cpu_cost_; }
+  // True once a write fault aborted materialization (partial side table
+  // dropped, rows still pass through).
+  bool aborted() const { return aborted_; }
   // How many times the completion latch actually fired. The exchange makes
   // >1 impossible by construction; the PhysicalVerifier checks ==1 after a
   // successful run (0 means the spool was never drained — the view would
-  // silently never seal).
+  // silently never seal). An aborted spool still fires the latch exactly
+  // once, routed to `on_abort` instead of `on_complete`.
   uint32_t completion_fires() const {
     return completion_fires_.load(std::memory_order_acquire);
   }
@@ -311,9 +322,13 @@ class SpoolOp : public PhysicalOp {
  private:
   PhysicalOpPtr child_;
   CompletionFn on_complete_;
+  AbortFn on_abort_;
   std::shared_ptr<Table> side_table_;
   uint64_t bytes_spooled_ = 0;
   double spool_cpu_cost_ = 0.0;
+  // Abort state is only touched from the driver thread that calls Next().
+  bool aborted_ = false;
+  Status abort_cause_;
   // Exactly-once completion latch: even if end-of-stream is observed from
   // more than one thread, only the first transition fires `on_complete_`.
   std::atomic<bool> completed_{false};

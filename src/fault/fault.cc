@@ -1,0 +1,217 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "fault/fault_sites.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace cloudviews {
+namespace fault {
+
+namespace {
+
+const char* CodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kNotFound:
+      return "notfound";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    default:
+      return "internal";
+  }
+}
+
+bool ParseCodeToken(const std::string& token, StatusCode* out) {
+  if (token == "internal") {
+    *out = StatusCode::kInternal;
+  } else if (token == "corruption") {
+    *out = StatusCode::kCorruption;
+  } else if (token == "aborted") {
+    *out = StatusCode::kAborted;
+  } else if (token == "notfound") {
+    *out = StatusCode::kNotFound;
+  } else if (token == "resource_exhausted") {
+    *out = StatusCode::kResourceExhausted;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsRegisteredSite(const std::string& site) {
+  for (const char* known : kAllSites) {
+    if (site == known) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+// One-time environment arming at library load, before main() runs; keeps
+// Inject() a single relaxed load when CLOUDVIEWS_FAULTS is unset.
+[[maybe_unused]] const bool kEnvArmed = [] {
+  Status st = FaultInjector::Global().ArmFromEnv();
+  if (!st.ok()) {
+    obs::LogError("fault", "env_parse_failed", {{"status", st.ToString()}});
+  }
+  return st.ok();
+}();
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& entry : Split(spec, ';')) {
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault entry missing '=': " + entry);
+    }
+    std::string site = entry.substr(0, eq);
+    if (!IsRegisteredSite(site)) {
+      return Status::InvalidArgument("unknown fault site: " + site);
+    }
+    std::vector<std::string> parts = Split(entry.substr(eq + 1), ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument("fault rule must be mode:value[:code]: " +
+                                     entry);
+    }
+    FaultRule rule;
+    char* end = nullptr;
+    if (parts[0] == "nth") {
+      rule.nth_hit = std::strtoll(parts[1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || rule.nth_hit < 1) {
+        return Status::InvalidArgument("bad nth value: " + entry);
+      }
+    } else if (parts[0] == "p") {
+      rule.probability = std::strtod(parts[1].c_str(), &end);
+      if (end == nullptr || *end != '\0' || rule.probability <= 0.0 ||
+          rule.probability > 1.0) {
+        return Status::InvalidArgument("bad probability: " + entry);
+      }
+    } else {
+      return Status::InvalidArgument("fault mode must be nth or p: " + entry);
+    }
+    if (parts.size() == 3 && !ParseCodeToken(parts[2], &rule.code)) {
+      return Status::InvalidArgument("unknown status code token: " + entry);
+    }
+    plan.rules[site] = rule;
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const auto& [site, rule] : rules) {
+    if (!out.empty()) out += ';';
+    out += site;
+    if (rule.nth_hit > 0) {
+      out += "=nth:" + std::to_string(rule.nth_hit);
+    } else {
+      out += "=p:" + std::to_string(rule.probability);
+    }
+    out += ':';
+    out += CodeToken(rule.code);
+  }
+  return out;
+}
+
+FaultInjector& FaultInjector::Global() {
+  // Intentional leak: process-lifetime singleton, never destroyed so
+  // injection sites reached from static destructors stay safe.
+  // lint:allow-new
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  rng_ = std::make_unique<Random>(plan_.seed);
+  stats_.clear();
+  armed_.store(!plan_.empty(), std::memory_order_relaxed);
+  if (!plan_.empty()) {
+    obs::LogInfo("fault", "armed",
+                 {{"plan", plan_.ToString()}, {"seed", plan_.seed}});
+  }
+}
+
+void FaultInjector::Disarm() { Arm(FaultPlan{}); }
+
+Status FaultInjector::ArmFromEnv() {
+  const char* spec = std::getenv("CLOUDVIEWS_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  auto plan = FaultPlan::Parse(spec);
+  if (!plan.ok()) return plan.status();
+  if (const char* seed = std::getenv("CLOUDVIEWS_FAULT_SEED")) {
+    plan->seed = std::strtoull(seed, nullptr, 10);
+  }
+  Arm(std::move(plan).value());
+  return Status::OK();
+}
+
+Status FaultInjector::InjectSlow(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.empty()) return Status::OK();
+  SiteStats& stats = stats_[site];
+  stats.hits += 1;
+  auto it = plan_.rules.find(site);
+  if (it == plan_.rules.end()) return Status::OK();
+  const FaultRule& rule = it->second;
+  bool fire = false;
+  if (rule.nth_hit > 0) {
+    fire = stats.hits == static_cast<uint64_t>(rule.nth_hit);
+  } else if (rule.probability > 0.0) {
+    fire = rng_->Bernoulli(rule.probability);
+  }
+  if (!fire) return Status::OK();
+  stats.fired += 1;
+  static obs::Counter& injected =
+      obs::MetricsRegistry::Global().counter("faults.injected");
+  injected.Increment();
+  obs::LogWarn("fault", "injected",
+               {{"site", site}, {"hit", stats.hits}});
+  return Status(rule.code, std::string("injected fault at ") + site);
+}
+
+SiteStats FaultInjector::stats(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(site);
+  return it == stats_.end() ? SiteStats{} : it->second;
+}
+
+uint64_t FaultInjector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [site, stats] : stats_) total += stats.fired;
+  return total;
+}
+
+FaultPlan FaultInjector::plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+}  // namespace fault
+}  // namespace cloudviews

@@ -1,0 +1,112 @@
+#ifndef CLOUDVIEWS_FAULT_FAULT_H_
+#define CLOUDVIEWS_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace cloudviews {
+namespace fault {
+
+// Deterministic fault injection for the reuse stack. A FaultPlan maps site
+// names (see fault_sites.h) to firing rules; the armed plan is consulted at
+// every fault::Inject(site) call threaded through the engine. All
+// randomness flows through the plan's explicitly seeded Random, so a given
+// (plan, seed, workload) triple fails in exactly the same places run after
+// run — chaos tests are ordinary deterministic tests.
+//
+// Disabled cost: Inject() is one relaxed atomic load and a predicted
+// branch (the same pattern as obs::Tracer::Enabled), cheap enough to leave
+// compiled into every hot path.
+//
+// Arming: programmatic (FaultInjector::Global().Arm(plan)) or via the
+// CLOUDVIEWS_FAULTS environment variable, parsed once at process start:
+//
+//   CLOUDVIEWS_FAULTS="exec.spool.write=nth:2;storage.view.read=p:0.05:corruption"
+//   CLOUDVIEWS_FAULT_SEED=3
+//
+// Entries are `site=nth:<k>[:<code>]` (fire on exactly the k-th hit) or
+// `site=p:<prob>[:<code>]` (fire each hit with probability <prob>), joined
+// with ';'. <code> is one of: internal (default), corruption, aborted,
+// notfound, resource_exhausted.
+
+// How one site fails. Exactly one of `probability` / `nth_hit` is active:
+// nth_hit > 0 wins and fires exactly once, on that (1-based) hit.
+struct FaultRule {
+  double probability = 0.0;
+  int64_t nth_hit = 0;
+  StatusCode code = StatusCode::kInternal;
+};
+
+struct FaultPlan {
+  uint64_t seed = 42;
+  std::map<std::string, FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  // Parses the CLOUDVIEWS_FAULTS spec format documented above.
+  static Result<FaultPlan> Parse(const std::string& spec);
+
+  // Round-trips through Parse (modulo seed, which travels separately).
+  std::string ToString() const;
+};
+
+// Per-site counters, observable by tests.
+struct SiteStats {
+  uint64_t hits = 0;
+  uint64_t fired = 0;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  // Hot-path gate: false whenever no plan is armed.
+  static bool Enabled() { return armed_.load(std::memory_order_relaxed); }
+
+  // Installs `plan` and resets all per-site counters and the RNG stream.
+  // An empty plan disarms.
+  void Arm(FaultPlan plan);
+  void Disarm();
+
+  // Arms from CLOUDVIEWS_FAULTS / CLOUDVIEWS_FAULT_SEED if set (called once
+  // automatically at process start). Returns InvalidArgument on a malformed
+  // spec, leaving the injector disarmed.
+  Status ArmFromEnv();
+
+  // Slow path behind Inject(); takes the registry lock.
+  Status InjectSlow(const char* site);
+
+  SiteStats stats(const std::string& site) const;
+  uint64_t total_fired() const;
+  FaultPlan plan() const;
+
+ private:
+  FaultInjector() = default;
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::unique_ptr<Random> rng_;
+  std::map<std::string, SiteStats> stats_;
+};
+
+// The injection point. Returns OK (and stays off every profile) unless a
+// plan is armed; an armed plan may return the rule's error Status, which
+// the surrounding code must degrade from gracefully.
+inline Status Inject(const char* site) {
+  if (!FaultInjector::Enabled()) return Status::OK();
+  return FaultInjector::Global().InjectSlow(site);
+}
+
+}  // namespace fault
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_FAULT_FAULT_H_

@@ -76,6 +76,14 @@ Result<OptimizationOutcome> Optimizer::Optimize(
   CLOUDVIEWS_RETURN_NOT_OK(VerifyAfterRule("choose_join_algorithms", outcome,
                                            /*algorithms_chosen=*/true));
 
+  // Snapshot the unrewritten alternative before any reuse rewrite: the
+  // graceful-degradation path executes this plan when a matched view fails
+  // validation (or vanishes) at execution time.
+  if ((options_.enable_view_matching && view_store != nullptr) ||
+      (options_.enable_view_building && try_lock != nullptr)) {
+    outcome.plan_without_reuse = outcome.plan->Clone();
+  }
+
   // Phase 1 — core search, top-down: replace the largest materialized
   // subexpressions with view scans.
   if (options_.enable_view_matching && view_store != nullptr) {

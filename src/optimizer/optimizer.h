@@ -47,6 +47,13 @@ struct OptimizerOptions {
 // telemetry (paper Figure 5: "modified query plans are surfaced to users").
 struct OptimizationOutcome {
   LogicalOpPtr plan;
+  // The optimized plan with NO reuse rewrites (no view scans, no spools) —
+  // join algorithms chosen, estimates annotated, executable as-is. Kept
+  // whenever the reuse phases could have rewritten the plan, so the engine
+  // can degrade to base scans when a matched view turns out to be corrupt,
+  // vanished, or otherwise unreadable at execution time. Null when reuse
+  // was disabled for the compile (then `plan` already is the base plan).
+  LogicalOpPtr plan_without_reuse;
   int views_matched = 0;
   int spools_added = 0;
   std::vector<Hash128> matched_signatures;

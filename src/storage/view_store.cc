@@ -1,9 +1,21 @@
 #include "storage/view_store.h"
 
+#include "fault/fault.h"
+#include "fault/fault_sites.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace cloudviews {
+
+Hash128 ComputeTableChecksum(const Table& table) {
+  Hasher hasher;
+  hasher.Update(static_cast<uint64_t>(table.num_rows()));
+  for (const Row& row : table.rows()) {
+    hasher.Update(static_cast<uint64_t>(row.size()));
+    for (const Value& v : row) v.HashInto(&hasher);
+  }
+  return hasher.Finish();
+}
 
 const char* ViewStateName(ViewState state) {
   switch (state) {
@@ -60,6 +72,12 @@ Status ViewStore::Seal(const Hash128& strict_signature, TablePtr contents,
   view.observed_bytes = observed_bytes;
   view.byte_size = view.table != nullptr ? view.table->byte_size()
                                          : static_cast<size_t>(observed_bytes);
+  // Write the integrity footer: readers re-validate content against it.
+  if (view.table != nullptr) {
+    view.checksum = ComputeTableChecksum(*view.table);
+    view.footer_rows = view.table->num_rows();
+  }
+  view.validated = false;
   total_created_ += 1;
   static obs::Counter& sealed =
       obs::MetricsRegistry::Global().counter("views.sealed");
@@ -83,14 +101,72 @@ const MaterializedView* ViewStore::Find(const Hash128& strict_signature,
   auto it = views_.find(strict_signature);
   const MaterializedView* found = nullptr;
   if (it != views_.end()) {
-    const MaterializedView& view = it->second;
+    MaterializedView& view = it->second;
     if (view.state == ViewState::kSealed && now >= view.sealed_at &&
-        now < view.expires_at) {
+        now < view.expires_at && ValidateOnRead(&view)) {
       found = &view;
     }
   }
   (found != nullptr ? hits : misses).Increment();
   return found;
+}
+
+bool ViewStore::ValidateOnRead(MaterializedView* view) const {
+  // An injected read fault models bit rot the checksum would catch: treat
+  // it exactly like a real mismatch.
+  Status fault = fault::Inject(fault::sites::kViewRead);
+  bool corrupt = !fault.ok();
+  std::string detail = corrupt ? fault.ToString() : "";
+  if (!corrupt && !view->validated && view->table != nullptr) {
+    // Full footer validation on the first read after seal (or after the
+    // stored bytes changed). A truncated file shows up as a row-count
+    // mismatch; flipped bytes as a checksum mismatch.
+    if (view->table->num_rows() != view->footer_rows) {
+      corrupt = true;
+      detail = "row count " + std::to_string(view->table->num_rows()) +
+               " != footer " + std::to_string(view->footer_rows);
+    } else if (ComputeTableChecksum(*view->table) != view->checksum) {
+      corrupt = true;
+      detail = "content checksum mismatch";
+    } else {
+      view->validated = true;
+    }
+  }
+  if (!corrupt) return true;
+  // Quarantine: the entry stops being served immediately and is removed by
+  // the next PurgeExpired sweep. Callers see a miss and fall back to base
+  // scans; the query is unaffected.
+  view->state = ViewState::kExpired;
+  view->table = nullptr;
+  total_quarantined_ += 1;
+  static obs::Counter& quarantined =
+      obs::MetricsRegistry::Global().counter("views.quarantined");
+  static obs::Counter& invalidations =
+      obs::MetricsRegistry::Global().counter("views.invalidations");
+  quarantined.Increment();
+  invalidations.Increment();
+  obs::LogWarn("views", "quarantined",
+               {{"signature", view->strict_signature.ToHex()},
+                {"detail", detail}});
+  return false;
+}
+
+Status ViewStore::CorruptForTest(const Hash128& strict_signature,
+                                 size_t keep_rows) {
+  auto it = views_.find(strict_signature);
+  if (it == views_.end() || it->second.table == nullptr) {
+    return Status::NotFound("no sealed view to corrupt: " +
+                            strict_signature.ToHex());
+  }
+  MaterializedView& view = it->second;
+  auto truncated =
+      std::make_shared<Table>(view.table->name(), view.table->schema());
+  for (size_t i = 0; i < keep_rows && i < view.table->num_rows(); ++i) {
+    CLOUDVIEWS_RETURN_NOT_OK(truncated->Append(view.table->row(i)));
+  }
+  view.table = std::move(truncated);
+  view.validated = false;  // force re-validation on the next read
+  return Status::OK();
 }
 
 const MaterializedView* ViewStore::FindAny(
@@ -115,10 +191,18 @@ Status ViewStore::Invalidate(const Hash128& strict_signature) {
     return Status::NotFound("view not found: " + strict_signature.ToHex());
   }
   views_.erase(it);
+  static obs::Counter& invalidations =
+      obs::MetricsRegistry::Global().counter("views.invalidations");
+  invalidations.Increment();
   return Status::OK();
 }
 
-void ViewStore::InvalidateAll() { views_.clear(); }
+void ViewStore::InvalidateAll() {
+  static obs::Counter& invalidations =
+      obs::MetricsRegistry::Global().counter("views.invalidations");
+  invalidations.Add(views_.size());
+  views_.clear();
+}
 
 size_t ViewStore::PurgeExpired(double now) {
   size_t removed = 0;

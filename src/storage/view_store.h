@@ -43,7 +43,19 @@ struct MaterializedView {
   // optimizer on reuse ("update statistics from materialized view").
   uint64_t observed_rows = 0;
   uint64_t observed_bytes = 0;
+  // Integrity footer written at seal time: content checksum plus row count.
+  // Readers re-validate against it — a truncated or bit-rotted view file is
+  // detected (and quarantined) instead of silently scanned short.
+  Hash128 checksum;
+  uint64_t footer_rows = 0;
+  // Set once a reader validated the footer; cleared when the stored bytes
+  // change underneath it (CorruptForTest).
+  bool validated = false;
 };
+
+// Deterministic content checksum over a table's rows (the view file's
+// integrity footer). Exposed so tests can forge/verify footers directly.
+Hash128 ComputeTableChecksum(const Table& table);
 
 // Stable storage for CloudViews outputs. Views are throwaway: they expire
 // after a fixed TTL (one week in production) and are invalidated wholesale
@@ -69,7 +81,12 @@ class ViewStore {
   Status Seal(const Hash128& strict_signature, TablePtr contents,
               uint64_t observed_rows, uint64_t observed_bytes, double now);
 
-  // Returns the sealed view for this signature, if present and not expired.
+  // Returns the sealed view for this signature, if present, not expired,
+  // and its integrity footer validates. Validation runs on the first read
+  // after seal (and again after the stored bytes change): a checksum or
+  // row-count mismatch — or an injected `storage.view.read` fault —
+  // quarantines the view (state -> kExpired, pending purge) and reports a
+  // miss, so callers fall back to the base-scan plan.
   const MaterializedView* Find(const Hash128& strict_signature,
                                double now) const;
 
@@ -94,15 +111,29 @@ class ViewStore {
   size_t NumLive() const;
   int64_t total_views_created() const { return total_created_; }
   int64_t total_views_reused() const { return total_reused_; }
+  int64_t total_views_quarantined() const { return total_quarantined_; }
   double ttl_seconds() const { return ttl_seconds_; }
 
   std::vector<const MaterializedView*> LiveViews() const;
 
+  // Test hook: truncates the stored table to `keep_rows` rows WITHOUT
+  // updating the integrity footer — the simulated "file truncated after a
+  // partial write" corruption that reads must detect.
+  Status CorruptForTest(const Hash128& strict_signature, size_t keep_rows);
+
  private:
+  // Validates `view` against its footer, quarantining on mismatch (or on an
+  // injected read fault). Returns true if the view is safe to serve.
+  bool ValidateOnRead(MaterializedView* view) const;
+
   double ttl_seconds_;
-  std::unordered_map<Hash128, MaterializedView, Hash128Hasher> views_;
+  // `mutable`: Find() is logically const (a lookup) but quarantines corrupt
+  // entries as a side effect; every caller holds the store via const
+  // pointer, so bookkeeping happens through the mutable map.
+  mutable std::unordered_map<Hash128, MaterializedView, Hash128Hasher> views_;
   int64_t total_created_ = 0;
   int64_t total_reused_ = 0;
+  mutable int64_t total_quarantined_ = 0;
 };
 
 }  // namespace cloudviews

@@ -1,0 +1,193 @@
+// Differential chaos testing: one seeded random workload is executed under
+// all four combinations of {reuse ON, reuse OFF} x {faults ON, faults OFF}.
+// Computation reuse and the failure-hardening around it are pure
+// optimizations — every arm must produce byte-identical per-job outputs —
+// and the workload repository each reuse arm accumulates must stay
+// self-consistent under the independent signature auditor.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/reuse_engine.h"
+#include "core/view_selection.h"
+#include "fault/fault.h"
+#include "fault/fault_sites.h"
+#include "verify/signature_auditor.h"
+#include "workload/generator.h"
+
+namespace cloudviews {
+namespace {
+
+// Only graceful-degradation sites: these may fire arbitrarily often without
+// ever failing a query (spool aborts degrade to pass-through, a lost view
+// degrades to base scans), so the assertion set below holds for EVERY seed
+// the CI sweep picks.
+const char* kDefaultChaosSpec =
+    "exec.spool.write=p:0.15;"
+    "exec.spool.seal=p:0.25:aborted;"
+    "storage.view.read=p:0.15:corruption";
+
+void ArmChaos() {
+  fault::FaultInjector::Global().Disarm();
+  // Prefer the CI-provided plan (CLOUDVIEWS_FAULTS + CLOUDVIEWS_FAULT_SEED
+  // sweep); fall back to the default plan when run standalone.
+  Status env = fault::FaultInjector::Global().ArmFromEnv();
+  if (!env.ok() || !fault::FaultInjector::Enabled()) {
+    auto plan = fault::FaultPlan::Parse(kDefaultChaosSpec);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    fault::FaultInjector::Global().Arm(*plan);
+  }
+}
+
+WorkloadProfile SmallProfile(uint64_t seed) {
+  WorkloadProfile profile;
+  profile.seed = seed;
+  profile.num_virtual_clusters = 2;
+  profile.num_shared_datasets = 10;
+  profile.num_motifs = 5;
+  profile.num_templates = 8;
+  profile.instances_per_template_per_day = 2;
+  profile.min_rows = 60;
+  profile.max_rows = 240;
+  return profile;
+}
+
+std::string Render(const TablePtr& table) {
+  if (table == nullptr) return "<no output>";
+  std::string out;
+  for (const Row& row : table->rows()) {
+    for (const Value& v : row) {
+      out += v.is_null() ? "<null>" : v.ToString();
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+struct ArmOutcome {
+  std::map<int64_t, std::string> outputs_by_job;
+  int views_built = 0;
+  int views_matched = 0;
+  int fallbacks = 0;
+};
+
+// Runs `days` days of the seeded workload through a fresh engine. Each arm
+// regenerates its own catalog + job stream; the generator is deterministic
+// for a fixed profile, so job ids and plans line up across arms.
+void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
+            ArmOutcome* outcome) {
+  if (faults_on) {
+    ArmChaos();
+  } else {
+    fault::FaultInjector::Global().Disarm();
+  }
+  WorkloadGenerator generator(SmallProfile(workload_seed));
+  DatasetCatalog catalog;
+  ASSERT_TRUE(generator.Setup(&catalog).ok());
+
+  ReuseEngineOptions options;
+  options.cloudviews_enabled = reuse_on;
+  options.selection.schedule_aware = false;
+  options.selection.per_virtual_cluster = false;
+  options.selection.strategy = SelectionStrategy::kGreedyRatio;
+  ReuseEngine engine(&catalog, options);
+  engine.insights().controls().opt_out_model = true;  // all VCs enabled
+
+  verify::SignatureAuditor auditor(
+      engine.options().optimizer.signature_options);
+
+  for (int day = 0; day < days; ++day) {
+    if (day >= 1) {
+      std::vector<std::string> updated;
+      ASSERT_TRUE(generator.AdvanceDay(&catalog, day, &updated).ok());
+      for (const std::string& dataset : updated) {
+        engine.OnDatasetUpdated(dataset);
+      }
+    }
+    for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
+      JobRequest request;
+      request.job_id = job.job_id;
+      request.virtual_cluster = job.virtual_cluster;
+      request.plan = job.plan;
+      request.submit_time = job.submit_time;
+      request.day = job.day;
+      request.cloudviews_enabled = job.cloudviews_enabled;
+      auto exec = engine.RunJob(request);
+      // Graceful degradation is the contract: no armed fault in the chaos
+      // plan may surface as a failed job.
+      ASSERT_TRUE(exec.ok())
+          << "job " << job.job_id << " day " << day
+          << " reuse=" << reuse_on << " faults=" << faults_on << ": "
+          << exec.status().ToString();
+      outcome->outputs_by_job[job.job_id] = Render(exec->output);
+      outcome->views_built += exec->views_built;
+      outcome->views_matched += exec->views_matched;
+      if (exec->fell_back) outcome->fallbacks += 1;
+      Status audit = auditor.AuditPlan(*exec->executed_plan);
+      EXPECT_TRUE(audit.ok()) << audit.ToString();
+    }
+    // Offline analysis between days: selection publishes annotations so the
+    // next day's instances materialize and reuse.
+    engine.RunViewSelection();
+    engine.Maintenance((day + 1) * 86400.0);
+  }
+
+  // Repository aggregates must agree with every plan that actually executed
+  // and be internally consistent (one recurring signature and subtree size
+  // per strict signature).
+  Status cross = auditor.CrossCheckRepository(engine.repository());
+  EXPECT_TRUE(cross.ok()) << cross.ToString();
+  EXPECT_TRUE(engine.signature_audit().ok());
+  fault::FaultInjector::Global().Disarm();
+}
+
+class DifferentialReuseTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
+  const uint64_t workload_seed = GetParam();
+  constexpr int kDays = 2;
+
+  ArmOutcome reference;   // reuse ON, faults OFF — the production default
+  ArmOutcome no_reuse;    // reuse OFF, faults OFF — ground truth
+  ArmOutcome chaos;       // reuse ON, faults ON  — the hardened path
+  ArmOutcome chaos_bare;  // reuse OFF, faults ON — faults with nothing to hit
+  RunArm(workload_seed, true, false, kDays, &reference);
+  RunArm(workload_seed, false, false, kDays, &no_reuse);
+  RunArm(workload_seed, true, true, kDays, &chaos);
+  RunArm(workload_seed, false, true, kDays, &chaos_bare);
+  if (HasFatalFailure()) return;
+
+  // Same job stream in every arm.
+  ASSERT_EQ(reference.outputs_by_job.size(), no_reuse.outputs_by_job.size());
+  ASSERT_EQ(reference.outputs_by_job.size(), chaos.outputs_by_job.size());
+  ASSERT_EQ(reference.outputs_by_job.size(),
+            chaos_bare.outputs_by_job.size());
+
+  // Byte-identical outputs, job by job.
+  for (const auto& [job_id, expected] : no_reuse.outputs_by_job) {
+    EXPECT_EQ(reference.outputs_by_job.at(job_id), expected)
+        << "reuse changed job " << job_id;
+    EXPECT_EQ(chaos.outputs_by_job.at(job_id), expected)
+        << "reuse+faults changed job " << job_id;
+    EXPECT_EQ(chaos_bare.outputs_by_job.at(job_id), expected)
+        << "faults changed job " << job_id;
+  }
+
+  // The test exercised what it claims to: the reference arm actually built
+  // and reused views, and the disabled arms touched none.
+  EXPECT_GT(reference.views_built, 0);
+  EXPECT_GT(reference.views_matched, 0);
+  EXPECT_EQ(no_reuse.views_built, 0);
+  EXPECT_EQ(no_reuse.views_matched, 0);
+  EXPECT_EQ(chaos_bare.views_built, 0);
+  EXPECT_EQ(reference.fallbacks, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededWorkloads, DifferentialReuseTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace cloudviews

@@ -15,6 +15,10 @@ Checks, over src/, tests/, bench/, and examples/:
   self-first a .cc file's first #include is its own header, so every
              header proves it is self-contained
   includes   no duplicate #includes; project-include blocks sorted
+  fault-site every fault::Inject(...) call in src/ names a constant from
+             src/fault/fault_sites.h (never a string literal), each
+             constant is injected at exactly one call site, every constant
+             appears in kAllSites, and no registered site is dead
 
 Exit status 0 = clean; 1 = violations (printed one per line as
 path:line: [rule] message).
@@ -195,6 +199,64 @@ def check_include_blocks(path, raw_lines):
                    "project include block is not sorted")
 
 
+def check_fault_sites():
+    """Cross-file rule: the fault-injection site registry is closed.
+
+    Tests and benches may Inject any registered constant freely (that is the
+    point of the framework); the one-call-site rule applies to src/ only,
+    where a duplicated site name would merge two unrelated failure points
+    into one counter.
+    """
+    header = REPO / "src" / "fault" / "fault_sites.h"
+    if not header.exists():
+        return
+    text = header.read_text()
+    consts = dict(
+        re.findall(r'inline constexpr char (k\w+)\[\]\s*=\s*"([^"]+)"', text))
+    listed_match = re.search(r"kAllSites\[\]\s*=\s*\{(.*?)\};", text, re.S)
+    listed = set(re.findall(r"sites::(k\w+)", listed_match.group(1))
+                 ) if listed_match else set()
+    for name in consts:
+        if name not in listed:
+            report(header, 1, "fault-site",
+                   f"constant {name} is not listed in kAllSites")
+    for name in listed:
+        if name not in consts:
+            report(header, 1, "fault-site",
+                   f"kAllSites references unknown constant {name}")
+
+    inject_re = re.compile(r"fault::Inject\s*\(\s*([^()]*?)\s*\)")
+    uses = {}
+    src = REPO / "src"
+    for path in sorted(src.rglob("*.h")) + sorted(src.rglob("*.cc")):
+        if path.is_relative_to(src / "fault"):
+            continue  # the framework itself (Inject's definition)
+        code = strip_comments_and_strings(path.read_text())
+        for no, line in enumerate(code.splitlines(), 1):
+            for m in inject_re.finditer(line):
+                arg = m.group(1)
+                cm = re.fullmatch(r"(?:fault::)?sites::(k\w+)", arg)
+                if cm is None:
+                    report(path, no, "fault-site",
+                           "fault::Inject argument must be a fault::sites:: "
+                           f"constant, got `{arg}`")
+                elif cm.group(1) not in consts:
+                    report(path, no, "fault-site",
+                           f"unregistered fault site constant {cm.group(1)}")
+                else:
+                    uses.setdefault(cm.group(1), []).append((path, no))
+    for name, locations in uses.items():
+        if len(locations) > 1:
+            where = ", ".join(
+                f"{p.relative_to(REPO)}:{n}" for p, n in locations)
+            report(locations[1][0], locations[1][1], "fault-site",
+                   f"site {name} injected at multiple call sites ({where})")
+    for name in consts:
+        if name in listed and name not in uses:
+            report(header, 1, "fault-site",
+                   f"registered site {name} is never injected in src/")
+
+
 def lint_file(path):
     raw = path.read_text()
     raw_lines = raw.splitlines()
@@ -220,6 +282,7 @@ def main():
         targets += sorted((REPO / d).rglob("*.cc"))
     for path in targets:
         lint_file(path)
+    check_fault_sites()
     for v in violations:
         print(v)
     if violations:
