@@ -13,19 +13,37 @@
 // `overhead_pct` compares `on` against `off`; `disabled_delta_pct` compares
 // `off-again` against `off` and should hover around measurement noise.
 //
-// Build & run:  ./build/bench/micro_obs_overhead [--scale=...]
+// A second section applies the same off / on / off-again protocol to the
+// provenance ledger on a full engine loop (jobs + selection + maintenance,
+// so views seal and hit): the disabled ledger must also cost one relaxed
+// atomic load per gate.
+//
+// Build & run:  ./build/bench/micro_obs_overhead [--scale=...] [--check]
+//
+// With --check, exits nonzero if the provenance disabled-path delta (off2
+// vs off on the engine loop) exceeds 5% — the CI regression guard for the
+// "ledger compiled in but off is free" invariant. The tracer off2 deltas
+// are reported but not gated: those sections time ~1-2 ms of executor
+// work, which jitters past any honest budget on a shared 1-core CI box,
+// while the multi-millisecond engine loop is stable under min-of-runs.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
-#include <memory>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/reuse_engine.h"
 #include "exec/executor.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "plan/builder.h"
 #include "tests/test_util.h"
+#include "workload/generator.h"
 
 namespace cloudviews {
 namespace {
@@ -68,18 +86,84 @@ double RunSeconds(const DatasetCatalog& catalog, const LogicalOpPtr& plan,
   return r->stats.wall_seconds;
 }
 
-// Mean executor seconds over `runs` repetitions (after one warm-up).
+// Best executor seconds over `runs` repetitions (after one warm-up).
+// Min, not mean: scheduler noise only ever adds time, so the minimum is
+// the stable estimate of the code's cost on a loaded machine.
 double MeasureSeconds(const DatasetCatalog& catalog, const LogicalOpPtr& plan,
                       int dop, int runs) {
   RunSeconds(catalog, plan, dop);
-  double total = 0.0;
-  for (int i = 0; i < runs; ++i) total += RunSeconds(catalog, plan, dop);
-  return total / runs;
+  double best = RunSeconds(catalog, plan, dop);
+  for (int i = 1; i < runs; ++i) {
+    best = std::min(best, RunSeconds(catalog, plan, dop));
+  }
+  return best;
 }
 
 double PercentDelta(double baseline, double measured) {
   if (baseline <= 0.0) return 0.0;
   return (measured - baseline) / baseline * 100.0;
+}
+
+// One engine loop: a seeded recurring workload through a fresh engine with
+// selection + maintenance between days, so views seal and take hits —
+// every provenance emission site on the reuse path fires (or, when the
+// ledger is disabled, pays exactly its gate). Returns wall seconds.
+double RunEngineLoopSeconds(double scale, int days) {
+  WorkloadProfile profile;
+  profile.seed = 17;
+  profile.num_virtual_clusters = 2;
+  profile.num_shared_datasets = 10;
+  profile.num_motifs = 5;
+  profile.num_templates = 8;
+  profile.instances_per_template_per_day =
+      std::max(1, static_cast<int>(2 * scale));
+  profile.min_rows = 60;
+  profile.max_rows = 240;
+
+  WorkloadGenerator generator(profile);
+  DatasetCatalog catalog;
+  if (!generator.Setup(&catalog).ok()) std::abort();
+
+  ReuseEngineOptions options;
+  options.selection.schedule_aware = false;
+  options.selection.per_virtual_cluster = false;
+  ReuseEngine engine(&catalog, options);
+  engine.insights().controls().opt_out_model = true;  // all VCs enabled
+
+  auto start = std::chrono::steady_clock::now();
+  for (int day = 0; day < days; ++day) {
+    if (day >= 1) {
+      std::vector<std::string> updated;
+      if (!generator.AdvanceDay(&catalog, day, &updated).ok()) std::abort();
+      for (const std::string& dataset : updated) {
+        engine.OnDatasetUpdated(dataset);
+      }
+    }
+    for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
+      JobRequest request;
+      request.job_id = job.job_id;
+      request.virtual_cluster = job.virtual_cluster;
+      request.plan = job.plan;
+      request.submit_time = job.submit_time;
+      request.day = job.day;
+      if (!engine.RunJob(request).ok()) std::abort();
+    }
+    engine.RunViewSelection(day * 86400.0);
+    engine.Maintenance((day + 1) * 86400.0);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Best engine-loop seconds over `runs` repetitions (after one warm-up).
+double MeasureEngineLoop(double scale, int days, int runs) {
+  RunEngineLoopSeconds(scale, days);
+  double best = RunEngineLoopSeconds(scale, days);
+  for (int i = 1; i < runs; ++i) {
+    best = std::min(best, RunEngineLoopSeconds(scale, days));
+  }
+  return best;
 }
 
 struct QueryShape {
@@ -89,6 +173,11 @@ struct QueryShape {
 
 int RunBench(int argc, char** argv) {
   double scale = bench_util::ParseScale(argc, argv, 1.0);
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  constexpr double kDisabledBudgetPct = 5.0;
   bench_util::PrintHeader(
       "Observability overhead: executor throughput, tracer off / on / off",
       "obs subsystem acceptance: <5% regression with tracing compiled in");
@@ -143,9 +232,44 @@ int RunBench(int argc, char** argv) {
   tracer.Disable();
   tracer.Clear();
 
+  // Same protocol for the provenance ledger, on the engine loop (the
+  // ledger's gates sit on the materialize/hit/invalidate path, not the
+  // executor hot loop). `on` includes building + exporting the ledger.
+  constexpr int kEngineDays = 5;
+  constexpr int kEngineRuns = 5;
+  obs::ProvenanceLedger::Disable();
+  double prov_off = MeasureEngineLoop(scale, kEngineDays, kEngineRuns);
+  obs::ProvenanceLedger::Enable();
+  double prov_on = MeasureEngineLoop(scale, kEngineDays, kEngineRuns);
+  obs::ProvenanceLedger::Disable();
+  double prov_off_again = MeasureEngineLoop(scale, kEngineDays, kEngineRuns);
+
+  double prov_on_pct = PercentDelta(prov_off, prov_on);
+  double prov_off2_pct = PercentDelta(prov_off, prov_off_again);
+  std::printf("\n%-22s %4s | %12.3f %12.3f %12.3f | %8.1f%% %8.1f%%\n",
+              "engine_loop_provenance", "-", prov_off * 1e3, prov_on * 1e3,
+              prov_off_again * 1e3, prov_on_pct, prov_off2_pct);
+  report.Metric("provenance_off_ms", prov_off * 1e3)
+      .Metric("provenance_on_ms", prov_on * 1e3)
+      .Metric("provenance_off_again_ms", prov_off_again * 1e3)
+      .Metric("provenance_overhead_pct", prov_on_pct)
+      .Metric("provenance_disabled_delta_pct", prov_off2_pct);
+
   std::printf("\n(off2 is tracer-disabled after a traced run; its delta vs "
               "off is the compiled-but-disabled cost and should be noise)\n");
   report.Print();
+
+  if (check && prov_off2_pct > kDisabledBudgetPct) {
+    std::printf("CHECK FAILED: provenance disabled-path delta %.1f%% exceeds "
+                "the %.0f%% budget\n",
+                prov_off2_pct, kDisabledBudgetPct);
+    return 1;
+  }
+  if (check) {
+    std::printf("CHECK OK: provenance disabled-path delta %.1f%% within "
+                "%.0f%%\n",
+                prov_off2_pct, kDisabledBudgetPct);
+  }
   return 0;
 }
 

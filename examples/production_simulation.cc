@@ -10,7 +10,9 @@
 // Observability: pass --trace=PATH to record a Chrome trace (open it at
 // chrome://tracing or https://ui.perfetto.dev) and --metrics=PATH to dump a
 // JSON snapshot of the engine's metrics registry. CLOUDVIEWS_OBS_TRACE=1
-// enables tracing without writing a file.
+// enables tracing without writing a file. Pass --insights=PATH to collect
+// the reuse provenance ledger + hourly time series for the CloudViews arm
+// and write the insights JSON there (render it with tools/insights_report).
 
 #include <cstdio>
 #include <cstring>
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
 
   const std::string trace_path = FlagValue(argc, argv, "--trace");
   const std::string metrics_path = FlagValue(argc, argv, "--metrics");
+  const std::string insights_path = FlagValue(argc, argv, "--insights");
   if (!trace_path.empty()) {
     obs::Tracer::Global().Enable();
     obs::Tracer::Global().Clear();
@@ -63,6 +66,7 @@ int main(int argc, char** argv) {
   config.num_days = 7;
   config.onboarding_days_per_vc = 1;  // one more VC opts in per day
   config.engine.selection.min_occurrences = 3;
+  config.collect_insights = !insights_path.empty();
 
   std::printf("workload: %d virtual clusters, %d recurring templates, "
               "%d shared datasets\n\n",
@@ -135,6 +139,16 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote metrics snapshot (%zu bytes) to %s\n", snapshot.size(),
                 metrics_path.c_str());
+  }
+  if (!insights_path.empty()) {
+    const std::string& insights = result->cloudviews.insights_json;
+    if (!WriteFile(insights_path, insights)) {
+      obs::LogError("production_simulation", "insights_write_failed",
+                    {{"path", insights_path}});
+      return 1;
+    }
+    std::printf("wrote insights JSON (%zu bytes) to %s\n", insights.size(),
+                insights_path.c_str());
   }
   return 0;
 }

@@ -6,7 +6,9 @@
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
 #include "obs/log.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "plan/signature.h"
 
@@ -35,7 +37,15 @@ bool ClaimsContainers(LogicalOpKind kind) {
 
 ClusterSimulator::ClusterSimulator(ReuseEngine* engine,
                                    ClusterSimOptions options)
-    : engine_(engine), options_(options), random_(options.seed) {}
+    : engine_(engine), options_(options), random_(options.seed) {
+  next_sample_time_ = options_.sample_interval_seconds;
+  base_lookup_hits_ = obs::MetricsRegistry::Global()
+                          .counter(obs::metric_names::kViewsLookupHit)
+                          .Value();
+  base_lookup_misses_ = obs::MetricsRegistry::Global()
+                            .counter(obs::metric_names::kViewsLookupMiss)
+                            .Value();
+}
 
 int ClusterSimulator::StageWidth(const LogicalOp& node) const {
   // Width is driven by the optimizer's ESTIMATE of the stage input size:
@@ -146,18 +156,74 @@ void ClusterSimulator::RecordJoins(const LogicalOp& node, int day,
   }
 }
 
+void ClusterSimulator::TakeSample(double sample_time) {
+  obs::TimeSeriesCollector* ts = options_.timeseries;
+  const ViewStore& store = engine_->view_store();
+  ts->series("views.live").Add(sample_time,
+                               static_cast<double>(store.NumLive()));
+  ts->series("storage.used_bytes")
+      .Add(sample_time, static_cast<double>(store.TotalBytes()));
+  ts->series("storage.budget_bytes")
+      .Add(sample_time,
+           static_cast<double>(
+               engine_->options().selection.storage_budget_bytes));
+  ts->series("views.created")
+      .Add(sample_time, static_cast<double>(store.total_views_created()));
+  ts->series("views.reused")
+      .Add(sample_time, static_cast<double>(store.total_views_reused()));
+  ts->series("views.quarantined")
+      .Add(sample_time, static_cast<double>(store.total_views_quarantined()));
+  // Hit rate over this simulator's lifetime, from registry deltas (the
+  // counters themselves are process-global).
+  uint64_t hits = obs::MetricsRegistry::Global()
+                      .counter(obs::metric_names::kViewsLookupHit)
+                      .Value() -
+                  base_lookup_hits_;
+  uint64_t misses = obs::MetricsRegistry::Global()
+                        .counter(obs::metric_names::kViewsLookupMiss)
+                        .Value() -
+                    base_lookup_misses_;
+  double lookups = static_cast<double>(hits + misses);
+  ts->series("reuse.hit_rate")
+      .Add(sample_time,
+           lookups > 0.0 ? static_cast<double>(hits) / lookups : 0.0);
+  if (obs::ProvenanceLedger::Enabled()) {
+    obs::LedgerTotals totals = engine_->provenance().Totals(sample_time);
+    ts->series("savings.attributed").Add(sample_time,
+                                         totals.attributed_savings);
+    ts->series("savings.build_cost").Add(sample_time, totals.build_cost);
+    ts->series("savings.storage_rent").Add(sample_time, totals.storage_rent);
+    ts->series("savings.net").Add(sample_time, totals.net_savings);
+  }
+}
+
+void ClusterSimulator::SampleUpTo(double now) {
+  if (options_.timeseries == nullptr ||
+      options_.sample_interval_seconds <= 0.0) {
+    return;
+  }
+  while (next_sample_time_ <= now) {
+    TakeSample(next_sample_time_);
+    next_sample_time_ += options_.sample_interval_seconds;
+  }
+}
+
 Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
   static obs::Counter& jobs_counter =
-      obs::MetricsRegistry::Global().counter("sim.jobs");
+      obs::MetricsRegistry::Global().counter(obs::metric_names::kSimJobs);
   static obs::Histogram& wait_hist =
-      obs::MetricsRegistry::Global().histogram("sim.queue_wait_seconds",
-                                               obs::WaitBucketsSeconds());
+      obs::MetricsRegistry::Global().histogram(
+          obs::metric_names::kSimQueueWaitSeconds,
+          obs::WaitBucketsSeconds());
   jobs_counter.Increment();
   obs::Span span("job", "sim");
   span.Arg("job_id", static_cast<int64_t>(job.job_id));
   span.Arg("day", static_cast<int64_t>(job.day));
 
   clock_.AdvanceTo(job.submit_time);
+  // Jobs arrive in nondecreasing submit-time order, so every sample interval
+  // that elapsed before this submission can be flushed now.
+  SampleUpTo(job.submit_time);
 
   // --- Queueing at the job service -----------------------------------------
   VcState& vc = vcs_[job.virtual_cluster];
@@ -184,6 +250,7 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
   request.submit_time = job.submit_time;
   request.day = job.day;
   request.cloudviews_enabled = job.cloudviews_enabled;
+  request.queue_wait_seconds = queue_wait;
 
   JobTelemetry telemetry;
   telemetry.job_id = job.job_id;
@@ -215,8 +282,8 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
     telemetry.node_retries += 1;
     retry_delay +=
         options_.node_retry_backoff_seconds * std::pow(2.0, attempt);
-    static obs::Counter& retries =
-        obs::MetricsRegistry::Global().counter("faults.retries");
+    static obs::Counter& retries = obs::MetricsRegistry::Global().counter(
+        obs::metric_names::kFaultsRetries);
     retries.Increment();
   }
 

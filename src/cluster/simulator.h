@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "common/sim_clock.h"
 #include "core/reuse_engine.h"
+#include "obs/timeseries.h"
 
 namespace cloudviews {
 
@@ -46,6 +47,12 @@ struct ClusterSimOptions {
   double bonus_availability_mean = 0.6;    // mean spare-capacity fraction
   double bonus_availability_stddev = 0.25; // opportunistic variance
   uint64_t seed = 7;
+  // Time-series telemetry sink (not owned, may be null). Every
+  // sample_interval_seconds of simulated time the simulator snapshots
+  // engine/ledger gauges (views live, storage vs budget, hit rate,
+  // cumulative net savings) into the collector.
+  obs::TimeSeriesCollector* timeseries = nullptr;
+  double sample_interval_seconds = 3600.0;  // one simulated hour
 };
 
 // A job instance ready for submission (produced by the workload generator).
@@ -94,6 +101,12 @@ class ClusterSimulator {
   // Clears per-day join records older than `day` (bounds memory).
   void TrimJoinRecordsBefore(int day);
 
+  // Emits one time-series sample per elapsed sample interval up to `now`
+  // (no-op without a collector). SubmitJob calls this automatically; the
+  // driver should call it once more at end-of-run so the final partial
+  // interval is captured.
+  void SampleUpTo(double now);
+
  private:
   struct StageAnalysis {
     double latency_seconds = 0.0;     // critical path
@@ -130,6 +143,9 @@ class ClusterSimulator {
     std::deque<double> waiting;   // submit times of queued jobs (for stats)
   };
 
+  // Takes one snapshot stamped `sample_time` into the collector.
+  void TakeSample(double sample_time);
+
   ReuseEngine* engine_;
   ClusterSimOptions options_;
   SimClock clock_;
@@ -137,6 +153,13 @@ class ClusterSimulator {
   TelemetrySeries telemetry_;
   std::map<std::string, VcState> vcs_;
   std::vector<JoinExecutionRecord> join_records_;
+  // Sampling state. Registry counters are process-global and shared across
+  // arms/tests, so rates are computed from deltas against baselines captured
+  // at construction — that keeps exported series deterministic for a given
+  // workload regardless of what ran before in the process.
+  double next_sample_time_ = 0.0;
+  uint64_t base_lookup_hits_ = 0;
+  uint64_t base_lookup_misses_ = 0;
 };
 
 }  // namespace cloudviews

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,15 +50,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  static obs::Counter& submitted =
-      obs::MetricsRegistry::Global().counter("threadpool.tasks");
+  static obs::Counter& submitted = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kThreadpoolTasks);
   submitted.Increment();
   if (obs::Tracer::Enabled()) {
     // Queue-wait telemetry costs a wrapper allocation, so it is only
     // collected while tracing is on; the disabled path stays allocation-free.
     static obs::Histogram& queue_wait =
-        obs::MetricsRegistry::Global().histogram("threadpool.queue_wait_us",
-                                                 obs::LatencyBucketsUs());
+        obs::MetricsRegistry::Global().histogram(
+            obs::metric_names::kThreadpoolQueueWaitUs,
+            obs::LatencyBucketsUs());
     const uint64_t enqueued_us = obs::Tracer::NowMicros();
     task = [inner = std::move(task), enqueued_us] {
       queue_wait.Observe(

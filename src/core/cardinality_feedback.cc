@@ -1,5 +1,6 @@
 #include "core/cardinality_feedback.h"
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace cloudviews {
@@ -25,9 +26,11 @@ std::optional<ObservedCardinality> CardinalityFeedback::Lookup(
     const Hash128& recurring_signature, int64_t min_observations) const {
   // Signature-keyed micro-model cache telemetry (the section 5.2 loop).
   static obs::Counter& cache_hits =
-      obs::MetricsRegistry::Global().counter("signature_cache.lookup.hit");
+      obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kSignatureCacheLookupHit);
   static obs::Counter& cache_misses =
-      obs::MetricsRegistry::Global().counter("signature_cache.lookup.miss");
+      obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kSignatureCacheLookupMiss);
   lookups_ += 1;
   auto it = models_.find(recurring_signature);
   if (it == models_.end() || it->second.observations < min_observations) {

@@ -1,0 +1,278 @@
+#include "core/insights_report.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "obs/json_reader.h"
+#include "obs/json_writer.h"
+
+namespace cloudviews {
+
+namespace {
+
+// Per-virtual-cluster roll-up of ledger streams (the paper's per-customer
+// savings attribution).
+struct VcTotals {
+  int64_t streams = 0;
+  int64_t sealed = 0;
+  int64_t hits = 0;
+  double attributed_savings = 0.0;
+  double build_cost = 0.0;
+  double storage_rent = 0.0;
+};
+
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string BuildInsightsJson(const ReuseEngine& engine,
+                              const obs::TimeSeriesCollector* timeseries,
+                              const InsightsExportMeta& meta,
+                              double rent_per_byte_second) {
+  const obs::ProvenanceLedger& ledger = engine.provenance();
+  obs::LedgerTotals totals = ledger.Totals(meta.now, rent_per_byte_second);
+  const ViewStore& store = engine.view_store();
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("meta");
+  w.BeginObject();
+  w.Field("cluster", meta.cluster);
+  w.Field("days", meta.days);
+  w.Field("jobs", meta.jobs);
+  w.Field("failed_jobs", meta.failed_jobs);
+  w.Field("virtual_clusters", meta.num_virtual_clusters);
+  w.Field("now", meta.now);
+  w.Field("provenance_enabled", obs::ProvenanceLedger::Enabled());
+  w.EndObject();
+
+  // Table-1-shaped summary: workload repetition, view lifecycle counts,
+  // storage position, and the savings attribution bottom line.
+  w.Key("summary");
+  w.BeginObject();
+  w.Field("views_created", store.total_views_created());
+  w.Field("views_reused", store.total_views_reused());
+  w.Field("views_quarantined", store.total_views_quarantined());
+  w.Field("views_live", static_cast<uint64_t>(store.NumLive()));
+  w.Field("storage_used_bytes", static_cast<uint64_t>(store.TotalBytes()));
+  w.Field("storage_budget_bytes",
+          engine.options().selection.storage_budget_bytes);
+  w.Field("sealed_views", totals.sealed_views);
+  w.Field("reused_views", totals.reused_views);
+  w.Field("hits", totals.hits);
+  w.Field("aborts", totals.aborts);
+  w.Field("bytes_spooled", totals.bytes_spooled);
+  w.Field("build_cost", totals.build_cost);
+  w.Field("attributed_savings", totals.attributed_savings);
+  w.Field("rows_avoided", totals.rows_avoided);
+  w.Field("bytes_avoided", totals.bytes_avoided);
+  w.Field("storage_rent", totals.storage_rent);
+  w.Field("net_savings", totals.net_savings);
+  w.Field("negative_utility_views", totals.negative_utility_views);
+  w.Field("percent_repeated_subexpressions",
+          engine.repository().PercentRepeated());
+  w.Field("average_repeat_frequency",
+          engine.repository().AverageRepeatFrequency());
+  w.Field("subexpression_instances", engine.repository().total_instances());
+  w.Field("annotation_fetches", engine.insights().fetch_count());
+  w.Field("annotations_published",
+          static_cast<uint64_t>(engine.insights().num_annotations()));
+  w.EndObject();
+
+  // Per-VC attribution (std::map: stable key order in the export).
+  std::map<std::string, VcTotals> per_vc;
+  for (const obs::ViewStream& stream : ledger.Streams()) {
+    obs::ViewAggregates agg = obs::ProvenanceLedger::Aggregate(
+        stream, meta.now, rent_per_byte_second);
+    VcTotals& vc = per_vc[stream.virtual_cluster];
+    vc.streams += 1;
+    if (agg.sealed) vc.sealed += 1;
+    vc.hits += agg.hits;
+    vc.attributed_savings += agg.attributed_savings;
+    vc.build_cost += agg.build_cost;
+    vc.storage_rent += agg.storage_rent;
+  }
+  w.Key("per_vc");
+  w.BeginObject();
+  for (const auto& [name, vc] : per_vc) {
+    w.Key(name);
+    w.BeginObject();
+    w.Field("streams", vc.streams);
+    w.Field("sealed_views", vc.sealed);
+    w.Field("hits", vc.hits);
+    w.Field("attributed_savings", vc.attributed_savings);
+    w.Field("build_cost", vc.build_cost);
+    w.Field("storage_rent", vc.storage_rent);
+    w.Field("net_savings",
+            vc.attributed_savings - vc.build_cost - vc.storage_rent);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("ledger");
+  w.RawValue(ledger.ExportJson(meta.now, rent_per_byte_second));
+  w.Key("series");
+  if (timeseries != nullptr) {
+    w.RawValue(timeseries->ExportJson());
+  } else {
+    w.Null();
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+Result<std::string> RenderInsightsReport(std::string_view insights_json,
+                                         const InsightsReportOptions& options) {
+  auto parsed = obs::ParseJson(insights_json);
+  if (!parsed.ok()) return parsed.status();
+  const obs::JsonValue& root = *parsed;
+  const obs::JsonValue* meta = root.Find("meta");
+  const obs::JsonValue* summary = root.Find("summary");
+  const obs::JsonValue* ledger = root.Find("ledger");
+  if (meta == nullptr || summary == nullptr || ledger == nullptr) {
+    return Status::InvalidArgument(
+        "not an insights document: missing meta/summary/ledger");
+  }
+
+  std::string out;
+  out += "CloudViews insights report\n";
+  out += "==========================\n";
+  AppendF(&out,
+          "cluster %s: %lld simulated days, %lld jobs (%lld failed), "
+          "%lld virtual clusters\n",
+          meta->GetString("cluster").c_str(),
+          static_cast<long long>(meta->GetInt("days")),
+          static_cast<long long>(meta->GetInt("jobs")),
+          static_cast<long long>(meta->GetInt("failed_jobs")),
+          static_cast<long long>(meta->GetInt("virtual_clusters")));
+  const obs::JsonValue* ledger_totals = ledger->Find("totals");
+  AppendF(&out, "ledger: %lld streams, %lld dropped events\n\n",
+          static_cast<long long>(
+              ledger_totals != nullptr ? ledger_totals->GetInt("streams") : 0),
+          static_cast<long long>(ledger->GetInt("dropped_events")));
+
+  out += "Summary\n";
+  auto int_row = [&out, summary](const char* label, const char* key) {
+    AppendF(&out, "  %-32s %lld\n", label,
+            static_cast<long long>(summary->GetInt(key)));
+  };
+  auto num_row = [&out, summary](const char* label, const char* key) {
+    AppendF(&out, "  %-32s %.2f\n", label, summary->GetNumber(key));
+  };
+  int_row("views sealed", "sealed_views");
+  int_row("views live at end", "views_live");
+  int_row("views reused (>=1 hit)", "reused_views");
+  int_row("reuse hits", "hits");
+  int_row("aborted materializations", "aborts");
+  int_row("views quarantined", "views_quarantined");
+  int_row("bytes spooled", "bytes_spooled");
+  int_row("storage used (bytes)", "storage_used_bytes");
+  int_row("storage budget (bytes)", "storage_budget_bytes");
+  num_row("build cost", "build_cost");
+  num_row("attributed savings", "attributed_savings");
+  num_row("storage rent", "storage_rent");
+  num_row("net savings", "net_savings");
+  int_row("negative-utility views", "negative_utility_views");
+  AppendF(&out, "  %-32s %.1f%%\n", "repeated subexpressions",
+          summary->GetNumber("percent_repeated_subexpressions"));
+  num_row("avg repeat frequency", "average_repeat_frequency");
+  int_row("subexpression instances", "subexpression_instances");
+  int_row("annotation fetches", "annotation_fetches");
+  out += "\n";
+
+  // Rank sealed views by net utility (tie-broken by signature so the order
+  // is total, keeping reruns byte-identical).
+  struct ViewRow {
+    std::string strict;
+    std::string vc;
+    int64_t hits = 0;
+    double savings = 0.0;
+    double build = 0.0;
+    double rent = 0.0;
+    double net = 0.0;
+    bool live = false;
+  };
+  std::vector<ViewRow> sealed_rows;
+  const obs::JsonValue* views = ledger->Find("views");
+  if (views != nullptr && views->is_array()) {
+    for (const obs::JsonValue& view : views->items) {
+      const obs::JsonValue* agg = view.Find("aggregates");
+      if (agg == nullptr || !agg->GetBool("sealed")) continue;
+      ViewRow row;
+      row.strict = view.GetString("strict");
+      row.vc = view.GetString("virtual_cluster");
+      row.hits = agg->GetInt("hits");
+      row.savings = agg->GetNumber("attributed_savings");
+      row.build = agg->GetNumber("build_cost");
+      row.rent = agg->GetNumber("storage_rent");
+      row.net = agg->GetNumber("net_utility");
+      row.live = agg->GetBool("live");
+      sealed_rows.push_back(std::move(row));
+    }
+  }
+  std::sort(sealed_rows.begin(), sealed_rows.end(),
+            [](const ViewRow& a, const ViewRow& b) {
+              if (a.net != b.net) return a.net > b.net;
+              return a.strict < b.strict;
+            });
+
+  AppendF(&out, "Top %d views by net utility\n", options.top_n);
+  AppendF(&out, "  %4s  %-18s %-6s %5s %12s %10s %10s %12s\n", "#",
+          "strict", "vc", "hits", "savings", "build", "rent", "net");
+  if (sealed_rows.empty()) out += "  (no sealed views)\n";
+  for (size_t i = 0;
+       i < sealed_rows.size() && i < static_cast<size_t>(options.top_n);
+       ++i) {
+    const ViewRow& row = sealed_rows[i];
+    AppendF(&out, "  %4zu  %-18s %-6s %5lld %12.2f %10.2f %10.2f %12.2f\n",
+            i + 1, row.strict.substr(0, 16).c_str(), row.vc.c_str(),
+            static_cast<long long>(row.hits), row.savings, row.build,
+            row.rent, row.net);
+  }
+  out += "\n";
+
+  out += "Negative-utility views (cost more than they saved)\n";
+  bool any_negative = false;
+  for (auto it = sealed_rows.rbegin(); it != sealed_rows.rend(); ++it) {
+    if (it->net >= 0.0) break;
+    any_negative = true;
+    AppendF(&out, "  %-18s %-6s %5lld hits %12.2f net%s\n",
+            it->strict.substr(0, 16).c_str(), it->vc.c_str(),
+            static_cast<long long>(it->hits), it->net,
+            it->live ? "  (still live)" : "");
+  }
+  if (!any_negative) out += "  (none)\n";
+  out += "\n";
+
+  out += "Per-VC savings\n";
+  AppendF(&out, "  %-10s %8s %8s %6s %12s %10s %10s %12s\n", "vc",
+          "streams", "sealed", "hits", "savings", "build", "rent", "net");
+  const obs::JsonValue* per_vc = root.Find("per_vc");
+  if (per_vc != nullptr && per_vc->is_object()) {
+    for (const auto& [name, vc] : per_vc->members) {
+      AppendF(&out, "  %-10s %8lld %8lld %6lld %12.2f %10.2f %10.2f %12.2f\n",
+              name.empty() ? "(none)" : name.c_str(),
+              static_cast<long long>(vc.GetInt("streams")),
+              static_cast<long long>(vc.GetInt("sealed_views")),
+              static_cast<long long>(vc.GetInt("hits")),
+              vc.GetNumber("attributed_savings"), vc.GetNumber("build_cost"),
+              vc.GetNumber("storage_rent"), vc.GetNumber("net_savings"));
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudviews

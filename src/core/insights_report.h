@@ -1,0 +1,49 @@
+#ifndef CLOUDVIEWS_CORE_INSIGHTS_REPORT_H_
+#define CLOUDVIEWS_CORE_INSIGHTS_REPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/reuse_engine.h"
+#include "obs/provenance.h"
+#include "obs/timeseries.h"
+
+namespace cloudviews {
+
+// Run-level context the engine itself does not know (how many days were
+// simulated, how many jobs the driver submitted).
+struct InsightsExportMeta {
+  std::string cluster;
+  int days = 0;
+  int64_t jobs = 0;
+  int64_t failed_jobs = 0;
+  int num_virtual_clusters = 0;
+  double now = 0.0;  // simulated end-of-run time; closes open rent windows
+};
+
+// Serializes everything the insights report needs into one JSON document:
+// run metadata, a Table-1-shaped summary, per-VC savings attribution, the
+// full provenance ledger, and the sampled time series (null when no
+// collector was attached). Deterministic: a rerun of the same seed produces
+// byte-identical output (values derive from the simulated clock and the
+// cost model, never the wall clock).
+std::string BuildInsightsJson(
+    const ReuseEngine& engine, const obs::TimeSeriesCollector* timeseries,
+    const InsightsExportMeta& meta,
+    double rent_per_byte_second = obs::kDefaultStorageRentPerByteSecond);
+
+struct InsightsReportOptions {
+  int top_n = 10;  // rows in the top-views table
+};
+
+// Renders the paper-style text report (summary block, top-N views by net
+// utility, negative-utility views, per-VC savings) from a BuildInsightsJson
+// document. Pure function of its input: byte-identical for identical JSON.
+Result<std::string> RenderInsightsReport(std::string_view insights_json,
+                                         const InsightsReportOptions& options =
+                                             {});
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_CORE_INSIGHTS_REPORT_H_

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace cloudviews {
@@ -36,10 +37,10 @@ void InsightsService::PublishSelection(const SelectionResult& selection) {
 
 std::vector<AnnotationEntry> InsightsService::FetchAnnotations(
     const std::vector<Hash128>& recurring_signatures) const {
-  static obs::Counter& fetches =
-      obs::MetricsRegistry::Global().counter("insights.fetches");
+  static obs::Counter& fetches = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kInsightsFetches);
   fetches.Increment();
-  fetch_count_ += 1;
+  fetch_count_.fetch_add(1, std::memory_order_relaxed);
   std::vector<AnnotationEntry> out;
   for (const Hash128& sig : recurring_signatures) {
     auto it = annotations_.find(sig);

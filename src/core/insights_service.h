@@ -1,6 +1,7 @@
 #ifndef CLOUDVIEWS_CORE_INSIGHTS_SERVICE_H_
 #define CLOUDVIEWS_CORE_INSIGHTS_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -82,9 +83,11 @@ class InsightsService {
   Status ImportAnnotationsFile(const std::string& contents);
 
   size_t num_annotations() const { return annotations_.size(); }
-  int64_t fetch_count() const { return fetch_count_; }
+  int64_t fetch_count() const {
+    return fetch_count_.load(std::memory_order_relaxed);
+  }
   double total_fetch_latency() const {
-    return static_cast<double>(fetch_count_) * kFetchLatencySeconds;
+    return static_cast<double>(fetch_count()) * kFetchLatencySeconds;
   }
 
   // --- View-creation locks --------------------------------------------------
@@ -121,7 +124,9 @@ class InsightsService {
   std::unordered_map<Hash128, int64_t, Hash128Hasher> view_locks_;
   ReuseControls controls_;
   std::deque<obs::QueryProfile> profiles_;
-  mutable int64_t fetch_count_ = 0;
+  // Atomic: concurrent compilations fetch annotations through a const
+  // service reference, so the counter increments race without a lock.
+  mutable std::atomic<int64_t> fetch_count_{0};
 };
 
 }  // namespace cloudviews

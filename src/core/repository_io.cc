@@ -7,6 +7,7 @@
 
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace cloudviews {
@@ -22,7 +23,7 @@ constexpr int kMaxIoAttempts = 3;
 
 void CountIoRetry() {
   static obs::Counter& retries =
-      obs::MetricsRegistry::Global().counter("faults.retries");
+      obs::MetricsRegistry::Global().counter(obs::metric_names::kFaultsRetries);
   retries.Increment();
 }
 

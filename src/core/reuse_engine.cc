@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/log.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "verify/verify.h"
@@ -22,7 +23,8 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 ReuseEngine::ReuseEngine(DatasetCatalog* catalog, ReuseEngineOptions options)
     : catalog_(catalog), options_(std::move(options)),
       view_store_(options_.view_ttl_seconds),
-      view_manager_(&view_store_, &insights_) {
+      view_manager_(&view_store_, &insights_, &provenance_) {
+  view_store_.set_provenance(&provenance_);
   if (options_.enable_cardinality_feedback) {
     options_.optimizer.cardinality_feedback = &feedback_;
   }
@@ -94,7 +96,12 @@ Result<OptimizationOutcome> ReuseEngine::CompileBound(
   Optimizer::TryLockFn try_lock;
   if (reuse_enabled) {
     try_lock = [this, &request](const Hash128& sig) {
-      return insights_.TryAcquireViewLock(sig, request.job_id);
+      bool acquired = insights_.TryAcquireViewLock(sig, request.job_id);
+      if (acquired) {
+        provenance_.RecordLockAcquired(sig, request.job_id,
+                                       request.submit_time);
+      }
+      return acquired;
     };
   }
   return optimizer_->Optimize(plan, annotations,
@@ -104,11 +111,13 @@ Result<OptimizationOutcome> ReuseEngine::CompileBound(
 
 Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   static obs::Counter& jobs_counter =
-      obs::MetricsRegistry::Global().counter("engine.jobs");
+      obs::MetricsRegistry::Global().counter(obs::metric_names::kEngineJobs);
   static obs::Counter& matched_counter =
-      obs::MetricsRegistry::Global().counter("engine.views_matched");
+      obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kEngineViewsMatched);
   static obs::Counter& built_counter =
-      obs::MetricsRegistry::Global().counter("engine.views_built");
+      obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kEngineViewsBuilt);
   jobs_counter.Increment();
 
   obs::Span query_span("query", "engine");
@@ -145,6 +154,7 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   exec.reuse_enabled = reuse_enabled;
   exec.views_matched = outcome->views_matched;
   exec.matched_signatures = outcome->matched_signatures;
+  exec.matched_details = outcome->matched_details;
   exec.built_signatures = outcome->proposed_materializations;
   exec.estimated_cost = outcome->estimated_cost;
   exec.estimated_cost_without_reuse = outcome->estimated_cost_without_reuse;
@@ -198,7 +208,7 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   context.on_spool_abort = [this, &request](const LogicalOp& spool,
                                             const Status& cause) {
     view_manager_.AbortMaterialize(spool.view_signature, request.job_id,
-                                   cause);
+                                   cause, request.submit_time);
   };
 
   Executor executor(context);
@@ -214,18 +224,20 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
     // was matched and re-run the unrewritten alternative the optimizer kept;
     // the query answers from base scans with byte-identical output.
     static obs::Counter& fallbacks =
-        obs::MetricsRegistry::Global().counter("engine.fallbacks");
+        obs::MetricsRegistry::Global().counter(
+            obs::metric_names::kEngineFallbacks);
     fallbacks.Increment();
     obs::LogWarn("engine", "fallback_to_base_plan",
                  {{"job_id", request.job_id},
                   {"cause", run.status().ToString()},
                   {"views_matched", exec.views_matched}});
     for (const Hash128& sig : outcome->matched_signatures) {
-      view_store_.Invalidate(sig).ok();
+      view_store_.Invalidate(sig, request.submit_time).ok();
     }
     views_built = 0;
     exec.views_matched = 0;
     exec.matched_signatures.clear();
+    exec.matched_details.clear();
     exec.built_signatures.clear();
     exec.fell_back = true;
     exec.estimated_cost = outcome->estimated_cost_without_reuse;
@@ -242,9 +254,16 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   exec.stats = run->stats;
   exec.views_built = views_built;
 
-  // Record reuse hits (none when the job fell back to the base plan).
-  for (const Hash128& sig : exec.matched_signatures) {
-    view_store_.RecordReuse(sig).ok();
+  // Record reuse hits (none when the job fell back to the base plan). The
+  // per-hit attributed saving is the latency cost of recomputing the
+  // replaced subtree minus the cost of scanning the view instead — the same
+  // quantities the optimizer compared when it chose to reuse.
+  for (const MatchedViewDetail& detail : exec.matched_details) {
+    view_store_.RecordReuse(detail.strict).ok();
+    provenance_.RecordHit(detail.strict, request.job_id, request.submit_time,
+                          detail.recompute_latency_cost - detail.view_scan_cost,
+                          detail.rows_avoided, detail.bytes_avoided,
+                          request.queue_wait_seconds);
   }
 
   // Feed the workload repository: occurrences come from the as-compiled
@@ -292,7 +311,7 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   return exec;
 }
 
-SelectionResult ReuseEngine::RunViewSelection() {
+SelectionResult ReuseEngine::RunViewSelection(double now) {
   if constexpr (verify::RuntimeChecksEnabled()) {
     // Selection trusts repository aggregates; cross-check them against the
     // signatures of every plan compiled so far before choosing views.
@@ -305,6 +324,18 @@ SelectionResult ReuseEngine::RunViewSelection() {
   SelectionConstraints constraints = options_.selection;
   ViewSelector selector(constraints);
   SelectionResult result = selector.Select(repository_);
+  // The ledger's candidate events open the lifecycle: this is where a
+  // subexpression was judged worth materializing. The candidate's strict
+  // signature is the last observed instance; future instances may
+  // materialize under fresh strict signatures (their streams then open at
+  // lock acquisition instead).
+  for (const ViewCandidate& candidate : result.selected) {
+    provenance_.RecordCandidate(
+        candidate.strict_signature, candidate.recurring_signature,
+        candidate.virtual_clusters.empty() ? std::string()
+                                           : candidate.virtual_clusters[0],
+        candidate.utility, now);
+  }
   insights_.PublishSelection(result);
   return result;
 }

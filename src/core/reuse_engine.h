@@ -13,6 +13,7 @@
 #include "core/workload_repository.h"
 #include "exec/executor.h"
 #include "obs/profile.h"
+#include "obs/provenance.h"
 #include "optimizer/optimizer.h"
 #include "plan/builder.h"
 #include "plan/normalizer.h"
@@ -66,6 +67,10 @@ struct JobRequest {
   double submit_time = 0.0;
   int day = 0;
   bool cloudviews_enabled = true;  // job-level toggle
+  // Seconds the job waited for cluster capacity before submit_time. Purely
+  // observational: attached to reuse-hit provenance events so savings can be
+  // correlated with queueing pressure.
+  double queue_wait_seconds = 0.0;
 };
 
 // Everything observed about one executed job.
@@ -77,6 +82,9 @@ struct JobExecution {
   int views_matched = 0;
   int views_built = 0;
   std::vector<Hash128> matched_signatures;
+  // Per-match attribution detail (same order as matched_signatures); empty
+  // after a fallback, like matched_signatures.
+  std::vector<MatchedViewDetail> matched_details;
   std::vector<Hash128> built_signatures;
   double estimated_cost = 0.0;
   double estimated_cost_without_reuse = 0.0;
@@ -117,8 +125,9 @@ class ReuseEngine {
   Result<OptimizationOutcome> CompileJob(const JobRequest& request);
 
   // Periodic workload analysis + view selection; publishes the result to the
-  // insights service. Returns the selection for inspection.
-  SelectionResult RunViewSelection();
+  // insights service. Returns the selection for inspection. `now` tags the
+  // candidate provenance events (-1: inherit stream time).
+  SelectionResult RunViewSelection(double now = -1.0);
 
   // Housekeeping at time `now`: expire views past TTL.
   void Maintenance(double now);
@@ -143,8 +152,11 @@ class ReuseEngine {
   ViewStore& view_store() { return view_store_; }
   const ViewStore& view_store() const { return view_store_; }
   InsightsService& insights() { return insights_; }
+  const InsightsService& insights() const { return insights_; }
   CardinalityFeedback& cardinality_feedback() { return feedback_; }
   ViewManager& view_manager() { return view_manager_; }
+  obs::ProvenanceLedger& provenance() { return provenance_; }
+  const obs::ProvenanceLedger& provenance() const { return provenance_; }
   const ReuseEngineOptions& options() const { return options_; }
 
  private:
@@ -156,6 +168,9 @@ class ReuseEngine {
 
   DatasetCatalog* catalog_;
   ReuseEngineOptions options_;
+  // Declared before the store/manager that hold pointers into it, so it
+  // outlives them on destruction.
+  obs::ProvenanceLedger provenance_;
   ViewStore view_store_;
   InsightsService insights_;
   CardinalityFeedback feedback_;

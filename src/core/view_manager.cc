@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "exec/stats.h"
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
 #include "obs/log.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace cloudviews {
@@ -18,6 +20,10 @@ Status ViewManager::BeginMaterialize(
                                                     virtual_cluster, job_id,
                                                     now));
   view_inputs_[strict] = input_datasets;
+  if (provenance_ != nullptr) {
+    provenance_->RecordSpoolStarted(strict, recurring, virtual_cluster, job_id,
+                                    now);
+  }
   return Status::OK();
 }
 
@@ -29,15 +35,32 @@ Status ViewManager::SealEarly(const Hash128& strict, TablePtr contents,
     // The job manager failed to publish the fully written view. Withdraw it
     // so other jobs can retry the materialization; the producing query
     // keeps its own copy of the rows and is unaffected.
-    static obs::Counter& aborts =
-        obs::MetricsRegistry::Global().counter("exec.spool_aborts");
+    static obs::Counter& aborts = obs::MetricsRegistry::Global().counter(
+        obs::metric_names::kExecSpoolAborts);
     aborts.Increment();
-    AbortMaterialize(strict, job_id, fault);
+    AbortMaterialize(strict, job_id, fault, now);
     return fault;
+  }
+  // Spool latency: time from the materializing entry appearing to the view
+  // becoming readable. Captured before Seal overwrites nothing — created_at
+  // survives the seal — but the lookup must precede the move of `contents`.
+  double spool_latency = 0.0;
+  if (const MaterializedView* entry = store_->FindAny(strict);
+      entry != nullptr && now > entry->created_at) {
+    spool_latency = now - entry->created_at;
   }
   CLOUDVIEWS_RETURN_NOT_OK(
       store_->Seal(strict, std::move(contents), observed_rows, observed_bytes,
                    now));
+  if (provenance_ != nullptr) {
+    // Materialization cost in the cost model's units: what the executor
+    // charges for spooling these rows/bytes to stable storage.
+    double build_cost =
+        static_cast<double>(observed_rows) * CostWeights::kSpoolRow +
+        static_cast<double>(observed_bytes) * CostWeights::kSpoolByte;
+    provenance_->RecordSealed(strict, job_id, now, observed_rows,
+                              observed_bytes, build_cost, spool_latency);
+  }
   // Release the creation lock so the insights service starts advertising the
   // view for reuse wherever possible.
   if (insights_ != nullptr) {
@@ -52,13 +75,18 @@ Status ViewManager::SealEarly(const Hash128& strict, TablePtr contents,
 }
 
 void ViewManager::AbortMaterialize(const Hash128& strict, int64_t job_id,
-                                   const Status& cause) {
+                                   const Status& cause, double now) {
   if (insights_ != nullptr) {
     insights_->ReleaseViewLock(strict, job_id).ok();
   }
   const MaterializedView* view = store_->FindAny(strict);
   if (view != nullptr && view->state == ViewState::kMaterializing) {
-    store_->Invalidate(strict).ok();
+    // Record the detailed cause first; the store's own generic "invalidated"
+    // abort for the same entry then dedupes against it.
+    if (provenance_ != nullptr) {
+      provenance_->RecordAborted(strict, job_id, now, cause.ToString());
+    }
+    store_->Invalidate(strict, now).ok();
     view_inputs_.erase(strict);
   }
   obs::LogWarn("views", "materialization_aborted",
@@ -76,6 +104,9 @@ void ViewManager::AbandonJob(int64_t job_id,
     const MaterializedView* view = store_->FindAny(sig);
     if (view != nullptr && view->state == ViewState::kMaterializing &&
         view->producer_job_id == job_id) {
+      if (provenance_ != nullptr) {
+        provenance_->RecordAborted(sig, job_id, /*now=*/-1.0, "job_abandoned");
+      }
       store_->Invalidate(sig).ok();
       view_inputs_.erase(sig);
     }

@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "core/insights_service.h"
+#include "obs/provenance.h"
 #include "storage/view_store.h"
 
 namespace cloudviews {
@@ -16,8 +17,11 @@ namespace cloudviews {
 // early sealing, TTL expiry, and invalidation on input or runtime changes.
 class ViewManager {
  public:
-  ViewManager(ViewStore* store, InsightsService* insights)
-      : store_(store), insights_(insights) {}
+  // `ledger` (not owned, may be null) receives spool-started / sealed /
+  // aborted lifecycle events with materialization costs attached.
+  ViewManager(ViewStore* store, InsightsService* insights,
+              obs::ProvenanceLedger* ledger = nullptr)
+      : store_(store), insights_(insights), provenance_(ledger) {}
 
   ViewManager(const ViewManager&) = delete;
   ViewManager& operator=(const ViewManager&) = delete;
@@ -41,9 +45,10 @@ class ViewManager {
 
   // A materialization failed mid-flight (spool write fault or seal fault):
   // withdraw the materializing entry, release the creation lock, and log.
-  // Idempotent — a second abort for the same signature is a no-op.
+  // Idempotent — a second abort for the same signature is a no-op. `now`
+  // tags the provenance event (-1 when no simulated timestamp is at hand).
   void AbortMaterialize(const Hash128& strict, int64_t job_id,
-                        const Status& cause);
+                        const Status& cause, double now = -1.0);
 
   // A job holding creation locks failed: release locks and drop any
   // half-written views so other jobs can retry.
@@ -64,6 +69,7 @@ class ViewManager {
  private:
   ViewStore* store_;
   InsightsService* insights_;
+  obs::ProvenanceLedger* provenance_;
   // strict signature -> datasets it reads (for targeted invalidation).
   std::unordered_map<Hash128, std::vector<std::string>, Hash128Hasher>
       view_inputs_;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "verify/physical_verifier.h"
@@ -338,13 +339,14 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
 
   // Process-wide roll-up (one sharded-atomic add per metric per query).
   static obs::Counter& queries =
-      obs::MetricsRegistry::Global().counter("exec.queries");
+      obs::MetricsRegistry::Global().counter(obs::metric_names::kExecQueries);
   static obs::Counter& bytes_read =
-      obs::MetricsRegistry::Global().counter("exec.bytes_read");
+      obs::MetricsRegistry::Global().counter(obs::metric_names::kExecBytesRead);
   static obs::Counter& bytes_spooled =
-      obs::MetricsRegistry::Global().counter("exec.bytes_spooled");
+      obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kExecBytesSpooled);
   static obs::Counter& morsels =
-      obs::MetricsRegistry::Global().counter("exec.morsels");
+      obs::MetricsRegistry::Global().counter(obs::metric_names::kExecMorsels);
   queries.Increment();
   bytes_read.Add(stats.total_bytes_read);
   bytes_spooled.Add(stats.bytes_spooled);

@@ -13,6 +13,7 @@
 #include "exec/physical_op.h"
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,7 +41,8 @@ Status TimedParallelFor(const ParallelRuntime& runtime, size_t n, size_t grain,
           if (preempt.ok()) break;
           if (attempt + 1 >= kMaxPreemptRetries) return preempt;
           static obs::Counter& retries =
-              obs::MetricsRegistry::Global().counter("faults.retries");
+              obs::MetricsRegistry::Global().counter(
+                  obs::metric_names::kFaultsRetries);
           retries.Increment();
         }
         // The trace span reuses the telemetry's measured interval, so the

@@ -7,6 +7,7 @@
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
 #include "obs/log.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -576,7 +577,8 @@ Status SpoolOp::Next(Row* row, bool* done) {
       abort_cause_ = fault;
       side_table_.reset();
       static obs::Counter& aborts =
-          obs::MetricsRegistry::Global().counter("exec.spool_aborts");
+          obs::MetricsRegistry::Global().counter(
+              obs::metric_names::kExecSpoolAborts);
       aborts.Increment();
       obs::LogWarn("exec", "spool_aborted",
                    {{"signature", logical_->view_signature.ToHex()},

@@ -5,6 +5,7 @@
 
 #include "fault/fault_sites.h"
 #include "obs/log.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace cloudviews {
@@ -187,8 +188,8 @@ Status FaultInjector::InjectSlow(const char* site) {
   }
   if (!fire) return Status::OK();
   stats.fired += 1;
-  static obs::Counter& injected =
-      obs::MetricsRegistry::Global().counter("faults.injected");
+  static obs::Counter& injected = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kFaultsInjected);
   injected.Increment();
   obs::LogWarn("fault", "injected",
                {{"site", site}, {"hit", stats.hits}});

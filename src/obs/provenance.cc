@@ -1,0 +1,547 @@
+#include "obs/provenance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/json_writer.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace cloudviews {
+namespace obs {
+
+namespace {
+
+// Legal predecessor set of the lifecycle state machine, per target kind.
+bool LegalTransition(ViewEventKind from, ViewEventKind to) {
+  using K = ViewEventKind;
+  switch (to) {
+    case K::kCandidate:
+      // A fresh incarnation after any terminal event.
+      return from == K::kAborted || from == K::kInvalidated ||
+             from == K::kQuarantined || from == K::kReclaimed;
+    case K::kLockAcquired:
+      return from == K::kCandidate || from == K::kAborted ||
+             from == K::kInvalidated || from == K::kQuarantined ||
+             from == K::kReclaimed;
+    case K::kSpoolStarted:
+      return from == K::kLockAcquired;
+    case K::kSealed:
+      return from == K::kSpoolStarted;
+    case K::kAborted:
+      return from == K::kLockAcquired || from == K::kSpoolStarted;
+    case K::kHit:
+      return from == K::kSealed || from == K::kHit;
+    case K::kInvalidated:
+    case K::kQuarantined:
+      return from == K::kSealed || from == K::kHit;
+    case K::kReclaimed:
+      // TTL purge of a sealed/hit view, the sweep after a quarantine, or an
+      // orphaned half-materialization (a spool under a Limit may never run).
+      return from == K::kSealed || from == K::kHit ||
+             from == K::kQuarantined || from == K::kSpoolStarted;
+  }
+  return false;
+}
+
+bool MayStartStream(ViewEventKind kind) {
+  return kind == ViewEventKind::kCandidate ||
+         kind == ViewEventKind::kLockAcquired;
+}
+
+// Storage-level retirement events (abort/invalidate/quarantine/reclaim) can
+// trail the engine-level event that already closed the stream: the store
+// purges an aborted half-materialization long after the abort was recorded,
+// possibly after a fresh candidate reopened the stream. Such echoes carry no
+// information — the first terminal event won — so they are suppressed
+// rather than recorded as illegal transitions.
+bool IsStaleRetirement(const ViewStream& stream, ViewEventKind kind) {
+  return !stream.events.empty() &&
+         !LegalTransition(stream.events.back().kind, kind);
+}
+
+}  // namespace
+
+const char* ViewEventKindName(ViewEventKind kind) {
+  switch (kind) {
+    case ViewEventKind::kCandidate:
+      return "candidate";
+    case ViewEventKind::kLockAcquired:
+      return "lock_acquired";
+    case ViewEventKind::kSpoolStarted:
+      return "spool_started";
+    case ViewEventKind::kSealed:
+      return "sealed";
+    case ViewEventKind::kAborted:
+      return "aborted";
+    case ViewEventKind::kHit:
+      return "hit";
+    case ViewEventKind::kInvalidated:
+      return "invalidated";
+    case ViewEventKind::kQuarantined:
+      return "quarantined";
+    case ViewEventKind::kReclaimed:
+      return "reclaimed";
+  }
+  return "unknown";
+}
+
+std::atomic<bool> ProvenanceLedger::enabled_{false};
+
+ProvenanceLedger::ProvenanceLedger() {
+  // Environment gate, checked once per process at first ledger construction
+  // (the tracer discipline).
+  static const bool env_checked = [] {
+    const char* env = std::getenv("CLOUDVIEWS_OBS_PROVENANCE");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+      enabled_.store(true, std::memory_order_relaxed);
+    }
+    return true;
+  }();
+  (void)env_checked;
+}
+
+ProvenanceLedger::StreamState* ProvenanceLedger::GetStream(
+    const Hash128& strict, bool create) {
+  auto it = index_.find(strict);
+  if (it != index_.end()) return &streams_[it->second];
+  if (!create) return nullptr;
+  index_[strict] = streams_.size();
+  streams_.emplace_back();
+  streams_.back().stream.strict = strict;
+  return &streams_.back();
+}
+
+void ProvenanceLedger::Append(StreamState* state, ViewEvent event,
+                              double now) {
+  // Streams are monotone in simulated time by construction: callers with no
+  // timestamp (now < 0) inherit the stream's last time, and a stale
+  // timestamp is clamped forward.
+  event.sim_time = now >= 0.0 ? std::max(now, state->last_time)
+                              : state->last_time;
+  state->last_time = event.sim_time;
+  state->stream.events.push_back(std::move(event));
+  static Counter& events =
+      MetricsRegistry::Global().counter(metric_names::kProvenanceEvents);
+  events.Increment();
+}
+
+void ProvenanceLedger::CountDropped() {
+  dropped_ += 1;
+  static Counter& dropped =
+      MetricsRegistry::Global().counter(metric_names::kProvenanceDropped);
+  dropped.Increment();
+}
+
+void ProvenanceLedger::RecordCandidate(const Hash128& strict,
+                                       const Hash128& recurring,
+                                       const std::string& virtual_cluster,
+                                       double expected_utility, double now) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState* state = GetStream(strict, /*create=*/true);
+  if (!state->stream.events.empty()) {
+    // Selections re-publish every day; only a fresh incarnation (after a
+    // terminal event) gets a new candidate event.
+    ViewEventKind last = state->stream.events.back().kind;
+    if (!LegalTransition(last, ViewEventKind::kCandidate)) return;
+  }
+  if (state->stream.recurring.IsZero()) state->stream.recurring = recurring;
+  if (state->stream.virtual_cluster.empty()) {
+    state->stream.virtual_cluster = virtual_cluster;
+  }
+  ViewEvent event;
+  event.kind = ViewEventKind::kCandidate;
+  event.expected_utility = expected_utility;
+  Append(state, std::move(event), now);
+}
+
+void ProvenanceLedger::RecordLockAcquired(const Hash128& strict,
+                                          int64_t job_id, double now) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState* state = GetStream(strict, /*create=*/true);
+  if (!state->stream.events.empty()) {
+    const ViewEvent& last = state->stream.events.back();
+    // The lock is re-entrant for its holder: a recompile of the same job
+    // re-acquires without a new event.
+    if (last.kind == ViewEventKind::kLockAcquired && last.job_id == job_id) {
+      return;
+    }
+  }
+  ViewEvent event;
+  event.kind = ViewEventKind::kLockAcquired;
+  event.job_id = job_id;
+  Append(state, std::move(event), now);
+}
+
+void ProvenanceLedger::RecordSpoolStarted(const Hash128& strict,
+                                          const Hash128& recurring,
+                                          const std::string& virtual_cluster,
+                                          int64_t job_id, double now) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState* state = GetStream(strict, /*create=*/false);
+  if (state == nullptr) {
+    CountDropped();
+    return;
+  }
+  if (state->stream.recurring.IsZero()) state->stream.recurring = recurring;
+  // The producing VC is authoritative for attribution (a candidate may have
+  // been tagged with the whole list of VCs that ran the template).
+  state->stream.virtual_cluster = virtual_cluster;
+  ViewEvent event;
+  event.kind = ViewEventKind::kSpoolStarted;
+  event.job_id = job_id;
+  Append(state, std::move(event), now);
+}
+
+void ProvenanceLedger::RecordSealed(const Hash128& strict, int64_t job_id,
+                                    double now, uint64_t rows, uint64_t bytes,
+                                    double build_cost,
+                                    double spool_latency_seconds) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState* state = GetStream(strict, /*create=*/false);
+  if (state == nullptr) {
+    CountDropped();
+    return;
+  }
+  ViewEvent event;
+  event.kind = ViewEventKind::kSealed;
+  event.job_id = job_id;
+  event.rows = rows;
+  event.bytes = bytes;
+  event.build_cost = build_cost;
+  event.spool_latency_seconds = spool_latency_seconds;
+  Append(state, std::move(event), now);
+}
+
+void ProvenanceLedger::RecordAborted(const Hash128& strict, int64_t job_id,
+                                     double now, const std::string& detail) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState* state = GetStream(strict, /*create=*/false);
+  if (state == nullptr) {
+    CountDropped();
+    return;
+  }
+  // AbortMaterialize is idempotent (and the store echoes a generic abort
+  // after the manager's detailed one); so is the provenance.
+  if (IsStaleRetirement(state->stream, ViewEventKind::kAborted)) return;
+  ViewEvent event;
+  event.kind = ViewEventKind::kAborted;
+  event.job_id = job_id;
+  event.detail = detail;
+  Append(state, std::move(event), now);
+}
+
+void ProvenanceLedger::RecordHit(const Hash128& strict, int64_t job_id,
+                                 double now, double saved_cost,
+                                 double rows_avoided, double bytes_avoided,
+                                 double queue_wait_seconds) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState* state = GetStream(strict, /*create=*/false);
+  if (state == nullptr) {
+    CountDropped();
+    return;
+  }
+  ViewEvent event;
+  event.kind = ViewEventKind::kHit;
+  event.job_id = job_id;
+  event.saved_cost = saved_cost;
+  event.rows_avoided = rows_avoided;
+  event.bytes_avoided = bytes_avoided;
+  event.queue_wait_seconds = queue_wait_seconds;
+  Append(state, std::move(event), now);
+}
+
+void ProvenanceLedger::RecordInvalidated(const Hash128& strict, double now,
+                                         const std::string& detail) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState* state = GetStream(strict, /*create=*/false);
+  if (state == nullptr) {
+    CountDropped();
+    return;
+  }
+  if (IsStaleRetirement(state->stream, ViewEventKind::kInvalidated)) return;
+  ViewEvent event;
+  event.kind = ViewEventKind::kInvalidated;
+  event.detail = detail;
+  Append(state, std::move(event), now);
+}
+
+void ProvenanceLedger::RecordQuarantined(const Hash128& strict, double now,
+                                         const std::string& detail) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState* state = GetStream(strict, /*create=*/false);
+  if (state == nullptr) {
+    CountDropped();
+    return;
+  }
+  if (IsStaleRetirement(state->stream, ViewEventKind::kQuarantined)) return;
+  ViewEvent event;
+  event.kind = ViewEventKind::kQuarantined;
+  event.detail = detail;
+  Append(state, std::move(event), now);
+}
+
+void ProvenanceLedger::RecordReclaimed(const Hash128& strict, double now) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamState* state = GetStream(strict, /*create=*/false);
+  if (state == nullptr) {
+    CountDropped();
+    return;
+  }
+  if (IsStaleRetirement(state->stream, ViewEventKind::kReclaimed)) return;
+  ViewEvent event;
+  event.kind = ViewEventKind::kReclaimed;
+  Append(state, std::move(event), now);
+}
+
+size_t ProvenanceLedger::num_streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streams_.size();
+}
+
+int64_t ProvenanceLedger::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<ViewStream> ProvenanceLedger::Streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ViewStream> out;
+  out.reserve(streams_.size());
+  for (const StreamState& state : streams_) out.push_back(state.stream);
+  return out;
+}
+
+ViewAggregates ProvenanceLedger::Aggregate(const ViewStream& stream,
+                                           double now,
+                                           double rent_per_byte_second) {
+  ViewAggregates agg;
+  if (stream.events.empty()) return agg;
+  agg.first_event_at = stream.events.front().sim_time;
+  agg.last_event_at = stream.events.back().sim_time;
+  // Occupancy window of the current sealed incarnation.
+  bool window_open = false;
+  double window_start = 0.0;
+  double window_bytes = 0.0;
+  for (const ViewEvent& e : stream.events) {
+    switch (e.kind) {
+      case ViewEventKind::kSealed:
+        agg.sealed = true;
+        agg.seals += 1;
+        agg.rows += e.rows;
+        agg.bytes += e.bytes;
+        agg.build_cost += e.build_cost;
+        agg.spool_latency_seconds += e.spool_latency_seconds;
+        window_open = true;
+        window_start = e.sim_time;
+        window_bytes = static_cast<double>(e.bytes);
+        break;
+      case ViewEventKind::kHit:
+        agg.hits += 1;
+        agg.attributed_savings += e.saved_cost;
+        agg.rows_avoided += e.rows_avoided;
+        agg.bytes_avoided += e.bytes_avoided;
+        break;
+      case ViewEventKind::kAborted:
+        agg.aborts += 1;
+        break;
+      case ViewEventKind::kInvalidated:
+      case ViewEventKind::kQuarantined:
+      case ViewEventKind::kReclaimed:
+        if (window_open) {
+          agg.storage_byte_seconds +=
+              window_bytes * std::max(0.0, e.sim_time - window_start);
+          window_open = false;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (window_open) {
+    // Still live: rent accrues up to the export time.
+    agg.storage_byte_seconds +=
+        window_bytes * std::max(0.0, now - window_start);
+    agg.live = true;
+  }
+  agg.storage_rent = agg.storage_byte_seconds * rent_per_byte_second;
+  return agg;
+}
+
+LedgerTotals ProvenanceLedger::Totals(double now,
+                                      double rent_per_byte_second) const {
+  LedgerTotals totals;
+  std::lock_guard<std::mutex> lock(mu_);
+  totals.streams = static_cast<int64_t>(streams_.size());
+  for (const StreamState& state : streams_) {
+    ViewAggregates agg =
+        Aggregate(state.stream, now, rent_per_byte_second);
+    if (agg.sealed) totals.sealed_views += 1;
+    if (agg.live) totals.live_views += 1;
+    if (agg.hits > 0) totals.reused_views += 1;
+    if (agg.sealed && agg.NetUtility() < 0.0) {
+      totals.negative_utility_views += 1;
+    }
+    totals.hits += agg.hits;
+    totals.aborts += agg.aborts;
+    totals.bytes_spooled += agg.bytes;
+    totals.build_cost += agg.build_cost;
+    totals.attributed_savings += agg.attributed_savings;
+    totals.rows_avoided += agg.rows_avoided;
+    totals.bytes_avoided += agg.bytes_avoided;
+    totals.storage_rent += agg.storage_rent;
+  }
+  totals.net_savings =
+      totals.attributed_savings - totals.build_cost - totals.storage_rent;
+  return totals;
+}
+
+Status ProvenanceLedger::AuditStreams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const StreamState& state : streams_) {
+    const ViewStream& stream = state.stream;
+    if (stream.events.empty()) {
+      return Status::Internal("provenance stream " + stream.strict.ToHex() +
+                              " has no events");
+    }
+    if (!MayStartStream(stream.events.front().kind)) {
+      return Status::Internal(
+          "provenance stream " + stream.strict.ToHex() +
+          " starts with illegal event " +
+          ViewEventKindName(stream.events.front().kind));
+    }
+    for (size_t i = 1; i < stream.events.size(); ++i) {
+      const ViewEvent& prev = stream.events[i - 1];
+      const ViewEvent& cur = stream.events[i];
+      if (cur.sim_time < prev.sim_time) {
+        return Status::Internal(
+            "provenance stream " + stream.strict.ToHex() +
+            " is not monotone in simulated time at event " +
+            std::to_string(i));
+      }
+      if (!LegalTransition(prev.kind, cur.kind)) {
+        return Status::Internal(
+            "provenance stream " + stream.strict.ToHex() +
+            " has illegal transition " +
+            std::string(ViewEventKindName(prev.kind)) + " -> " +
+            ViewEventKindName(cur.kind) + " at event " + std::to_string(i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ProvenanceLedger::ExportJson(double now,
+                                         double rent_per_byte_second) const {
+  std::vector<ViewStream> streams = Streams();
+  LedgerTotals totals = Totals(now, rent_per_byte_second);
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("now", now);
+  w.Field("rent_per_byte_second", rent_per_byte_second);
+  w.Field("dropped_events", dropped_events());
+  w.Key("totals");
+  w.BeginObject();
+  w.Field("streams", totals.streams);
+  w.Field("sealed_views", totals.sealed_views);
+  w.Field("live_views", totals.live_views);
+  w.Field("reused_views", totals.reused_views);
+  w.Field("hits", totals.hits);
+  w.Field("aborts", totals.aborts);
+  w.Field("bytes_spooled", totals.bytes_spooled);
+  w.Field("build_cost", totals.build_cost);
+  w.Field("attributed_savings", totals.attributed_savings);
+  w.Field("rows_avoided", totals.rows_avoided);
+  w.Field("bytes_avoided", totals.bytes_avoided);
+  w.Field("storage_rent", totals.storage_rent);
+  w.Field("net_savings", totals.net_savings);
+  w.Field("negative_utility_views", totals.negative_utility_views);
+  w.EndObject();
+  w.Key("views");
+  w.BeginArray();
+  for (const ViewStream& stream : streams) {
+    ViewAggregates agg = Aggregate(stream, now, rent_per_byte_second);
+    w.BeginObject();
+    w.Field("strict", stream.strict.ToHex());
+    w.Field("recurring", stream.recurring.ToHex());
+    w.Field("virtual_cluster", stream.virtual_cluster);
+    w.Key("aggregates");
+    w.BeginObject();
+    w.Field("hits", agg.hits);
+    w.Field("seals", agg.seals);
+    w.Field("aborts", agg.aborts);
+    w.Field("rows", agg.rows);
+    w.Field("bytes", agg.bytes);
+    w.Field("build_cost", agg.build_cost);
+    w.Field("spool_latency_seconds", agg.spool_latency_seconds);
+    w.Field("attributed_savings", agg.attributed_savings);
+    w.Field("rows_avoided", agg.rows_avoided);
+    w.Field("bytes_avoided", agg.bytes_avoided);
+    w.Field("storage_byte_seconds", agg.storage_byte_seconds);
+    w.Field("storage_rent", agg.storage_rent);
+    w.Field("net_utility", agg.NetUtility());
+    w.Field("sealed", agg.sealed);
+    w.Field("live", agg.live);
+    w.Field("first_event_at", agg.first_event_at);
+    w.Field("last_event_at", agg.last_event_at);
+    w.EndObject();
+    w.Key("events");
+    w.BeginArray();
+    for (const ViewEvent& e : stream.events) {
+      w.BeginObject();
+      w.Field("kind", ViewEventKindName(e.kind));
+      w.Field("t", e.sim_time);
+      if (e.job_id >= 0) w.Field("job", e.job_id);
+      switch (e.kind) {
+        case ViewEventKind::kCandidate:
+          w.Field("expected_utility", e.expected_utility);
+          break;
+        case ViewEventKind::kSealed:
+          w.Field("rows", e.rows);
+          w.Field("bytes", e.bytes);
+          w.Field("build_cost", e.build_cost);
+          w.Field("spool_latency_seconds", e.spool_latency_seconds);
+          break;
+        case ViewEventKind::kHit:
+          w.Field("saved_cost", e.saved_cost);
+          w.Field("rows_avoided", e.rows_avoided);
+          w.Field("bytes_avoided", e.bytes_avoided);
+          w.Field("queue_wait_seconds", e.queue_wait_seconds);
+          break;
+        case ViewEventKind::kAborted:
+        case ViewEventKind::kInvalidated:
+        case ViewEventKind::kQuarantined:
+          if (!e.detail.empty()) w.Field("detail", e.detail);
+          break;
+        default:
+          break;
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void ProvenanceLedger::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_.clear();
+  index_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace obs
+}  // namespace cloudviews

@@ -1,0 +1,70 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+
+namespace cloudviews {
+namespace obs {
+
+TimeSeries::TimeSeries(size_t capacity)
+    : ring_(std::max<size_t>(1, capacity)) {}
+
+void TimeSeries::Add(double t, double value) {
+  ring_[next_] = TimeSeriesPoint{t, value};
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+  total_added_ += 1;
+}
+
+std::vector<TimeSeriesPoint> TimeSeries::Points() const {
+  std::vector<TimeSeriesPoint> out;
+  out.reserve(size_);
+  // When the ring has wrapped, the oldest point sits at next_.
+  size_t start = size_ < ring_.size() ? 0 : next_;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+TimeSeriesCollector::TimeSeriesCollector(size_t capacity_per_series)
+    : capacity_per_series_(capacity_per_series) {}
+
+TimeSeries& TimeSeriesCollector::series(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(capacity_per_series_)).first;
+  }
+  return it->second;
+}
+
+std::string TimeSeriesCollector::ExportJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("series");
+  w.BeginArray();
+  for (const auto& [name, ts] : series_) {  // std::map: sorted by name
+    w.BeginObject();
+    w.Field("name", name);
+    w.Field("total_points", ts.total_added());
+    w.Field("dropped",
+            ts.total_added() - static_cast<int64_t>(ts.size()));
+    w.Key("points");
+    w.BeginArray();
+    for (const TimeSeriesPoint& p : ts.Points()) {
+      w.BeginArray();
+      w.Double(p.t);
+      w.Double(p.value);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace obs
+}  // namespace cloudviews

@@ -1,0 +1,76 @@
+#ifndef CLOUDVIEWS_OBS_TIMESERIES_H_
+#define CLOUDVIEWS_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cloudviews {
+namespace obs {
+
+struct TimeSeriesPoint {
+  double t = 0.0;      // simulated time (seconds since day 0)
+  double value = 0.0;
+};
+
+// Fixed-capacity ring buffer of (time, value) samples. When full, the
+// oldest point is overwritten — a two-month simulation sampled hourly fits
+// comfortably in the default collector capacity, but a pathological sampler
+// degrades to "most recent window" instead of growing without bound.
+class TimeSeries {
+ public:
+  explicit TimeSeries(size_t capacity);
+
+  void Add(double t, double value);
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  // Total points ever added, including overwritten ones.
+  int64_t total_added() const { return total_added_; }
+
+  // Points oldest-to-newest (at most `capacity()` of them).
+  std::vector<TimeSeriesPoint> Points() const;
+
+ private:
+  std::vector<TimeSeriesPoint> ring_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+  int64_t total_added_ = 0;
+};
+
+// Named bundle of time series, filled by the cluster simulator's hourly
+// snapshot of the metrics registry + provenance-ledger aggregates, and
+// exported as one JSON document for tools/insights_report.
+//
+// Not thread-safe by design: samples are taken from the simulator's driver
+// thread between jobs (simulated time advances on one thread only).
+class TimeSeriesCollector {
+ public:
+  // > 58 days x 24 hourly samples, with slack for sub-hourly cadences.
+  static constexpr size_t kDefaultCapacityPerSeries = 2048;
+
+  explicit TimeSeriesCollector(
+      size_t capacity_per_series = kDefaultCapacityPerSeries);
+
+  // Returns the series named `name`, creating it on first use.
+  TimeSeries& series(const std::string& name);
+
+  const std::map<std::string, TimeSeries>& all() const { return series_; }
+  size_t num_series() const { return series_.size(); }
+
+  // {"series":[{"name":...,"total_points":...,"dropped":...,
+  //             "points":[[t,v],...]}]}, series sorted by name.
+  std::string ExportJson() const;
+
+  void Clear() { series_.clear(); }
+
+ private:
+  size_t capacity_per_series_;
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace obs
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OBS_TIMESERIES_H_

@@ -3,12 +3,32 @@
 #include <functional>
 
 #include "core/cardinality_feedback.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "verify/plan_verifier.h"
 #include "verify/verify.h"
 
 namespace cloudviews {
+
+namespace {
+
+// Sums the estimated rows/bytes of the base-table scans under `op`: the
+// data a view scan shields from being read again. Leaf scan estimates are
+// catalog-exact, so these are observed quantities, not guesses. A subtree
+// about to be matched was never rewritten below (matching is top-down), so
+// kViewScan leaves cannot occur inside it.
+void SumBaseScanVolume(const LogicalOp& op, double* rows, double* bytes) {
+  if (op.kind == LogicalOpKind::kScan) {
+    *rows += op.estimated_rows;
+    *bytes += op.estimated_bytes;
+  }
+  for (const LogicalOpPtr& child : op.children) {
+    SumBaseScanVolume(*child, rows, bytes);
+  }
+}
+
+}  // namespace
 
 Status Optimizer::VerifyAfterRule(const char* rule,
                                   const OptimizationOutcome& outcome,
@@ -138,12 +158,19 @@ Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
                                      static_cast<double>(view->observed_bytes));
         static obs::Counter& rule_fired =
             obs::MetricsRegistry::Global().counter(
-                "optimizer.rule.view_match");
+                obs::metric_names::kOptimizerRuleViewMatch);
         static obs::Counter& cost_rejected =
             obs::MetricsRegistry::Global().counter(
-                "optimizer.view_match.cost_rejected");
+                obs::metric_names::kOptimizerViewMatchCostRejected);
         if (reuse < recompute) {
           rule_fired.Increment();
+          MatchedViewDetail detail;
+          detail.strict = sig.strict;
+          detail.recompute_cost = recompute;
+          detail.recompute_latency_cost = cost_model_.SubtreeLatencyCost(op);
+          detail.view_scan_cost = reuse;
+          SumBaseScanVolume(op, &detail.rows_avoided, &detail.bytes_avoided);
+          outcome->matched_details.push_back(detail);
           LogicalOpPtr scan = LogicalOp::ViewScan(
               sig.strict, view->output_path, op.output_schema);
           scan->view_recurring_signature = sig.recurring;
@@ -206,7 +233,8 @@ Status Optimizer::BuildViews(LogicalOpPtr* node,
   spool->view_signature = sig.strict;
   *node = std::move(spool);
   static obs::Counter& rule_fired =
-      obs::MetricsRegistry::Global().counter("optimizer.rule.spool_inject");
+      obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kOptimizerRuleSpoolInject);
   rule_fired.Increment();
   outcome->proposed_materializations.push_back(sig.strict);
   *total_added += 1;

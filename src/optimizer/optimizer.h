@@ -43,6 +43,20 @@ struct OptimizerOptions {
   const CardinalityFeedback* cardinality_feedback = nullptr;
 };
 
+// Everything known about one view-match rewrite at the moment it fired —
+// the raw material for per-hit savings attribution in the provenance
+// ledger: what recomputing the replaced subtree would have cost (in both
+// work and latency terms), what the view scan costs instead, and how much
+// base-table data the view shields.
+struct MatchedViewDetail {
+  Hash128 strict;
+  double recompute_cost = 0.0;          // SubtreeCost of the replaced subtree
+  double recompute_latency_cost = 0.0;  // SubtreeLatencyCost at the plan DOP
+  double view_scan_cost = 0.0;          // ViewScanCost of the replacement
+  double rows_avoided = 0.0;            // base-scan rows under the subtree
+  double bytes_avoided = 0.0;           // base-scan bytes under the subtree
+};
+
 // What the optimizer did to the plan, surfaced to the monitoring tool and
 // telemetry (paper Figure 5: "modified query plans are surfaced to users").
 struct OptimizationOutcome {
@@ -57,6 +71,8 @@ struct OptimizationOutcome {
   int views_matched = 0;
   int spools_added = 0;
   std::vector<Hash128> matched_signatures;
+  // One entry per matched_signatures element, same order.
+  std::vector<MatchedViewDetail> matched_details;
   std::vector<Hash128> proposed_materializations;
   double estimated_cost = 0.0;
   double estimated_cost_without_reuse = 0.0;

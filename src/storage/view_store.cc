@@ -3,6 +3,7 @@
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
 #include "obs/log.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace cloudviews {
@@ -80,7 +81,7 @@ Status ViewStore::Seal(const Hash128& strict_signature, TablePtr contents,
   view.validated = false;
   total_created_ += 1;
   static obs::Counter& sealed =
-      obs::MetricsRegistry::Global().counter("views.sealed");
+      obs::MetricsRegistry::Global().counter(obs::metric_names::kViewsSealed);
   sealed.Increment();
   if (obs::Logger::Global().ShouldLog(obs::LogLevel::kDebug)) {
     obs::LogDebug("views", "sealed",
@@ -94,16 +95,16 @@ Status ViewStore::Seal(const Hash128& strict_signature, TablePtr contents,
 
 const MaterializedView* ViewStore::Find(const Hash128& strict_signature,
                                         double now) const {
-  static obs::Counter& hits =
-      obs::MetricsRegistry::Global().counter("views.lookup.hit");
-  static obs::Counter& misses =
-      obs::MetricsRegistry::Global().counter("views.lookup.miss");
+  static obs::Counter& hits = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kViewsLookupHit);
+  static obs::Counter& misses = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kViewsLookupMiss);
   auto it = views_.find(strict_signature);
   const MaterializedView* found = nullptr;
   if (it != views_.end()) {
     MaterializedView& view = it->second;
     if (view.state == ViewState::kSealed && now >= view.sealed_at &&
-        now < view.expires_at && ValidateOnRead(&view)) {
+        now < view.expires_at && ValidateOnRead(&view, now)) {
       found = &view;
     }
   }
@@ -111,7 +112,7 @@ const MaterializedView* ViewStore::Find(const Hash128& strict_signature,
   return found;
 }
 
-bool ViewStore::ValidateOnRead(MaterializedView* view) const {
+bool ViewStore::ValidateOnRead(MaterializedView* view, double now) const {
   // An injected read fault models bit rot the checksum would catch: treat
   // it exactly like a real mismatch.
   Status fault = fault::Inject(fault::sites::kViewRead);
@@ -139,12 +140,15 @@ bool ViewStore::ValidateOnRead(MaterializedView* view) const {
   view->state = ViewState::kExpired;
   view->table = nullptr;
   total_quarantined_ += 1;
-  static obs::Counter& quarantined =
-      obs::MetricsRegistry::Global().counter("views.quarantined");
-  static obs::Counter& invalidations =
-      obs::MetricsRegistry::Global().counter("views.invalidations");
+  static obs::Counter& quarantined = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kViewsQuarantined);
+  static obs::Counter& invalidations = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kViewsInvalidations);
   quarantined.Increment();
   invalidations.Increment();
+  if (provenance_ != nullptr) {
+    provenance_->RecordQuarantined(view->strict_signature, now, detail);
+  }
   obs::LogWarn("views", "quarantined",
                {{"signature", view->strict_signature.ToHex()},
                 {"detail", detail}});
@@ -185,22 +189,45 @@ Status ViewStore::RecordReuse(const Hash128& strict_signature) {
   return Status::OK();
 }
 
-Status ViewStore::Invalidate(const Hash128& strict_signature) {
+Status ViewStore::Invalidate(const Hash128& strict_signature, double now) {
   auto it = views_.find(strict_signature);
   if (it == views_.end()) {
     return Status::NotFound("view not found: " + strict_signature.ToHex());
   }
+  if (provenance_ != nullptr) {
+    // A materializing entry dies as an abort (the spool never became a
+    // view); a sealed one as an invalidation. Quarantined entries already
+    // recorded their fate at quarantine time.
+    const MaterializedView& view = it->second;
+    if (view.state == ViewState::kMaterializing) {
+      provenance_->RecordAborted(strict_signature, view.producer_job_id, now,
+                                 "invalidated");
+    } else if (view.state == ViewState::kSealed) {
+      provenance_->RecordInvalidated(strict_signature, now, "");
+    }
+  }
   views_.erase(it);
-  static obs::Counter& invalidations =
-      obs::MetricsRegistry::Global().counter("views.invalidations");
+  static obs::Counter& invalidations = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kViewsInvalidations);
   invalidations.Increment();
   return Status::OK();
 }
 
 void ViewStore::InvalidateAll() {
-  static obs::Counter& invalidations =
-      obs::MetricsRegistry::Global().counter("views.invalidations");
+  static obs::Counter& invalidations = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kViewsInvalidations);
   invalidations.Add(views_.size());
+  if (provenance_ != nullptr) {
+    for (const auto& [sig, view] : views_) {
+      if (view.state == ViewState::kMaterializing) {
+        provenance_->RecordAborted(sig, view.producer_job_id, /*now=*/-1.0,
+                                   "runtime_version_change");
+      } else if (view.state == ViewState::kSealed) {
+        provenance_->RecordInvalidated(sig, /*now=*/-1.0,
+                                       "runtime_version_change");
+      }
+    }
+  }
   views_.clear();
 }
 
@@ -209,6 +236,9 @@ size_t ViewStore::PurgeExpired(double now) {
   for (auto it = views_.begin(); it != views_.end();) {
     if (now >= it->second.expires_at ||
         it->second.state == ViewState::kExpired) {
+      if (provenance_ != nullptr) {
+        provenance_->RecordReclaimed(it->second.strict_signature, now);
+      }
       it = views_.erase(it);
       removed += 1;
     } else {

@@ -9,6 +9,7 @@
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "obs/provenance.h"
 #include "storage/table.h"
 
 namespace cloudviews {
@@ -97,7 +98,9 @@ class ViewStore {
   Status RecordReuse(const Hash128& strict_signature);
 
   // Drops a specific view (e.g. invalidated by input GUID rotation).
-  Status Invalidate(const Hash128& strict_signature);
+  // `now` tags the provenance event; pass -1 when no simulated timestamp is
+  // available (the event inherits the stream's last time).
+  Status Invalidate(const Hash128& strict_signature, double now = -1.0);
 
   // Drops every view (signature-version bump invalidates the world).
   void InvalidateAll();
@@ -121,10 +124,15 @@ class ViewStore {
   // partial write" corruption that reads must detect.
   Status CorruptForTest(const Hash128& strict_signature, size_t keep_rows);
 
+  // Attaches the reuse provenance ledger this store reports lifecycle
+  // events (quarantine, invalidation, reclaim) to. Not owned; may be null.
+  void set_provenance(obs::ProvenanceLedger* ledger) { provenance_ = ledger; }
+
  private:
   // Validates `view` against its footer, quarantining on mismatch (or on an
-  // injected read fault). Returns true if the view is safe to serve.
-  bool ValidateOnRead(MaterializedView* view) const;
+  // injected read fault). Returns true if the view is safe to serve. `now`
+  // tags the quarantine provenance event.
+  bool ValidateOnRead(MaterializedView* view, double now) const;
 
   double ttl_seconds_;
   // `mutable`: Find() is logically const (a lookup) but quarantines corrupt
@@ -134,6 +142,7 @@ class ViewStore {
   int64_t total_created_ = 0;
   int64_t total_reused_ = 0;
   mutable int64_t total_quarantined_ = 0;
+  obs::ProvenanceLedger* provenance_ = nullptr;
 };
 
 }  // namespace cloudviews

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 
+#include "core/insights_report.h"
 #include "obs/log.h"
+#include "obs/provenance.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace cloudviews {
@@ -19,7 +22,12 @@ Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
   ReuseEngineOptions engine_options = config_.engine;
   engine_options.cluster_name = config_.workload.cluster_name;
   ReuseEngine engine(&catalog, engine_options);
-  ClusterSimulator simulator(&engine, config_.cluster);
+  const bool insights = cloudviews_enabled && config_.collect_insights;
+  if (insights) obs::ProvenanceLedger::Enable();
+  obs::TimeSeriesCollector timeseries;
+  ClusterSimOptions cluster_options = config_.cluster;
+  if (insights) cluster_options.timeseries = &timeseries;
+  ClusterSimulator simulator(&engine, cluster_options);
 
   ArmResult arm;
   for (int day = 0; day < config_.num_days; ++day) {
@@ -45,7 +53,7 @@ Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
             "vc" + std::to_string(vc));
       }
       // Periodic workload analysis + view selection over history so far.
-      engine.RunViewSelection();
+      engine.RunViewSelection(day * kSecondsPerDay);
     }
 
     for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
@@ -75,6 +83,18 @@ Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
   arm.total_subexpression_instances = engine.repository().total_instances();
   if (config_.collect_join_records) {
     arm.join_records = simulator.join_records();
+  }
+  if (insights) {
+    double end_of_run = config_.num_days * kSecondsPerDay;
+    simulator.SampleUpTo(end_of_run);  // flush the final partial interval
+    InsightsExportMeta meta;
+    meta.cluster = config_.workload.cluster_name;
+    meta.days = config_.num_days;
+    meta.jobs = static_cast<int64_t>(arm.telemetry.jobs().size());
+    meta.failed_jobs = arm.failed_jobs;
+    meta.num_virtual_clusters = config_.workload.num_virtual_clusters;
+    meta.now = end_of_run;
+    arm.insights_json = BuildInsightsJson(engine, &timeseries, meta);
   }
   return arm;
 }

@@ -27,6 +27,10 @@ struct ExperimentConfig {
   // k * onboarding_days_per_vc (opt-in arriving gradually, Figure 6a).
   int onboarding_days_per_vc = 1;
   bool collect_join_records = true;
+  // Build the insights export for the CloudViews arm: enables the
+  // provenance ledger (process-wide), attaches an hourly time-series
+  // collector to the simulator, and fills ArmResult::insights_json.
+  bool collect_insights = false;
   // Progress callback (day index) for long benches; may be null.
   std::function<void(int)> on_day_complete;
 };
@@ -41,6 +45,8 @@ struct ArmResult {
   int64_t total_subexpression_instances = 0;
   std::vector<JoinExecutionRecord> join_records;
   int64_t failed_jobs = 0;
+  // BuildInsightsJson document (CloudViews arm with collect_insights only).
+  std::string insights_json;
 };
 
 struct ExperimentResult {

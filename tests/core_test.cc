@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/sim_clock.h"
 #include "core/insights_service.h"
 #include "core/reuse_engine.h"
@@ -269,16 +273,69 @@ TEST(InsightsServiceTest, AnnotationsFileRoundTrip) {
   std::string file = service.ExportAnnotationsFile();
 
   // A fresh service compiled with the annotations file reproduces the
-  // served candidate set (the incident-debugging path).
+  // served candidate set (the incident-debugging path) with full fidelity:
+  // tag, signature, utility, and occurrence count all survive.
   InsightsService debug_service;
   ASSERT_TRUE(debug_service.ImportAnnotationsFile(file).ok());
   EXPECT_EQ(debug_service.num_annotations(), 3u);
-  auto hits = debug_service.FetchAnnotations({HashString("rt-1")});
-  ASSERT_EQ(hits.size(), 1u);
-  EXPECT_EQ(hits[0].observed_occurrences, 3);
+  for (int i = 0; i < 3; ++i) {
+    auto hits =
+        debug_service.FetchAnnotations({HashString("rt-" + std::to_string(i))});
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].recurring_signature,
+              HashString("rt-" + std::to_string(i)));
+    EXPECT_DOUBLE_EQ(hits[0].expected_utility, 10.0 * i);
+    EXPECT_EQ(hits[0].observed_occurrences, i + 2);
+    EXPECT_FALSE(hits[0].tag.empty());
+  }
 
-  EXPECT_EQ(debug_service.ImportAnnotationsFile("garbage line\n").code(),
+  // Import -> re-export is a fixed point up to line order (the serving map
+  // is unordered): the same annotation lines, nothing gained or lost.
+  auto sorted_lines = [](const std::string& text) {
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t end = text.find('\n', pos);
+      if (end == std::string::npos) end = text.size();
+      std::string line = text.substr(pos, end - pos);
+      if (!line.empty() && line[0] != '#') lines.push_back(std::move(line));
+      pos = end + 1;
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(sorted_lines(debug_service.ExportAnnotationsFile()),
+            sorted_lines(file));
+}
+
+TEST(InsightsServiceTest, ImportAnnotationsRejectsMalformedInput) {
+  InsightsService service;
+  SelectionResult selection;
+  ViewCandidate cand;
+  cand.recurring_signature = HashString("keep-me");
+  selection.selected.push_back(cand);
+  service.PublishSelection(selection);
+
+  // Each flavor of corruption is rejected with kCorruption...
+  EXPECT_EQ(service.ImportAnnotationsFile("garbage line\n").code(),
             StatusCode::kCorruption);
+  EXPECT_EQ(  // signature is not hex
+      service.ImportAnnotationsFile("cv-1, nothex, 1.0, 2\n").code(),
+      StatusCode::kCorruption);
+  EXPECT_EQ(  // missing a field
+      service
+          .ImportAnnotationsFile("cv-1, " + HashString("x").ToHex() + ", 1.0\n")
+          .code(),
+      StatusCode::kCorruption);
+
+  // ...and a failed import is atomic: the previously served annotations are
+  // untouched (a bad file must not wipe a live serving set).
+  EXPECT_EQ(service.num_annotations(), 1u);
+  EXPECT_EQ(service.FetchAnnotations({HashString("keep-me")}).size(), 1u);
+
+  // Comments and blank lines are not corruption.
+  EXPECT_TRUE(service.ImportAnnotationsFile("# just a comment\n\n").ok());
+  EXPECT_EQ(service.num_annotations(), 0u);
 }
 
 TEST(InsightsServiceTest, LockProtocol) {

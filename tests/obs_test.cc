@@ -11,6 +11,7 @@
 
 #include "common/sim_clock.h"
 #include "common/thread_pool.h"
+#include "obs/json_reader.h"
 #include "obs/json_writer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -360,6 +361,82 @@ TEST(ObsJsonWriterTest, NonFiniteDoublesEmitNull) {
   w.Double(2.5);
   w.EndArray();
   EXPECT_EQ(w.str(), "[null,null,2.5]");
+}
+
+// --- JsonReader -------------------------------------------------------------
+
+TEST(ObsJsonReaderTest, ParsesEveryValueKind) {
+  auto parsed = ParseJson(
+      "{\"s\":\"a\\\"b\\n\",\"i\":-42,\"d\":2.5e3,\"t\":true,\"f\":false,"
+      "\"n\":null,\"arr\":[1,[2],{}],\"obj\":{\"k\":\"v\"}}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("s"), "a\"b\n");
+  EXPECT_EQ(parsed->GetInt("i"), -42);
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("d"), 2500.0);
+  EXPECT_TRUE(parsed->GetBool("t"));
+  EXPECT_FALSE(parsed->GetBool("f", true));
+  const JsonValue* null_value = parsed->Find("n");
+  ASSERT_NE(null_value, nullptr);
+  EXPECT_TRUE(null_value->is_null());
+  const JsonValue* arr = parsed->Find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->items[0].number_value, 1.0);
+  EXPECT_TRUE(arr->items[2].is_object());
+  EXPECT_EQ(parsed->Find("obj")->GetString("k"), "v");
+  // Missing keys fall back to the caller's defaults.
+  EXPECT_EQ(parsed->GetInt("absent", 7), 7);
+  EXPECT_EQ(parsed->GetString("absent", "dflt"), "dflt");
+}
+
+TEST(ObsJsonReaderTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", std::string_view("tricky \"name\"\n"));
+  w.Field("pi", 3.141592653589793);
+  w.Key("points").BeginArray();
+  w.BeginArray().Double(1.0).Double(2.0).EndArray();
+  w.EndArray();
+  w.EndObject();
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("name"), "tricky \"name\"\n");
+  EXPECT_DOUBLE_EQ(parsed->GetNumber("pi"), 3.141592653589793);
+  EXPECT_EQ(parsed->Find("points")->items[0].items.size(), 2u);
+}
+
+TEST(ObsJsonReaderTest, PreservesMemberInsertionOrder) {
+  auto parsed = ParseJson("{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->members.size(), 3u);
+  EXPECT_EQ(parsed->members[0].first, "z");
+  EXPECT_EQ(parsed->members[1].first, "a");
+  EXPECT_EQ(parsed->members[2].first, "m");
+}
+
+TEST(ObsJsonReaderTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  // Depth bomb: deeper than kMaxDepth nesting is rejected, not crashed on.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  // Errors carry the byte offset for debugging.
+  auto bad = ParseJson("{\"a\":x}");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("at byte"), std::string::npos);
+}
+
+TEST(ObsJsonReaderTest, DecodesUnicodeEscapes) {
+  auto parsed = ParseJson("{\"s\":\"\\u0041\\u00e9\\u20ac\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("s"), "A\xC3\xA9\xE2\x82\xAC");
 }
 
 // --- QueryProfile -----------------------------------------------------------

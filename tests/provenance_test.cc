@@ -1,0 +1,370 @@
+// Reuse provenance ledger: unit tests of the lifecycle state machine and
+// savings attribution, a four-arm {reuse, faults} differential audit (every
+// stream the engine emits must be legal and monotone, and every sealed
+// view's ledger must balance), and byte-identical insights exports across
+// reruns of the same seed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/insights_report.h"
+#include "core/reuse_engine.h"
+#include "fault/fault.h"
+#include "obs/json_reader.h"
+#include "obs/provenance.h"
+#include "obs/timeseries.h"
+#include "workload/experiment.h"
+#include "workload/generator.h"
+
+namespace cloudviews {
+namespace {
+
+using obs::ProvenanceLedger;
+using obs::ViewEventKind;
+
+// RAII: tests flip the process-wide provenance gate; never leak it enabled
+// into a later test.
+struct ScopedProvenance {
+  ScopedProvenance() { ProvenanceLedger::Enable(); }
+  ~ScopedProvenance() { ProvenanceLedger::Disable(); }
+};
+
+// Only graceful-degradation sites (same plan as differential_reuse_test):
+// chaos may fire arbitrarily often without failing a query, so every arm
+// below must still produce a legal ledger.
+const char* kChaosSpec =
+    "exec.spool.write=p:0.15;"
+    "exec.spool.seal=p:0.25:aborted;"
+    "storage.view.read=p:0.15:corruption";
+
+WorkloadProfile SmallProfile(uint64_t seed) {
+  WorkloadProfile profile;
+  profile.seed = seed;
+  profile.num_virtual_clusters = 2;
+  profile.num_shared_datasets = 10;
+  profile.num_motifs = 5;
+  profile.num_templates = 8;
+  profile.instances_per_template_per_day = 2;
+  profile.min_rows = 60;
+  profile.max_rows = 240;
+  return profile;
+}
+
+TEST(ProvenanceLedgerTest, DisabledLedgerRecordsNothing) {
+  ProvenanceLedger::Disable();
+  ProvenanceLedger ledger;
+  ledger.RecordCandidate(HashString("v"), HashString("r"), "vc0", 1.0, 0.0);
+  ledger.RecordLockAcquired(HashString("v"), 7, 1.0);
+  ledger.RecordHit(HashString("v"), 8, 2.0, 10.0, 1.0, 1.0, 0.0);
+  EXPECT_EQ(ledger.num_streams(), 0u);
+  EXPECT_EQ(ledger.dropped_events(), 0);
+}
+
+TEST(ProvenanceLedgerTest, LifecycleBalancesAndAudits) {
+  ScopedProvenance scoped;
+  ProvenanceLedger ledger;
+  Hash128 sig = HashString("view-a");
+  ledger.RecordCandidate(sig, HashString("rec-a"), "vc1", 42.0, 0.0);
+  ledger.RecordLockAcquired(sig, 100, 10.0);
+  ledger.RecordSpoolStarted(sig, HashString("rec-a"), "vc1", 100, 10.0);
+  ledger.RecordSealed(sig, 100, 20.0, /*rows=*/100, /*bytes=*/1000,
+                      /*build_cost=*/60.0, /*spool_latency_seconds=*/10.0);
+  ledger.RecordHit(sig, 101, 100.0, 50.0, 200.0, 4000.0, 1.5);
+  ledger.RecordHit(sig, 102, 200.0, 70.0, 200.0, 4000.0, 0.0);
+  ledger.RecordInvalidated(sig, 300.0, "dataset_update");
+
+  ASSERT_TRUE(ledger.AuditStreams().ok());
+  ASSERT_EQ(ledger.num_streams(), 1u);
+  EXPECT_EQ(ledger.dropped_events(), 0);
+
+  const double rent_rate = 1e-6;
+  auto streams = ledger.Streams();
+  obs::ViewAggregates agg =
+      ProvenanceLedger::Aggregate(streams[0], /*now=*/400.0, rent_rate);
+  EXPECT_EQ(agg.hits, 2);
+  EXPECT_EQ(agg.seals, 1);
+  EXPECT_EQ(agg.aborts, 0);
+  EXPECT_TRUE(agg.sealed);
+  EXPECT_FALSE(agg.live);  // retired at t=300
+  EXPECT_DOUBLE_EQ(agg.attributed_savings, 50.0 + 70.0);
+  EXPECT_DOUBLE_EQ(agg.build_cost, 60.0);
+  // Occupancy window: sealed at 20, invalidated at 300, 1000 bytes.
+  EXPECT_DOUBLE_EQ(agg.storage_byte_seconds, 1000.0 * (300.0 - 20.0));
+  EXPECT_DOUBLE_EQ(agg.storage_rent, agg.storage_byte_seconds * rent_rate);
+  // The balance: net utility is exactly savings minus build minus rent.
+  EXPECT_DOUBLE_EQ(agg.NetUtility(),
+                   120.0 - 60.0 - agg.storage_byte_seconds * rent_rate);
+
+  obs::LedgerTotals totals = ledger.Totals(400.0, rent_rate);
+  EXPECT_EQ(totals.streams, 1);
+  EXPECT_EQ(totals.sealed_views, 1);
+  EXPECT_EQ(totals.reused_views, 1);
+  EXPECT_EQ(totals.live_views, 0);
+  EXPECT_DOUBLE_EQ(totals.net_savings,
+                   totals.attributed_savings - totals.build_cost -
+                       totals.storage_rent);
+}
+
+TEST(ProvenanceLedgerTest, StaleTimestampsAreClampedMonotone) {
+  ScopedProvenance scoped;
+  ProvenanceLedger ledger;
+  Hash128 sig = HashString("view-clamp");
+  ledger.RecordCandidate(sig, HashString("r"), "vc0", 1.0, 500.0);
+  ledger.RecordLockAcquired(sig, 1, 100.0);   // stale: clamps to 500
+  ledger.RecordSpoolStarted(sig, HashString("r"), "vc0", 1, -1.0);  // inherit
+  ledger.RecordSealed(sig, 1, 600.0, 1, 1, 1.0, 0.0);
+  ASSERT_TRUE(ledger.AuditStreams().ok());
+  auto events = ledger.Streams()[0].events;
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[0].sim_time, 500.0);
+  EXPECT_DOUBLE_EQ(events[1].sim_time, 500.0);
+  EXPECT_DOUBLE_EQ(events[2].sim_time, 500.0);
+  EXPECT_DOUBLE_EQ(events[3].sim_time, 600.0);
+}
+
+TEST(ProvenanceLedgerTest, AuditFlagsIllegalTransition) {
+  ScopedProvenance scoped;
+  ProvenanceLedger ledger;
+  Hash128 sig = HashString("view-bad");
+  // A hit with no seal in between: recordable (the ledger is append-only
+  // and trusts its callers), but the auditor must catch it.
+  ledger.RecordCandidate(sig, HashString("r"), "vc0", 1.0, 0.0);
+  ledger.RecordHit(sig, 9, 10.0, 5.0, 1.0, 1.0, 0.0);
+  Status audit = ledger.AuditStreams();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.message().find("illegal transition"), std::string::npos);
+}
+
+TEST(ProvenanceLedgerTest, EventsWithoutAStreamAreDroppedAndCounted) {
+  ScopedProvenance scoped;
+  ProvenanceLedger ledger;
+  // Views that predate enabling the ledger: mid-life events arrive for
+  // streams that were never opened. They must be dropped (and counted),
+  // never recorded as an illegal half-stream.
+  ledger.RecordSealed(HashString("ghost"), 1, 10.0, 1, 1, 1.0, 0.0);
+  ledger.RecordHit(HashString("ghost"), 2, 20.0, 5.0, 1.0, 1.0, 0.0);
+  ledger.RecordReclaimed(HashString("ghost"), 30.0);
+  EXPECT_EQ(ledger.num_streams(), 0u);
+  EXPECT_EQ(ledger.dropped_events(), 3);
+  EXPECT_TRUE(ledger.AuditStreams().ok());
+}
+
+TEST(TimeSeriesTest, RingBufferKeepsNewestAndCountsDrops) {
+  obs::TimeSeriesCollector collector(/*capacity_per_series=*/4);
+  obs::TimeSeries& series = collector.series("views.live");
+  for (int i = 0; i < 10; ++i) {
+    series.Add(static_cast<double>(i), static_cast<double>(i * i));
+  }
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.total_added(), 10);
+  auto points = series.Points();
+  ASSERT_EQ(points.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(points[i].t, 6.0 + i);  // oldest -> newest, last four
+    EXPECT_DOUBLE_EQ(points[i].value, (6.0 + i) * (6.0 + i));
+  }
+  std::string json = collector.ExportJson();
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* all = parsed->Find("series");
+  ASSERT_NE(all, nullptr);
+  ASSERT_EQ(all->items.size(), 1u);
+  EXPECT_EQ(all->items[0].GetString("name"), "views.live");
+  EXPECT_EQ(all->items[0].GetInt("total_points"), 10);
+  EXPECT_EQ(all->items[0].GetInt("dropped"), 6);
+}
+
+// Runs `days` of the seeded workload through a fresh engine with the ledger
+// on, mirroring differential_reuse_test's arm protocol, and returns the
+// engine for ledger inspection.
+void RunLedgerArm(uint64_t seed, bool reuse_on, bool faults_on, int days,
+                  std::unique_ptr<ReuseEngine>* engine_out,
+                  std::unique_ptr<DatasetCatalog>* catalog_out) {
+  if (faults_on) {
+    auto plan = fault::FaultPlan::Parse(kChaosSpec);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    fault::FaultInjector::Global().Arm(*plan);
+  } else {
+    fault::FaultInjector::Global().Disarm();
+  }
+  WorkloadGenerator generator(SmallProfile(seed));
+  auto catalog = std::make_unique<DatasetCatalog>();
+  ASSERT_TRUE(generator.Setup(catalog.get()).ok());
+
+  ReuseEngineOptions options;
+  options.cloudviews_enabled = reuse_on;
+  options.selection.schedule_aware = false;
+  options.selection.per_virtual_cluster = false;
+  auto engine = std::make_unique<ReuseEngine>(catalog.get(), options);
+  engine->insights().controls().opt_out_model = true;
+
+  for (int day = 0; day < days; ++day) {
+    if (day >= 1) {
+      std::vector<std::string> updated;
+      ASSERT_TRUE(generator.AdvanceDay(catalog.get(), day, &updated).ok());
+      for (const std::string& dataset : updated) {
+        engine->OnDatasetUpdated(dataset);
+      }
+    }
+    for (const GeneratedJob& job : generator.JobsForDay(*catalog, day)) {
+      JobRequest request;
+      request.job_id = job.job_id;
+      request.virtual_cluster = job.virtual_cluster;
+      request.plan = job.plan;
+      request.submit_time = job.submit_time;
+      request.day = job.day;
+      request.cloudviews_enabled = job.cloudviews_enabled;
+      auto exec = engine->RunJob(request);
+      ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    }
+    engine->RunViewSelection(day * 86400.0);
+    engine->Maintenance((day + 1) * 86400.0);
+  }
+  fault::FaultInjector::Global().Disarm();
+  *engine_out = std::move(engine);
+  *catalog_out = std::move(catalog);
+}
+
+TEST(ProvenanceDifferentialTest, AllFourArmsProduceLegalBalancedLedgers) {
+  ScopedProvenance scoped;
+  constexpr int kDays = 3;
+  constexpr uint64_t kSeed = 20200201;
+  const double now = kDays * 86400.0;
+  bool any_hits = false;
+  bool any_aborts = false;
+  for (bool reuse_on : {false, true}) {
+    for (bool faults_on : {false, true}) {
+      SCOPED_TRACE("reuse=" + std::to_string(reuse_on) +
+                   " faults=" + std::to_string(faults_on));
+      std::unique_ptr<ReuseEngine> engine;
+      std::unique_ptr<DatasetCatalog> catalog;
+      RunLedgerArm(kSeed, reuse_on, faults_on, kDays, &engine, &catalog);
+      ASSERT_NE(engine, nullptr);
+      const ProvenanceLedger& ledger = engine->provenance();
+
+      // Every stream legal and monotone, nothing dropped (streams open at
+      // lock acquisition, before any mid-life event can fire).
+      Status audit = ledger.AuditStreams();
+      EXPECT_TRUE(audit.ok()) << audit.ToString();
+      EXPECT_EQ(ledger.dropped_events(), 0);
+
+      // The ledger balances: for every stream, the per-hit saved_cost
+      // events sum to the aggregate's attributed savings (the net-utility
+      // numerator), and the totals are the sum of the stream aggregates.
+      obs::LedgerTotals totals = ledger.Totals(now);
+      double savings_from_events = 0.0;
+      double savings_from_aggs = 0.0;
+      int64_t hits_from_events = 0;
+      for (const obs::ViewStream& stream : ledger.Streams()) {
+        double stream_savings = 0.0;
+        for (const obs::ViewEvent& e : stream.events) {
+          if (e.kind == ViewEventKind::kHit) {
+            stream_savings += e.saved_cost;
+            hits_from_events += 1;
+            EXPECT_GE(e.saved_cost, 0.0);
+          }
+        }
+        obs::ViewAggregates agg = ProvenanceLedger::Aggregate(
+            stream, now, obs::kDefaultStorageRentPerByteSecond);
+        EXPECT_DOUBLE_EQ(agg.attributed_savings, stream_savings);
+        EXPECT_DOUBLE_EQ(agg.NetUtility(),
+                         stream_savings - agg.build_cost - agg.storage_rent);
+        savings_from_events += stream_savings;
+        savings_from_aggs += agg.attributed_savings;
+        if (agg.aborts > 0) any_aborts = true;
+      }
+      EXPECT_DOUBLE_EQ(totals.attributed_savings, savings_from_events);
+      EXPECT_DOUBLE_EQ(totals.attributed_savings, savings_from_aggs);
+      EXPECT_EQ(totals.hits, hits_from_events);
+      if (totals.hits > 0) any_hits = true;
+
+      // The exported JSON tells the same story: parse it back and check
+      // each sealed view's aggregate against its own event stream.
+      auto parsed = obs::ParseJson(ledger.ExportJson(now));
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      const obs::JsonValue* views = parsed->Find("views");
+      ASSERT_NE(views, nullptr);
+      for (const obs::JsonValue& view : views->items) {
+        const obs::JsonValue* agg = view.Find("aggregates");
+        const obs::JsonValue* events = view.Find("events");
+        ASSERT_NE(agg, nullptr);
+        ASSERT_NE(events, nullptr);
+        double hit_sum = 0.0;
+        for (const obs::JsonValue& e : events->items) {
+          if (e.GetString("kind") == "hit") {
+            hit_sum += e.GetNumber("saved_cost");
+          }
+        }
+        EXPECT_NEAR(agg->GetNumber("attributed_savings"), hit_sum, 1e-9);
+        EXPECT_NEAR(agg->GetNumber("net_utility"),
+                    hit_sum - agg->GetNumber("build_cost") -
+                        agg->GetNumber("storage_rent"),
+                    1e-9);
+      }
+
+      if (!reuse_on) {
+        // The baseline arm materializes nothing; its ledger may hold
+        // candidate streams but never a seal or a hit.
+        EXPECT_EQ(totals.sealed_views, 0);
+        EXPECT_EQ(totals.hits, 0);
+      }
+      engine->provenance();  // keep engine alive past ledger references
+    }
+  }
+  // The reuse arms of this seed exercise the paths the audit is about.
+  EXPECT_TRUE(any_hits);
+  EXPECT_TRUE(any_aborts);  // chaos plan aborts some materializations
+}
+
+TEST(InsightsDeterminismTest, SameSeedRunsAreByteIdentical) {
+  auto run_once = [](std::string* json, std::string* report) {
+    ExperimentConfig config;
+    config.workload = SmallProfile(777);
+    config.num_days = 3;
+    config.onboarding_days_per_vc = 1;
+    config.collect_insights = true;
+    ProductionExperiment experiment(config);
+    auto result = experiment.Run();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    *json = result->cloudviews.insights_json;
+    ASSERT_FALSE(json->empty());
+    auto rendered = RenderInsightsReport(*json);
+    ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+    *report = *rendered;
+    ProvenanceLedger::Disable();  // RunArm enabled the process-wide gate
+  };
+  std::string json1, report1, json2, report2;
+  run_once(&json1, &report1);
+  run_once(&json2, &report2);
+  EXPECT_EQ(json1, json2);
+  EXPECT_EQ(report1, report2);
+  EXPECT_NE(report1.find("CloudViews insights report"), std::string::npos);
+  EXPECT_NE(report1.find("Per-VC savings"), std::string::npos);
+
+  // The export is a valid insights document end to end.
+  auto parsed = obs::ParseJson(json1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* summary = parsed->Find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_NEAR(summary->GetNumber("net_savings"),
+              summary->GetNumber("attributed_savings") -
+                  summary->GetNumber("build_cost") -
+                  summary->GetNumber("storage_rent"),
+              1e-6);
+  // The baseline arm must not leak streams into the CloudViews export:
+  // each arm has its own engine and its own ledger.
+  const obs::JsonValue* meta = parsed->Find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->GetInt("days"), 3);
+
+  // Rendering rejects non-insights input with a useful error.
+  EXPECT_FALSE(RenderInsightsReport("{}").ok());
+  EXPECT_FALSE(RenderInsightsReport("not json").ok());
+}
+
+}  // namespace
+}  // namespace cloudviews

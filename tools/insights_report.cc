@@ -1,0 +1,73 @@
+// insights_report: renders the paper-style text report from an insights
+// JSON document produced by `production_simulation --insights=PATH` (or any
+// BuildInsightsJson output).
+//
+// Usage:  insights_report [--top=N] INSIGHTS_JSON
+//
+// Prints the report to stdout. Exits nonzero (with a message on stderr) if
+// the file cannot be read or is not an insights document.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/insights_report.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--top=N] INSIGHTS_JSON\n", argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cloudviews::InsightsReportOptions options;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--top=", 6) == 0) {
+      options.top_n = std::atoi(arg + 6);
+      if (options.top_n <= 0) {
+        std::fprintf(stderr, "insights_report: bad --top value: %s\n", arg + 6);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "insights_report: unknown flag: %s\n", arg);
+      Usage(argv[0]);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "insights_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+
+  auto report = cloudviews::RenderInsightsReport(contents.str(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "insights_report: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(report->c_str(), stdout);
+  return 0;
+}

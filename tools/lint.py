@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-idiom lint for the CloudViews codebase.
 
-Checks, over src/, tests/, bench/, and examples/:
+Checks, over src/, tests/, bench/, examples/, and tools/:
 
   stderr     no raw fprintf(stderr, ...) / std::cerr outside src/obs — all
              diagnostics go through the structured logger (obs/log.h)
@@ -19,6 +19,10 @@ Checks, over src/, tests/, bench/, and examples/:
              src/fault/fault_sites.h (never a string literal), each
              constant is injected at exactly one call site, every constant
              appears in kAllSites, and no registered site is dead
+  metric-name every counter()/gauge()/histogram() lookup in src/ names a
+             constant from src/obs/metric_names.h (never a raw string
+             literal), constant values are unique, and no registered
+             metric name is dead
 
 Exit status 0 = clean; 1 = violations (printed one per line as
 path:line: [rule] message).
@@ -29,7 +33,7 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-SCAN_DIRS = ["src", "tests", "bench", "examples"]
+SCAN_DIRS = ["src", "tests", "bench", "examples", "tools"]
 ALLOW_NEW = "lint:allow-new"
 
 violations = []
@@ -93,6 +97,8 @@ def strip_comments_and_strings(text):
 def check_stderr(path, raw_lines, code_lines):
     if path.is_relative_to(REPO / "src" / "obs"):
         return  # the logger's own sink writes to stderr by design
+    if path.is_relative_to(REPO / "tools"):
+        return  # CLI binaries report usage errors on stderr by design
     for no, line in enumerate(code_lines, 1):
         if re.search(r"\bfprintf\s*\(\s*stderr\b", line):
             report(path, no, "stderr",
@@ -257,6 +263,60 @@ def check_fault_sites():
                    f"registered site {name} is never injected in src/")
 
 
+def check_metric_names():
+    """Cross-file rule: the metric-name registry is closed.
+
+    Every counter()/gauge()/histogram() lookup in src/ must name a constant
+    from src/obs/metric_names.h — a raw string literal would drift out of
+    dashboards silently. Unlike fault sites, a metric constant may be used
+    at many call sites (several layers can legitimately bump one counter).
+    Tests and benches may use ad-hoc literals for scratch metrics.
+    """
+    header = REPO / "src" / "obs" / "metric_names.h"
+    if not header.exists():
+        return
+    text = header.read_text()
+    consts = dict(
+        re.findall(r'inline constexpr char (k\w+)\[\]\s*=\s*"([^"]+)"', text))
+    values = {}
+    for name, value in consts.items():
+        if value in values:
+            report(header, 1, "metric-name",
+                   f'constants {values[value]} and {name} share the value '
+                   f'"{value}"')
+        else:
+            values[value] = name
+
+    # strip_comments_and_strings keeps the quotes, so a quote right after
+    # the opening paren means a raw literal. `\s` spans newlines: calls
+    # wrapped by clang-format still match.
+    literal_re = re.compile(r"\.\s*(counter|gauge|histogram)\s*\(\s*\"")
+    const_re = re.compile(r"\.\s*(?:counter|gauge|histogram)\s*\(\s*"
+                          r"(?:obs::)?metric_names::(k\w+)")
+    src = REPO / "src"
+    used = set()
+    for path in sorted(src.rglob("*.h")) + sorted(src.rglob("*.cc")):
+        if path == header:
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        for m in literal_re.finditer(code):
+            no = code.count("\n", 0, m.start()) + 1
+            report(path, no, "metric-name",
+                   f"raw metric-name literal in {m.group(1)}(); use a "
+                   "constant from obs/metric_names.h")
+        for m in const_re.finditer(code):
+            if m.group(1) not in consts:
+                no = code.count("\n", 0, m.start()) + 1
+                report(path, no, "metric-name",
+                       f"unregistered metric constant {m.group(1)}")
+            else:
+                used.add(m.group(1))
+    for name in consts:
+        if name not in used:
+            report(header, 1, "metric-name",
+                   f"registered metric {name} is never used in src/")
+
+
 def lint_file(path):
     raw = path.read_text()
     raw_lines = raw.splitlines()
@@ -283,6 +343,7 @@ def main():
     for path in targets:
         lint_file(path)
     check_fault_sites()
+    check_metric_names()
     for v in violations:
         print(v)
     if violations:
