@@ -1,16 +1,23 @@
-// Microbenchmarks: morsel-driven parallel execution.
+// Microbenchmarks: morsel-driven parallel execution, row vs columnar.
 //
 // Runs the Figure 7 workload's query shapes (scan-heavy filters, the
-// fact-dimension join, and group-by aggregation) on ~40x-scaled tables,
-// serially and at increasing DOP on the shared work-stealing pool. The
-// `speedup` counter on each DOP>1 run is serial seconds / parallel seconds
-// for the same query; on a 4-core machine the join and aggregate shapes
-// should clear 2x at DOP=4. On fewer cores the harness clamps to whatever
-// parallelism exists (DOP > hardware threads just adds stealing overhead).
+// fact-dimension join, and group-by aggregation) on ~40x-scaled tables
+// through BOTH execution engines — the vectorized columnar default and the
+// row-at-a-time reference — at DOP {1, 4, 8}. Each cell reports input rows
+// per second, nanoseconds per tuple, and estimated cycles per tuple
+// (seconds * CLOUDVIEWS_CPU_GHZ, default 3.0); every timing is the MINIMUM
+// over several runs so the committed BENCH baseline stays stable under
+// scheduler noise. The headline `*_speedup` metrics are columnar throughput
+// over row throughput for the same shape and DOP.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
 
-#include "common/thread_pool.h"
+#include "bench_util.h"
 #include "exec/executor.h"
 #include "plan/builder.h"
 #include "tests/test_util.h"
@@ -18,113 +25,140 @@
 namespace cloudviews {
 namespace {
 
-// Figure-4 schema at ~40x the unit-test row counts.
+// Figure-4 schema at ~40x the unit-test row counts (scaled by --scale).
 constexpr int kCustomers = 4000;
 constexpr int kSales = 20000;
 constexpr int kParts = 800;
 
-const DatasetCatalog& ScaledCatalog() {
-  static const DatasetCatalog* catalog = [] {
-    // lint:allow-new -- intentionally leaked singleton (lives for the run)
-    auto* c = new DatasetCatalog();
-    c->Register("Customer", testing_util::MakeCustomerTable(kCustomers),
-                "guid-customer-v1")
-        .ok();
-    c->Register("Sales", testing_util::MakeSalesTable(kSales), "guid-sales-v1")
-        .ok();
-    c->Register("Parts", testing_util::MakePartsTable(kParts), "guid-parts-v1")
-        .ok();
-    return c;
-  }();
-  return *catalog;
+struct QueryShape {
+  const char* name;
+  const char* sql;
+};
+
+const QueryShape kShapes[] = {
+    {"scan_filter_project",
+     "SELECT SaleId, Price * Quantity FROM Sales "
+     "WHERE Discount < 0.05 AND Quantity > 2"},
+    {"hash_join",
+     "SELECT Name, Price FROM Sales JOIN Customer "
+     "ON Sales.CustomerId = Customer.CustomerId "
+     "WHERE MktSegment = 'Asia'"},
+    {"aggregate",
+     "SELECT CustomerId, SUM(Price * Quantity), COUNT(*) FROM Sales "
+     "GROUP BY CustomerId"},
+    {"join_aggregate",
+     "SELECT Customer.CustomerId, AVG(Price * Quantity) FROM Sales "
+     "JOIN Customer ON Sales.CustomerId = Customer.CustomerId "
+     "WHERE MktSegment = 'Asia' GROUP BY Customer.CustomerId"},
+};
+
+double CpuGhz() {
+  const char* env = std::getenv("CLOUDVIEWS_CPU_GHZ");
+  if (env != nullptr && env[0] != '\0') return std::atof(env);
+  return 3.0;
 }
 
-LogicalOpPtr Plan(const std::string& sql) {
-  PlanBuilder builder(&ScaledCatalog());
-  auto plan = builder.BuildFromSql(sql);
-  if (!plan.ok()) std::abort();
-  return std::move(*plan);
-}
+struct Measurement {
+  double seconds = std::numeric_limits<double>::infinity();  // min over runs
+  uint64_t input_rows = 0;
+  uint64_t rows_out = 0;
+};
 
-double RunSeconds(const LogicalOpPtr& plan, int dop) {
-  ExecContext context;
-  context.catalog = &ScaledCatalog();
-  context.dop = dop;
-  Executor executor(context);
-  auto r = executor.Execute(plan);
-  if (!r.ok()) std::abort();
-  return r->stats.wall_seconds;
-}
-
-// Benchmarks one query at state.range(0) DOP and reports the speedup over
-// a serial run measured in the same process.
-void BenchQuery(benchmark::State& state, const std::string& sql) {
-  LogicalOpPtr plan = Plan(sql);
-  const int dop = static_cast<int>(state.range(0));
-
-  // Warm-up (first touch of tables, pool spin-up), then a serial baseline.
-  RunSeconds(plan, 1);
-  double serial_seconds = 0.0;
-  constexpr int kBaselineRuns = 3;
-  for (int i = 0; i < kBaselineRuns; ++i) serial_seconds += RunSeconds(plan, 1);
-  serial_seconds /= kBaselineRuns;
-
-  double parallel_seconds = 0.0;
-  int64_t rows = 0;
-  for (auto _ : state) {
+Measurement Measure(const DatasetCatalog& catalog, const LogicalOpPtr& plan,
+                    ExecEngine engine, int dop, int runs) {
+  Measurement m;
+  for (int i = 0; i <= runs; ++i) {  // one extra warm-up iteration
     ExecContext context;
-    context.catalog = &ScaledCatalog();
+    context.catalog = &catalog;
     context.dop = dop;
+    context.engine = engine;
     Executor executor(context);
     auto r = executor.Execute(plan);
-    if (!r.ok()) std::abort();
-    parallel_seconds += r->stats.wall_seconds;
-    rows = static_cast<int64_t>(r->output->num_rows());
-    benchmark::DoNotOptimize(r->output);
+    if (!r.ok()) {
+      std::printf("bench query failed: %s\n", r.status().ToString().c_str());
+      std::abort();
+    }
+    if (i == 0) continue;  // discard the warm-up (first-touch, pool spin-up)
+    m.seconds = std::min(m.seconds, r->stats.wall_seconds);
+    m.input_rows = r->stats.input_rows;
+    m.rows_out = r->output->num_rows();
   }
+  return m;
+}
 
-  state.SetItemsProcessed(state.iterations() * int64_t{kSales});
-  state.counters["rows_out"] =
-      benchmark::Counter(static_cast<double>(rows));
-  if (state.iterations() > 0 && parallel_seconds > 0.0) {
-    double mean_parallel =
-        parallel_seconds / static_cast<double>(state.iterations());
-    state.counters["speedup"] =
-        benchmark::Counter(serial_seconds / mean_parallel);
+int RunBench(int argc, char** argv) {
+  const double scale = bench_util::ParseScale(argc, argv, 1.0);
+  int runs = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--runs=", 7) == 0) runs = std::atoi(argv[i] + 7);
   }
-}
+  const double ghz = CpuGhz();
+  bench_util::PrintHeader(
+      "Parallel execution micro: columnar vs row engine, DOP {1, 4, 8}",
+      "ROADMAP item 1: vectorized execution under morsel parallelism");
 
-void BM_ParallelScanFilter(benchmark::State& state) {
-  BenchQuery(state,
-             "SELECT SaleId, Price * Quantity FROM Sales "
-             "WHERE Discount < 0.05 AND Quantity > 2");
-}
-BENCHMARK(BM_ParallelScanFilter)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+  DatasetCatalog catalog;
+  catalog
+      .Register("Customer",
+                testing_util::MakeCustomerTable(
+                    static_cast<int>(kCustomers * scale)),
+                "guid-customer-v1")
+      .ok();
+  catalog
+      .Register("Sales",
+                testing_util::MakeSalesTable(static_cast<int>(kSales * scale)),
+                "guid-sales-v1")
+      .ok();
+  catalog
+      .Register("Parts",
+                testing_util::MakePartsTable(static_cast<int>(kParts * scale)),
+                "guid-parts-v1")
+      .ok();
 
-void BM_ParallelHashJoin(benchmark::State& state) {
-  BenchQuery(state,
-             "SELECT Name, Price FROM Sales JOIN Customer "
-             "ON Sales.CustomerId = Customer.CustomerId "
-             "WHERE MktSegment = 'Asia'");
-}
-BENCHMARK(BM_ParallelHashJoin)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+  bench_util::JsonReport report("micro_parallel_exec");
+  report.Metric("scale", scale)
+      .Metric("runs", static_cast<int64_t>(runs))
+      .Metric("cpu_ghz", ghz);
 
-void BM_ParallelAggregate(benchmark::State& state) {
-  BenchQuery(state,
-             "SELECT CustomerId, SUM(Price * Quantity), COUNT(*) FROM Sales "
-             "GROUP BY CustomerId");
-}
-BENCHMARK(BM_ParallelAggregate)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+  std::printf("%-20s %4s | %12s %12s | %9s %9s | %8s\n", "query", "dop",
+              "row Mrows/s", "col Mrows/s", "row cyc/t", "col cyc/t",
+              "speedup");
 
-void BM_ParallelFigure4Query(benchmark::State& state) {
-  BenchQuery(state,
-             "SELECT Customer.CustomerId, AVG(Price * Quantity) FROM Sales "
-             "JOIN Customer ON Sales.CustomerId = Customer.CustomerId "
-             "WHERE MktSegment = 'Asia' GROUP BY Customer.CustomerId");
+  for (const QueryShape& shape : kShapes) {
+    PlanBuilder builder(&catalog);
+    auto plan = builder.BuildFromSql(shape.sql);
+    if (!plan.ok()) {
+      std::printf("plan failed: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    for (int dop : {1, 4, 8}) {
+      Measurement row = Measure(catalog, *plan, ExecEngine::kRow, dop, runs);
+      Measurement col =
+          Measure(catalog, *plan, ExecEngine::kColumnar, dop, runs);
+      const double rows = static_cast<double>(row.input_rows);
+      const double row_rps = rows / row.seconds;
+      const double col_rps = rows / col.seconds;
+      const double row_cyc = row.seconds * ghz * 1e9 / rows;
+      const double col_cyc = col.seconds * ghz * 1e9 / rows;
+      const double speedup = col_rps / row_rps;
+      std::printf("%-20s %4d | %12.2f %12.2f | %9.1f %9.1f | %7.2fx\n",
+                  shape.name, dop, row_rps * 1e-6, col_rps * 1e-6, row_cyc,
+                  col_cyc, speedup);
+
+      const std::string prefix =
+          std::string(shape.name) + "_dop" + std::to_string(dop);
+      report.Metric((prefix + "_row_rows_per_sec").c_str(), row_rps)
+          .Metric((prefix + "_col_rows_per_sec").c_str(), col_rps)
+          .Metric((prefix + "_row_cycles_per_tuple").c_str(), row_cyc)
+          .Metric((prefix + "_col_cycles_per_tuple").c_str(), col_cyc)
+          .Metric((prefix + "_speedup").c_str(), speedup);
+    }
+  }
+  report.Print();
+  return 0;
 }
-BENCHMARK(BM_ParallelFigure4Query)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 }  // namespace cloudviews
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return cloudviews::RunBench(argc, argv); }

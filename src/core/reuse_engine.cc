@@ -196,6 +196,8 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
                      static_cast<uint64_t>(request.day);
   context.now = request.submit_time;
   context.dop = options_.exec_dop;
+  context.engine = options_.exec_engine;
+  context.batch_rows = options_.exec_batch_rows;
   context.on_spool_complete = [this, &request, &views_built](
                                   const LogicalOp& spool, TablePtr contents,
                                   const OperatorStats& child_stats) {

@@ -48,6 +48,12 @@ struct ReuseEngineOptions {
   // for hardware concurrency or to an explicit DOP; outputs are identical
   // at any setting (the executor's morsel pipelines are order-preserving).
   int exec_dop = 1;
+  // Physical engine for job execution. Both engines produce byte-identical
+  // outputs and view contents; kRow is the reference path kept for
+  // differential testing and incident triage.
+  ExecEngine exec_engine = ExecEngine::kColumnar;
+  // Rows per column batch when exec_engine is kColumnar.
+  size_t exec_batch_rows = 1024;
   // Time between the producing job's submission and the view becoming
   // visible to other compilations. Early sealing publishes as soon as the
   // spool stage finishes — a couple of minutes — rather than at job

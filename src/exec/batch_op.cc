@@ -1,0 +1,1712 @@
+// Columnar batch-at-a-time execution. Every operator here replicates its row
+// counterpart in physical_op.cc — values, types, null-ness, row order, and
+// integer stats counters are identical at any DOP and any batch size;
+// floating-point cost totals agree to accumulation-order rounding. See
+// DESIGN.md ("Columnar execution") for the sanctioned divergences (which
+// error surfaces first when several rows of a batch would each error).
+
+#include "exec/batch_op.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/hash.h"
+#include "exec/batch_kernels.h"
+#include "obs/log.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cloudviews {
+
+namespace {
+
+// Output-row index meaning "pad with null" (left-outer joins).
+constexpr uint32_t kPadIndex = 0xFFFFFFFFu;
+
+EvalInput InputOf(const ColumnBatch& batch) {
+  EvalInput in;
+  in.columns = &batch.columns;
+  in.num_rows = batch.num_rows;
+  return in;
+}
+
+EvalInput InputOf(const BatchChunk& chunk) {
+  EvalInput in;
+  in.columns = &chunk.columns;
+  in.num_rows = chunk.num_rows;
+  return in;
+}
+
+// The batch analogue of PhysicalOp::CountRow over a whole batch.
+void CountBatch(OperatorStats* stats, const ColumnBatch& batch, double cpu) {
+  stats->rows_out += batch.num_rows;
+  stats->bytes_out += BatchByteSize(batch);
+  stats->cpu_cost += cpu;
+}
+
+// Gathers `indices` from `src`, appending a null for kPadIndex entries (and
+// for every entry when `src` is null — an empty build side of a left join).
+ColumnPtr GatherPad(const ColumnVector* src,
+                    const std::vector<uint32_t>& indices) {
+  auto out = std::make_shared<ColumnVector>();
+  out->Reserve(indices.size());
+  for (uint32_t idx : indices) {
+    if (src == nullptr || idx == kPadIndex) {
+      out->AppendNull();
+    } else {
+      out->AppendCellFrom(*src, idx);
+    }
+  }
+  return out;
+}
+
+// Rows [begin, end) of `chunk` as a batch; whole-chunk slices share the
+// column buffers zero-copy.
+ColumnBatch SliceChunk(const BatchChunk& chunk, size_t begin, size_t end) {
+  ColumnBatch out;
+  out.columns.reserve(chunk.columns.size());
+  for (const ColumnPtr& col : chunk.columns) {
+    if (begin == 0 && end == col->size()) {
+      out.columns.push_back(col);
+    } else {
+      out.columns.push_back(SliceColumn(*col, begin, end));
+    }
+  }
+  out.num_rows = end - begin;
+  return out;
+}
+
+// FilterOp's keep test over an evaluated predicate column.
+bool KeepCell(const ColumnVector& v, size_t i) {
+  return !v.IsNull(i) && v.CellType(i) == DataType::kBool && v.CellBool(i);
+}
+
+}  // namespace
+
+Status BatchOp::Next(Row* row, bool* done) {
+  (void)row;
+  (void)done;
+  return Status::Internal(
+      "batch operator driven through row-at-a-time Next()");
+}
+
+Status DrainBatches(BatchOp* child, std::vector<ColumnBatch>* out) {
+  while (true) {
+    ColumnBatch batch;
+    bool done = false;
+    CLOUDVIEWS_RETURN_NOT_OK(child->NextBatch(&batch, &done));
+    if (done) return Status::OK();
+    if (batch.num_rows > 0) out->push_back(std::move(batch));
+  }
+}
+
+Status DrainToChunk(BatchOp* child, BatchChunk* chunk) {
+  std::vector<ColumnBatch> batches;
+  CLOUDVIEWS_RETURN_NOT_OK(DrainBatches(child, &batches));
+  chunk->columns.clear();
+  chunk->num_rows = 0;
+  if (batches.empty()) return Status::OK();
+  const size_t arity = batches[0].columns.size();
+  for (const ColumnBatch& b : batches) chunk->num_rows += b.num_rows;
+  chunk->columns.reserve(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    chunk->columns.push_back(ConcatColumn(batches, c));
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> BindScanTable(const ExecContext& context,
+                               const LogicalOp& node, bool* is_view_scan) {
+  if (node.kind == LogicalOpKind::kScan) {
+    *is_view_scan = false;
+    if (context.catalog == nullptr) {
+      return Status::Internal("executor has no dataset catalog");
+    }
+    auto dataset = context.catalog->Lookup(node.dataset_name);
+    if (!dataset.ok()) return dataset.status();
+    if (!node.dataset_guid.empty() && dataset->guid != node.dataset_guid) {
+      return Status::Aborted("dataset " + node.dataset_name +
+                             " changed version since compilation (bound " +
+                             node.dataset_guid + ", current " + dataset->guid +
+                             ")");
+    }
+    return dataset->table;
+  }
+  *is_view_scan = true;
+  if (context.view_store == nullptr) {
+    return Status::Internal("plan reads a view but no view store set");
+  }
+  const MaterializedView* view =
+      context.view_store->Find(node.view_signature, context.now);
+  if (view == nullptr || view->table == nullptr) {
+    return Status::Aborted("materialized view vanished: " +
+                           node.view_signature.ToHex());
+  }
+  return view->table;
+}
+
+// --- BatchScanPipelineOp -----------------------------------------------------
+
+BatchScanPipelineOp::BatchScanPipelineOp(const LogicalOp* logical,
+                                         std::vector<const LogicalOp*> chain,
+                                         TablePtr table, bool is_view_scan,
+                                         ParallelRuntime runtime,
+                                         size_t batch_rows, bool eager_parallel)
+    : BatchOp(logical), table_(std::move(table)), is_view_scan_(is_view_scan),
+      runtime_(runtime), batch_rows_(batch_rows > 0 ? batch_rows : 1),
+      eager_parallel_(eager_parallel) {
+  stages_.reserve(chain.size());
+  for (const LogicalOp* op : chain) {
+    Stage stage;
+    stage.op = op;
+    if (op->kind == LogicalOpKind::kUdo) {
+      // Only deterministic UDOs are fused; they key purely on the UDO name
+      // (same seeding as UdoOp / MorselPipelineOp).
+      stage.udo_seed = HashString(op->udo_name).lo;
+    }
+    stages_.push_back(std::move(stage));
+  }
+}
+
+Status BatchScanPipelineOp::RunRange(
+    size_t begin, size_t end, ColumnBatch* out,
+    std::vector<OperatorStats>* stage_stats) const {
+  const LogicalOp* scan = stages_[0].op;
+  const double byte_weight =
+      is_view_scan_ ? CostWeights::kViewScanByte : CostWeights::kScanByte;
+  ColumnBatch cur;
+  if (scan->kind == LogicalOpKind::kScan && !scan->scan_columns.empty()) {
+    // Pruned scan: emit only the selected columns.
+    cur.columns.reserve(scan->scan_columns.size());
+    for (int col : scan->scan_columns) {
+      if (col < 0 || static_cast<size_t>(col) >= table_->num_columns()) {
+        return Status::Internal("scan column " + std::to_string(col) +
+                                " out of range for dataset " +
+                                scan->dataset_name);
+      }
+      cur.columns.push_back(
+          SliceColumn(*table_->column(static_cast<size_t>(col)), begin, end));
+    }
+  } else {
+    cur.columns.reserve(table_->num_columns());
+    for (size_t c = 0; c < table_->num_columns(); ++c) {
+      cur.columns.push_back(SliceColumn(*table_->column(c), begin, end));
+    }
+  }
+  cur.num_rows = end - begin;
+  {
+    OperatorStats& st = (*stage_stats)[0];
+    const size_t bytes = BatchByteSize(cur);
+    st.rows_out += cur.num_rows;
+    st.bytes_out += bytes;
+    st.cpu_cost += CostWeights::kScanRow * static_cast<double>(cur.num_rows) +
+                   byte_weight * static_cast<double>(bytes);
+  }
+
+  for (size_t s = 1; s < stages_.size(); ++s) {
+    if (cur.num_rows == 0) break;
+    const LogicalOp* op = stages_[s].op;
+    OperatorStats& st = (*stage_stats)[s];
+    switch (op->kind) {
+      case LogicalOpKind::kFilter: {
+        st.cpu_cost +=
+            CostWeights::kFilterRow * static_cast<double>(cur.num_rows);
+        std::vector<uint32_t> sel;
+        CLOUDVIEWS_RETURN_NOT_OK(
+            FilterSelection(*op->predicate, InputOf(cur), &sel));
+        ColumnBatch next;
+        GatherBatch(cur, sel, &next);
+        st.rows_out += next.num_rows;
+        st.bytes_out += BatchByteSize(next);
+        cur = std::move(next);
+        break;
+      }
+      case LogicalOpKind::kProject: {
+        ColumnBatch next;
+        next.columns.reserve(op->projections.size());
+        for (const ExprPtr& expr : op->projections) {
+          ColumnPtr col;
+          CLOUDVIEWS_RETURN_NOT_OK(EvalExprBatch(*expr, InputOf(cur), &col));
+          next.columns.push_back(std::move(col));
+        }
+        next.num_rows = cur.num_rows;
+        st.rows_out += next.num_rows;
+        st.bytes_out += BatchByteSize(next);
+        st.cpu_cost +=
+            CostWeights::kProjectRow * static_cast<double>(next.num_rows);
+        cur = std::move(next);
+        break;
+      }
+      case LogicalOpKind::kUdo: {
+        st.cpu_cost +=
+            op->udo_cost_per_row * static_cast<double>(cur.num_rows);
+        std::vector<uint32_t> sel;
+        for (size_t i = 0; i < cur.num_rows; ++i) {
+          // Deterministic pseudo-random keep/drop on (seed, row content) —
+          // identical to UdoOp for deterministic UDOs (which never mix in
+          // an arrival counter).
+          Hasher h(stages_[s].udo_seed);
+          for (const ColumnPtr& col : cur.columns) col->HashCellInto(i, &h);
+          double u = static_cast<double>(h.Finish().lo >> 11) *
+                     (1.0 / 9007199254740992.0);
+          if (u < op->udo_selectivity) sel.push_back(static_cast<uint32_t>(i));
+        }
+        ColumnBatch next;
+        GatherBatch(cur, sel, &next);
+        st.rows_out += next.num_rows;
+        st.bytes_out += BatchByteSize(next);
+        cur = std::move(next);
+        break;
+      }
+      default:
+        return Status::Internal("unsupported morsel pipeline stage");
+    }
+  }
+  *out = std::move(cur);
+  return Status::OK();
+}
+
+void BatchScanPipelineOp::FoldStageStats(
+    const std::vector<OperatorStats>& stage_stats) {
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    OperatorStats& dst = stages_[s].stats;
+    const OperatorStats& src = stage_stats[s];
+    dst.rows_out += src.rows_out;
+    dst.bytes_out += src.bytes_out;
+    dst.cpu_cost += src.cpu_cost;
+  }
+}
+
+Status BatchScanPipelineOp::Open() {
+  pos_ = 0;
+  out_index_ = 0;
+  outputs_.clear();
+  if (!eager_parallel_) {
+    if (table_ == nullptr) {
+      const LogicalOp* scan = stages_[0].op;
+      return Status::NotFound("scan target not available: " +
+                              (scan->kind == LogicalOpKind::kScan
+                                   ? scan->dataset_name
+                                   : scan->view_path));
+    }
+    return Status::OK();
+  }
+  obs::Span span("pipeline", "operator");
+  if (table_ == nullptr) {
+    const LogicalOp* scan = stages_[0].op;
+    return Status::NotFound("scan target not available: " +
+                            (scan->kind == LogicalOpKind::kScan
+                                 ? scan->dataset_name
+                                 : scan->view_path));
+  }
+  const size_t n = table_->num_rows();
+  size_t grain = runtime_.morsel_rows > 0 ? runtime_.morsel_rows : 1;
+  size_t morsels = n == 0 ? 0 : (n + grain - 1) / grain;
+  outputs_.assign(morsels, {});
+  std::vector<std::vector<OperatorStats>> morsel_stats(
+      morsels, std::vector<OperatorStats>(stages_.size()));
+  OperatorStats telemetry;
+  CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+      runtime_, n, grain,
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        return RunRange(begin, end, &outputs_[m], &morsel_stats[m]);
+      },
+      &telemetry));
+  // Fold per-morsel stats into each stage in morsel order; integer counters
+  // match the serial operators exactly.
+  for (size_t m = 0; m < morsels; ++m) FoldStageStats(morsel_stats[m]);
+  // Morsel telemetry is attributed once (to the chain's top node) so job
+  // totals don't multiply-count a morsel per fused stage.
+  stages_.back().stats.morsels += telemetry.morsels;
+  stages_.back().stats.busy_seconds += telemetry.busy_seconds;
+  stats_ = stages_.back().stats;
+  return Status::OK();
+}
+
+Status BatchScanPipelineOp::NextBatch(ColumnBatch* batch, bool* done) {
+  if (eager_parallel_) {
+    while (out_index_ < outputs_.size()) {
+      ColumnBatch& buf = outputs_[out_index_];
+      out_index_ += 1;
+      if (buf.num_rows == 0) continue;
+      *batch = std::move(buf);
+      buf.Clear();
+      *done = false;
+      return Status::OK();
+    }
+    *done = true;
+    return Status::OK();
+  }
+  const size_t n = table_->num_rows();
+  while (pos_ < n) {
+    const size_t begin = pos_;
+    const size_t end = std::min(begin + batch_rows_, n);
+    pos_ = end;
+    ColumnBatch out;
+    std::vector<OperatorStats> stage_stats(stages_.size());
+    CLOUDVIEWS_RETURN_NOT_OK(RunRange(begin, end, &out, &stage_stats));
+    FoldStageStats(stage_stats);
+    stats_ = stages_.back().stats;
+    if (out.num_rows == 0) continue;
+    *batch = std::move(out);
+    *done = false;
+    return Status::OK();
+  }
+  *done = true;
+  return Status::OK();
+}
+
+void BatchScanPipelineOp::Close() {
+  outputs_.clear();
+  pos_ = 0;
+  out_index_ = 0;
+}
+
+void BatchScanPipelineOp::ExportStats(
+    const std::function<void(const LogicalOp*, const OperatorStats&)>& fn)
+    const {
+  for (const Stage& stage : stages_) fn(stage.op, stage.stats);
+}
+
+// --- BatchFilterOp -----------------------------------------------------------
+
+BatchFilterOp::BatchFilterOp(const LogicalOp* logical, BatchOpPtr child)
+    : BatchOp(logical), child_(std::move(child)) {}
+
+Status BatchFilterOp::Open() { return child_->Open(); }
+
+Status BatchFilterOp::NextBatch(ColumnBatch* batch, bool* done) {
+  while (true) {
+    ColumnBatch input;
+    bool child_done = false;
+    CLOUDVIEWS_RETURN_NOT_OK(child_->NextBatch(&input, &child_done));
+    if (child_done) {
+      *done = true;
+      return Status::OK();
+    }
+    AddCost(CostWeights::kFilterRow * static_cast<double>(input.num_rows));
+    std::vector<uint32_t> sel;
+    CLOUDVIEWS_RETURN_NOT_OK(
+        FilterSelection(*logical_->predicate, InputOf(input), &sel));
+    if (sel.empty()) continue;
+    ColumnBatch out;
+    GatherBatch(input, sel, &out);
+    CountBatch(&stats_, out, 0.0);
+    *batch = std::move(out);
+    *done = false;
+    return Status::OK();
+  }
+}
+
+void BatchFilterOp::Close() { child_->Close(); }
+
+// --- BatchProjectOp ----------------------------------------------------------
+
+BatchProjectOp::BatchProjectOp(const LogicalOp* logical, BatchOpPtr child)
+    : BatchOp(logical), child_(std::move(child)) {}
+
+Status BatchProjectOp::Open() { return child_->Open(); }
+
+Status BatchProjectOp::NextBatch(ColumnBatch* batch, bool* done) {
+  while (true) {
+    ColumnBatch input;
+    bool child_done = false;
+    CLOUDVIEWS_RETURN_NOT_OK(child_->NextBatch(&input, &child_done));
+    if (child_done) {
+      *done = true;
+      return Status::OK();
+    }
+    if (input.num_rows == 0) continue;
+    ColumnBatch out;
+    out.columns.reserve(logical_->projections.size());
+    for (const ExprPtr& expr : logical_->projections) {
+      ColumnPtr col;
+      CLOUDVIEWS_RETURN_NOT_OK(EvalExprBatch(*expr, InputOf(input), &col));
+      out.columns.push_back(std::move(col));
+    }
+    out.num_rows = input.num_rows;
+    CountBatch(&stats_, out,
+               CostWeights::kProjectRow * static_cast<double>(out.num_rows));
+    *batch = std::move(out);
+    *done = false;
+    return Status::OK();
+  }
+}
+
+void BatchProjectOp::Close() { child_->Close(); }
+
+// --- BatchLimitOp ------------------------------------------------------------
+
+BatchLimitOp::BatchLimitOp(const LogicalOp* logical, BatchOpPtr child)
+    : BatchOp(logical), child_(std::move(child)) {}
+
+Status BatchLimitOp::Open() { return child_->Open(); }
+
+Status BatchLimitOp::NextBatch(ColumnBatch* batch, bool* done) {
+  while (true) {
+    if (produced_ >= logical_->limit) {
+      *done = true;
+      return Status::OK();
+    }
+    ColumnBatch input;
+    bool child_done = false;
+    CLOUDVIEWS_RETURN_NOT_OK(child_->NextBatch(&input, &child_done));
+    if (child_done) {
+      *done = true;
+      return Status::OK();
+    }
+    if (input.num_rows == 0) continue;
+    const size_t remaining =
+        static_cast<size_t>(logical_->limit - produced_);
+    const size_t take = std::min(input.num_rows, remaining);
+    ColumnBatch out;
+    if (take == input.num_rows) {
+      out = std::move(input);
+    } else {
+      out.columns.reserve(input.columns.size());
+      for (const ColumnPtr& col : input.columns) {
+        out.columns.push_back(SliceColumn(*col, 0, take));
+      }
+      out.num_rows = take;
+    }
+    produced_ += static_cast<int64_t>(take);
+    CountBatch(&stats_, out, 0.0);
+    *batch = std::move(out);
+    *done = false;
+    return Status::OK();
+  }
+}
+
+void BatchLimitOp::Close() { child_->Close(); }
+
+// --- BatchUdoOp --------------------------------------------------------------
+
+BatchUdoOp::BatchUdoOp(const LogicalOp* logical, BatchOpPtr child,
+                       uint64_t instance_seed)
+    : BatchOp(logical), child_(std::move(child)) {
+  // Deterministic UDOs key their behaviour purely on the UDO name, so the
+  // same logical computation yields identical output row sets across jobs.
+  uint64_t name_seed = HashString(logical->udo_name).lo;
+  seed_ = logical->udo_deterministic ? name_seed
+                                     : Mix64(name_seed ^ instance_seed);
+}
+
+Status BatchUdoOp::Open() { return child_->Open(); }
+
+Status BatchUdoOp::NextBatch(ColumnBatch* batch, bool* done) {
+  while (true) {
+    ColumnBatch input;
+    bool child_done = false;
+    CLOUDVIEWS_RETURN_NOT_OK(child_->NextBatch(&input, &child_done));
+    if (child_done) {
+      *done = true;
+      return Status::OK();
+    }
+    AddCost(logical_->udo_cost_per_row * static_cast<double>(input.num_rows));
+    std::vector<uint32_t> sel;
+    for (size_t i = 0; i < input.num_rows; ++i) {
+      counter_ += 1;
+      // Deterministic pseudo-random keep/drop decision on (seed, row
+      // content); non-deterministic UDOs additionally mix the global arrival
+      // counter — batches stream in global input order, so the counter
+      // sequence matches the row engine exactly.
+      Hasher h(seed_);
+      for (const ColumnPtr& col : input.columns) col->HashCellInto(i, &h);
+      if (!logical_->udo_deterministic) h.Update(counter_);
+      double u = static_cast<double>(h.Finish().lo >> 11) *
+                 (1.0 / 9007199254740992.0);
+      if (u < logical_->udo_selectivity) sel.push_back(static_cast<uint32_t>(i));
+    }
+    if (sel.empty()) continue;
+    ColumnBatch out;
+    GatherBatch(input, sel, &out);
+    CountBatch(&stats_, out, 0.0);
+    *batch = std::move(out);
+    *done = false;
+    return Status::OK();
+  }
+}
+
+void BatchUdoOp::Close() { child_->Close(); }
+
+// --- BatchSortOp -------------------------------------------------------------
+
+BatchSortOp::BatchSortOp(const LogicalOp* logical, BatchOpPtr child,
+                         size_t batch_rows)
+    : BatchOp(logical), child_(std::move(child)),
+      batch_rows_(batch_rows > 0 ? batch_rows : 1) {}
+
+Status BatchSortOp::Open() {
+  obs::Span span("sort", "operator");
+  CLOUDVIEWS_RETURN_NOT_OK(child_->Open());
+  sorted_.columns.clear();
+  sorted_.num_rows = 0;
+  pos_ = 0;
+  BatchChunk input;
+  CLOUDVIEWS_RETURN_NOT_OK(DrainToChunk(child_.get(), &input));
+  const size_t n = input.num_rows;
+  // Precompute sort-key columns to keep the comparator cheap and fallible
+  // evaluation out of std::stable_sort (exactly SortOp's precomputed keys).
+  std::vector<ColumnPtr> keys;
+  keys.reserve(logical_->sort_keys.size());
+  for (const SortKey& key : logical_->sort_keys) {
+    ColumnPtr col;
+    CLOUDVIEWS_RETURN_NOT_OK(EvalExprBatch(*key.expr, InputOf(input), &col));
+    keys.push_back(std::move(col));
+  }
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < logical_->sort_keys.size(); ++k) {
+      int cmp = CompareCells(*keys[k], a, *keys[k], b);
+      if (cmp != 0) return logical_->sort_keys[k].ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  sorted_.columns.reserve(input.columns.size());
+  for (const ColumnPtr& col : input.columns) {
+    sorted_.columns.push_back(GatherColumn(*col, order));
+  }
+  sorted_.num_rows = n;
+  double dn = static_cast<double>(n);
+  AddCost(CostWeights::kSortRowLog * dn * (dn > 1 ? std::log2(dn) : 1.0));
+  return Status::OK();
+}
+
+Status BatchSortOp::NextBatch(ColumnBatch* batch, bool* done) {
+  if (pos_ >= sorted_.num_rows) {
+    *done = true;
+    return Status::OK();
+  }
+  const size_t end = std::min(pos_ + batch_rows_, sorted_.num_rows);
+  ColumnBatch out = SliceChunk(sorted_, pos_, end);
+  pos_ = end;
+  CountBatch(&stats_, out, 0.0);
+  *batch = std::move(out);
+  *done = false;
+  return Status::OK();
+}
+
+void BatchSortOp::Close() {
+  child_->Close();
+  sorted_.columns.clear();
+  sorted_.num_rows = 0;
+}
+
+// --- BatchAggregateOp --------------------------------------------------------
+
+BatchAggregateOp::BatchAggregateOp(const LogicalOp* logical, BatchOpPtr child,
+                                   size_t batch_rows)
+    : BatchOp(logical), child_(std::move(child)),
+      batch_rows_(batch_rows > 0 ? batch_rows : 1) {}
+
+Status BatchAggregateOp::Open() {
+  obs::Span span("aggregate", "operator");
+  CLOUDVIEWS_RETURN_NOT_OK(child_->Open());
+  output_.columns.clear();
+  output_.num_rows = 0;
+  pos_ = 0;
+  BatchChunk input;
+  CLOUDVIEWS_RETURN_NOT_OK(DrainToChunk(child_.get(), &input));
+  const size_t n = input.num_rows;
+  AddCost(CostWeights::kAggRow * static_cast<double>(n));
+
+  const size_t num_keys = logical_->group_by.size();
+  const size_t num_aggs = logical_->aggregates.size();
+
+  // Group keys and aggregate arguments, evaluated vectorized over the whole
+  // input (the row engine evaluates the same expressions for every row; only
+  // which row's error surfaces first differs — see DESIGN.md).
+  std::vector<ColumnPtr> key_cols;
+  key_cols.reserve(num_keys);
+  for (const ExprPtr& expr : logical_->group_by) {
+    ColumnPtr col;
+    CLOUDVIEWS_RETURN_NOT_OK(EvalExprBatch(*expr, InputOf(input), &col));
+    key_cols.push_back(std::move(col));
+  }
+  std::vector<ColumnPtr> arg_cols(num_aggs);
+  for (size_t s = 0; s < num_aggs; ++s) {
+    if (logical_->aggregates[s].func == AggFunc::kCountStar) continue;
+    CLOUDVIEWS_RETURN_NOT_OK(EvalExprBatch(*logical_->aggregates[s].arg,
+                                           InputOf(input), &arg_cols[s]));
+  }
+
+  // Group hashes (unseeded Hasher over the key cells, .lo — exactly the row
+  // engine's group hash). Parallelized at DOP > 1 like the row engine's
+  // phase 1.
+  std::vector<uint64_t> hashes(n);
+  auto hash_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Hasher h;
+      for (const ColumnPtr& col : key_cols) col->HashCellInto(i, &h);
+      hashes[i] = h.Finish().lo;
+    }
+  };
+  if (runtime_.Enabled()) {
+    CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+        runtime_, n, runtime_.morsel_rows,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          hash_range(begin, end);
+          return Status::OK();
+        },
+        &stats_));
+  } else {
+    hash_range(0, n);
+  }
+
+  // Accumulate every row into its group in global input order (a group's
+  // rows all share a hash, so per-group accumulation order — floating-point
+  // sums, DISTINCT discovery, MIN/MAX ties, representative key — matches
+  // serial row execution bit for bit, at any DOP).
+  PooledHashTable table;
+  table.Reserve(n / 4 + 16);
+  std::vector<Group> groups;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t g = kPadIndex;
+    for (uint32_t e = table.First(hashes[i]); e != PooledHashTable::kNil;
+         e = table.NextMatch(e)) {
+      const uint32_t cand = table.payload(e);
+      bool equal = true;
+      for (size_t k = 0; k < num_keys; ++k) {
+        // Value::Compare orders nulls first, so "equal under Compare" is
+        // exactly the row engine's group-equality test.
+        if (CompareCells(*key_cols[k], i, *key_cols[k],
+                         groups[cand].first_row) != 0) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        g = cand;
+        break;
+      }
+    }
+    if (g == kPadIndex) {
+      g = static_cast<uint32_t>(groups.size());
+      Group group;
+      group.first_row = static_cast<uint32_t>(i);
+      group.states.resize(num_aggs);
+      groups.push_back(std::move(group));
+      table.Insert(hashes[i], g);
+    }
+    Group& group = groups[g];
+    for (size_t s = 0; s < num_aggs; ++s) {
+      const AggregateSpec& spec = logical_->aggregates[s];
+      AggState& state = group.states[s];
+      if (spec.func == AggFunc::kCountStar) {
+        state.count += 1;
+        continue;
+      }
+      const ColumnVector& arg = *arg_cols[s];
+      if (arg.IsNull(i)) continue;  // SQL semantics: aggregates skip nulls
+      if (spec.distinct) {
+        bool seen = false;
+        for (uint32_t d : state.distinct_rows) {
+          if (CompareCells(arg, d, arg, i) == 0) {
+            seen = true;
+            break;
+          }
+        }
+        if (seen) continue;
+        state.distinct_rows.push_back(static_cast<uint32_t>(i));
+      }
+      switch (spec.func) {
+        case AggFunc::kCount:
+          state.count += 1;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          state.count += 1;
+          state.sum += arg.CellNumeric(i);
+          if (arg.CellType(i) == DataType::kInt64) {
+            state.sum_int += arg.CellInt64(i);
+          } else {
+            state.int_only = false;
+          }
+          break;
+        case AggFunc::kMin:
+          if (state.min_row < 0 ||
+              CompareCells(arg, i, arg,
+                           static_cast<size_t>(state.min_row)) < 0) {
+            state.min_row = static_cast<int64_t>(i);
+          }
+          break;
+        case AggFunc::kMax:
+          if (state.max_row < 0 ||
+              CompareCells(arg, i, arg,
+                           static_cast<size_t>(state.max_row)) > 0) {
+            state.max_row = static_cast<int64_t>(i);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Scalar aggregation (no GROUP BY) over empty input still produces one
+  // row: COUNT = 0, other aggregates NULL (SQL semantics).
+  if (groups.empty() && num_keys == 0) {
+    Group group;
+    group.states.resize(num_aggs);
+    groups.push_back(std::move(group));
+  }
+
+  // Deterministic output order: groups sorted by representative key, the
+  // same total order HashAggregateOp::SortOutput produces (distinct groups
+  // always differ on some key column under Compare).
+  std::vector<uint32_t> order(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) order[g] = static_cast<uint32_t>(g);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < num_keys; ++k) {
+      int cmp = CompareCells(*key_cols[k], groups[a].first_row, *key_cols[k],
+                             groups[b].first_row);
+      if (cmp != 0) return cmp < 0;
+    }
+    return false;
+  });
+
+  // Emit columns: keys (the representative row's cells) then one column per
+  // aggregate — no per-row Value construction anywhere.
+  output_.columns.reserve(num_keys + num_aggs);
+  for (size_t k = 0; k < num_keys; ++k) {
+    auto col = std::make_shared<ColumnVector>();
+    col->Reserve(groups.size());
+    for (uint32_t g : order) {
+      col->AppendCellFrom(*key_cols[k], groups[g].first_row);
+    }
+    output_.columns.push_back(std::move(col));
+  }
+  for (size_t s = 0; s < num_aggs; ++s) {
+    const AggregateSpec& spec = logical_->aggregates[s];
+    auto col = std::make_shared<ColumnVector>();
+    col->Reserve(groups.size());
+    for (uint32_t g : order) {
+      const AggState& state = groups[g].states[s];
+      switch (spec.func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          col->AppendInt64(state.count);
+          break;
+        case AggFunc::kSum:
+          if (state.count == 0) {
+            col->AppendNull();
+          } else if (state.int_only) {
+            col->AppendInt64(state.sum_int);
+          } else {
+            col->AppendDouble(state.sum);
+          }
+          break;
+        case AggFunc::kAvg:
+          if (state.count == 0) {
+            col->AppendNull();
+          } else {
+            col->AppendDouble(state.sum / static_cast<double>(state.count));
+          }
+          break;
+        case AggFunc::kMin:
+          if (state.min_row < 0) {
+            col->AppendNull();
+          } else {
+            col->AppendCellFrom(*arg_cols[s],
+                                static_cast<size_t>(state.min_row));
+          }
+          break;
+        case AggFunc::kMax:
+          if (state.max_row < 0) {
+            col->AppendNull();
+          } else {
+            col->AppendCellFrom(*arg_cols[s],
+                                static_cast<size_t>(state.max_row));
+          }
+          break;
+      }
+    }
+    output_.columns.push_back(std::move(col));
+  }
+  output_.num_rows = groups.size();
+  return Status::OK();
+}
+
+Status BatchAggregateOp::NextBatch(ColumnBatch* batch, bool* done) {
+  if (pos_ >= output_.num_rows) {
+    *done = true;
+    return Status::OK();
+  }
+  const size_t end = std::min(pos_ + batch_rows_, output_.num_rows);
+  ColumnBatch out = SliceChunk(output_, pos_, end);
+  pos_ = end;
+  CountBatch(&stats_, out, 0.0);
+  *batch = std::move(out);
+  *done = false;
+  return Status::OK();
+}
+
+void BatchAggregateOp::Close() {
+  child_->Close();
+  output_.columns.clear();
+  output_.num_rows = 0;
+}
+
+// --- BatchSpoolOp ------------------------------------------------------------
+
+BatchSpoolOp::BatchSpoolOp(const LogicalOp* logical, BatchOpPtr child,
+                           SpoolOp::CompletionFn on_complete,
+                           SpoolOp::AbortFn on_abort)
+    : BatchOp(logical), child_(std::move(child)),
+      on_complete_(std::move(on_complete)), on_abort_(std::move(on_abort)) {}
+
+Status BatchSpoolOp::Open() {
+  CLOUDVIEWS_RETURN_NOT_OK(child_->Open());
+  side_table_ = std::make_shared<Table>("spool", logical_->output_schema);
+  return Status::OK();
+}
+
+Status BatchSpoolOp::NextBatch(ColumnBatch* batch, bool* done) {
+  bool child_done = false;
+  CLOUDVIEWS_RETURN_NOT_OK(child_->NextBatch(batch, &child_done));
+  if (child_done) {
+    // Exactly-once latch: the exchange makes concurrent end-of-stream
+    // observers race safely — one wins, the rest see completed_ == true.
+    if (!completed_.exchange(true)) {
+      completion_fires_.fetch_add(1, std::memory_order_acq_rel);
+      if (aborted_) {
+        // Materialization failed mid-write: never seal. The abort hook
+        // withdraws the half-registered view and releases the lock.
+        if (on_abort_ != nullptr) on_abort_(*logical_, abort_cause_);
+      } else {
+        sealed_rows_ = side_table_->num_rows();
+        if (on_complete_ != nullptr) {
+          // The stream is exhausted: the common subexpression is fully
+          // materialized. In production the job manager seals the view here —
+          // before the rest of the job finishes ("early sealing").
+          on_complete_(*logical_, side_table_, child_->stats());
+        }
+      }
+    }
+    *done = true;
+    return Status::OK();
+  }
+  const size_t n = batch->num_rows;
+  std::vector<size_t> row_bytes;
+  RowByteSizes(*batch, &row_bytes);
+  double cost_total = 0.0;
+  uint64_t bytes_total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bytes_total += row_bytes[i];
+    if (aborted_) continue;
+    // One injection check per row, exactly like the row spool — fault seeds
+    // that fire on the k-th write fire on the same row in both engines.
+    Status fault = InjectSpoolWriteFault();
+    if (!fault.ok()) {
+      // Abort cleanly: drop the partial output and keep streaming. The
+      // consumer above never notices — reuse degrades, results don't.
+      aborted_ = true;
+      abort_cause_ = fault;
+      side_table_.reset();
+      static obs::Counter& aborts = obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kExecSpoolAborts);
+      aborts.Increment();
+      obs::LogWarn("exec", "spool_aborted",
+                   {{"signature", logical_->view_signature.ToHex()},
+                    {"cause", fault.ToString()}});
+    } else {
+      bytes_spooled_ += row_bytes[i];
+      double cost = CostWeights::kSpoolRow +
+                    CostWeights::kSpoolByte * static_cast<double>(row_bytes[i]);
+      spool_cpu_cost_ += cost;
+      cost_total += cost;
+    }
+  }
+  if (!aborted_) {
+    CLOUDVIEWS_RETURN_NOT_OK(side_table_->AppendBatch(*batch));
+  }
+  stats_.rows_out += n;
+  stats_.bytes_out += bytes_total;
+  stats_.cpu_cost += cost_total;
+  *done = false;
+  return Status::OK();
+}
+
+void BatchSpoolOp::Close() { child_->Close(); }
+
+// --- BatchHashJoinOp ---------------------------------------------------------
+
+BatchHashJoinOp::BatchHashJoinOp(const LogicalOp* logical, BatchOpPtr left,
+                                 BatchOpPtr right)
+    : BatchOp(logical), left_(std::move(left)), right_(std::move(right)) {
+  for (const auto& [l, r] : logical->equi_keys) {
+    left_keys_.push_back(l);
+    right_keys_.push_back(r);
+  }
+}
+
+Status BatchHashJoinOp::BuildRight() {
+  partitions_.clear();
+  BatchChunk rows;
+  CLOUDVIEWS_RETURN_NOT_OK(DrainToChunk(right_.get(), &rows));
+  const size_t n = rows.num_rows;
+  AddCost(CostWeights::kHashBuildRow * static_cast<double>(n));
+  if (n > 0) right_arity_ = rows.columns.size();
+  // HashRowKey parity: unseeded Hasher over the key cells, hi ^ lo.
+  std::vector<uint64_t> hashes(n);
+  auto hash_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Hasher h;
+      for (int k : right_keys_) {
+        rows.columns[static_cast<size_t>(k)]->HashCellInto(i, &h);
+      }
+      Hash128 out = h.Finish();
+      hashes[i] = out.hi ^ out.lo;
+    }
+  };
+  if (runtime_.Enabled()) {
+    // Partitioned parallel build: hash every build row in morsels, assign
+    // rows to partitions by hash (serially — this fixes the relative order
+    // of equal keys to the global input order), then populate the pooled
+    // partition tables concurrently. Head-inserted chains iterated newest-
+    // first reproduce unordered_multimap::equal_range exactly.
+    CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+        runtime_, n, runtime_.morsel_rows,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          hash_range(begin, end);
+          return Status::OK();
+        },
+        &stats_));
+    const size_t num_partitions = static_cast<size_t>(runtime_.dop);
+    std::vector<std::vector<uint32_t>> index(num_partitions);
+    for (size_t i = 0; i < n; ++i) {
+      index[hashes[i] % num_partitions].push_back(static_cast<uint32_t>(i));
+    }
+    partitions_.assign(num_partitions, PooledHashTable());
+    CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+        runtime_, num_partitions, /*grain=*/1,
+        [&](size_t p, size_t, size_t) -> Status {
+          partitions_[p].Reserve(index[p].size());
+          for (uint32_t i : index[p]) partitions_[p].Insert(hashes[i], i);
+          return Status::OK();
+        },
+        &stats_));
+  } else {
+    hash_range(0, n);
+    partitions_.assign(1, PooledHashTable());
+    partitions_[0].Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      partitions_[0].Insert(hashes[i], static_cast<uint32_t>(i));
+    }
+  }
+  build_ = std::move(rows);
+  return Status::OK();
+}
+
+Status BatchHashJoinOp::ProbeRange(const BatchChunk& probe, size_t begin,
+                                   size_t end, ColumnBatch* out,
+                                   OperatorStats* local) const {
+  local->cpu_cost +=
+      CostWeights::kHashProbeRow * static_cast<double>(end - begin);
+  // Pass 1: collect match candidates per probe row, in build-chain order
+  // (newest-first among equal hashes = the row engine's emission order).
+  std::vector<uint32_t> cand_left;
+  std::vector<uint32_t> cand_right;
+  std::vector<uint32_t> cand_count(end - begin, 0);
+  for (size_t i = begin; i < end; ++i) {
+    Hasher h;
+    for (int k : left_keys_) {
+      probe.columns[static_cast<size_t>(k)]->HashCellInto(i, &h);
+    }
+    Hash128 f = h.Finish();
+    const uint64_t hash = f.hi ^ f.lo;
+    const PooledHashTable& partition = partitions_[hash % partitions_.size()];
+    for (uint32_t e = partition.First(hash); e != PooledHashTable::kNil;
+         e = partition.NextMatch(e)) {
+      const uint32_t b = partition.payload(e);
+      // Verify key equality (hash collisions); SQL null never matches null.
+      bool keys_equal = true;
+      for (size_t k = 0; k < left_keys_.size(); ++k) {
+        const ColumnVector& l =
+            *probe.columns[static_cast<size_t>(left_keys_[k])];
+        const ColumnVector& r =
+            *build_.columns[static_cast<size_t>(right_keys_[k])];
+        if (l.IsNull(i) || r.IsNull(b) || CompareCells(l, i, r, b) != 0) {
+          keys_equal = false;
+          break;
+        }
+      }
+      if (!keys_equal) continue;
+      cand_left.push_back(static_cast<uint32_t>(i));
+      cand_right.push_back(b);
+      cand_count[i - begin] += 1;
+    }
+  }
+  // Pass 2: residual predicate over all candidates at once.
+  std::vector<uint8_t> pass(cand_left.size(), 1);
+  if (logical_->predicate != nullptr && !cand_left.empty()) {
+    ColumnBatch combined;
+    combined.columns.reserve(probe.columns.size() + build_.columns.size());
+    for (const ColumnPtr& col : probe.columns) {
+      combined.columns.push_back(GatherColumn(*col, cand_left));
+    }
+    for (const ColumnPtr& col : build_.columns) {
+      combined.columns.push_back(GatherColumn(*col, cand_right));
+    }
+    combined.num_rows = cand_left.size();
+    ColumnPtr v;
+    CLOUDVIEWS_RETURN_NOT_OK(
+        EvalExprBatch(*logical_->predicate, InputOf(combined), &v));
+    for (size_t c = 0; c < pass.size(); ++c) {
+      pass[c] = KeepCell(*v, c) ? 1 : 0;
+    }
+  }
+  // Pass 3: emit surviving matches per probe row in order, padding
+  // unmatched left-outer rows.
+  std::vector<uint32_t> out_left;
+  std::vector<uint32_t> out_right;
+  size_t c = 0;
+  for (size_t i = begin; i < end; ++i) {
+    bool matched = false;
+    for (uint32_t k = 0; k < cand_count[i - begin]; ++k, ++c) {
+      if (!pass[c]) continue;
+      matched = true;
+      out_left.push_back(static_cast<uint32_t>(i));
+      out_right.push_back(cand_right[c]);
+    }
+    if (logical_->join_kind == sql::JoinKind::kLeft && !matched) {
+      out_left.push_back(static_cast<uint32_t>(i));
+      out_right.push_back(kPadIndex);
+    }
+  }
+  if (out_left.empty()) return Status::OK();
+  out->columns.reserve(probe.columns.size() + right_arity_);
+  for (const ColumnPtr& col : probe.columns) {
+    out->columns.push_back(GatherColumn(*col, out_left));
+  }
+  for (size_t r = 0; r < right_arity_; ++r) {
+    out->columns.push_back(GatherPad(
+        r < build_.columns.size() ? build_.columns[r].get() : nullptr,
+        out_right));
+  }
+  out->num_rows = out_left.size();
+  local->rows_out += out->num_rows;
+  local->bytes_out += BatchByteSize(*out);
+  return Status::OK();
+}
+
+Status BatchHashJoinOp::ProbeParallel() {
+  BatchChunk probe;
+  CLOUDVIEWS_RETURN_NOT_OK(DrainToChunk(left_.get(), &probe));
+  const size_t n = probe.num_rows;
+  size_t grain = runtime_.morsel_rows > 0 ? runtime_.morsel_rows : 1;
+  size_t morsels = n == 0 ? 0 : (n + grain - 1) / grain;
+  probe_out_.assign(morsels, {});
+  std::vector<OperatorStats> local(morsels);
+  CLOUDVIEWS_RETURN_NOT_OK(TimedParallelFor(
+      runtime_, n, grain,
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        return ProbeRange(probe, begin, end, &probe_out_[m], &local[m]);
+      },
+      &stats_));
+  // Merge per-morsel stats in morsel order (matches serial accumulation).
+  for (const OperatorStats& s : local) MergeStats(s);
+  parallel_probe_ = true;
+  out_index_ = 0;
+  return Status::OK();
+}
+
+Status BatchHashJoinOp::Open() {
+  obs::Span span("hash-join", "operator");
+  CLOUDVIEWS_RETURN_NOT_OK(left_->Open());
+  CLOUDVIEWS_RETURN_NOT_OK(right_->Open());
+  if (right_arity_ == 0) {
+    right_arity_ = logical_->children[1]->output_schema.num_columns();
+  }
+  {
+    obs::Span build_span("join-build", "operator");
+    CLOUDVIEWS_RETURN_NOT_OK(BuildRight());
+  }
+  if (runtime_.Enabled() && probe_ok_) {
+    obs::Span probe_span("join-probe", "operator");
+    return ProbeParallel();
+  }
+  return Status::OK();
+}
+
+Status BatchHashJoinOp::NextBatch(ColumnBatch* batch, bool* done) {
+  if (parallel_probe_) {
+    // Emit buffered matches in morsel order = global probe order.
+    while (out_index_ < probe_out_.size()) {
+      ColumnBatch& buf = probe_out_[out_index_];
+      out_index_ += 1;
+      if (buf.num_rows == 0) continue;
+      *batch = std::move(buf);
+      buf.Clear();
+      *done = false;
+      return Status::OK();
+    }
+    *done = true;
+    return Status::OK();
+  }
+  while (true) {
+    ColumnBatch input;
+    bool child_done = false;
+    CLOUDVIEWS_RETURN_NOT_OK(left_->NextBatch(&input, &child_done));
+    if (child_done) {
+      *done = true;
+      return Status::OK();
+    }
+    BatchChunk probe;
+    probe.columns = std::move(input.columns);
+    probe.num_rows = input.num_rows;
+    ColumnBatch out;
+    OperatorStats local;
+    CLOUDVIEWS_RETURN_NOT_OK(
+        ProbeRange(probe, 0, probe.num_rows, &out, &local));
+    MergeStats(local);
+    if (out.num_rows == 0) continue;
+    *batch = std::move(out);
+    *done = false;
+    return Status::OK();
+  }
+}
+
+void BatchHashJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  partitions_.clear();
+  build_.columns.clear();
+  build_.num_rows = 0;
+  probe_out_.clear();
+}
+
+// --- BatchMergeJoinOp --------------------------------------------------------
+
+BatchMergeJoinOp::BatchMergeJoinOp(const LogicalOp* logical, BatchOpPtr left,
+                                   BatchOpPtr right, size_t batch_rows)
+    : BatchOp(logical), left_(std::move(left)), right_(std::move(right)),
+      batch_rows_(batch_rows > 0 ? batch_rows : 1) {}
+
+Status BatchMergeJoinOp::Open() {
+  CLOUDVIEWS_RETURN_NOT_OK(left_->Open());
+  CLOUDVIEWS_RETURN_NOT_OK(right_->Open());
+  output_.columns.clear();
+  output_.num_rows = 0;
+  pos_ = 0;
+
+  BatchChunk left;
+  BatchChunk right;
+  CLOUDVIEWS_RETURN_NOT_OK(DrainToChunk(left_.get(), &left));
+  CLOUDVIEWS_RETURN_NOT_OK(DrainToChunk(right_.get(), &right));
+
+  std::vector<int> lk, rk;
+  for (const auto& [l, r] : logical_->equi_keys) {
+    lk.push_back(l);
+    rk.push_back(r);
+  }
+  // Argsort each side by its own keys (stable — ties keep input order,
+  // exactly MergeJoinOp's std::stable_sort over rows).
+  auto sort_side = [](const BatchChunk& chunk, const std::vector<int>& keys) {
+    std::vector<uint32_t> order(chunk.num_rows);
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<uint32_t>(i);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      for (int k : keys) {
+        const ColumnVector& col = *chunk.columns[static_cast<size_t>(k)];
+        int cmp = CompareCells(col, a, col, b);
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    });
+    return order;
+  };
+  std::vector<uint32_t> lorder = sort_side(left, lk);
+  std::vector<uint32_t> rorder = sort_side(right, rk);
+  double ln = static_cast<double>(left.num_rows);
+  double rn = static_cast<double>(right.num_rows);
+  AddCost(CostWeights::kSortRowLog *
+          (ln * (ln > 1 ? std::log2(ln) : 1.0) +
+           rn * (rn > 1 ? std::log2(rn) : 1.0)));
+
+  auto compare_lr = [&](uint32_t l, uint32_t r) {
+    for (size_t k = 0; k < lk.size(); ++k) {
+      int cmp = CompareCells(*left.columns[static_cast<size_t>(lk[k])], l,
+                             *right.columns[static_cast<size_t>(rk[k])], r);
+      if (cmp != 0) return cmp;
+    }
+    return 0;
+  };
+  auto keys_non_null = [](const BatchChunk& chunk, const std::vector<int>& keys,
+                          uint32_t row) {
+    for (int k : keys) {
+      if (chunk.columns[static_cast<size_t>(k)]->IsNull(row)) return false;
+    }
+    return true;
+  };
+
+  // The merge loop, over sorted index vectors. Candidates are gathered
+  // first so the residual can evaluate vectorized; `units` replays the row
+  // engine's per-event kMergeRow charges.
+  struct Event {
+    uint32_t left_row = 0;
+    uint32_t cand_begin = 0;
+    uint32_t cand_end = 0;
+    bool null_pad = false;
+  };
+  std::vector<Event> events;
+  std::vector<uint32_t> cand_left;
+  std::vector<uint32_t> cand_right;
+  uint64_t units = 0;
+  size_t li = 0, ri = 0;
+  const bool left_outer = logical_->join_kind == sql::JoinKind::kLeft;
+  while (li < lorder.size()) {
+    units += 1;
+    const uint32_t lrow = lorder[li];
+    if (!keys_non_null(left, lk, lrow)) {
+      // Null join keys never match; a left-outer join still pads the row.
+      if (left_outer) events.push_back(Event{lrow, 0, 0, true});
+      li += 1;
+      continue;
+    }
+    // Advance right until >= left.
+    while (ri < rorder.size() &&
+           (!keys_non_null(right, rk, rorder[ri]) ||
+            compare_lr(lrow, rorder[ri]) > 0)) {
+      ri += 1;
+      units += 1;
+    }
+    // Collect the right group equal to the left key. `ri` stays at the
+    // group start — the next left row may share the key.
+    Event ev;
+    ev.left_row = lrow;
+    ev.cand_begin = static_cast<uint32_t>(cand_left.size());
+    size_t group_end = ri;
+    while (group_end < rorder.size() &&
+           compare_lr(lrow, rorder[group_end]) == 0) {
+      cand_left.push_back(lrow);
+      cand_right.push_back(rorder[group_end]);
+      group_end += 1;
+      units += 1;
+    }
+    ev.cand_end = static_cast<uint32_t>(cand_left.size());
+    events.push_back(ev);
+    li += 1;
+  }
+  AddCost(CostWeights::kMergeRow * static_cast<double>(units));
+
+  std::vector<uint8_t> pass(cand_left.size(), 1);
+  if (logical_->predicate != nullptr && !cand_left.empty()) {
+    ColumnBatch combined;
+    combined.columns.reserve(left.columns.size() + right.columns.size());
+    for (const ColumnPtr& col : left.columns) {
+      combined.columns.push_back(GatherColumn(*col, cand_left));
+    }
+    for (const ColumnPtr& col : right.columns) {
+      combined.columns.push_back(GatherColumn(*col, cand_right));
+    }
+    combined.num_rows = cand_left.size();
+    ColumnPtr v;
+    CLOUDVIEWS_RETURN_NOT_OK(
+        EvalExprBatch(*logical_->predicate, InputOf(combined), &v));
+    for (size_t c = 0; c < pass.size(); ++c) {
+      pass[c] = KeepCell(*v, c) ? 1 : 0;
+    }
+  }
+
+  std::vector<uint32_t> out_left;
+  std::vector<uint32_t> out_right;
+  for (const Event& ev : events) {
+    if (ev.null_pad) {
+      out_left.push_back(ev.left_row);
+      out_right.push_back(kPadIndex);
+      continue;
+    }
+    bool matched = false;
+    for (uint32_t c = ev.cand_begin; c < ev.cand_end; ++c) {
+      if (!pass[c]) continue;
+      matched = true;
+      out_left.push_back(ev.left_row);
+      out_right.push_back(cand_right[c]);
+    }
+    if (left_outer && !matched) {
+      out_left.push_back(ev.left_row);
+      out_right.push_back(kPadIndex);
+    }
+  }
+  if (out_left.empty()) return Status::OK();
+  const size_t right_arity =
+      logical_->children[1]->output_schema.num_columns();
+  output_.columns.reserve(left.columns.size() + right_arity);
+  for (const ColumnPtr& col : left.columns) {
+    output_.columns.push_back(GatherColumn(*col, out_left));
+  }
+  for (size_t r = 0; r < right_arity; ++r) {
+    output_.columns.push_back(GatherPad(
+        r < right.columns.size() ? right.columns[r].get() : nullptr,
+        out_right));
+  }
+  output_.num_rows = out_left.size();
+  return Status::OK();
+}
+
+Status BatchMergeJoinOp::NextBatch(ColumnBatch* batch, bool* done) {
+  if (pos_ >= output_.num_rows) {
+    *done = true;
+    return Status::OK();
+  }
+  const size_t end = std::min(pos_ + batch_rows_, output_.num_rows);
+  ColumnBatch out = SliceChunk(output_, pos_, end);
+  pos_ = end;
+  CountBatch(&stats_, out, 0.0);
+  *batch = std::move(out);
+  *done = false;
+  return Status::OK();
+}
+
+void BatchMergeJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  output_.columns.clear();
+  output_.num_rows = 0;
+}
+
+// --- BatchLoopJoinOp ---------------------------------------------------------
+
+BatchLoopJoinOp::BatchLoopJoinOp(const LogicalOp* logical, BatchOpPtr left,
+                                 BatchOpPtr right)
+    : BatchOp(logical), left_(std::move(left)), right_(std::move(right)) {}
+
+Status BatchLoopJoinOp::Open() {
+  CLOUDVIEWS_RETURN_NOT_OK(left_->Open());
+  CLOUDVIEWS_RETURN_NOT_OK(right_->Open());
+  right_chunk_.columns.clear();
+  right_chunk_.num_rows = 0;
+  return DrainToChunk(right_.get(), &right_chunk_);
+}
+
+Status BatchLoopJoinOp::NextBatch(ColumnBatch* batch, bool* done) {
+  const size_t right_arity =
+      logical_->children[1]->output_schema.num_columns();
+  const bool left_outer = logical_->join_kind == sql::JoinKind::kLeft;
+  while (true) {
+    ColumnBatch input;
+    bool child_done = false;
+    CLOUDVIEWS_RETURN_NOT_OK(left_->NextBatch(&input, &child_done));
+    if (child_done) {
+      *done = true;
+      return Status::OK();
+    }
+    const size_t n = input.num_rows;
+    const size_t rn = right_chunk_.num_rows;
+    // Every (left, right) pair is scanned — the row engine never exits the
+    // inner loop early.
+    AddCost(CostWeights::kLoopJoinPair * static_cast<double>(n) *
+            static_cast<double>(rn));
+    std::vector<uint32_t> cand_left;
+    std::vector<uint32_t> cand_right;
+    std::vector<uint32_t> cand_count(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < rn; ++j) {
+        // Equi keys (if any; empty = pure theta/cross join) with SQL null
+        // semantics, then the residual below.
+        bool keys_equal = true;
+        for (const auto& [l, r] : logical_->equi_keys) {
+          const ColumnVector& lcol = *input.columns[static_cast<size_t>(l)];
+          const ColumnVector& rcol =
+              *right_chunk_.columns[static_cast<size_t>(r)];
+          if (lcol.IsNull(i) || rcol.IsNull(j) ||
+              CompareCells(lcol, i, rcol, j) != 0) {
+            keys_equal = false;
+            break;
+          }
+        }
+        if (!keys_equal) continue;
+        cand_left.push_back(static_cast<uint32_t>(i));
+        cand_right.push_back(static_cast<uint32_t>(j));
+        cand_count[i] += 1;
+      }
+    }
+    std::vector<uint8_t> pass(cand_left.size(), 1);
+    if (logical_->predicate != nullptr && !cand_left.empty()) {
+      ColumnBatch combined;
+      combined.columns.reserve(input.columns.size() +
+                               right_chunk_.columns.size());
+      for (const ColumnPtr& col : input.columns) {
+        combined.columns.push_back(GatherColumn(*col, cand_left));
+      }
+      for (const ColumnPtr& col : right_chunk_.columns) {
+        combined.columns.push_back(GatherColumn(*col, cand_right));
+      }
+      combined.num_rows = cand_left.size();
+      ColumnPtr v;
+      CLOUDVIEWS_RETURN_NOT_OK(
+          EvalExprBatch(*logical_->predicate, InputOf(combined), &v));
+      for (size_t c = 0; c < pass.size(); ++c) {
+        pass[c] = KeepCell(*v, c) ? 1 : 0;
+      }
+    }
+    std::vector<uint32_t> out_left;
+    std::vector<uint32_t> out_right;
+    size_t c = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bool matched = false;
+      for (uint32_t k = 0; k < cand_count[i]; ++k, ++c) {
+        if (!pass[c]) continue;
+        matched = true;
+        out_left.push_back(static_cast<uint32_t>(i));
+        out_right.push_back(cand_right[c]);
+      }
+      if (left_outer && !matched) {
+        out_left.push_back(static_cast<uint32_t>(i));
+        out_right.push_back(kPadIndex);
+      }
+    }
+    if (out_left.empty()) continue;
+    ColumnBatch out;
+    out.columns.reserve(input.columns.size() + right_arity);
+    for (const ColumnPtr& col : input.columns) {
+      out.columns.push_back(GatherColumn(*col, out_left));
+    }
+    for (size_t r = 0; r < right_arity; ++r) {
+      out.columns.push_back(GatherPad(r < right_chunk_.columns.size()
+                                          ? right_chunk_.columns[r].get()
+                                          : nullptr,
+                                      out_right));
+    }
+    out.num_rows = out_left.size();
+    CountBatch(&stats_, out, 0.0);
+    *batch = std::move(out);
+    *done = false;
+    return Status::OK();
+  }
+}
+
+void BatchLoopJoinOp::Close() {
+  left_->Close();
+  right_->Close();
+  right_chunk_.columns.clear();
+  right_chunk_.num_rows = 0;
+}
+
+// --- BatchUnionAllOp ---------------------------------------------------------
+
+BatchUnionAllOp::BatchUnionAllOp(const LogicalOp* logical,
+                                 std::vector<BatchOpPtr> children)
+    : BatchOp(logical), children_(std::move(children)) {}
+
+Status BatchUnionAllOp::Open() {
+  for (BatchOpPtr& child : children_) {
+    CLOUDVIEWS_RETURN_NOT_OK(child->Open());
+  }
+  current_ = 0;
+  return Status::OK();
+}
+
+Status BatchUnionAllOp::NextBatch(ColumnBatch* batch, bool* done) {
+  while (current_ < children_.size()) {
+    bool child_done = false;
+    CLOUDVIEWS_RETURN_NOT_OK(
+        children_[current_]->NextBatch(batch, &child_done));
+    if (!child_done) {
+      if (batch->num_rows == 0) continue;
+      CountBatch(&stats_, *batch, 0.0);
+      *done = false;
+      return Status::OK();
+    }
+    current_ += 1;
+  }
+  *done = true;
+  return Status::OK();
+}
+
+void BatchUnionAllOp::Close() {
+  for (BatchOpPtr& child : children_) child->Close();
+}
+
+// --- Batch plan builder ------------------------------------------------------
+
+namespace {
+
+// Mirror of the row builder's Fusable: row-preserving, stateless per row,
+// deterministic. Non-deterministic UDOs are excluded — their keep/drop
+// decision depends on global row arrival order.
+bool BatchFusable(const LogicalOp& node) {
+  switch (node.kind) {
+    case LogicalOpKind::kFilter:
+    case LogicalOpKind::kProject:
+      return true;
+    case LogicalOpKind::kUdo:
+      return node.udo_deterministic;
+    default:
+      return false;
+  }
+}
+
+// The columnar mirror of PhysicalBuilder: identical fusion and
+// parallelization decisions (and identical error messages), except that
+// scan-rooted fusable chains always become a BatchScanPipelineOp — streaming
+// at dop=1 or under a Limit, eager morsel-parallel otherwise.
+class BatchBuilder {
+ public:
+  BatchBuilder(const ExecContext* context, ParallelRuntime runtime,
+               size_t batch_rows, std::vector<PhysicalOp*>* registry)
+      : context_(context), runtime_(runtime),
+        batch_rows_(batch_rows > 0 ? batch_rows : 1), registry_(registry) {}
+
+  Result<BatchOpPtr> Build(const LogicalOpPtr& node, bool pipeline_ok) {
+    auto op = BuildNode(node, pipeline_ok);
+    if (op.ok()) registry_->push_back(op.value().get());
+    return op;
+  }
+
+ private:
+  Result<BatchOpPtr> TryBuildPipeline(const LogicalOpPtr& node,
+                                      bool pipeline_ok) {
+    const LogicalOp* cur = node.get();
+    std::vector<const LogicalOp*> top_down;
+    while (BatchFusable(*cur)) {
+      top_down.push_back(cur);
+      cur = cur->children[0].get();
+    }
+    if (cur->kind != LogicalOpKind::kScan &&
+        cur->kind != LogicalOpKind::kViewScan) {
+      return BatchOpPtr();
+    }
+    bool is_view_scan = false;
+    auto table = BindScanTable(*context_, *cur, &is_view_scan);
+    if (!table.ok()) return table.status();
+    std::vector<const LogicalOp*> chain;
+    chain.reserve(top_down.size() + 1);
+    chain.push_back(cur);
+    for (auto it = top_down.rbegin(); it != top_down.rend(); ++it) {
+      chain.push_back(*it);
+    }
+    const bool eager = runtime_.Enabled() && pipeline_ok;
+    return BatchOpPtr(std::make_unique<BatchScanPipelineOp>(
+        node.get(), std::move(chain), std::move(table).value(), is_view_scan,
+        runtime_, batch_rows_, eager));
+  }
+
+  Result<BatchOpPtr> BuildNode(const LogicalOpPtr& node, bool pipeline_ok) {
+    auto pipeline = TryBuildPipeline(node, pipeline_ok);
+    if (!pipeline.ok()) return pipeline.status();
+    if (*pipeline != nullptr) return pipeline;
+    switch (node->kind) {
+      case LogicalOpKind::kScan:
+      case LogicalOpKind::kViewScan:
+        // TryBuildPipeline handles every scan (a bare scan is a 1-chain).
+        return Status::Internal("scan not fused into a batch pipeline");
+      case LogicalOpKind::kFilter: {
+        auto child = Build(node->children[0], pipeline_ok);
+        if (!child.ok()) return child.status();
+        return BatchOpPtr(std::make_unique<BatchFilterOp>(
+            node.get(), std::move(child).value()));
+      }
+      case LogicalOpKind::kProject: {
+        auto child = Build(node->children[0], pipeline_ok);
+        if (!child.ok()) return child.status();
+        return BatchOpPtr(std::make_unique<BatchProjectOp>(
+            node.get(), std::move(child).value()));
+      }
+      case LogicalOpKind::kJoin: {
+        // The build (right) side is fully drained no matter what sits above
+        // the join, so it may always pipeline; the probe (left) side streams
+        // and inherits the ancestor constraint.
+        auto left = Build(node->children[0], pipeline_ok);
+        if (!left.ok()) return left.status();
+        auto right = Build(node->children[1], /*pipeline_ok=*/true);
+        if (!right.ok()) return right.status();
+        switch (node->join_algorithm) {
+          case JoinAlgorithm::kHash: {
+            if (node->equi_keys.empty()) {
+              return Status::InvalidArgument(
+                  "hash join requires at least one equi key");
+            }
+            auto join = std::make_unique<BatchHashJoinOp>(
+                node.get(), std::move(left).value(), std::move(right).value());
+            if (runtime_.Enabled()) {
+              join->set_parallel(runtime_, /*probe_ok=*/pipeline_ok);
+            }
+            return BatchOpPtr(std::move(join));
+          }
+          case JoinAlgorithm::kMerge:
+            if (node->equi_keys.empty()) {
+              return Status::InvalidArgument(
+                  "merge join requires at least one equi key");
+            }
+            return BatchOpPtr(std::make_unique<BatchMergeJoinOp>(
+                node.get(), std::move(left).value(), std::move(right).value(),
+                batch_rows_));
+          case JoinAlgorithm::kLoop:
+            return BatchOpPtr(std::make_unique<BatchLoopJoinOp>(
+                node.get(), std::move(left).value(),
+                std::move(right).value()));
+        }
+        return Status::Internal("unknown join algorithm");
+      }
+      case LogicalOpKind::kAggregate: {
+        // Aggregation drains its child completely regardless of ancestors.
+        auto child = Build(node->children[0], /*pipeline_ok=*/true);
+        if (!child.ok()) return child.status();
+        auto agg = std::make_unique<BatchAggregateOp>(
+            node.get(), std::move(child).value(), batch_rows_);
+        if (runtime_.Enabled()) agg->set_parallel(runtime_);
+        return BatchOpPtr(std::move(agg));
+      }
+      case LogicalOpKind::kSort: {
+        auto child = Build(node->children[0], /*pipeline_ok=*/true);
+        if (!child.ok()) return child.status();
+        return BatchOpPtr(std::make_unique<BatchSortOp>(
+            node.get(), std::move(child).value(), batch_rows_));
+      }
+      case LogicalOpKind::kLimit: {
+        auto child = Build(node->children[0], /*pipeline_ok=*/false);
+        if (!child.ok()) return child.status();
+        return BatchOpPtr(std::make_unique<BatchLimitOp>(
+            node.get(), std::move(child).value()));
+      }
+      case LogicalOpKind::kUnionAll: {
+        std::vector<BatchOpPtr> children;
+        for (const LogicalOpPtr& child : node->children) {
+          auto built = Build(child, pipeline_ok);
+          if (!built.ok()) return built.status();
+          children.push_back(std::move(built).value());
+        }
+        return BatchOpPtr(std::make_unique<BatchUnionAllOp>(
+            node.get(), std::move(children)));
+      }
+      case LogicalOpKind::kUdo: {
+        auto child = Build(node->children[0], pipeline_ok);
+        if (!child.ok()) return child.status();
+        return BatchOpPtr(std::make_unique<BatchUdoOp>(
+            node.get(), std::move(child).value(), context_->job_seed));
+      }
+      case LogicalOpKind::kSpool: {
+        auto child = Build(node->children[0], pipeline_ok);
+        if (!child.ok()) return child.status();
+        return BatchOpPtr(std::make_unique<BatchSpoolOp>(
+            node.get(), std::move(child).value(), context_->on_spool_complete,
+            context_->on_spool_abort));
+      }
+    }
+    return Status::Internal("unhandled logical operator kind");
+  }
+
+  const ExecContext* context_;
+  ParallelRuntime runtime_;
+  size_t batch_rows_;
+  std::vector<PhysicalOp*>* registry_;
+};
+
+}  // namespace
+
+Result<BatchOpPtr> BuildBatchPlan(const ExecContext& context,
+                                  const ParallelRuntime& runtime,
+                                  size_t batch_rows, const LogicalOpPtr& plan,
+                                  std::vector<PhysicalOp*>* registry) {
+  BatchBuilder builder(&context, runtime, batch_rows, registry);
+  return builder.Build(plan, /*pipeline_ok=*/true);
+}
+
+}  // namespace cloudviews

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "exec/batch_op.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,34 +50,11 @@ class PhysicalBuilder {
   }
 
  private:
-  // Resolves a scan leaf to its backing table, enforcing version pinning.
+  // Resolves a scan leaf to its backing table, enforcing version pinning
+  // (shared with the batch builder so both engines bind — and fail —
+  // identically).
   Result<TablePtr> BindScan(const LogicalOp& node, bool* is_view_scan) {
-    if (node.kind == LogicalOpKind::kScan) {
-      *is_view_scan = false;
-      if (context_->catalog == nullptr) {
-        return Status::Internal("executor has no dataset catalog");
-      }
-      auto dataset = context_->catalog->Lookup(node.dataset_name);
-      if (!dataset.ok()) return dataset.status();
-      if (!node.dataset_guid.empty() && dataset->guid != node.dataset_guid) {
-        return Status::Aborted("dataset " + node.dataset_name +
-                               " changed version since compilation (bound " +
-                               node.dataset_guid + ", current " +
-                               dataset->guid + ")");
-      }
-      return dataset->table;
-    }
-    *is_view_scan = true;
-    if (context_->view_store == nullptr) {
-      return Status::Internal("plan reads a view but no view store set");
-    }
-    const MaterializedView* view =
-        context_->view_store->Find(node.view_signature, context_->now);
-    if (view == nullptr || view->table == nullptr) {
-      return Status::Aborted("materialized view vanished: " +
-                             node.view_signature.ToHex());
-    }
-    return view->table;
+    return BindScanTable(*context_, node, is_view_scan);
   }
 
   // Fuses the maximal {Filter|Project|deterministic Udo}* chain over a
@@ -257,12 +235,25 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
   }
 
   std::vector<PhysicalOp*> registry;
-  PhysicalBuilder builder(&context_, runtime, &registry);
-  auto root = [&] {
+  const bool columnar = context_.engine == ExecEngine::kColumnar;
+  PhysicalOpPtr row_root;
+  BatchOpPtr batch_root;
+  {
     obs::Span span("build-physical", "exec");
-    return builder.Build(plan, /*pipeline_ok=*/true);
-  }();
-  if (!root.ok()) return root.status();
+    if (columnar) {
+      auto built = BuildBatchPlan(context_, runtime, context_.batch_rows,
+                                  plan, &registry);
+      if (!built.ok()) return built.status();
+      batch_root = std::move(built).value();
+    } else {
+      PhysicalBuilder builder(&context_, runtime, &registry);
+      auto built = builder.Build(plan, /*pipeline_ok=*/true);
+      if (!built.ok()) return built.status();
+      row_root = std::move(built).value();
+    }
+  }
+  PhysicalOp* root = columnar ? static_cast<PhysicalOp*>(batch_root.get())
+                              : row_root.get();
 
   if constexpr (verify::RuntimeChecksEnabled()) {
     CLOUDVIEWS_RETURN_NOT_OK(verify::PhysicalVerifier::VerifyWiring(
@@ -272,20 +263,35 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
   auto wall_start = std::chrono::steady_clock::now();
   {
     obs::Span span("open-operators", "exec");
-    CLOUDVIEWS_RETURN_NOT_OK((*root)->Open());
+    CLOUDVIEWS_RETURN_NOT_OK(root->Open());
   }
   auto output = std::make_shared<Table>("result", plan->output_schema);
   {
     obs::Span span("drain-output", "exec");
-    while (true) {
-      Row row;
-      bool done = false;
-      CLOUDVIEWS_RETURN_NOT_OK((*root)->Next(&row, &done));
-      if (done) break;
-      CLOUDVIEWS_RETURN_NOT_OK(output->Append(std::move(row)));
+    if (columnar) {
+      while (true) {
+        ColumnBatch batch;
+        bool done = false;
+        CLOUDVIEWS_RETURN_NOT_OK(batch_root->NextBatch(&batch, &done));
+        if (done) break;
+        if constexpr (verify::RuntimeChecksEnabled()) {
+          CLOUDVIEWS_RETURN_NOT_OK(
+              verify::PhysicalVerifier::VerifyBatch(*plan, batch));
+        }
+        if (batch.num_rows == 0) continue;
+        CLOUDVIEWS_RETURN_NOT_OK(output->AppendBatch(batch));
+      }
+    } else {
+      while (true) {
+        Row row;
+        bool done = false;
+        CLOUDVIEWS_RETURN_NOT_OK(root->Next(&row, &done));
+        if (done) break;
+        CLOUDVIEWS_RETURN_NOT_OK(output->Append(std::move(row)));
+      }
     }
   }
-  (*root)->Close();
+  root->Close();
   if constexpr (verify::RuntimeChecksEnabled()) {
     // The run completed: spool sealing must have fired exactly once per
     // spool, and per-operator row counts must respect operator contracts.
@@ -331,7 +337,7 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
           break;
       }
     });
-    if (auto* spool = dynamic_cast<SpoolOp*>(op)) {
+    if (auto* spool = dynamic_cast<SpoolOpIface*>(op)) {
       stats.bytes_spooled += spool->bytes_spooled();
       stats.spool_cpu_cost += spool->spool_cpu_cost();
     }

@@ -17,6 +17,16 @@ namespace cloudviews {
 
 class ThreadPool;
 
+// Which physical engine Execute() builds. kColumnar (the default) runs the
+// vectorized batch operators in exec/batch_op.h; kRow runs the original
+// row-at-a-time operators and is kept as the byte-identity reference — the
+// two produce identical output tables (values, types, null-ness, row order)
+// for every plan at every dop and batch size.
+enum class ExecEngine {
+  kColumnar,
+  kRow,
+};
+
 // Everything an executing job can touch.
 //
 // Threading contract: Execute() may fan work out to `dop` pool threads, so
@@ -54,6 +64,11 @@ struct ExecContext {
   // Pool to run morsels on. Null = the process-wide ThreadPool::Shared()
   // (only consulted when the resolved dop > 1).
   ThreadPool* pool = nullptr;
+  // Physical engine selection; see ExecEngine.
+  ExecEngine engine = ExecEngine::kColumnar;
+  // Rows per column batch in the columnar engine (clamped to >= 1). Output
+  // is identical at any batch size; only amortization changes.
+  size_t batch_rows = 1024;
 };
 
 struct ExecResult {

@@ -534,6 +534,10 @@ void HashAggregateOp::Close() {
 
 // --- SpoolOp -------------------------------------------------------------------
 
+Status InjectSpoolWriteFault() {
+  return fault::Inject(fault::sites::kSpoolWrite);
+}
+
 SpoolOp::SpoolOp(const LogicalOp* logical, PhysicalOpPtr child,
                  CompletionFn on_complete, AbortFn on_abort)
     : PhysicalOp(logical), child_(std::move(child)),
@@ -557,11 +561,14 @@ Status SpoolOp::Next(Row* row, bool* done) {
         // Materialization failed mid-write: never seal. The abort hook
         // withdraws the half-registered view and releases the lock.
         if (on_abort_ != nullptr) on_abort_(*logical_, abort_cause_);
-      } else if (on_complete_ != nullptr) {
-        // The stream is exhausted: the common subexpression is fully
-        // materialized. In production the job manager seals the view here —
-        // before the rest of the job finishes ("early sealing").
-        on_complete_(*logical_, side_table_, child_->stats());
+      } else {
+        sealed_rows_ = side_table_->num_rows();
+        if (on_complete_ != nullptr) {
+          // The stream is exhausted: the common subexpression is fully
+          // materialized. In production the job manager seals the view here —
+          // before the rest of the job finishes ("early sealing").
+          on_complete_(*logical_, side_table_, child_->stats());
+        }
       }
     }
     *done = true;
@@ -569,7 +576,7 @@ Status SpoolOp::Next(Row* row, bool* done) {
   }
   double cost = 0.0;
   if (!aborted_) {
-    Status fault = fault::Inject(fault::sites::kSpoolWrite);
+    Status fault = InjectSpoolWriteFault();
     if (!fault.ok()) {
       // Abort cleanly: drop the partial output and keep streaming. The
       // consumer above never notices — reuse degrades, results don't.

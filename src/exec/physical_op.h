@@ -281,11 +281,34 @@ class HashAggregateOp : public PhysicalOp {
   size_t index_ = 0;
 };
 
+// Engine-neutral view of a spool operator. The Executor's stats harvest and
+// the PhysicalVerifier's bracketing checks apply to both the row SpoolOp and
+// the columnar BatchSpoolOp through this interface, so neither layer needs
+// to know which engine produced the operator tree.
+class SpoolOpIface {
+ public:
+  virtual ~SpoolOpIface() = default;
+  virtual uint64_t bytes_spooled() const = 0;
+  virtual double spool_cpu_cost() const = 0;
+  virtual bool aborted() const = 0;
+  virtual uint32_t completion_fires() const = 0;
+  // Row count of the side table handed to the completion callback (valid
+  // once the latch fired without an abort). The PhysicalVerifier checks it
+  // against the spool's own rows_out: a sealed view must record exactly the
+  // rows the scan streamed.
+  virtual uint64_t sealed_rows() const = 0;
+};
+
+// The one call site for the exec.spool.write fault (the fault-site registry
+// permits exactly one injection point per site); shared by both spool
+// implementations.
+Status InjectSpoolWriteFault();
+
 // Dual-consumer spool: passes rows through to the parent while appending a
 // copy to a side table. When the stream completes, invokes `on_complete`
 // with the materialized contents — the hook the view manager uses to seal
 // the CloudView (early sealing happens here, before the whole job ends).
-class SpoolOp : public PhysicalOp {
+class SpoolOp : public PhysicalOp, public SpoolOpIface {
  public:
   using CompletionFn =
       std::function<void(const LogicalOp& spool, TablePtr contents,
@@ -305,19 +328,20 @@ class SpoolOp : public PhysicalOp {
   Status Next(Row* row, bool* done) override;
   void Close() override;
 
-  uint64_t bytes_spooled() const { return bytes_spooled_; }
-  double spool_cpu_cost() const { return spool_cpu_cost_; }
+  uint64_t bytes_spooled() const override { return bytes_spooled_; }
+  double spool_cpu_cost() const override { return spool_cpu_cost_; }
   // True once a write fault aborted materialization (partial side table
   // dropped, rows still pass through).
-  bool aborted() const { return aborted_; }
+  bool aborted() const override { return aborted_; }
   // How many times the completion latch actually fired. The exchange makes
   // >1 impossible by construction; the PhysicalVerifier checks ==1 after a
   // successful run (0 means the spool was never drained — the view would
   // silently never seal). An aborted spool still fires the latch exactly
   // once, routed to `on_abort` instead of `on_complete`.
-  uint32_t completion_fires() const {
+  uint32_t completion_fires() const override {
     return completion_fires_.load(std::memory_order_acquire);
   }
+  uint64_t sealed_rows() const override { return sealed_rows_; }
 
  private:
   PhysicalOpPtr child_;
@@ -325,6 +349,7 @@ class SpoolOp : public PhysicalOp {
   AbortFn on_abort_;
   std::shared_ptr<Table> side_table_;
   uint64_t bytes_spooled_ = 0;
+  uint64_t sealed_rows_ = 0;
   double spool_cpu_cost_ = 0.0;
   // Abort state is only touched from the driver thread that calls Next().
   bool aborted_ = false;

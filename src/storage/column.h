@@ -1,0 +1,169 @@
+#ifndef CLOUDVIEWS_STORAGE_COLUMN_H_
+#define CLOUDVIEWS_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/value.h"
+
+namespace cloudviews {
+
+// One column of a batch: a typed value array plus a null bitmap. The column
+// starts untyped (every cell null) and adopts the type of the first non-null
+// cell appended. Appending a second scalar type demotes the column to
+// `mixed` storage (per-cell dynamic Values) — the correctness fallback that
+// keeps batch execution byte-identical to the row engine for heterogeneous
+// columns (e.g. SUM emitting int64 for one group and double for another).
+//
+// Typed storage keeps a full-length vector with defaults at null positions,
+// so kernels can read `ints()[i]` unconditionally and consult the bitmap
+// separately. Cell-granular accessors (CellByteSize / HashCellInto /
+// CompareCells / CellToString) replicate the corresponding Value methods
+// bit for bit; they are the parity layer every columnar operator leans on.
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+
+  size_t size() const { return size_; }
+  // Storage type: kNull until the first non-null append; the scalar type
+  // afterwards. Meaningless (kNull) in mixed mode.
+  DataType type() const { return type_; }
+  bool mixed() const { return mixed_; }
+
+  bool IsNull(size_t i) const {
+    return (valid_[i >> 6] & (uint64_t{1} << (i & 63))) == 0;
+  }
+  // The cell's dynamic type (kNull for null cells, per-cell in mixed mode).
+  DataType CellType(size_t i) const;
+
+  // Typed readers; valid when !mixed() and type() matches. Null positions
+  // hold defaults.
+  const std::vector<uint8_t>& bools() const { return bools_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  // Cell readers that work in every storage mode. Preconditions mirror the
+  // Value accessors: the cell must be non-null and of the matching type.
+  bool CellBool(size_t i) const;
+  int64_t CellInt64(size_t i) const;
+  double CellDouble(size_t i) const;
+  const std::string& CellString(size_t i) const;
+  // Mirrors Value::NumericValue (0.0 for strings, bool as 0/1, null 0.0).
+  double CellNumeric(size_t i) const;
+
+  // Parity helpers — exact replicas of the Value methods of the same name.
+  size_t CellByteSize(size_t i) const;
+  void HashCellInto(size_t i, Hasher* hasher) const;
+  std::string CellToString(size_t i) const;
+  Value GetValue(size_t i) const;
+
+  // Builders.
+  void Reserve(size_t n);
+  void AppendNull();
+  void AppendBool(bool v);
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendValue(const Value& v);
+  void AppendCellFrom(const ColumnVector& src, size_t i);
+
+  // Bulk builders — behaviorally identical to the per-cell Append loops they
+  // replace, but copy typed storage ranges and bitmap words wholesale. These
+  // are the engine's throughput path; per-cell appends remain the fallback
+  // for mixed-mode and type-mismatch cases.
+  void AppendRangeFrom(const ColumnVector& src, size_t begin, size_t end);
+  void AppendGatherFrom(const ColumnVector& src,
+                        const std::vector<uint32_t>& indices);
+
+  // Kernel-result factories: install fully formed typed storage. `valid` is
+  // a packed bitmap of at least ceil(n/64) words; tail bits past n and cell
+  // slots at null positions are normalized to zero so the result is
+  // indistinguishable from an append-built column.
+  static std::shared_ptr<ColumnVector> DenseBool(std::vector<uint8_t> cells,
+                                                 std::vector<uint64_t> valid,
+                                                 size_t n);
+  static std::shared_ptr<ColumnVector> DenseInt64(std::vector<int64_t> cells,
+                                                  std::vector<uint64_t> valid,
+                                                  size_t n);
+  static std::shared_ptr<ColumnVector> DenseDouble(std::vector<double> cells,
+                                                   std::vector<uint64_t> valid,
+                                                   size_t n);
+
+  // The packed validity words backing IsNull (bit i set = non-null).
+  const std::vector<uint64_t>& valid_words() const { return valid_; }
+  // An all-ones bitmap for n cells, tail bits zeroed.
+  static std::vector<uint64_t> AllValid(size_t n);
+
+  // Sum of CellByteSize over all cells (the row engine's bytes accounting).
+  size_t TotalByteSize() const;
+
+  // True when the null bitmap is sized consistently with size() — the
+  // invariant the PhysicalVerifier's batch check enforces.
+  bool BitmapConsistent() const { return valid_.size() == (size_ + 63) / 64; }
+
+ private:
+  void SetValid(size_t i) { valid_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void GrowBitmap(bool valid);
+  // Appends `count` bits of `words` starting at bit `begin` to the bitmap,
+  // advancing size_ (typed storage must be grown by the caller).
+  void AppendBits(const std::vector<uint64_t>& words, size_t begin,
+                  size_t count);
+  // Zeroes cell slots at null positions and tail bitmap bits — the
+  // normalization that makes Dense* results match append-built columns.
+  void NormalizeDense();
+  // Switches to mixed storage, converting existing cells to Values.
+  void Demote();
+  // Pads every inactive typed vector check: appends the default slot to the
+  // active typed vector for a null cell.
+  void AppendTypedDefault();
+
+  size_t size_ = 0;
+  DataType type_ = DataType::kNull;
+  bool mixed_ = false;
+  std::vector<uint64_t> valid_;
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<Value> cells_;  // mixed-mode storage
+};
+
+using ColumnPtr = std::shared_ptr<const ColumnVector>;
+
+// A batch of rows in columnar layout. Columns all have length num_rows.
+struct ColumnBatch {
+  std::vector<ColumnPtr> columns;
+  size_t num_rows = 0;
+
+  size_t num_columns() const { return columns.size(); }
+  void Clear() {
+    columns.clear();
+    num_rows = 0;
+  }
+};
+
+// Total order over cells, exactly Value::Compare: nulls first, cross-type
+// numeric comparison, different non-numeric types by type tag.
+int CompareCells(const ColumnVector& a, size_t i, const ColumnVector& b,
+                 size_t j);
+
+// Builds a column holding rows [begin, end) of `src` (a typed copy).
+ColumnPtr SliceColumn(const ColumnVector& src, size_t begin, size_t end);
+
+// Builds a column of src's cells at `indices`, in order.
+ColumnPtr GatherColumn(const ColumnVector& src,
+                       const std::vector<uint32_t>& indices);
+
+// Concatenates per-batch columns for column `col` of `batches`.
+ColumnPtr ConcatColumn(const std::vector<ColumnBatch>& batches, size_t col);
+
+// A column of `n` copies of `v`.
+ColumnPtr BroadcastValue(const Value& v, size_t n);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_STORAGE_COLUMN_H_

@@ -1,8 +1,14 @@
 #include "storage/table.h"
 
+#include <utility>
+
 namespace cloudviews {
 
 Status Table::Append(Row row) {
+  if (column_primary_) {
+    return Status::Internal("row-wise Append on column-primary table " +
+                            name_);
+  }
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " does not match schema " +
@@ -13,18 +19,83 @@ Status Table::Append(Row row) {
   return Status::OK();
 }
 
+Status Table::AppendBatch(const ColumnBatch& batch) {
+  if (!column_primary_) {
+    if (!rows_.empty()) {
+      return Status::Internal("AppendBatch on row-primary table " + name_);
+    }
+    column_primary_ = true;
+    columns_.clear();
+    columns_.reserve(schema_.num_columns());
+    for (size_t i = 0; i < schema_.num_columns(); ++i) {
+      columns_.push_back(std::make_shared<ColumnVector>());
+    }
+  }
+  if (batch.num_columns() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "batch arity " + std::to_string(batch.num_columns()) +
+        " does not match schema " + schema_.ToString() + " of table " + name_);
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ColumnVector& src = *batch.columns[c];
+    columns_[c]->AppendRangeFrom(src, 0, batch.num_rows);
+    byte_size_ += src.TotalByteSize();
+  }
+  col_num_rows_ += batch.num_rows;
+  return Status::OK();
+}
+
+const std::vector<Row>& Table::rows() const {
+  if (column_primary_) EnsureRows();
+  return rows_;
+}
+
+ColumnPtr Table::column(size_t i) const {
+  if (!column_primary_) EnsureColumns();
+  return columns_[i];
+}
+
+void Table::EnsureColumns() const {
+  std::call_once(columns_once_, [this] {
+    std::vector<std::shared_ptr<ColumnVector>> cols;
+    cols.reserve(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      auto col = std::make_shared<ColumnVector>();
+      col->Reserve(rows_.size());
+      for (const Row& row : rows_) col->AppendValue(row[c]);
+      cols.push_back(std::move(col));
+    }
+    columns_ = std::move(cols);
+  });
+}
+
+void Table::EnsureRows() const {
+  std::call_once(rows_once_, [this] {
+    std::vector<Row> rows;
+    rows.reserve(col_num_rows_);
+    for (size_t i = 0; i < col_num_rows_; ++i) {
+      Row row;
+      row.reserve(columns_.size());
+      for (const auto& col : columns_) row.push_back(col->GetValue(i));
+      rows.push_back(std::move(row));
+    }
+    rows_ = std::move(rows);
+  });
+}
+
 std::string Table::ToString(size_t max_rows) const {
+  const std::vector<Row>& all = rows();
   std::string out = name_ + " " + schema_.ToString() + " [" +
-                    std::to_string(rows_.size()) + " rows]\n";
-  for (size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+                    std::to_string(all.size()) + " rows]\n";
+  for (size_t i = 0; i < all.size() && i < max_rows; ++i) {
     out += "  ";
-    for (size_t j = 0; j < rows_[i].size(); ++j) {
+    for (size_t j = 0; j < all[i].size(); ++j) {
       if (j > 0) out += " | ";
-      out += rows_[i][j].ToString();
+      out += all[i][j].ToString();
     }
     out += "\n";
   }
-  if (rows_.size() > max_rows) out += "  ...\n";
+  if (all.size() > max_rows) out += "  ...\n";
   return out;
 }
 

@@ -85,14 +85,14 @@ Status PhysicalVerifier::VerifyWiring(const LogicalOp& root,
     }
   }
 
-  // Spools must be real SpoolOps — fusing one away would skip
-  // materialization and the view would never seal.
+  // Spools must be real spool operators (row or columnar) — fusing one away
+  // would skip materialization and the view would never seal.
   for (PhysicalOp* op : registry) {
     if (op->logical()->kind == LogicalOpKind::kSpool &&
-        dynamic_cast<SpoolOp*>(op) == nullptr) {
+        dynamic_cast<SpoolOpIface*>(op) == nullptr) {
       return Status::Corruption("physical wiring: " +
                                 Describe(paths, op->logical()) +
-                                " is not backed by a SpoolOp");
+                                " is not backed by a spool operator");
     }
   }
   return Status::OK();
@@ -131,13 +131,21 @@ Status PhysicalVerifier::VerifyPostRun(
     const LogicalOp* node = op->logical();
     const std::string where = Describe(paths, node);
 
-    if (auto* spool = dynamic_cast<SpoolOp*>(op)) {
+    if (auto* spool = dynamic_cast<SpoolOpIface*>(op)) {
       uint32_t fires = spool->completion_fires();
       if (fires > 1 || (fires == 0 && !below_limit[node])) {
         return Status::Corruption(
             where + ": spool completion fired " + std::to_string(fires) +
             " times (must be exactly once" +
             (fires == 0 ? "; the view never sealed)" : ")"));
+      }
+      auto it_spool = per_node.find(node);
+      if (fires == 1 && !spool->aborted() && it_spool != per_node.end() &&
+          spool->sealed_rows() != it_spool->second.rows_out) {
+        return Status::Corruption(
+            where + ": sealed " + std::to_string(spool->sealed_rows()) +
+            " rows but streamed " +
+            std::to_string(it_spool->second.rows_out));
       }
     }
 
@@ -175,6 +183,36 @@ Status PhysicalVerifier::VerifyPostRun(
       }
       default:
         break;
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalVerifier::VerifyBatch(const LogicalOp& root,
+                                     const ColumnBatch& batch) {
+  const size_t arity = root.output_schema.num_columns();
+  if (batch.num_columns() != arity) {
+    return Status::Corruption(
+        "batch invariant: root emitted a batch with " +
+        std::to_string(batch.num_columns()) + " columns, plan output has " +
+        std::to_string(arity));
+  }
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    const ColumnPtr& col = batch.columns[c];
+    if (col == nullptr) {
+      return Status::Corruption("batch invariant: column " +
+                                std::to_string(c) + " is null");
+    }
+    if (col->size() != batch.num_rows) {
+      return Status::Corruption(
+          "batch invariant: column " + std::to_string(c) + " holds " +
+          std::to_string(col->size()) + " cells, batch claims " +
+          std::to_string(batch.num_rows) + " rows");
+    }
+    if (!col->BitmapConsistent()) {
+      return Status::Corruption("batch invariant: column " +
+                                std::to_string(c) +
+                                " null bitmap disagrees with its length");
     }
   }
   return Status::OK();

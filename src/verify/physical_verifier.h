@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "exec/physical_op.h"
 #include "plan/logical_plan.h"
+#include "storage/column.h"
 
 namespace cloudviews {
 namespace verify {
@@ -23,9 +24,17 @@ namespace verify {
 //
 //   VerifyPostRun  — after Close(): spool sealing fired exactly once per
 //                    spool (0 = the view silently never seals, >1 is ruled
-//                    out by the latch but re-checked here), Limit emitted no
-//                    more than its bound, and row-preserving operators did
-//                    not emit more rows than their child produced.
+//                    out by the latch but re-checked here), a sealed spool
+//                    recorded the same row count it streamed, Limit emitted
+//                    no more than its bound, and row-preserving operators
+//                    did not emit more rows than their child produced.
+//
+// The columnar engine adds a third, per-batch check inside the drain loop:
+//
+//   VerifyBatch    — every output batch is structurally sound: the arity
+//                    matches the plan's output schema, every column holds
+//                    exactly num_rows cells, and each column's null bitmap
+//                    is sized consistently with its length.
 //
 // Every failure is Status::Corruption naming the offending operator.
 class PhysicalVerifier {
@@ -36,6 +45,8 @@ class PhysicalVerifier {
 
   static Status VerifyPostRun(const LogicalOp& root,
                               const std::vector<PhysicalOp*>& registry);
+
+  static Status VerifyBatch(const LogicalOp& root, const ColumnBatch& batch);
 };
 
 }  // namespace verify

@@ -1,0 +1,462 @@
+// Engine-differential wall: the vectorized columnar engine must be
+// byte-identical to the row-at-a-time reference engine — same values, same
+// value types, same null-ness, same row order — for every operator kind, at
+// every DOP x batch_rows combination, including degenerate batch sizes
+// (1-row batches, batches that do not divide the input) and under injected
+// spool-write faults. Statistics must also agree: integer counters exactly,
+// floating-point cost to accumulation-order rounding. Limit plans are the
+// sanctioned exception: the two engines may pull different amounts of input
+// before the limit trips (batch granularity), so only output is compared.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "exec/executor.h"
+#include "fault/fault.h"
+#include "fault/fault_sites.h"
+#include "plan/builder.h"
+#include "storage/view_store.h"
+#include "tests/test_util.h"
+
+namespace cloudviews {
+namespace {
+
+const int kDops[] = {1, 4, 8};
+const size_t kBatchSizes[] = {1, 3, 1024, 4096};
+
+class ColumnarExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing_util::RegisterFigure4Tables(&catalog_); }
+
+  Result<ExecResult> Run(const LogicalOpPtr& plan, ExecEngine engine, int dop,
+                         size_t batch_rows) {
+    ExecContext context;
+    context.catalog = &catalog_;
+    context.view_store = view_store_;
+    context.job_seed = 42;
+    context.now = 100.0;
+    context.dop = dop;
+    // Small morsels so the 100/500-row test tables split into many morsels
+    // and the parallel paths actually run.
+    context.morsel_rows = 64;
+    context.engine = engine;
+    context.batch_rows = batch_rows;
+    Executor executor(context);
+    return executor.Execute(plan);
+  }
+
+  LogicalOpPtr Plan(const std::string& sql,
+                    JoinAlgorithm algorithm = JoinAlgorithm::kHash) {
+    PlanBuilder builder(&catalog_);
+    auto plan = builder.BuildFromSql(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    if (!plan.ok()) return nullptr;
+    SetJoinAlgorithm(plan->get(), algorithm);
+    return std::move(*plan);
+  }
+
+  static void SetJoinAlgorithm(LogicalOp* node, JoinAlgorithm algorithm) {
+    if (node->kind == LogicalOpKind::kJoin && !node->equi_keys.empty()) {
+      node->join_algorithm = algorithm;
+    }
+    for (const LogicalOpPtr& child : node->children) {
+      SetJoinAlgorithm(child.get(), algorithm);
+    }
+  }
+
+  // One string per row; any difference in value, type (int64 vs double
+  // render differently), null-ness, or order shows up in the comparison.
+  static std::vector<std::string> Render(const TablePtr& table) {
+    std::vector<std::string> out;
+    out.reserve(table->num_rows());
+    for (const Row& row : table->rows()) {
+      std::string s;
+      for (const Value& v : row) {
+        s += v.is_null() ? "<null>" : v.ToString();
+        s += "|";
+      }
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  static void ExpectSameOutput(const TablePtr& got, const TablePtr& want,
+                               const std::string& label) {
+    std::vector<std::string> g = Render(got);
+    std::vector<std::string> w = Render(want);
+    ASSERT_EQ(g.size(), w.size()) << label;
+    for (size_t i = 0; i < w.size(); ++i) {
+      ASSERT_EQ(g[i], w[i]) << label << " row " << i;
+    }
+  }
+
+  // Runs `plan` on the row engine at dop=1 as the reference, then asserts
+  // the columnar engine matches at every DOP x batch_rows combination (and
+  // that the row engine itself stays DOP-invariant). `output_only` is for
+  // Limit plans, where input-side counters legitimately differ between
+  // engines by up to batch_rows - 1 rows of overrun.
+  void ExpectEngineParity(const LogicalOpPtr& plan, bool output_only = false) {
+    ASSERT_NE(plan, nullptr);
+    auto reference = Run(plan, ExecEngine::kRow, /*dop=*/1, /*batch_rows=*/1);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    for (int dop : kDops) {
+      auto row_run = Run(plan, ExecEngine::kRow, dop, /*batch_rows=*/1);
+      ASSERT_TRUE(row_run.ok()) << row_run.status().ToString();
+      ExpectSameOutput(row_run->output, reference->output,
+                       "row engine dop=" + std::to_string(dop));
+      for (size_t batch_rows : kBatchSizes) {
+        const std::string label = "columnar dop=" + std::to_string(dop) +
+                                  " batch_rows=" + std::to_string(batch_rows);
+        auto columnar = Run(plan, ExecEngine::kColumnar, dop, batch_rows);
+        ASSERT_TRUE(columnar.ok()) << label << ": "
+                                   << columnar.status().ToString();
+        ExpectSameOutput(columnar->output, reference->output, label);
+        if (output_only) continue;
+
+        EXPECT_EQ(columnar->stats.input_rows, reference->stats.input_rows)
+            << label;
+        EXPECT_EQ(columnar->stats.input_bytes, reference->stats.input_bytes)
+            << label;
+        EXPECT_EQ(columnar->stats.num_operators,
+                  reference->stats.num_operators)
+            << label;
+        EXPECT_NEAR(columnar->stats.total_cpu_cost,
+                    reference->stats.total_cpu_cost,
+                    1e-6 * (1.0 + reference->stats.total_cpu_cost))
+            << label;
+        // Per-logical-node accounting: integer counters exact, cost near.
+        ASSERT_EQ(columnar->stats.per_node.size(),
+                  reference->stats.per_node.size())
+            << label;
+        for (const auto& [node, stats] : reference->stats.per_node) {
+          auto it = columnar->stats.per_node.find(node);
+          ASSERT_NE(it, columnar->stats.per_node.end()) << label;
+          EXPECT_EQ(it->second.rows_out, stats.rows_out) << label;
+          EXPECT_EQ(it->second.bytes_out, stats.bytes_out) << label;
+          EXPECT_NEAR(it->second.cpu_cost, stats.cpu_cost,
+                      1e-6 * (1.0 + stats.cpu_cost))
+              << label;
+        }
+      }
+    }
+  }
+
+  DatasetCatalog catalog_;
+  const ViewStore* view_store_ = nullptr;
+};
+
+TEST_F(ColumnarExecTest, BareScan) {
+  ExpectEngineParity(Plan("SELECT CustomerId, Name, MktSegment FROM Customer"));
+}
+
+TEST_F(ColumnarExecTest, FilterExpressions) {
+  ExpectEngineParity(Plan(
+      "SELECT SaleId FROM Sales WHERE (Discount < 0.05 AND "
+      "PartId IN (1, 3, 5, 7)) OR SaleId BETWEEN 490 AND 495"));
+}
+
+TEST_F(ColumnarExecTest, LikeFilterOnStrings) {
+  ExpectEngineParity(
+      Plan("SELECT Name FROM Customer WHERE Name LIKE 'cust1%'"));
+}
+
+TEST_F(ColumnarExecTest, ProjectArithmetic) {
+  ExpectEngineParity(Plan(
+      "SELECT SaleId, Price * Quantity * (1.0 - Discount), "
+      "Quantity + 1 FROM Sales"));
+}
+
+TEST_F(ColumnarExecTest, HashJoinDuplicateBuildKeys) {
+  // Sales has 5 rows per CustomerId: duplicate-key match order inside the
+  // pooled hash table must replicate the row engine's multimap iteration.
+  ExpectEngineParity(Plan(
+      "SELECT Name, Price FROM Customer JOIN Sales "
+      "ON Customer.CustomerId = Sales.CustomerId"));
+}
+
+TEST_F(ColumnarExecTest, HashJoinWithResidualFilter) {
+  ExpectEngineParity(Plan(
+      "SELECT Name, Price, Quantity FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId "
+      "WHERE MktSegment = 'Asia' AND Price > 11"));
+}
+
+TEST_F(ColumnarExecTest, LeftOuterHashJoin) {
+  ExpectEngineParity(Plan(
+      "SELECT Customer.CustomerId, Price FROM Customer LEFT JOIN Sales "
+      "ON Customer.CustomerId = Sales.CustomerId"));
+}
+
+TEST_F(ColumnarExecTest, MergeJoin) {
+  ExpectEngineParity(Plan(
+      "SELECT Name, Price FROM Customer JOIN Sales "
+      "ON Customer.CustomerId = Sales.CustomerId",
+      JoinAlgorithm::kMerge));
+}
+
+TEST_F(ColumnarExecTest, LeftOuterMergeJoin) {
+  ExpectEngineParity(Plan(
+      "SELECT Customer.CustomerId, Price FROM Customer LEFT JOIN Sales "
+      "ON Customer.CustomerId = Sales.CustomerId",
+      JoinAlgorithm::kMerge));
+}
+
+TEST_F(ColumnarExecTest, LoopJoin) {
+  ExpectEngineParity(Plan(
+      "SELECT Brand, Price FROM Parts JOIN Sales "
+      "ON Parts.PartId = Sales.PartId WHERE Quantity > 3",
+      JoinAlgorithm::kLoop));
+}
+
+TEST_F(ColumnarExecTest, LeftOuterLoopJoin) {
+  ExpectEngineParity(Plan(
+      "SELECT Customer.CustomerId, SaleId FROM Customer LEFT JOIN Sales "
+      "ON Customer.CustomerId = Sales.CustomerId AND Price > 15",
+      JoinAlgorithm::kLoop));
+}
+
+TEST_F(ColumnarExecTest, GroupByAggregates) {
+  ExpectEngineParity(Plan(
+      "SELECT MktSegment, COUNT(*), SUM(CustomerId), MIN(Name), "
+      "MAX(CustomerId) FROM Customer GROUP BY MktSegment "
+      "ORDER BY MktSegment"));
+}
+
+TEST_F(ColumnarExecTest, FloatingPointAvgBitExact) {
+  // AVG over doubles: the columnar aggregation must accumulate each group's
+  // values in global input order or the last ulp drifts and rendering
+  // differs.
+  ExpectEngineParity(Plan(
+      "SELECT PartId, AVG(Price * Quantity * (1.0 - Discount)), "
+      "SUM(Discount) FROM Sales GROUP BY PartId ORDER BY PartId"));
+}
+
+TEST_F(ColumnarExecTest, ScalarAggregateAndCountDistinct) {
+  ExpectEngineParity(Plan(
+      "SELECT COUNT(*), AVG(Price), COUNT(DISTINCT PartId) FROM Sales"));
+}
+
+TEST_F(ColumnarExecTest, SortMultiKey) {
+  ExpectEngineParity(Plan(
+      "SELECT SaleId, Price FROM Sales WHERE Quantity > 2 "
+      "ORDER BY Price DESC, SaleId"));
+}
+
+TEST_F(ColumnarExecTest, SortWithLimit) {
+  ExpectEngineParity(
+      Plan("SELECT SaleId, Price FROM Sales ORDER BY Price DESC, SaleId "
+           "LIMIT 25"),
+      /*output_only=*/true);
+}
+
+TEST_F(ColumnarExecTest, LimitOverStreamingScan) {
+  // No materializing operator between the Limit and the scan: the columnar
+  // engine overruns by at most batch_rows - 1 input rows, so only output is
+  // compared.
+  ExpectEngineParity(Plan("SELECT SaleId FROM Sales WHERE Price > 11 LIMIT 7"),
+                     /*output_only=*/true);
+}
+
+TEST_F(ColumnarExecTest, UnionAll) {
+  ExpectEngineParity(Plan(
+      "SELECT CustomerId FROM Customer UNION ALL SELECT PartId FROM Parts"));
+}
+
+TEST_F(ColumnarExecTest, DeterministicUdo) {
+  PlanBuilder builder(&catalog_);
+  auto base = builder.BuildFromSql("SELECT Name FROM Customer");
+  ASSERT_TRUE(base.ok());
+  ExpectEngineParity(LogicalOp::Udo((*base)->children[0], "MyExtractor",
+                                    /*deterministic=*/true, 2,
+                                    /*selectivity=*/0.5));
+}
+
+TEST_F(ColumnarExecTest, NonDeterministicUdoSameJobSeed) {
+  // Non-deterministic UDOs mix an arrival counter into the keep/drop hash:
+  // both engines see rows in the same global order, so with the same job
+  // seed the surviving set is identical.
+  PlanBuilder builder(&catalog_);
+  auto base = builder.BuildFromSql("SELECT Name FROM Customer");
+  ASSERT_TRUE(base.ok());
+  ExpectEngineParity(LogicalOp::Udo((*base)->children[0], "Random.Next",
+                                    /*deterministic=*/false, 2,
+                                    /*selectivity=*/0.5));
+}
+
+TEST_F(ColumnarExecTest, JoinAggregateSortEndToEnd) {
+  ExpectEngineParity(Plan(
+      "SELECT Customer.CustomerId, AVG(Price * Quantity) FROM Sales "
+      "JOIN Customer ON Sales.CustomerId = Customer.CustomerId "
+      "WHERE MktSegment = 'Asia' GROUP BY Customer.CustomerId"));
+}
+
+TEST_F(ColumnarExecTest, SpoolSideTableIdentical) {
+  // The spool's materialized side table — the bytes that become a
+  // CloudView — must be identical across engines, not just the query
+  // output. Checksummed with the view store's integrity hash.
+  PlanBuilder builder(&catalog_);
+  auto base = builder.BuildFromSql(
+      "SELECT Name FROM Customer WHERE MktSegment = 'Asia'");
+  ASSERT_TRUE(base.ok());
+  LogicalOpPtr spooled = LogicalOp::Spool((*base)->children[0]);
+  LogicalOpPtr root = (*base)->Clone();
+  root->children[0] = spooled;
+
+  auto run = [&](ExecEngine engine, int dop, size_t batch_rows,
+                 TablePtr* captured) {
+    ExecContext context;
+    context.catalog = &catalog_;
+    context.dop = dop;
+    context.morsel_rows = 64;
+    context.engine = engine;
+    context.batch_rows = batch_rows;
+    context.on_spool_complete = [captured](const LogicalOp&, TablePtr contents,
+                                           const OperatorStats&) {
+      *captured = std::move(contents);
+    };
+    Executor executor(context);
+    return executor.Execute(root);
+  };
+
+  TablePtr row_side;
+  auto reference = run(ExecEngine::kRow, 1, 1, &row_side);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_NE(row_side, nullptr);
+  const Hash128 want = ComputeTableChecksum(*row_side);
+
+  for (int dop : kDops) {
+    for (size_t batch_rows : kBatchSizes) {
+      TablePtr col_side;
+      auto columnar = run(ExecEngine::kColumnar, dop, batch_rows, &col_side);
+      ASSERT_TRUE(columnar.ok()) << columnar.status().ToString();
+      ASSERT_NE(col_side, nullptr);
+      ExpectSameOutput(columnar->output, reference->output, "spool output");
+      ExpectSameOutput(col_side, row_side, "spool side table");
+      EXPECT_EQ(ComputeTableChecksum(*col_side), want)
+          << "dop=" << dop << " batch_rows=" << batch_rows;
+      EXPECT_EQ(columnar->stats.bytes_spooled, reference->stats.bytes_spooled);
+      EXPECT_NEAR(columnar->stats.spool_cpu_cost,
+                  reference->stats.spool_cpu_cost,
+                  1e-6 * (1.0 + reference->stats.spool_cpu_cost));
+    }
+  }
+}
+
+TEST_F(ColumnarExecTest, ViewScanParity) {
+  // Seal a view, then read it back through a fused ViewScan+Udo chain on
+  // both engines.
+  ViewStore store;
+  Hash128 sig = HashString("columnar-viewscan-parity");
+  ASSERT_TRUE(store.BeginMaterialize(sig, sig, "vc0", 1, 50.0).ok());
+  TablePtr contents = testing_util::MakeCustomerTable(37);
+  ASSERT_TRUE(
+      store.Seal(sig, contents, contents->num_rows(), contents->byte_size(),
+                 60.0)
+          .ok());
+  view_store_ = &store;
+
+  LogicalOpPtr scan =
+      LogicalOp::ViewScan(sig, "views/parity", contents->schema());
+  ExpectEngineParity(LogicalOp::Udo(scan, "MyExtractor",
+                                    /*deterministic=*/true, 2,
+                                    /*selectivity=*/0.7));
+  view_store_ = nullptr;
+}
+
+TEST_F(ColumnarExecTest, StaleGuidAbortsIdentically) {
+  PlanBuilder builder(&catalog_);
+  auto plan = builder.BuildFromSql("SELECT Name FROM Customer");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(catalog_
+                  .BulkUpdate("Customer", testing_util::MakeCustomerTable(),
+                              "guid-customer-v2")
+                  .ok());
+  auto row_run = Run(*plan, ExecEngine::kRow, 1, 1);
+  auto col_run = Run(*plan, ExecEngine::kColumnar, 4, 1024);
+  ASSERT_FALSE(row_run.ok());
+  ASSERT_FALSE(col_run.ok());
+  EXPECT_EQ(col_run.status().code(), StatusCode::kAborted);
+  // Identical failure identity, message included: both engines bind scans
+  // through the same code path.
+  EXPECT_EQ(col_run.status().ToString(), row_run.status().ToString());
+}
+
+class ColumnarFaultMatrixTest : public ColumnarExecTest,
+                                public ::testing::WithParamInterface<int> {};
+
+TEST_P(ColumnarFaultMatrixTest, SpoolAbortByteIdenticalAcrossEngines) {
+  // Deterministic spool-write fault on the nth write: both engines hit the
+  // site once per spooled row in the same order, so they abort at the same
+  // row and both degrade to pass-through with byte-identical query output.
+  const int nth = GetParam();
+  PlanBuilder builder(&catalog_);
+  auto base = builder.BuildFromSql(
+      "SELECT Name, CustomerId FROM Customer WHERE CustomerId < 80");
+  ASSERT_TRUE(base.ok());
+  LogicalOpPtr spooled = LogicalOp::Spool((*base)->children[0]);
+  LogicalOpPtr root = (*base)->Clone();
+  root->children[0] = spooled;
+
+  auto run = [&](ExecEngine engine, int dop, size_t batch_rows, bool faults,
+                 int* aborts) {
+    if (faults) {
+      auto plan = fault::FaultPlan::Parse(std::string(fault::sites::kSpoolWrite) +
+                                          "=nth:" + std::to_string(nth));
+      EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+      fault::FaultInjector::Global().Arm(*plan);
+    } else {
+      fault::FaultInjector::Global().Disarm();
+    }
+    ExecContext context;
+    context.catalog = &catalog_;
+    context.dop = dop;
+    context.morsel_rows = 64;
+    context.engine = engine;
+    context.batch_rows = batch_rows;
+    context.on_spool_abort = [aborts](const LogicalOp&, const Status&) {
+      *aborts += 1;
+    };
+    Executor executor(context);
+    auto r = executor.Execute(root);
+    fault::FaultInjector::Global().Disarm();
+    return r;
+  };
+
+  int unused = 0;
+  auto clean = run(ExecEngine::kRow, 1, 1, /*faults=*/false, &unused);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  int row_aborts = 0;
+  auto row_run = run(ExecEngine::kRow, 1, 1, /*faults=*/true, &row_aborts);
+  ASSERT_TRUE(row_run.ok()) << row_run.status().ToString();
+  EXPECT_EQ(row_aborts, 1);
+  ExpectSameOutput(row_run->output, clean->output, "row engine under fault");
+
+  for (int dop : kDops) {
+    for (size_t batch_rows : kBatchSizes) {
+      int col_aborts = 0;
+      auto col_run =
+          run(ExecEngine::kColumnar, dop, batch_rows, /*faults=*/true,
+              &col_aborts);
+      const std::string label = "nth=" + std::to_string(nth) +
+                                " dop=" + std::to_string(dop) +
+                                " batch_rows=" + std::to_string(batch_rows);
+      ASSERT_TRUE(col_run.ok()) << label << ": "
+                                << col_run.status().ToString();
+      EXPECT_EQ(col_aborts, 1) << label;
+      ExpectSameOutput(col_run->output, clean->output, label);
+      EXPECT_EQ(col_run->stats.bytes_spooled, row_run->stats.bytes_spooled)
+          << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSeeds, ColumnarFaultMatrixTest,
+                         ::testing::Values(1, 17, 79));
+
+}  // namespace
+}  // namespace cloudviews

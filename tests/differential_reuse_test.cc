@@ -1,9 +1,11 @@
 // Differential chaos testing: one seeded random workload is executed under
-// all four combinations of {reuse ON, reuse OFF} x {faults ON, faults OFF}.
-// Computation reuse and the failure-hardening around it are pure
-// optimizations — every arm must produce byte-identical per-job outputs —
-// and the workload repository each reuse arm accumulates must stay
-// self-consistent under the independent signature auditor.
+// all four combinations of {reuse ON, reuse OFF} x {faults ON, faults OFF},
+// plus a fifth arm running the row-at-a-time reference engine instead of
+// the default columnar engine. Computation reuse, the failure-hardening
+// around it, and the vectorized execution core are pure optimizations —
+// every arm must produce byte-identical per-job outputs — and the workload
+// repository each reuse arm accumulates must stay self-consistent under the
+// independent signature auditor.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -78,7 +80,8 @@ struct ArmOutcome {
 // regenerates its own catalog + job stream; the generator is deterministic
 // for a fixed profile, so job ids and plans line up across arms.
 void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
-            ArmOutcome* outcome) {
+            ArmOutcome* outcome,
+            ExecEngine exec_engine = ExecEngine::kColumnar) {
   if (faults_on) {
     ArmChaos();
   } else {
@@ -90,6 +93,7 @@ void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
 
   ReuseEngineOptions options;
   options.cloudviews_enabled = reuse_on;
+  options.exec_engine = exec_engine;
   options.selection.schedule_aware = false;
   options.selection.per_virtual_cluster = false;
   options.selection.strategy = SelectionStrategy::kGreedyRatio;
@@ -154,10 +158,12 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
   ArmOutcome no_reuse;    // reuse OFF, faults OFF — ground truth
   ArmOutcome chaos;       // reuse ON, faults ON  — the hardened path
   ArmOutcome chaos_bare;  // reuse OFF, faults ON — faults with nothing to hit
+  ArmOutcome row_engine;  // reuse ON, faults OFF, row-at-a-time reference
   RunArm(workload_seed, true, false, kDays, &reference);
   RunArm(workload_seed, false, false, kDays, &no_reuse);
   RunArm(workload_seed, true, true, kDays, &chaos);
   RunArm(workload_seed, false, true, kDays, &chaos_bare);
+  RunArm(workload_seed, true, false, kDays, &row_engine, ExecEngine::kRow);
   if (HasFatalFailure()) return;
 
   // Same job stream in every arm.
@@ -165,6 +171,8 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
   ASSERT_EQ(reference.outputs_by_job.size(), chaos.outputs_by_job.size());
   ASSERT_EQ(reference.outputs_by_job.size(),
             chaos_bare.outputs_by_job.size());
+
+  ASSERT_EQ(reference.outputs_by_job.size(), row_engine.outputs_by_job.size());
 
   // Byte-identical outputs, job by job.
   for (const auto& [job_id, expected] : no_reuse.outputs_by_job) {
@@ -174,12 +182,18 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
         << "reuse+faults changed job " << job_id;
     EXPECT_EQ(chaos_bare.outputs_by_job.at(job_id), expected)
         << "faults changed job " << job_id;
+    EXPECT_EQ(row_engine.outputs_by_job.at(job_id), expected)
+        << "columnar engine changed job " << job_id;
   }
 
   // The test exercised what it claims to: the reference arm actually built
   // and reused views, and the disabled arms touched none.
   EXPECT_GT(reference.views_built, 0);
   EXPECT_GT(reference.views_matched, 0);
+  // The row-engine arm exercises the same reuse decisions: views built from
+  // row-spooled tables are interchangeable with columnar-spooled ones.
+  EXPECT_EQ(row_engine.views_built, reference.views_built);
+  EXPECT_EQ(row_engine.views_matched, reference.views_matched);
   EXPECT_EQ(no_reuse.views_built, 0);
   EXPECT_EQ(no_reuse.views_matched, 0);
   EXPECT_EQ(chaos_bare.views_built, 0);

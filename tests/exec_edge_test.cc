@@ -216,5 +216,109 @@ TEST_F(ExecEdgeTest, UnionAllWithEmptyBranch) {
   EXPECT_EQ(r->output->num_rows(), 4u);
 }
 
+// --- Columnar batch-boundary edges ------------------------------------------
+//
+// The columnar engine slices inputs into batch_rows-row batches; these tests
+// pin the boundary behaviors — empty tables, row counts that do not divide
+// the batch size, all-null columns, single-row batches, and Limits that trip
+// mid-batch — always against the row engine's output. PhysicalVerifier runs
+// inside Execute() (default build), so every batch also passes the
+// structural invariants (arity, column lengths, bitmap consistency).
+
+class BatchBoundaryTest : public ExecEdgeTest {
+ protected:
+  void SetUp() override {
+    ExecEdgeTest::SetUp();
+    // A column that is entirely NULL, plus a non-divisible row count (101
+    // rows never aligns with batch sizes 2, 3, or 1024).
+    Schema schema({{"id", DataType::kInt64}, {"hole", DataType::kNull}});
+    auto table = std::make_shared<Table>("Holes", schema);
+    for (int i = 0; i < 101; ++i) {
+      table->Append({Value(static_cast<int64_t>(i)), Value::Null()}).ok();
+    }
+    catalog_.Register("Holes", table, "guid-holes").ok();
+  }
+
+  Result<ExecResult> RunAt(const std::string& sql, ExecEngine engine, int dop,
+                           size_t batch_rows) {
+    PlanBuilder builder(&catalog_);
+    auto plan = builder.BuildFromSql(sql);
+    if (!plan.ok()) return plan.status();
+    ExecContext context;
+    context.catalog = &catalog_;
+    context.dop = dop;
+    context.morsel_rows = 7;  // misaligned with every batch size under test
+    context.engine = engine;
+    context.batch_rows = batch_rows;
+    Executor executor(context);
+    return executor.Execute(*plan);
+  }
+
+  static std::string Render(const TablePtr& table) {
+    std::string out;
+    for (const Row& row : table->rows()) {
+      for (const Value& v : row) {
+        out += v.is_null() ? "<null>" : v.ToString();
+        out += "|";
+      }
+      out += "\n";
+    }
+    return out;
+  }
+
+  // Columnar output must match the serial row engine at every dop x
+  // batch_rows, including batch sizes that do not divide the input.
+  void ExpectBoundaryInvariant(const std::string& sql) {
+    auto reference = RunAt(sql, ExecEngine::kRow, 1, 1);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    const std::string expected = Render(reference->output);
+    for (int dop : {1, 4}) {
+      for (size_t batch_rows : {size_t{1}, size_t{2}, size_t{3}, size_t{1024}}) {
+        auto r = RunAt(sql, ExecEngine::kColumnar, dop, batch_rows);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(Render(r->output), expected)
+            << sql << " dop=" << dop << " batch_rows=" << batch_rows;
+      }
+    }
+  }
+};
+
+TEST_F(BatchBoundaryTest, EmptyTableEveryBatchSize) {
+  ExpectBoundaryInvariant("SELECT k, v FROM Empty");
+  ExpectBoundaryInvariant("SELECT COUNT(*), SUM(k) FROM Empty");
+  ExpectBoundaryInvariant(
+      "SELECT Ref.v FROM Empty JOIN Ref ON Empty.k = Ref.k");
+}
+
+TEST_F(BatchBoundaryTest, NonDivisibleRowCount) {
+  // 101 rows: the tail batch is shorter than batch_rows for every size > 1.
+  ExpectBoundaryInvariant("SELECT id FROM Holes WHERE id % 2 = 0");
+  ExpectBoundaryInvariant("SELECT id * 2 + 1 FROM Holes");
+}
+
+TEST_F(BatchBoundaryTest, AllNullColumn) {
+  ExpectBoundaryInvariant("SELECT hole, id FROM Holes WHERE hole IS NULL");
+  ExpectBoundaryInvariant("SELECT hole, COUNT(*), COUNT(hole) FROM Holes "
+                          "GROUP BY hole");
+  ExpectBoundaryInvariant("SELECT id, hole FROM Holes ORDER BY hole, id");
+}
+
+TEST_F(BatchBoundaryTest, SingleRowBatchesThroughJoinAndAggregate) {
+  ExpectBoundaryInvariant(
+      "SELECT MktSegment, COUNT(*), AVG(Price) FROM Sales JOIN Customer "
+      "ON Sales.CustomerId = Customer.CustomerId GROUP BY MktSegment");
+}
+
+TEST_F(BatchBoundaryTest, LimitTripsMidBatch) {
+  // Limit 5 with batch sizes 2 and 3: the final batch must be truncated,
+  // never overrun, at every batch size (PhysicalVerifier re-checks the
+  // bound post-run).
+  ExpectBoundaryInvariant("SELECT id FROM Holes LIMIT 5");
+  ExpectBoundaryInvariant("SELECT id FROM Holes WHERE id >= 10 LIMIT 1");
+  ExpectBoundaryInvariant("SELECT id FROM Holes LIMIT 0");
+  // Limit above a materializing sort: output slicing, not input streaming.
+  ExpectBoundaryInvariant("SELECT id FROM Holes ORDER BY id DESC LIMIT 7");
+}
+
 }  // namespace
 }  // namespace cloudviews

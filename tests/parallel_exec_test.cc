@@ -5,14 +5,17 @@
 // many morsels) and compares outputs cell by cell.
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "obs/trace.h"
 #include "plan/builder.h"
+#include "storage/view_store.h"
 #include "tests/test_util.h"
 
 namespace cloudviews {
@@ -300,6 +303,77 @@ TEST_F(ParallelExecTest, TracingDoesNotChangeOutput) {
   for (size_t i = 0; i < expected.size(); ++i) {
     ASSERT_EQ(got[i], expected[i]) << "row " << i;
   }
+}
+
+TEST_F(ParallelExecTest, ConcurrentScansOfSharedSpooledView) {
+  // A sealed view's table is shared, read-only, by every job that reuses
+  // it. A columnar-produced view is column-primary, so the first row-engine
+  // reader triggers the lazy call_once row materialization while columnar
+  // readers stream the column arrays — all concurrently, each reader itself
+  // running parallel morsels. Run under TSan, this is the data-race canary
+  // for the shared-table path.
+  LogicalOpPtr source = Plan(
+      "SELECT SaleId, CustomerId, Price * Quantity, Discount FROM Sales "
+      "WHERE SaleId % 7 != 0");
+  ASSERT_NE(source, nullptr);
+  auto produced = Run(source, /*dop=*/4, /*morsel_rows=*/16);
+  ASSERT_TRUE(produced.ok()) << produced.status().ToString();
+  ASSERT_TRUE(produced->output->column_primary());
+
+  ViewStore store;
+  Hash128 sig = HashString("concurrent-spool-scan");
+  ASSERT_TRUE(store.BeginMaterialize(sig, sig, "vc0", 1, 50.0).ok());
+  ASSERT_TRUE(store
+                  .Seal(sig, produced->output, produced->output->num_rows(),
+                        produced->output->byte_size(), 60.0)
+                  .ok());
+
+  // Footer validation mutates the entry on first read (ViewStore is not a
+  // concurrent-writer structure); perform it serially before the race.
+  ASSERT_NE(store.Find(sig, 100.0), nullptr);
+
+  // Expected rendering from an identical but separate table, so the shared
+  // view's lazy row conversion first fires inside the racing readers.
+  auto expected_run = Run(source, /*dop=*/1, /*morsel_rows=*/4096);
+  ASSERT_TRUE(expected_run.ok());
+  const std::vector<std::string> expected = Render(expected_run->output);
+
+  LogicalOpPtr view_scan =
+      LogicalOp::ViewScan(sig, "views/concurrent", produced->output->schema());
+  constexpr int kReaders = 8;
+  std::vector<std::vector<std::string>> outputs(kReaders);
+  std::vector<std::string> errors(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&, i] {
+      ExecContext context;
+      context.catalog = &catalog_;
+      context.view_store = &store;
+      context.now = 100.0;
+      context.dop = 1 + i % 4;
+      context.morsel_rows = 7;
+      context.engine = (i % 2 == 0) ? ExecEngine::kColumnar : ExecEngine::kRow;
+      context.batch_rows = (i % 3 == 0) ? 3 : 64;
+      Executor executor(context);
+      auto r = executor.Execute(view_scan);
+      if (!r.ok()) {
+        errors[i] = r.status().ToString();
+        return;
+      }
+      outputs[i] = Render(r->output);
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  for (int i = 0; i < kReaders; ++i) {
+    ASSERT_TRUE(errors[i].empty()) << "reader " << i << ": " << errors[i];
+    ASSERT_EQ(outputs[i].size(), expected.size()) << "reader " << i;
+    for (size_t row = 0; row < expected.size(); ++row) {
+      ASSERT_EQ(outputs[i][row], expected[row])
+          << "reader " << i << " row " << row;
+    }
+  }
+  EXPECT_EQ(store.FindAny(sig)->reuse_count, 0);
 }
 
 TEST_F(ParallelExecTest, ErrorsPropagateFromParallelMorsels) {

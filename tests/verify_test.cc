@@ -274,6 +274,99 @@ TEST_F(VerifyTest, PostRunAcceptsDrainedSpool) {
   EXPECT_TRUE(status.ok()) << status.ToString();
 }
 
+TEST_F(VerifyTest, PostRunRejectsSealedRowMismatch) {
+  // A spool whose seal records a different row count than it streamed —
+  // the truncated-view bug the sealed-rows invariant exists to catch.
+  class ForgedSealSpoolOp : public SpoolOp {
+   public:
+    using SpoolOp::SpoolOp;
+    uint64_t sealed_rows() const override {
+      return SpoolOp::sealed_rows() + 1;
+    }
+  };
+
+  LogicalOpPtr spool = LogicalOp::Spool(CustomerScan());
+  const LogicalOp* scan_node = spool->children[0].get();
+  auto scan_op = std::make_unique<TableScanOp>(
+      scan_node, testing_util::MakeCustomerTable(3), /*is_view_scan=*/false);
+  TableScanOp* scan_raw = scan_op.get();
+  ForgedSealSpoolOp spool_op(spool.get(), std::move(scan_op),
+                             [](const LogicalOp&, TablePtr,
+                                const OperatorStats&) {});
+  std::vector<PhysicalOp*> registry{scan_raw, &spool_op};
+
+  ASSERT_TRUE(spool_op.Open().ok());
+  while (true) {
+    Row row;
+    bool done = false;
+    ASSERT_TRUE(spool_op.Next(&row, &done).ok());
+    if (done) break;
+  }
+  spool_op.Close();
+  ASSERT_EQ(spool_op.completion_fires(), 1u);
+  Status status = verify::PhysicalVerifier::VerifyPostRun(*spool, registry);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("sealed"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("rows but streamed"), std::string::npos)
+      << status.ToString();
+}
+
+// --- PhysicalVerifier batch invariants --------------------------------------
+
+TEST_F(VerifyTest, BatchArityMismatchRejected) {
+  LogicalOpPtr scan = CustomerScan();  // 3-column output schema
+  auto col = std::make_shared<ColumnVector>();
+  col->AppendInt64(1);
+  ColumnBatch batch;
+  batch.columns = {col};
+  batch.num_rows = 1;
+  Status status = verify::PhysicalVerifier::VerifyBatch(*scan, batch);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("batch invariant"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("plan output has 3"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(VerifyTest, BatchNullColumnRejected) {
+  LogicalOpPtr scan = CustomerScan();
+  auto col = std::make_shared<ColumnVector>();
+  col->AppendInt64(1);
+  ColumnBatch batch;
+  batch.columns = {col, nullptr, col};
+  batch.num_rows = 1;
+  Status status = verify::PhysicalVerifier::VerifyBatch(*scan, batch);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("column 1 is null"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(VerifyTest, BatchColumnLengthMismatchRejected) {
+  LogicalOpPtr scan = CustomerScan();
+  auto two = std::make_shared<ColumnVector>();
+  two->AppendInt64(1);
+  two->AppendNull();
+  auto one = std::make_shared<ColumnVector>();
+  one->AppendString("x");
+  ColumnBatch batch;
+  batch.columns = {two, one, two};
+  batch.num_rows = 2;
+  Status status = verify::PhysicalVerifier::VerifyBatch(*scan, batch);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("column 1 holds 1 cells"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("batch claims 2 rows"), std::string::npos)
+      << status.ToString();
+
+  // The same batch with every column at full length passes, nulls and all.
+  batch.columns = {two, two, two};
+  Status ok = verify::PhysicalVerifier::VerifyBatch(*scan, batch);
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+  EXPECT_TRUE(two->BitmapConsistent());
+}
+
 // --- SignatureAuditor -------------------------------------------------------
 
 TEST_F(VerifyTest, AuditorAcceptsRepeatedCompilations) {

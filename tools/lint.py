@@ -23,6 +23,13 @@ Checks, over src/, tests/, bench/, examples/, and tools/:
              constant from src/obs/metric_names.h (never a raw string
              literal), constant values are unique, and no registered
              metric name is dead
+  row-value  no per-row Value materialization (Value construction,
+             GetValue, AppendValue) inside the vectorized kernel files
+             (src/exec/batch_*.{h,cc}) — kernels operate on typed column
+             storage (AppendCellFrom is the sanctioned typed cell bridge);
+             the row-at-a-time reference engine (physical_op.cc) is the
+             sanctioned home for row Values, and a deliberate boundary
+             crossing carries lint:allow-row-value
 
 Exit status 0 = clean; 1 = violations (printed one per line as
 path:line: [rule] message).
@@ -35,6 +42,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SCAN_DIRS = ["src", "tests", "bench", "examples", "tools"]
 ALLOW_NEW = "lint:allow-new"
+ALLOW_ROW_VALUE = "lint:allow-row-value"
 
 violations = []
 
@@ -205,6 +213,33 @@ def check_include_blocks(path, raw_lines):
                    "project include block is not sorted")
 
 
+def check_row_value(path, raw_lines, code_lines):
+    """Vectorized kernels must not materialize rows: no Value construction
+    and no per-cell Value bridges. The row-at-a-time reference engine
+    (src/exec/physical_op.cc) is exempt — that path exists to produce the
+    ground truth the kernels are diffed against."""
+    if not path.is_relative_to(REPO / "src" / "exec"):
+        return
+    if not path.name.startswith("batch_"):
+        return
+    patterns = [
+        (r"(?<![\w:])Value\s*[({]", "Value construction"),
+        (r"\bGetValue\s*\(", "GetValue()"),
+        (r"\bAppendValue\s*\(", "AppendValue()"),
+    ]
+    for no, line in enumerate(code_lines, 1):
+        allowed = ALLOW_ROW_VALUE in raw_lines[no - 1] or (
+            no >= 2 and ALLOW_ROW_VALUE in raw_lines[no - 2])
+        if allowed:
+            continue
+        for pattern, what in patterns:
+            if re.search(pattern, line):
+                report(path, no, "row-value",
+                       f"per-row {what} in a vectorized kernel; stay on "
+                       "typed column storage (or annotate a deliberate "
+                       "boundary with " + ALLOW_ROW_VALUE + ")")
+
+
 def check_fault_sites():
     """Cross-file rule: the fault-injection site registry is closed.
 
@@ -328,6 +363,7 @@ def lint_file(path):
     check_stderr(path, raw_lines, code_lines)
     check_new_delete(path, raw_lines, code_lines)
     check_rng(path, raw_lines, code_lines)
+    check_row_value(path, raw_lines, code_lines)
     check_include_blocks(path, raw_lines)
     if path.suffix == ".h":
         check_guard(path, raw_lines)
