@@ -13,6 +13,9 @@
 // enables tracing without writing a file. Pass --insights=PATH to collect
 // the reuse provenance ledger + hourly time series for the CloudViews arm
 // and write the insights JSON there (render it with tools/insights_report).
+// Pass --sharing to batch overlapping arrivals into work-sharing windows:
+// common subexpressions across in-flight jobs execute once and stream to
+// every subscriber (outputs are byte-identical; only resources change).
 
 #include <cstdio>
 #include <cstring>
@@ -37,6 +40,14 @@ std::string FlagValue(int argc, char** argv, const char* flag) {
     }
   }
   return "";
+}
+
+// Returns true if a bare `--flag` argument is present.
+bool FlagPresent(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 bool WriteFile(const std::string& path, const std::string& contents) {
@@ -67,6 +78,13 @@ int main(int argc, char** argv) {
   config.onboarding_days_per_vc = 1;  // one more VC opts in per day
   config.engine.selection.min_occurrences = 3;
   config.collect_insights = !insights_path.empty();
+  const bool sharing = FlagPresent(argc, argv, "--sharing");
+  if (sharing) {
+    config.engine.enable_sharing = true;
+    std::printf("work sharing: ON (overlapping arrivals batched into "
+                "%.0f-second windows)\n",
+                config.sharing_window_seconds);
+  }
 
   std::printf("workload: %d virtual clusters, %d recurring templates, "
               "%d shared datasets\n\n",

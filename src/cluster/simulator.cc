@@ -22,6 +22,7 @@ bool ClaimsContainers(LogicalOpKind kind) {
   switch (kind) {
     case LogicalOpKind::kScan:
     case LogicalOpKind::kViewScan:
+    case LogicalOpKind::kSharedScan:
     case LogicalOpKind::kJoin:
     case LogicalOpKind::kAggregate:
     case LogicalOpKind::kSort:
@@ -262,29 +263,12 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
   telemetry.queue_wait_seconds = queue_wait;
 
   // --- Node placement faults ------------------------------------------------
-  // Injected BEFORE the engine runs so a retried job executes (and ingests
-  // into the workload repository) exactly once. Each retry models the job
-  // manager rescheduling the lost containers on a fresh node, with
-  // exponential backoff charged to the job's latency.
   double retry_delay = 0.0;
-  for (int attempt = 0;; ++attempt) {
-    Status placed = fault::Inject(fault::sites::kNodeFail);
-    if (placed.ok()) break;
-    if (attempt + 1 >= options_.max_node_retries) {
-      telemetry.failed = true;
-      *earliest = start_time;  // failed jobs release their slot immediately
-      telemetry_.Record(telemetry);
-      obs::LogWarn("sim", "job_failed_node_retries_exhausted",
-                   {{"job_id", job.job_id},
-                    {"retries", telemetry.node_retries}});
-      return placed;
-    }
-    telemetry.node_retries += 1;
-    retry_delay +=
-        options_.node_retry_backoff_seconds * std::pow(2.0, attempt);
-    static obs::Counter& retries = obs::MetricsRegistry::Global().counter(
-        obs::metric_names::kFaultsRetries);
-    retries.Increment();
+  Status placed = TryPlaceJob(job.job_id, &telemetry, &retry_delay);
+  if (!placed.ok()) {
+    *earliest = start_time;  // failed jobs release their slot immediately
+    telemetry_.Record(telemetry);
+    return placed;
   }
 
   auto exec = engine_->RunJob(request);
@@ -296,21 +280,57 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
   }
 
   // --- Derive resource metrics ----------------------------------------------
-  StageAnalysis stages = AnalyzeStages(*exec->executed_plan, exec->stats);
+  DeriveResourceTelemetry(*exec, retry_delay, &telemetry);
 
-  telemetry.views_built = exec->views_built;
-  telemetry.views_matched = exec->views_matched;
-  telemetry.containers = stages.containers;
-  telemetry.processing_seconds = stages.processing_seconds;
-  telemetry.input_mb =
-      static_cast<double>(exec->stats.input_bytes) / (1024.0 * 1024.0);
-  telemetry.data_read_mb =
-      static_cast<double>(exec->stats.total_bytes_read) / (1024.0 * 1024.0);
+  // Occupy the slot until the job finishes.
+  double finish = start_time + telemetry.latency_seconds;
+  *earliest = finish;
+  if (queue_wait > 0.0) vc.waiting.push_back(start_time);
+
+  RecordJoins(*exec->executed_plan, job.day, start_time, finish);
+  telemetry_.Record(telemetry);
+  return telemetry;
+}
+
+Status ClusterSimulator::TryPlaceJob(int64_t job_id, JobTelemetry* telemetry,
+                                     double* retry_delay) {
+  for (int attempt = 0;; ++attempt) {
+    Status placed = fault::Inject(fault::sites::kNodeFail);
+    if (placed.ok()) return placed;
+    if (attempt + 1 >= options_.max_node_retries) {
+      telemetry->failed = true;
+      obs::LogWarn("sim", "job_failed_node_retries_exhausted",
+                   {{"job_id", job_id},
+                    {"retries", telemetry->node_retries}});
+      return placed;
+    }
+    telemetry->node_retries += 1;
+    *retry_delay +=
+        options_.node_retry_backoff_seconds * std::pow(2.0, attempt);
+    static obs::Counter& retries = obs::MetricsRegistry::Global().counter(
+        obs::metric_names::kFaultsRetries);
+    retries.Increment();
+  }
+}
+
+void ClusterSimulator::DeriveResourceTelemetry(const JobExecution& exec,
+                                               double retry_delay,
+                                               JobTelemetry* telemetry) {
+  StageAnalysis stages = AnalyzeStages(*exec.executed_plan, exec.stats);
+
+  telemetry->views_built = exec.views_built;
+  telemetry->views_matched = exec.views_matched;
+  telemetry->containers = stages.containers;
+  telemetry->processing_seconds = stages.processing_seconds;
+  telemetry->input_mb =
+      static_cast<double>(exec.stats.input_bytes) / (1024.0 * 1024.0);
+  telemetry->data_read_mb =
+      static_cast<double>(exec.stats.total_bytes_read) / (1024.0 * 1024.0);
 
   // Opportunistic (bonus) allocation: stages wider than the VC's guaranteed
   // tokens borrow idle cluster capacity, with high variance.
   double latency =
-      stages.latency_seconds + exec->compile_overhead_seconds + retry_delay;
+      stages.latency_seconds + exec.compile_overhead_seconds + retry_delay;
   if (stages.max_width > options_.vc_guaranteed_tokens) {
     double overflow =
         static_cast<double>(stages.max_width - options_.vc_guaranteed_tokens) /
@@ -319,7 +339,7 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
         std::clamp(random_.Gaussian(options_.bonus_availability_mean,
                                     options_.bonus_availability_stddev),
                    0.0, 1.0);
-    telemetry.bonus_processing_seconds =
+    telemetry->bonus_processing_seconds =
         stages.processing_seconds * overflow * availability;
     // Unavailable bonus capacity stretches the critical path: this is the
     // runtime unpredictability the paper attributes to bonus reliance.
@@ -330,18 +350,120 @@ Result<JobTelemetry> ClusterSimulator::SubmitJob(const GeneratedJob& job) {
   // (the engine already ran); only the latency tail moves.
   if (!fault::Inject(fault::sites::kNodeStraggler).ok()) {
     latency *= options_.straggler_slowdown;
-    telemetry.straggler = true;
+    telemetry->straggler = true;
   }
-  telemetry.latency_seconds = latency;
+  telemetry->latency_seconds = latency;
+}
 
-  // Occupy the slot until the job finishes.
-  double finish = start_time + latency;
-  *earliest = finish;
-  if (queue_wait > 0.0) vc.waiting.push_back(start_time);
+Result<std::vector<JobTelemetry>> ClusterSimulator::SubmitSharedWindow(
+    const std::vector<GeneratedJob>& batch) {
+  static obs::Counter& jobs_counter =
+      obs::MetricsRegistry::Global().counter(obs::metric_names::kSimJobs);
+  static obs::Histogram& wait_hist =
+      obs::MetricsRegistry::Global().histogram(
+          obs::metric_names::kSimQueueWaitSeconds,
+          obs::WaitBucketsSeconds());
 
-  RecordJoins(*exec->executed_plan, job.day, start_time, finish);
-  telemetry_.Record(telemetry);
-  return telemetry;
+  obs::Span span("window", "sim");
+  span.Arg("jobs", static_cast<int64_t>(batch.size()));
+
+  // --- Admission: queueing + node placement per job, in submit order -------
+  struct Admitted {
+    const GeneratedJob* job;
+    JobTelemetry telemetry;
+    double start_time = 0.0;
+    double retry_delay = 0.0;
+  };
+  std::vector<Admitted> admitted;
+  admitted.reserve(batch.size());
+  std::vector<JobRequest> requests;
+  requests.reserve(batch.size());
+  std::vector<JobTelemetry> results;
+  results.reserve(batch.size());
+
+  for (const GeneratedJob& job : batch) {
+    jobs_counter.Increment();
+    clock_.AdvanceTo(job.submit_time);
+    SampleUpTo(job.submit_time);
+
+    VcState& vc = vcs_[job.virtual_cluster];
+    if (vc.running.empty()) {
+      vc.running.assign(static_cast<size_t>(options_.vc_concurrent_jobs),
+                        0.0);
+    }
+    while (!vc.waiting.empty() && vc.waiting.front() <= job.submit_time) {
+      vc.waiting.pop_front();
+    }
+    int queue_length = static_cast<int>(vc.waiting.size());
+    auto earliest = std::min_element(vc.running.begin(), vc.running.end());
+    double start_time = std::max(job.submit_time, *earliest);
+    double queue_wait = start_time - job.submit_time;
+    wait_hist.Observe(queue_wait);
+
+    Admitted entry;
+    entry.job = &job;
+    entry.start_time = start_time;
+    entry.telemetry.job_id = job.job_id;
+    entry.telemetry.day = job.day;
+    entry.telemetry.virtual_cluster = job.virtual_cluster;
+    entry.telemetry.pipeline_id = job.pipeline_id;
+    entry.telemetry.template_id = job.template_id;
+    entry.telemetry.queue_length_at_submit = queue_length;
+    entry.telemetry.queue_wait_seconds = queue_wait;
+
+    // Same placement-fault model as SubmitJob; a job that exhausts its
+    // retries drops out of the window (it never reaches the engine, so it
+    // cannot be elected producer or subscribe to anything).
+    if (!TryPlaceJob(job.job_id, &entry.telemetry, &entry.retry_delay)
+             .ok()) {
+      *earliest = start_time;
+      telemetry_.Record(entry.telemetry);
+      results.push_back(entry.telemetry);
+      continue;
+    }
+
+    JobRequest request;
+    request.job_id = job.job_id;
+    request.virtual_cluster = job.virtual_cluster;
+    request.plan = job.plan;
+    request.submit_time = job.submit_time;
+    request.day = job.day;
+    request.cloudviews_enabled = job.cloudviews_enabled;
+    request.queue_wait_seconds = queue_wait;
+    requests.push_back(std::move(request));
+    admitted.push_back(std::move(entry));
+  }
+
+  // --- Execute the window through the engine --------------------------------
+  auto execs = engine_->RunSharedWindow(requests);
+  if (!execs.ok()) {
+    for (Admitted& entry : admitted) {
+      entry.telemetry.failed = true;
+      telemetry_.Record(entry.telemetry);
+    }
+    return execs.status();
+  }
+
+  // --- Per-job resource metrics, in admission order -------------------------
+  for (size_t i = 0; i < admitted.size(); ++i) {
+    Admitted& entry = admitted[i];
+    const JobExecution& exec = (*execs)[i];
+    DeriveResourceTelemetry(exec, entry.retry_delay, &entry.telemetry);
+
+    double finish = entry.start_time + entry.telemetry.latency_seconds;
+    VcState& vc = vcs_[entry.job->virtual_cluster];
+    auto earliest = std::min_element(vc.running.begin(), vc.running.end());
+    *earliest = std::max(*earliest, finish);
+    if (entry.telemetry.queue_wait_seconds > 0.0) {
+      vc.waiting.push_back(entry.start_time);
+    }
+
+    RecordJoins(*exec.executed_plan, entry.job->day, entry.start_time,
+                finish);
+    telemetry_.Record(entry.telemetry);
+    results.push_back(entry.telemetry);
+  }
+  return results;
 }
 
 void ClusterSimulator::TrimJoinRecordsBefore(int day) {

@@ -90,6 +90,17 @@ class ClusterSimulator {
   // Runs one job to completion. Jobs must be submitted in submit-time order.
   Result<JobTelemetry> SubmitJob(const GeneratedJob& job);
 
+  // Runs a batch of overlapping jobs as one sharing window through
+  // ReuseEngine::RunSharedWindow (common subexpressions execute once and
+  // stream to every subscriber). Jobs must be in nondecreasing submit-time
+  // order, both inside the batch and across calls. Returns one telemetry
+  // row per job, placement failures included (flagged `failed`); a hard
+  // engine failure fails the whole window. Per-job outputs are byte-
+  // identical to serial SubmitJob calls; only resource telemetry reflects
+  // the sharing.
+  Result<std::vector<JobTelemetry>> SubmitSharedWindow(
+      const std::vector<GeneratedJob>& batch);
+
   const TelemetrySeries& telemetry() const { return telemetry_; }
   TelemetrySeries& telemetry() { return telemetry_; }
   const std::vector<JoinExecutionRecord>& join_records() const {
@@ -136,6 +147,22 @@ class ClusterSimulator {
 
   void RecordJoins(const LogicalOp& node, int day, double start,
                    double end);
+
+  // Shared tail of SubmitJob/SubmitSharedWindow: derives container,
+  // processing, and latency metrics from an executed job and writes them
+  // into `telemetry` (including latency_seconds).
+  void DeriveResourceTelemetry(const JobExecution& exec, double retry_delay,
+                               JobTelemetry* telemetry);
+
+  // Node-placement fault model shared by SubmitJob/SubmitSharedWindow.
+  // Injected BEFORE the engine runs so a retried job executes (and ingests
+  // into the workload repository) exactly once. Each retry models the job
+  // manager rescheduling the lost containers on a fresh node, with
+  // exponential backoff accumulated into `retry_delay` (charged to the
+  // job's latency). Returns OK once placed; after max_node_retries the
+  // last fault status is returned with telemetry->failed set.
+  Status TryPlaceJob(int64_t job_id, JobTelemetry* telemetry,
+                     double* retry_delay);
 
   // Per-VC job-service state: finish times of currently running jobs.
   struct VcState {

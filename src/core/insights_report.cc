@@ -92,6 +92,24 @@ std::string BuildInsightsJson(const ReuseEngine& engine,
           static_cast<uint64_t>(engine.insights().num_annotations()));
   w.EndObject();
 
+  // Work-sharing roll-up: what the in-flight streams saved, next to (and in
+  // the same cost units as) the view-reuse attribution above.
+  const sharing::SharingStats& sharing = engine.sharing_stats();
+  w.Key("sharing");
+  w.BeginObject();
+  w.Field("windows", sharing.windows);
+  w.Field("streams", sharing.streams);
+  w.Field("fanout", sharing.fanout);
+  w.Field("hits", sharing.hits);
+  w.Field("detaches", sharing.detaches);
+  w.Field("producer_aborts", sharing.producer_aborts);
+  w.Field("batches_produced", sharing.batches_produced);
+  w.Field("rows_shared", sharing.rows_shared);
+  w.Field("bytes_shared", sharing.bytes_shared);
+  w.Field("producer_cost", sharing.producer_cpu_cost);
+  w.Field("saved_cost", sharing.saved_cost);
+  w.EndObject();
+
   // Per-VC attribution (std::map: stable key order in the export).
   std::map<std::string, VcTotals> per_vc;
   for (const obs::ViewStream& stream : ledger.Streams()) {
@@ -243,6 +261,28 @@ Result<std::string> RenderInsightsReport(std::string_view insights_json,
             row.rent, row.net);
   }
   out += "\n";
+
+  // Older exports predate work sharing; skip the section rather than fail.
+  const obs::JsonValue* sharing = root.Find("sharing");
+  if (sharing != nullptr && sharing->is_object()) {
+    out += "Work sharing (in-flight streams)\n";
+    auto sh_int = [&out, sharing](const char* label, const char* key) {
+      AppendF(&out, "  %-32s %lld\n", label,
+              static_cast<long long>(sharing->GetInt(key)));
+    };
+    sh_int("sharing windows", "windows");
+    sh_int("producer streams", "streams");
+    sh_int("subscriber fanout", "fanout");
+    sh_int("subscribers served (hits)", "hits");
+    sh_int("subscriber detaches", "detaches");
+    sh_int("producer aborts", "producer_aborts");
+    sh_int("batches forwarded", "batches_produced");
+    sh_int("rows shared", "rows_shared");
+    sh_int("bytes shared", "bytes_shared");
+    AppendF(&out, "  %-32s %.2f\n", "sharing saved cost",
+            sharing->GetNumber("saved_cost"));
+    out += "\n";
+  }
 
   out += "Negative-utility views (cost more than they saved)\n";
   bool any_negative = false;

@@ -1,11 +1,16 @@
 #include "core/reuse_engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
+#include <utility>
 
 #include "obs/log.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sharing/producer.h"
+#include "sharing/sharing_rewrite.h"
 #include "verify/verify.h"
 
 namespace cloudviews {
@@ -109,27 +114,19 @@ Result<OptimizationOutcome> ReuseEngine::CompileBound(
                               try_lock, request.submit_time);
 }
 
-Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
+Result<ReuseEngine::PreparedJob> ReuseEngine::PrepareJob(
+    const JobRequest& request) {
   static obs::Counter& jobs_counter =
       obs::MetricsRegistry::Global().counter(obs::metric_names::kEngineJobs);
-  static obs::Counter& matched_counter =
-      obs::MetricsRegistry::Global().counter(
-          obs::metric_names::kEngineViewsMatched);
-  static obs::Counter& built_counter =
-      obs::MetricsRegistry::Global().counter(
-          obs::metric_names::kEngineViewsBuilt);
   jobs_counter.Increment();
 
-  obs::Span query_span("query", "engine");
-  query_span.Arg("job_id", static_cast<int64_t>(request.job_id));
-  query_span.Arg("vc", request.virtual_cluster);
-
-  const bool reuse_enabled = ReuseEnabledFor(request);
-  obs::QueryProfile profile;
-  profile.job_id = request.job_id;
-  profile.virtual_cluster = request.virtual_cluster;
-  profile.day = request.day;
-  profile.reuse_enabled = reuse_enabled;
+  PreparedJob job;
+  job.request = request;
+  job.reuse_enabled = ReuseEnabledFor(request);
+  job.profile.job_id = request.job_id;
+  job.profile.virtual_cluster = request.virtual_cluster;
+  job.profile.day = request.day;
+  job.profile.reuse_enabled = job.reuse_enabled;
 
   // Bind first and keep the as-compiled plan: the workload repository counts
   // subexpressions as they appear in compiled plans, regardless of whether
@@ -140,33 +137,35 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
     return BindPlan(request);
   }();
   if (!bound.ok()) return bound.status();
-  std::vector<NodeSignature> compiled_sigs =
-      optimizer_->signatures().ComputeAll(**bound);
-  profile.phases.push_back({"bind", SecondsSince(bind_start)});
+  job.bound_plan = std::move(*bound);
+  job.compiled_sigs = optimizer_->signatures().ComputeAll(*job.bound_plan);
+  job.profile.phases.push_back({"bind", SecondsSince(bind_start)});
 
   auto compile_start = std::chrono::steady_clock::now();
-  auto outcome = CompileBound(request, *bound, reuse_enabled);
+  auto outcome = CompileBound(request, job.bound_plan, job.reuse_enabled);
   if (!outcome.ok()) return outcome.status();
-  profile.phases.push_back({"compile", SecondsSince(compile_start)});
+  job.outcome = std::move(*outcome);
+  job.profile.phases.push_back({"compile", SecondsSince(compile_start)});
 
-  JobExecution exec;
+  JobExecution& exec = job.exec;
   exec.job_id = request.job_id;
-  exec.reuse_enabled = reuse_enabled;
-  exec.views_matched = outcome->views_matched;
-  exec.matched_signatures = outcome->matched_signatures;
-  exec.matched_details = outcome->matched_details;
-  exec.built_signatures = outcome->proposed_materializations;
-  exec.estimated_cost = outcome->estimated_cost;
-  exec.estimated_cost_without_reuse = outcome->estimated_cost_without_reuse;
-  exec.executed_plan = outcome->plan;
-  if (reuse_enabled) {
+  exec.reuse_enabled = job.reuse_enabled;
+  exec.views_matched = job.outcome.views_matched;
+  exec.matched_signatures = job.outcome.matched_signatures;
+  exec.matched_details = job.outcome.matched_details;
+  exec.built_signatures = job.outcome.proposed_materializations;
+  exec.estimated_cost = job.outcome.estimated_cost;
+  exec.estimated_cost_without_reuse =
+      job.outcome.estimated_cost_without_reuse;
+  exec.executed_plan = job.outcome.plan;
+  if (job.reuse_enabled) {
     exec.compile_overhead_seconds = InsightsService::kFetchLatencySeconds;
   }
 
   // Register the materializations this job will produce.
-  for (const Hash128& strict : outcome->proposed_materializations) {
+  for (const Hash128& strict : job.outcome.proposed_materializations) {
     // Locate the spool node to recover its recurring signature and inputs.
-    std::vector<LogicalOp*> stack = {outcome->plan.get()};
+    std::vector<LogicalOp*> stack = {job.outcome.plan.get()};
     while (!stack.empty()) {
       LogicalOp* op = stack.back();
       stack.pop_back();
@@ -186,6 +185,14 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
       }
     }
   }
+  return job;
+}
+
+Status ReuseEngine::ExecutePrepared(
+    PreparedJob* job, const sharing::StreamDirectory* directory,
+    std::vector<std::pair<Hash128, double>>* deferred_invalidations) {
+  const JobRequest& request = job->request;
+  JobExecution& exec = job->exec;
 
   // Execute with the sealing hook.
   int views_built = 0;
@@ -198,6 +205,8 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
   context.dop = options_.exec_dop;
   context.engine = options_.exec_engine;
   context.batch_rows = options_.exec_batch_rows;
+  context.sharing = directory;
+  context.sharing_wait_seconds = options_.sharing_wait_seconds;
   context.on_spool_complete = [this, &request, &views_built](
                                   const LogicalOp& spool, TablePtr contents,
                                   const OperatorStats& child_stats) {
@@ -215,12 +224,15 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
 
   Executor executor(context);
   auto exec_start = std::chrono::steady_clock::now();
-  auto run = executor.Execute(outcome->plan);
+  auto run = executor.Execute(job->outcome.plan);
   if (!run.ok()) {
-    // Job failed: release creation locks and drop half-written views.
+    // Job failed: release creation locks and drop half-written views. (Only
+    // materializing — never sealed — entries go away here, so concurrent
+    // producer threads, which can only hold pointers to sealed views, are
+    // unaffected.)
     view_manager_.AbandonJob(request.job_id,
-                             outcome->proposed_materializations);
-    if (outcome->plan_without_reuse == nullptr) return run.status();
+                             job->outcome.proposed_materializations);
+    if (job->outcome.plan_without_reuse == nullptr) return run.status();
     // Graceful degradation: a reuse artifact — a matched view, a spool, or
     // the machinery around them — failed at execution time. Invalidate what
     // was matched and re-run the unrewritten alternative the optimizer kept;
@@ -233,8 +245,14 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
                  {{"job_id", request.job_id},
                   {"cause", run.status().ToString()},
                   {"views_matched", exec.views_matched}});
-    for (const Hash128& sig : outcome->matched_signatures) {
-      view_store_.Invalidate(sig, request.submit_time).ok();
+    for (const Hash128& sig : job->outcome.matched_signatures) {
+      if (deferred_invalidations != nullptr) {
+        // Mid-window, producer threads may still scan these views; erasure
+        // waits until every stream has joined.
+        deferred_invalidations->emplace_back(sig, request.submit_time);
+      } else {
+        view_store_.Invalidate(sig, request.submit_time).ok();
+      }
     }
     views_built = 0;
     exec.views_matched = 0;
@@ -242,19 +260,33 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
     exec.matched_details.clear();
     exec.built_signatures.clear();
     exec.fell_back = true;
-    exec.estimated_cost = outcome->estimated_cost_without_reuse;
-    exec.executed_plan = outcome->plan_without_reuse;
+    exec.estimated_cost = job->outcome.estimated_cost_without_reuse;
+    exec.executed_plan = job->outcome.plan_without_reuse;
     ExecContext fallback_context = context;
     fallback_context.on_spool_complete = nullptr;
     fallback_context.on_spool_abort = nullptr;
+    fallback_context.sharing = nullptr;  // the base plan has no SharedScans
     Executor fallback_executor(fallback_context);
-    run = fallback_executor.Execute(outcome->plan_without_reuse);
+    run = fallback_executor.Execute(job->outcome.plan_without_reuse);
     if (!run.ok()) return run.status();
   }
-  profile.phases.push_back({"execute", SecondsSince(exec_start)});
+  job->profile.phases.push_back({"execute", SecondsSince(exec_start)});
   exec.output = run->output;
   exec.stats = run->stats;
   exec.views_built = views_built;
+  return Status::OK();
+}
+
+JobExecution ReuseEngine::FinalizeJob(PreparedJob job) {
+  static obs::Counter& matched_counter =
+      obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kEngineViewsMatched);
+  static obs::Counter& built_counter =
+      obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kEngineViewsBuilt);
+  const JobRequest& request = job.request;
+  JobExecution& exec = job.exec;
+  obs::QueryProfile& profile = job.profile;
 
   // Record reuse hits (none when the job fell back to the base plan). The
   // per-hit attributed saving is the latency cost of recomputing the
@@ -279,7 +311,7 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
     MetricsBySignature metrics =
         WorkloadRepository::CollectMetrics(executed_sigs, exec.stats);
     repository_.IngestJob(request.job_id, request.virtual_cluster,
-                          request.day, request.submit_time, compiled_sigs,
+                          request.day, request.submit_time, job.compiled_sigs,
                           metrics);
 
     // Feed the cardinality micro-models with what executed.
@@ -305,12 +337,176 @@ Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
     profile.matched_signatures.push_back(sig.ToHex());
   }
   profile.FillFromStats(exec.stats);
-  query_span.Arg("views_matched",
-                 static_cast<int64_t>(exec.views_matched));
-  query_span.Arg("views_built", static_cast<int64_t>(exec.views_built));
   exec.profile = profile;
   insights_.RecordProfile(std::move(profile));
+  return std::move(job.exec);
+}
+
+Result<JobExecution> ReuseEngine::RunJob(const JobRequest& request) {
+  obs::Span query_span("query", "engine");
+  query_span.Arg("job_id", static_cast<int64_t>(request.job_id));
+  query_span.Arg("vc", request.virtual_cluster);
+
+  auto prepared = PrepareJob(request);
+  if (!prepared.ok()) return prepared.status();
+  CLOUDVIEWS_RETURN_NOT_OK(
+      ExecutePrepared(&*prepared, /*directory=*/nullptr,
+                      /*deferred_invalidations=*/nullptr));
+  JobExecution exec = FinalizeJob(std::move(*prepared));
+  query_span.Arg("views_matched", static_cast<int64_t>(exec.views_matched));
+  query_span.Arg("views_built", static_cast<int64_t>(exec.views_built));
   return exec;
+}
+
+Result<std::vector<JobExecution>> ReuseEngine::RunSharedWindow(
+    const std::vector<JobRequest>& requests) {
+  std::vector<JobExecution> results;
+  results.reserve(requests.size());
+  // Sharing needs at least two in-flight jobs and the columnar engine (the
+  // producer streams column batches); otherwise the window degrades to the
+  // serial path, bytes unchanged.
+  const bool sharable = options_.enable_sharing &&
+                        options_.exec_engine == ExecEngine::kColumnar &&
+                        requests.size() >= 2;
+  if (!sharable) {
+    for (const JobRequest& request : requests) {
+      auto run = RunJob(request);
+      if (!run.ok()) return run.status();
+      results.push_back(std::move(*run));
+    }
+    return results;
+  }
+
+  obs::Span window_span("sharing-window", "engine");
+  window_span.Arg("jobs", static_cast<int64_t>(requests.size()));
+
+  // Compile every job first, in submit order — exactly the plans serial
+  // RunJob calls would produce (view matching, locks, spools included).
+  std::vector<PreparedJob> jobs;
+  jobs.reserve(requests.size());
+  double window_now = 0.0;
+  for (const JobRequest& request : requests) {
+    auto prepared = PrepareJob(request);
+    if (!prepared.ok()) return prepared.status();
+    window_now = std::max(window_now, request.submit_time);
+    jobs.push_back(std::move(*prepared));
+  }
+
+  // Admission: register each optimized plan's eligible subexpressions, then
+  // let the policy + rewrite elect producers.
+  sharing::SharingRegistry registry;
+  sharing::SharingPolicy policy(options_.sharing_policy);
+  policy.LoadLedger(provenance_, window_now);
+  std::vector<LogicalOpPtr*> plans;
+  plans.reserve(jobs.size());
+  for (PreparedJob& job : jobs) {
+    plans.push_back(&job.outcome.plan);
+    for (const NodeSignature& sig :
+         optimizer_->signatures().ComputeAll(*job.outcome.plan)) {
+      if (sig.eligible &&
+          sig.subtree_size >= policy.options().min_subtree_size) {
+        registry.Admit(job.request.job_id, sig.strict);
+      }
+    }
+  }
+  sharing::RewriteResult rewrite =
+      sharing::RewriteForSharing(plans, optimizer_->signatures(), policy);
+
+  // Spools that vanished in the rewrite (nested inside a replaced subtree,
+  // or stripped by a share-now decision) will never seal: withdraw their
+  // materializations now so the creation locks release.
+  for (const auto& [job_index, sig] : rewrite.dropped_spools) {
+    PreparedJob& job = jobs[job_index];
+    view_manager_.AbandonJob(job.request.job_id, {sig});
+    auto& built = job.exec.built_signatures;
+    built.erase(std::remove(built.begin(), built.end(), sig), built.end());
+    auto& proposed = job.outcome.proposed_materializations;
+    proposed.erase(std::remove(proposed.begin(), proposed.end(), sig),
+                   proposed.end());
+  }
+
+  // Launch one producer thread per elected stream. Producers see sealed
+  // views (for ViewScans in the shared subtree) but no spool hooks and no
+  // stream directory — their plans are spool- and SharedScan-free clones.
+  static obs::Counter& fanout_counter = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kSharingFanout);
+  std::vector<sharing::ProducerStats> producer_stats(rewrite.streams.size());
+  std::vector<std::thread> producers;
+  producers.reserve(rewrite.streams.size());
+  for (size_t i = 0; i < rewrite.streams.size(); ++i) {
+    const sharing::StreamPlan* stream_plan = &rewrite.streams[i];
+    sharing::SharedStream* stream =
+        registry.CreateStream(stream_plan->strict, stream_plan->fanout);
+    fanout_counter.Add(static_cast<uint64_t>(stream_plan->fanout));
+    const JobRequest& elected = jobs[stream_plan->elected_job].request;
+    ExecContext context;
+    context.catalog = catalog_;
+    context.view_store = &view_store_;
+    // Shared subtrees are signature-eligible, hence free of
+    // non-deterministic UDOs: the seed never affects their output. Set to
+    // the elected job's seed anyway so a debug trace reads sensibly.
+    context.job_seed = static_cast<uint64_t>(elected.job_id) * 0x9E3779B9ULL +
+                       static_cast<uint64_t>(elected.day);
+    context.now = elected.submit_time;
+    context.dop = options_.exec_dop;
+    context.engine = ExecEngine::kColumnar;
+    context.batch_rows = options_.exec_batch_rows;
+    producers.emplace_back(
+        [context, stream_plan, stream, stats = &producer_stats[i]] {
+          Status status = sharing::RunProducer(
+              context, stream_plan->producer_plan, stream, stats);
+          if (!status.ok()) {
+            obs::LogWarn("sharing", "producer_aborted",
+                         {{"signature", stream_plan->strict.ToHex()},
+                          {"cause", status.ToString()}});
+          }
+        });
+  }
+
+  // Execute the jobs serially on this thread while the producers stream.
+  // Jobs wait on streams (never the reverse), so the window cannot
+  // deadlock; a hard job failure still joins every producer before
+  // returning.
+  std::vector<std::pair<Hash128, double>> deferred_invalidations;
+  Status window_status;
+  for (PreparedJob& job : jobs) {
+    window_status =
+        ExecutePrepared(&job, &registry, &deferred_invalidations);
+    if (!window_status.ok()) break;
+  }
+  for (std::thread& producer : producers) producer.join();
+  for (const auto& [sig, when] : deferred_invalidations) {
+    view_store_.Invalidate(sig, when).ok();
+  }
+  CLOUDVIEWS_RETURN_NOT_OK(window_status);
+
+  // Fold the window's telemetry.
+  sharing_stats_.windows += 1;
+  for (size_t i = 0; i < rewrite.streams.size(); ++i) {
+    const sharing::SharedStream& stream = *registry.streams()[i];
+    sharing_stats_.streams += 1;
+    sharing_stats_.fanout += static_cast<int64_t>(stream.fanout());
+    sharing_stats_.hits += static_cast<int64_t>(stream.subscribers_served());
+    sharing_stats_.detaches +=
+        static_cast<int64_t>(stream.subscribers_detached());
+    sharing_stats_.batches_produced += producer_stats[i].batches;
+    sharing_stats_.producer_cpu_cost += producer_stats[i].cpu_cost;
+    sharing_stats_.rows_shared += stream.rows_published();
+    sharing_stats_.bytes_shared += stream.bytes_published();
+    if (stream.state() == sharing::SharedStream::State::kAborted) {
+      sharing_stats_.producer_aborts += 1;
+    } else {
+      // Savings only count when the stream actually served its window;
+      // aborted streams made subscribers recompute via their fallbacks.
+      sharing_stats_.saved_cost += rewrite.streams[i].saved_cost;
+    }
+  }
+  window_span.Arg("streams", static_cast<int64_t>(rewrite.streams.size()));
+
+  for (PreparedJob& job : jobs) {
+    results.push_back(FinalizeJob(std::move(job)));
+  }
+  return results;
 }
 
 SelectionResult ReuseEngine::RunViewSelection(double now) {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -17,6 +18,8 @@
 #include "optimizer/optimizer.h"
 #include "plan/builder.h"
 #include "plan/normalizer.h"
+#include "sharing/sharing_policy.h"
+#include "sharing/sharing_registry.h"
 #include "storage/catalog.h"
 #include "storage/view_store.h"
 #include "verify/signature_auditor.h"
@@ -61,6 +64,18 @@ struct ReuseEngineOptions {
   // Jobs submitted within this window of the producer cannot reuse the view
   // (the concurrent-submission problem of section 4).
   double seal_delay_seconds = 120.0;
+  // Runtime work sharing across concurrently admitted jobs (RunSharedWindow):
+  // when >= 2 jobs of a window cover the same eligible subexpression, one
+  // producer pipeline executes it once and streams its batches to every
+  // subscriber. Complements materialization, which only helps *later* jobs.
+  // Columnar engine only; windows fall back to serial RunJob when disabled
+  // or when exec_engine is kRow.
+  bool enable_sharing = false;
+  // Per-signature share / materialize / both decision knobs.
+  sharing::SharingPolicyOptions sharing_policy;
+  // Seconds a subscriber waits on a producer's next batch before detaching
+  // to its fallback plan (<= 0: wait forever).
+  double sharing_wait_seconds = 5.0;
 };
 
 // A job submitted to the engine.
@@ -126,6 +141,23 @@ class ReuseEngine {
   // its subexpressions into the workload repository.
   Result<JobExecution> RunJob(const JobRequest& request);
 
+  // Runs one window of concurrently in-flight jobs with runtime work
+  // sharing. All jobs are compiled first (in submit order, exactly as
+  // serial RunJob calls would); the shared-subexpression rewrite then
+  // elects one producer per subexpression covered by >= 2 jobs and wires
+  // every other occurrence to its stream. Producers run on their own
+  // threads while the jobs execute serially on the calling thread, so the
+  // shared subtree is computed once per window. Per-job outputs are
+  // byte-identical to serial RunJob at every DOP and batch size — including
+  // under producer aborts, where subscribers detach to private fallback
+  // execution. With sharing disabled (or on the row engine) this degrades
+  // to serial RunJob calls.
+  Result<std::vector<JobExecution>> RunSharedWindow(
+      const std::vector<JobRequest>& requests);
+
+  // Cumulative work-sharing telemetry across every window this engine ran.
+  const sharing::SharingStats& sharing_stats() const { return sharing_stats_; }
+
   // Compile-only entry point: returns the optimized plan without executing
   // (used for inspection and by tests).
   Result<OptimizationOutcome> CompileJob(const JobRequest& request);
@@ -166,11 +198,41 @@ class ReuseEngine {
   const ReuseEngineOptions& options() const { return options_; }
 
  private:
+  // A compiled job between the prepare and finalize halves of RunJob. The
+  // split exists for sharing windows: every job of a window is prepared
+  // before any executes, so the rewrite sees all optimized plans at once.
+  struct PreparedJob {
+    JobRequest request;
+    bool reuse_enabled = false;
+    // Owns the as-compiled plan that compiled_sigs point into; must outlive
+    // FinalizeJob, which walks those nodes when ingesting the workload.
+    LogicalOpPtr bound_plan;
+    std::vector<NodeSignature> compiled_sigs;
+    OptimizationOutcome outcome;
+    JobExecution exec;  // skeleton; completed by Execute/Finalize
+    obs::QueryProfile profile;
+  };
+
   Result<LogicalOpPtr> BindPlan(const JobRequest& request) const;
   Result<OptimizationOutcome> CompileBound(const JobRequest& request,
                                            const LogicalOpPtr& bound,
                                            bool reuse_enabled);
   bool ReuseEnabledFor(const JobRequest& request) const;
+
+  // Bind + compile + register proposed materializations.
+  Result<PreparedJob> PrepareJob(const JobRequest& request);
+  // Execute (with the sealing hooks), falling back to the unrewritten plan
+  // on failure. `directory` wires SharedScans to in-flight streams (null
+  // outside a sharing window). When `deferred_invalidations` is non-null,
+  // view invalidations triggered by fallbacks are queued there instead of
+  // applied — during a window, producer threads still hold pointers into
+  // the view store, so erasure must wait until they join.
+  Status ExecutePrepared(PreparedJob* job,
+                         const sharing::StreamDirectory* directory,
+                         std::vector<std::pair<Hash128, double>>*
+                             deferred_invalidations);
+  // Reuse-hit provenance + repository ingest + insights profile.
+  JobExecution FinalizeJob(PreparedJob job);
 
   DatasetCatalog* catalog_;
   ReuseEngineOptions options_;
@@ -186,6 +248,7 @@ class ReuseEngine {
   // Cross-checks every compiled plan's signatures via an independent second
   // canonicalization path (verification builds only).
   verify::SignatureAuditor auditor_;
+  sharing::SharingStats sharing_stats_;
 };
 
 }  // namespace cloudviews

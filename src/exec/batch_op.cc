@@ -14,6 +14,7 @@
 
 #include "common/hash.h"
 #include "exec/batch_kernels.h"
+#include "exec/shared_scan_op.h"
 #include "obs/log.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -1689,6 +1690,9 @@ class BatchBuilder {
             node.get(), std::move(child).value(), context_->on_spool_complete,
             context_->on_spool_abort));
       }
+      case LogicalOpKind::kSharedScan:
+        return BatchOpPtr(std::make_unique<SharedScanOp>(
+            node.get(), context_, batch_rows_));
     }
     return Status::Internal("unhandled logical operator kind");
   }

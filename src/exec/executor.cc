@@ -192,6 +192,10 @@ class PhysicalBuilder {
             node.get(), std::move(child).value(),
             context_->on_spool_complete, context_->on_spool_abort));
       }
+      case LogicalOpKind::kSharedScan:
+        // The sharing rewrite only runs for columnar windows; a SharedScan
+        // reaching the row builder is a wiring error, not a fallback case.
+        return Status::Internal("shared scan requires the columnar engine");
     }
     return Status::Internal("unhandled logical operator kind");
   }
@@ -324,6 +328,13 @@ Result<ExecResult> Executor::Execute(const LogicalOpPtr& plan) const {
           stats.total_bytes_read += op_stats.bytes_out;
           break;
         case LogicalOpKind::kViewScan:
+          stats.view_rows += op_stats.rows_out;
+          stats.view_bytes += op_stats.bytes_out;
+          stats.total_bytes_read += op_stats.bytes_out;
+          break;
+        case LogicalOpKind::kSharedScan:
+          // Forwarded batches are charged like view reads: the producer's
+          // compute lands on the producer pipeline, not the subscriber.
           stats.view_rows += op_stats.rows_out;
           stats.view_bytes += op_stats.bytes_out;
           stats.total_bytes_read += op_stats.bytes_out;

@@ -17,6 +17,10 @@ namespace cloudviews {
 
 class ThreadPool;
 
+namespace sharing {
+class StreamDirectory;
+}  // namespace sharing
+
 // Which physical engine Execute() builds. kColumnar (the default) runs the
 // vectorized batch operators in exec/batch_op.h; kRow runs the original
 // row-at-a-time operators and is kept as the byte-identity reference — the
@@ -69,6 +73,13 @@ struct ExecContext {
   // Rows per column batch in the columnar engine (clamped to >= 1). Output
   // is identical at any batch size; only amortization changes.
   size_t batch_rows = 1024;
+  // Directory of in-flight shared-producer streams, consulted by SharedScan
+  // operators. Null outside a sharing window; then every SharedScan detaches
+  // immediately and runs its fallback plan (same bytes, no sharing).
+  const sharing::StreamDirectory* sharing = nullptr;
+  // Seconds a SharedScan waits for the producer's next batch before
+  // detaching to its fallback plan. <= 0 disables the timeout.
+  double sharing_wait_seconds = 5.0;
 };
 
 struct ExecResult {

@@ -1,0 +1,49 @@
+#ifndef CLOUDVIEWS_EXEC_SHARED_SCAN_OP_H_
+#define CLOUDVIEWS_EXEC_SHARED_SCAN_OP_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "exec/batch_op.h"
+#include "sharing/shared_stream.h"
+
+namespace cloudviews {
+
+// Columnar leaf subscribed to an in-flight shared producer stream
+// (LogicalOpKind::kSharedScan). The fast path forwards the producer's sealed
+// batches zero-copy, charged like a view read (the producer pipeline owns
+// the compute). Whenever the stream cannot serve it — no sharing window, a
+// producer abort, a wait timeout, or an injected sharing.subscriber_timeout
+// fault — the operator detaches: it executes the node's spool-free fallback
+// plan privately, skips the rows it already emitted from the stream (the
+// engines are deterministic and order-preserving, so the stream prefix and
+// the fallback prefix are the same bytes), and streams the remainder. Output
+// is therefore byte-identical to an unshared run in every case.
+class SharedScanOp : public BatchOp {
+ public:
+  SharedScanOp(const LogicalOp* logical, const ExecContext* context,
+               size_t batch_rows);
+
+  Status Open() override;
+  Status NextBatch(ColumnBatch* batch, bool* done) override;
+  void Close() override;
+
+ private:
+  // Severs the stream (if any) and runs the fallback plan to completion.
+  Status Detach();
+  Status NextFallbackBatch(ColumnBatch* batch, bool* done);
+
+  const ExecContext* context_;
+  size_t batch_rows_;
+  sharing::SharedStream* stream_ = nullptr;
+  size_t next_index_ = 0;      // next stream batch to forward
+  uint64_t emitted_rows_ = 0;  // rows already handed to the parent
+  bool served_counted_ = false;
+  bool detached_ = false;
+  BatchChunk fallback_;
+  size_t fallback_pos_ = 0;  // row cursor into fallback_ (starts past prefix)
+};
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_EXEC_SHARED_SCAN_OP_H_

@@ -52,6 +52,16 @@ inline constexpr char kRepoRead[] = "core.repository.read";
 // Workload-repository snapshot writes fail transiently.
 inline constexpr char kRepoWrite[] = "core.repository.write";
 
+// A shared-subexpression producer pipeline dies mid-stream (container
+// eviction of the elected producer). The stream is aborted; every
+// subscriber detaches and re-executes its fallback plan independently.
+inline constexpr char kSharingProducerAbort[] = "sharing.producer_abort";
+
+// A subscriber times out waiting for the producer's next batch (producer
+// stalled or descheduled). The subscriber detaches and re-executes its
+// fallback plan, skipping rows already consumed from the stream.
+inline constexpr char kSharingSubscriberTimeout[] = "sharing.subscriber_timeout";
+
 }  // namespace sites
 
 // Every registered site, for tooling (lint cross-checks this list against
@@ -60,7 +70,8 @@ inline constexpr char kRepoWrite[] = "core.repository.write";
 inline constexpr const char* kAllSites[] = {
     sites::kSpoolWrite,   sites::kSpoolSeal, sites::kMorselPreempt,
     sites::kViewRead,     sites::kNodeFail,  sites::kNodeStraggler,
-    sites::kRepoRead,     sites::kRepoWrite,
+    sites::kRepoRead,     sites::kRepoWrite, sites::kSharingProducerAbort,
+    sites::kSharingSubscriberTimeout,
 };
 
 }  // namespace fault

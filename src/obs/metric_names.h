@@ -47,6 +47,13 @@ inline constexpr char kOptimizerViewMatchCostRejected[] =
 inline constexpr char kProvenanceEvents[] = "provenance.events";
 inline constexpr char kProvenanceDropped[] = "provenance.dropped";
 
+// --- Work sharing (sharing/, exec/shared_scan_op.cc) -----------------------
+inline constexpr char kSharingHits[] = "sharing.hits";
+inline constexpr char kSharingFanout[] = "sharing.fanout";
+inline constexpr char kSharingProducerAborts[] = "sharing.producer_aborts";
+inline constexpr char kSharingBatchesForwarded[] =
+    "sharing.batches_forwarded";
+
 // --- Signature cache (core/cardinality_feedback.cc) ------------------------
 inline constexpr char kSignatureCacheLookupHit[] = "signature_cache.lookup.hit";
 inline constexpr char kSignatureCacheLookupMiss[] =

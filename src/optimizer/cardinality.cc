@@ -52,6 +52,10 @@ double CardinalityEstimator::EstimateNode(
       // ViewScan estimates are installed by the view matcher from observed
       // statistics; if absent, assume a cooked (reduced) dataset.
       return node->estimated_rows > 0 ? node->estimated_rows : 100.0;
+    case LogicalOpKind::kSharedScan:
+      // SharedScan estimates are inherited from the replaced subtree by the
+      // sharing rewrite; if absent, fall back to the view-scan guess.
+      return node->estimated_rows > 0 ? node->estimated_rows : 100.0;
     case LogicalOpKind::kFilter: {
       int conjuncts = CountConjuncts(node->predicate);
       double sel = std::pow(options_.filter_selectivity,

@@ -17,6 +17,11 @@ double CostModel::NodeCost(const LogicalOp& node) const {
     case LogicalOpKind::kViewScan:
       return rows * CostWeights::kScanRow +
              bytes * CostWeights::kViewScanByte;
+    case LogicalOpKind::kSharedScan:
+      // Consuming forwarded batches costs like reading a materialized view:
+      // the producer's compute is attributed to the producer pipeline.
+      return rows * CostWeights::kScanRow +
+             bytes * CostWeights::kViewScanByte;
     case LogicalOpKind::kFilter:
       return std::max(1.0, node.children[0]->estimated_rows) *
              CostWeights::kFilterRow;
@@ -75,7 +80,8 @@ namespace {
 // intermediate cardinalities.
 double LeafRows(const LogicalOp& node) {
   if (node.kind == LogicalOpKind::kScan ||
-      node.kind == LogicalOpKind::kViewScan) {
+      node.kind == LogicalOpKind::kViewScan ||
+      node.kind == LogicalOpKind::kSharedScan) {
     return std::max(0.0, node.estimated_rows);
   }
   double total = 0.0;

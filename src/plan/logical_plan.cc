@@ -29,6 +29,8 @@ const char* LogicalOpKindName(LogicalOpKind kind) {
       return "Udo";
     case LogicalOpKind::kSpool:
       return "Spool";
+    case LogicalOpKind::kSharedScan:
+      return "SharedScan";
   }
   return "Unknown";
 }
@@ -214,6 +216,17 @@ LogicalOpPtr LogicalOp::Spool(LogicalOpPtr child) {
   return op;
 }
 
+LogicalOpPtr LogicalOp::SharedScan(Hash128 signature, Hash128 recurring,
+                                   Schema schema, LogicalOpPtr fallback) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = LogicalOpKind::kSharedScan;
+  op->view_signature = signature;
+  op->view_recurring_signature = recurring;
+  op->output_schema = std::move(schema);
+  op->shared_fallback_plan = std::move(fallback);
+  return op;
+}
+
 size_t LogicalOp::TreeSize() const {
   size_t n = 1;
   for (const LogicalOpPtr& child : children) n += child->TreeSize();
@@ -252,6 +265,9 @@ std::string LogicalOp::ToString(int indent) const {
       out += " " + dataset_name + " [guid=" + dataset_guid.substr(0, 8) + "]";
       break;
     case LogicalOpKind::kViewScan:
+      out += " sig=" + view_signature.ToHex().substr(0, 12);
+      break;
+    case LogicalOpKind::kSharedScan:
       out += " sig=" + view_signature.ToHex().substr(0, 12);
       break;
     case LogicalOpKind::kFilter:

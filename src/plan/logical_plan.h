@@ -24,6 +24,7 @@ enum class LogicalOpKind {
   kUnionAll,
   kUdo,        // user-defined operator: opaque per-row transform
   kSpool,      // dual-consumer spool (optimizer-added for materialization)
+  kSharedScan, // subscribe to an in-flight shared producer (sharing-added)
 };
 
 const char* LogicalOpKindName(LogicalOpKind kind);
@@ -77,9 +78,17 @@ class LogicalOp {
   // exactly as they did over the original subtree, so larger candidates can
   // still match or materialize on top of a reused view.
   // kSpool: view_signature is the strict signature being materialized.
+  // kSharedScan: signatures of the shared subexpression being subscribed to
+  // (same transparency contract as kViewScan).
   Hash128 view_signature;
   Hash128 view_recurring_signature;
   std::string view_path;
+
+  // kSharedScan only: a spool-free clone of the subtree this subscription
+  // replaced. NOT a child — it stays invisible to children-based traversals
+  // (signatures, verification, costing) and is executed independently only
+  // when the subscriber detaches (producer abort / batch-wait timeout).
+  LogicalOpPtr shared_fallback_plan;
 
   // kFilter; also kJoin residual condition.
   ExprPtr predicate;
@@ -138,6 +147,8 @@ class LogicalOp {
                           bool deterministic, int dependency_depth,
                           double selectivity = 1.0, double cost_per_row = 1.0);
   static LogicalOpPtr Spool(LogicalOpPtr child);
+  static LogicalOpPtr SharedScan(Hash128 signature, Hash128 recurring,
+                                 Schema schema, LogicalOpPtr fallback);
 
   // Number of operators in the subtree rooted here.
   size_t TreeSize() const;

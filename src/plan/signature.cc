@@ -24,6 +24,9 @@ void HashNodeParams(const LogicalOp& node, bool strict, Hasher* hasher) {
     case LogicalOpKind::kViewScan:
       hasher->Update(node.view_signature);
       break;
+    case LogicalOpKind::kSharedScan:
+      hasher->Update(node.view_signature);
+      break;
     case LogicalOpKind::kFilter:
       node.predicate->HashInto(hasher, strict);
       break;
@@ -98,13 +101,15 @@ NodeSignature SignatureComputer::ComputeNode(
     if (out != nullptr) out->push_back(marker);
     return inner;
   }
-  if (node.kind == LogicalOpKind::kViewScan) {
+  if (node.kind == LogicalOpKind::kViewScan ||
+      node.kind == LogicalOpKind::kSharedScan) {
     NodeSignature sig;
     sig.node = &node;
     sig.strict = node.view_signature;
     sig.recurring = node.view_recurring_signature;
-    // The replaced subtree was eligible (it was materialized); stay
-    // transparent for ancestors but do not offer the scan itself for reuse.
+    // The replaced subtree was eligible (it was materialized or shared);
+    // stay transparent for ancestors but do not offer the scan itself for
+    // reuse.
     sig.eligible = true;
     sig.subtree_size = 1;
     if (out != nullptr) {

@@ -1,0 +1,82 @@
+#include "sharing/shared_stream.h"
+
+#include <chrono>
+#include <utility>
+
+#include "exec/batch_kernels.h"
+
+namespace cloudviews {
+namespace sharing {
+
+SharedStream::SharedStream(const Hash128& signature, size_t fanout)
+    : signature_(signature), fanout_(fanout) {}
+
+Status SharedStream::Publish(ColumnBatch batch) {
+  const size_t index = published_.load(std::memory_order_relaxed);
+  const size_t segment = index >> kSegmentShift;
+  if (segment >= kMaxSegments) {
+    return Status::ResourceExhausted(
+        "shared stream full: " + std::to_string(index) + " batches for " +
+        signature_.ToHex());
+  }
+  if (segments_[segment] == nullptr) {
+    segments_[segment] = std::make_unique<ColumnBatch[]>(kSegmentSize);
+  }
+  rows_published_.fetch_add(batch.num_rows, std::memory_order_relaxed);
+  bytes_published_.fetch_add(BatchByteSize(batch), std::memory_order_relaxed);
+  segments_[segment][index & (kSegmentSize - 1)] = std::move(batch);
+  // The slot (and its segment pointer) happens-before any acquire load that
+  // observes the new count.
+  published_.store(index + 1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void SharedStream::Complete() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_.store(static_cast<int>(State::kComplete),
+                 std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void SharedStream::Abort(Status cause) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_cause_ = std::move(cause);
+    state_.store(static_cast<int>(State::kAborted),
+                 std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+const ColumnBatch& SharedStream::batch(size_t index) const {
+  return segments_[index >> kSegmentShift][index & (kSegmentSize - 1)];
+}
+
+SharedStream::State SharedStream::WaitForBatch(size_t index,
+                                               double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto ready = [&] {
+    return published_.load(std::memory_order_acquire) > index ||
+           state() != State::kRunning;
+  };
+  if (timeout_seconds <= 0) {
+    cv_.wait(lock, ready);
+  } else {
+    cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds), ready);
+  }
+  return state();
+}
+
+Status SharedStream::abort_cause() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abort_cause_;
+}
+
+}  // namespace sharing
+}  // namespace cloudviews

@@ -1,0 +1,138 @@
+#ifndef CLOUDVIEWS_SHARING_SHARED_STREAM_H_
+#define CLOUDVIEWS_SHARING_SHARED_STREAM_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace cloudviews {
+namespace sharing {
+
+// One in-flight shared subexpression: an append-only log of sealed column
+// batches written once by the elected producer pipeline and read by every
+// subscriber at its own pace (late subscribers catch up from index 0).
+//
+// Concurrency model: a single producer thread publishes; any number of
+// subscriber threads read. Batches live in fixed-capacity segments whose
+// slots are written before the published count is release-stored, so a
+// subscriber that acquire-loads the count may read every slot below it
+// wait-free — ColumnPtr buffers are immutable shared_ptr<const ...>, making
+// the fan-out zero-copy. The mutex + condvar exist only for blocking
+// WaitForBatch() and the terminal state transition.
+class SharedStream {
+ public:
+  enum class State {
+    kRunning,   // producer still publishing
+    kComplete,  // producer finished; published() is final
+    kAborted,   // producer died; subscribers must detach to their fallbacks
+  };
+
+  SharedStream(const Hash128& signature, size_t fanout);
+
+  SharedStream(const SharedStream&) = delete;
+  SharedStream& operator=(const SharedStream&) = delete;
+
+  // --- Producer side (one thread) ------------------------------------------
+
+  // Appends `batch` to the log. Fails with ResourceExhausted when the log is
+  // full (the producer should then Abort); never blocks.
+  Status Publish(ColumnBatch batch);
+
+  // Terminal transitions; exactly one of these is called, once.
+  void Complete();
+  void Abort(Status cause);
+
+  // --- Subscriber side (any thread) ----------------------------------------
+
+  // Number of batches readable right now (acquire load).
+  size_t published() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  // Batch `index`; requires index < published(). Wait-free.
+  const ColumnBatch& batch(size_t index) const;
+
+  // Blocks until batch `index` is readable, the stream reaches a terminal
+  // state, or `timeout_seconds` elapses (<= 0: wait forever). Returns the
+  // state observed on wakeup; the caller must re-check published() — a
+  // kRunning return means the wait timed out.
+  State WaitForBatch(size_t index, double timeout_seconds) const;
+
+  State state() const {
+    return static_cast<State>(state_.load(std::memory_order_acquire));
+  }
+  Status abort_cause() const;
+
+  // --- Identity / accounting ------------------------------------------------
+
+  const Hash128& signature() const { return signature_; }
+  // Number of subscriber scan instances wired to this stream at launch.
+  size_t fanout() const { return fanout_; }
+  uint64_t rows_published() const {
+    return rows_published_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_published() const {
+    return bytes_published_.load(std::memory_order_relaxed);
+  }
+
+  // Subscriber outcome tallies (updated by SharedScanOp, folded into the
+  // window's SharingStats by the engine after every thread has joined).
+  void CountSubscriberServed() {
+    subscribers_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountSubscriberDetached() {
+    subscribers_detached_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t subscribers_served() const {
+    return subscribers_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t subscribers_detached() const {
+    return subscribers_detached_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // 1024 segments x 64 batches; at the default 1024-row batches that is
+  // ~67M rows per stream, far beyond any simulated subexpression. Exceeding
+  // it is a producer-side ResourceExhausted, never silent truncation.
+  static constexpr size_t kSegmentShift = 6;
+  static constexpr size_t kSegmentSize = size_t{1} << kSegmentShift;
+  static constexpr size_t kMaxSegments = 1024;
+
+  Hash128 signature_;
+  size_t fanout_;
+  // Segment pointers are plain: the producer installs a segment before the
+  // release-store of published_, so any subscriber that observed the count
+  // also observes the pointer and the slots below it.
+  std::unique_ptr<ColumnBatch[]> segments_[kMaxSegments];
+  std::atomic<size_t> published_{0};
+  std::atomic<int> state_{static_cast<int>(State::kRunning)};
+  std::atomic<uint64_t> rows_published_{0};
+  std::atomic<uint64_t> bytes_published_{0};
+  std::atomic<uint64_t> subscribers_served_{0};
+  std::atomic<uint64_t> subscribers_detached_{0};
+
+  mutable std::mutex mu_;                // guards cv_ waits and abort_cause_
+  mutable std::condition_variable cv_;
+  Status abort_cause_;
+};
+
+// Read-only lookup of in-flight streams, handed to executors via
+// ExecContext::sharing. Implemented by SharingRegistry; the directory is
+// frozen (no inserts) for the duration of a sharing window, so lookups from
+// concurrently executing subscribers need no locking.
+class StreamDirectory {
+ public:
+  virtual ~StreamDirectory() = default;
+  virtual SharedStream* FindStream(const Hash128& signature) const = 0;
+};
+
+}  // namespace sharing
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_SHARING_SHARED_STREAM_H_

@@ -1,0 +1,48 @@
+#include "sharing/sharing_policy.h"
+
+namespace cloudviews {
+namespace sharing {
+
+const char* ShareModeName(ShareMode mode) {
+  switch (mode) {
+    case ShareMode::kMaterializeOnly:
+      return "MATERIALIZE_ONLY";
+    case ShareMode::kShareNow:
+      return "SHARE_NOW";
+    case ShareMode::kBoth:
+      return "BOTH";
+  }
+  return "UNKNOWN";
+}
+
+void SharingPolicy::LoadLedger(const obs::ProvenanceLedger& ledger,
+                               double now) {
+  net_utility_.clear();
+  if (!obs::ProvenanceLedger::Enabled()) return;
+  for (const obs::ViewStream& stream : ledger.Streams()) {
+    obs::ViewAggregates agg = obs::ProvenanceLedger::Aggregate(
+        stream, now, obs::kDefaultStorageRentPerByteSecond);
+    // Only a view that actually sealed has a track record to judge; streams
+    // that never produced a view carry no utility signal.
+    if (agg.sealed) net_utility_[stream.strict] = agg.NetUtility();
+  }
+}
+
+ShareMode SharingPolicy::Decide(const Hash128& strict, size_t fanout,
+                                size_t subtree_size, bool has_spool) const {
+  if (fanout < options_.min_fanout ||
+      subtree_size < options_.min_subtree_size) {
+    return ShareMode::kMaterializeOnly;
+  }
+  if (!has_spool) return ShareMode::kShareNow;
+  auto it = net_utility_.find(strict);
+  if (it != net_utility_.end() && it->second < options_.min_net_utility) {
+    // The ledger says this view historically cost more than it saved:
+    // serve the in-flight demand from the stream and skip rebuilding it.
+    return ShareMode::kShareNow;
+  }
+  return ShareMode::kBoth;
+}
+
+}  // namespace sharing
+}  // namespace cloudviews

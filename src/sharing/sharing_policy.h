@@ -1,0 +1,69 @@
+#ifndef CLOUDVIEWS_SHARING_SHARING_POLICY_H_
+#define CLOUDVIEWS_SHARING_SHARING_POLICY_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "obs/provenance.h"
+
+namespace cloudviews {
+namespace sharing {
+
+// What to do with a subexpression several in-flight queries cover.
+enum class ShareMode {
+  // Leave every plan untouched: the existing spool path (if any) may still
+  // materialize the result for *later* queries, but in-flight duplicates
+  // each compute it themselves.
+  kMaterializeOnly,
+  // Elect a producer and stream its batches to the in-flight duplicates,
+  // without materializing a view (any spool in the elected subtree is
+  // stripped from the producer pipeline).
+  kShareNow,
+  // Share in-flight AND keep the spool inside the producer pipeline, so the
+  // single shared execution doubles as the view writer for later queries.
+  kBoth,
+};
+
+const char* ShareModeName(ShareMode mode);
+
+struct SharingPolicyOptions {
+  // In-flight jobs that must cover a signature before a producer is elected.
+  size_t min_fanout = 2;
+  // Smallest subtree (logical operator count) worth streaming; below this
+  // the handoff overhead beats recomputation.
+  size_t min_subtree_size = 2;
+  // A spool is kept in the producer pipeline (kBoth) unless the provenance
+  // ledger shows the view's historical net utility below this threshold —
+  // then sharing serves the in-flight demand and the wasteful
+  // materialization is skipped (kShareNow).
+  double min_net_utility = 0.0;
+};
+
+// Chooses per-signature between share-now, materialize-for-later, and both,
+// from the in-flight fan-out count and the provenance ledger's per-view
+// net-utility signal. Deterministic: decisions depend only on the loaded
+// ledger snapshot and the explicit inputs.
+class SharingPolicy {
+ public:
+  explicit SharingPolicy(SharingPolicyOptions options = {})
+      : options_(options) {}
+
+  // Snapshots per-view net utilities once per window; a disabled or empty
+  // ledger yields no signal (every spool is then presumed worth keeping).
+  void LoadLedger(const obs::ProvenanceLedger& ledger, double now);
+
+  ShareMode Decide(const Hash128& strict, size_t fanout, size_t subtree_size,
+                   bool has_spool) const;
+
+  const SharingPolicyOptions& options() const { return options_; }
+
+ private:
+  SharingPolicyOptions options_;
+  std::unordered_map<Hash128, double, Hash128Hasher> net_utility_;
+};
+
+}  // namespace sharing
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_SHARING_SHARING_POLICY_H_

@@ -1,0 +1,41 @@
+#include "sharing/sharing_registry.h"
+
+#include <algorithm>
+
+namespace cloudviews {
+namespace sharing {
+
+void SharingRegistry::Admit(int64_t job_id, const Hash128& signature) {
+  std::vector<int64_t>& jobs = admitted_[signature];
+  if (std::find(jobs.begin(), jobs.end(), job_id) == jobs.end()) {
+    jobs.push_back(job_id);
+  }
+}
+
+size_t SharingRegistry::InFlightJobs(const Hash128& signature) const {
+  auto it = admitted_.find(signature);
+  return it == admitted_.end() ? 0 : it->second.size();
+}
+
+SharedStream* SharingRegistry::CreateStream(const Hash128& signature,
+                                            size_t fanout) {
+  if (by_signature_.count(signature) != 0) return nullptr;
+  streams_.push_back(std::make_unique<SharedStream>(signature, fanout));
+  SharedStream* stream = streams_.back().get();
+  by_signature_[signature] = stream;
+  return stream;
+}
+
+SharedStream* SharingRegistry::FindStream(const Hash128& signature) const {
+  auto it = by_signature_.find(signature);
+  return it == by_signature_.end() ? nullptr : it->second;
+}
+
+void SharingRegistry::Clear() {
+  admitted_.clear();
+  by_signature_.clear();
+  streams_.clear();
+}
+
+}  // namespace sharing
+}  // namespace cloudviews

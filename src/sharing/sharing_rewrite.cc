@@ -1,0 +1,228 @@
+#include "sharing/sharing_rewrite.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "optimizer/cost_model.h"
+
+namespace cloudviews {
+namespace sharing {
+
+namespace {
+
+struct Instance {
+  size_t job = 0;
+  const LogicalOp* node = nullptr;
+};
+
+struct Candidate {
+  Hash128 strict;
+  Hash128 recurring;
+  size_t subtree_size = 0;
+  std::vector<Instance> instances;  // job order, post-order within a job
+};
+
+// Parent pointers for every node of one plan (the root has none).
+void MapParents(LogicalOp* node,
+                std::unordered_map<const LogicalOp*, LogicalOp*>* parents) {
+  for (const LogicalOpPtr& child : node->children) {
+    (*parents)[child.get()] = node;
+    MapParents(child.get(), parents);
+  }
+}
+
+void CollectNodes(const LogicalOp* node,
+                  std::unordered_set<const LogicalOp*>* out) {
+  out->insert(node);
+  for (const LogicalOpPtr& child : node->children) {
+    CollectNodes(child.get(), out);
+  }
+}
+
+bool Overlaps(const LogicalOp* node,
+              const std::unordered_set<const LogicalOp*>& covered) {
+  if (covered.count(node) != 0) return true;
+  for (const LogicalOpPtr& child : node->children) {
+    if (Overlaps(child.get(), covered)) return true;
+  }
+  return false;
+}
+
+void CollectSpoolSignatures(const LogicalOp* node,
+                            std::vector<Hash128>* out) {
+  if (node->kind == LogicalOpKind::kSpool) {
+    out->push_back(node->view_signature);
+  }
+  for (const LogicalOpPtr& child : node->children) {
+    CollectSpoolSignatures(child.get(), out);
+  }
+}
+
+// Removes every spool from an already-cloned subtree (a spool forwards its
+// single child unchanged, so this never alters the rows produced).
+LogicalOpPtr StripSpools(LogicalOpPtr node) {
+  while (node->kind == LogicalOpKind::kSpool) {
+    node = node->children[0];
+  }
+  for (LogicalOpPtr& child : node->children) {
+    child = StripSpools(std::move(child));
+  }
+  return node;
+}
+
+// The SharedScan replacing `instance`, carrying a spool-free fallback clone.
+LogicalOpPtr MakeSharedScan(const Candidate& candidate,
+                            const LogicalOp& instance) {
+  LogicalOpPtr shared = LogicalOp::SharedScan(
+      candidate.strict, candidate.recurring, instance.output_schema,
+      StripSpools(instance.Clone()));
+  shared->estimated_rows = instance.estimated_rows;
+  shared->estimated_bytes = instance.estimated_bytes;
+  shared->stats_from_view = true;  // inherited estimates are authoritative
+  return shared;
+}
+
+}  // namespace
+
+RewriteResult RewriteForSharing(const std::vector<LogicalOpPtr*>& plans,
+                                const SignatureComputer& signatures,
+                                const SharingPolicy& policy) {
+  RewriteResult result;
+
+  // Enumerate eligible subtree instances across the window's plans.
+  std::vector<Hash128> order;  // first-seen candidate order
+  std::unordered_map<Hash128, Candidate, Hash128Hasher> candidates;
+  std::vector<std::unordered_map<const LogicalOp*, LogicalOp*>> parents(
+      plans.size());
+  for (size_t job = 0; job < plans.size(); ++job) {
+    MapParents(plans[job]->get(), &parents[job]);
+    for (const NodeSignature& sig : signatures.ComputeAll(**plans[job])) {
+      if (!sig.eligible ||
+          sig.subtree_size < policy.options().min_subtree_size) {
+        continue;
+      }
+      auto [it, inserted] = candidates.try_emplace(sig.strict);
+      Candidate& candidate = it->second;
+      if (inserted) {
+        candidate.strict = sig.strict;
+        candidate.recurring = sig.recurring;
+        candidate.subtree_size = sig.subtree_size;
+        order.push_back(sig.strict);
+      }
+      candidate.instances.push_back({job, sig.node});
+    }
+  }
+
+  // Largest subtrees first: a bigger shared region subsumes the smaller
+  // duplicates inside it. Hex tie-break keeps the pass deterministic.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const Hash128& a, const Hash128& b) {
+                     const Candidate& ca = candidates.at(a);
+                     const Candidate& cb = candidates.at(b);
+                     if (ca.subtree_size != cb.subtree_size) {
+                       return ca.subtree_size > cb.subtree_size;
+                     }
+                     return a.ToHex() < b.ToHex();
+                   });
+
+  // Claim pass: pick the instances to share, never overlapping a region
+  // already claimed by a larger signature. No plan is mutated yet, so every
+  // instance pointer collected above stays valid for the conflict walks.
+  struct Claim {
+    const Candidate* candidate = nullptr;
+    std::vector<Instance> instances;
+    ShareMode mode = ShareMode::kShareNow;
+  };
+  std::vector<Claim> claims;
+  std::vector<std::unordered_set<const LogicalOp*>> covered(plans.size());
+  CostModel cost_model;
+  for (const Hash128& strict : order) {
+    const Candidate& candidate = candidates.at(strict);
+    Claim claim;
+    claim.candidate = &candidate;
+    bool has_spool = false;
+    for (const Instance& instance : candidate.instances) {
+      if (Overlaps(instance.node, covered[instance.job])) continue;
+      const LogicalOp* parent = nullptr;
+      auto pit = parents[instance.job].find(instance.node);
+      if (pit != parents[instance.job].end()) parent = pit->second;
+      if (parent != nullptr && parent->kind == LogicalOpKind::kSpool &&
+          parent->view_signature == strict) {
+        has_spool = true;
+      }
+      claim.instances.push_back(instance);
+    }
+    std::unordered_set<size_t> jobs;
+    for (const Instance& instance : claim.instances) jobs.insert(instance.job);
+    claim.mode = policy.Decide(strict, jobs.size(), candidate.subtree_size,
+                               has_spool);
+    if (claim.mode == ShareMode::kMaterializeOnly) continue;
+    for (const Instance& instance : claim.instances) {
+      CollectNodes(instance.node, &covered[instance.job]);
+    }
+    claims.push_back(std::move(claim));
+  }
+
+  // Replacement pass: swap every claimed instance for a SharedScan and clone
+  // the elected instance (spool-free) as the producer pipeline.
+  for (const Claim& claim : claims) {
+    const Candidate& candidate = *claim.candidate;
+    const Instance& elected = claim.instances.front();
+
+    StreamPlan stream;
+    stream.strict = candidate.strict;
+    stream.recurring = candidate.recurring;
+    stream.elected_job = elected.job;
+    stream.producer_plan = StripSpools(elected.node->Clone());
+    stream.fanout = claim.instances.size();
+    stream.mode = claim.mode;
+    stream.saved_cost = cost_model.SubtreeCost(*elected.node) *
+                        static_cast<double>(claim.instances.size() - 1);
+
+    for (const Instance& instance : claim.instances) {
+      // Spools nested inside the replaced region have no executor left to
+      // run them; report them so the engine withdraws the materializations.
+      std::vector<Hash128> nested;
+      CollectSpoolSignatures(instance.node, &nested);
+      for (const Hash128& sig : nested) {
+        result.dropped_spools.emplace_back(instance.job, sig);
+      }
+
+      LogicalOpPtr shared = MakeSharedScan(candidate, *instance.node);
+      LogicalOp* parent = nullptr;
+      auto pit = parents[instance.job].find(instance.node);
+      if (pit != parents[instance.job].end()) parent = pit->second;
+
+      const LogicalOp* replace_target = instance.node;
+      if (parent != nullptr && parent->kind == LogicalOpKind::kSpool &&
+          parent->view_signature == candidate.strict &&
+          claim.mode == ShareMode::kShareNow) {
+        // Policy says the view is not worth rebuilding: drop the spool and
+        // subscribe its parent directly.
+        result.dropped_spools.emplace_back(instance.job,
+                                           parent->view_signature);
+        replace_target = parent;
+        auto git = parents[instance.job].find(parent);
+        parent = git == parents[instance.job].end() ? nullptr : git->second;
+      }
+      if (parent == nullptr) {
+        *plans[instance.job] = std::move(shared);
+        continue;
+      }
+      for (LogicalOpPtr& child :
+           const_cast<LogicalOp*>(parent)->children) {
+        if (child.get() == replace_target) {
+          child = std::move(shared);
+          break;
+        }
+      }
+    }
+    result.streams.push_back(std::move(stream));
+  }
+  return result;
+}
+
+}  // namespace sharing
+}  // namespace cloudviews

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -61,6 +62,14 @@ Hash128 ComputeTableChecksum(const Table& table);
 // Stable storage for CloudViews outputs. Views are throwaway: they expire
 // after a fixed TTL (one week in production) and are invalidated wholesale
 // when their inputs or the engine's signature version change.
+//
+// Thread safety: every method is internally mutex-guarded, so concurrent
+// Find/Seal from shared-producer stream threads and the engine driver are
+// safe. Returned MaterializedView pointers stay valid across concurrent
+// inserts (the map is node-based) but NOT across erasure — callers that run
+// concurrently with the store (sharing windows) must not interleave with
+// Invalidate/PurgeExpired/InvalidateAll, which the engine guarantees by
+// deferring those to after every stream thread has joined.
 class ViewStore {
  public:
   // `ttl_seconds`: views expire this long after creation (paper: one week).
@@ -112,9 +121,18 @@ class ViewStore {
   size_t TotalBytes() const;
 
   size_t NumLive() const;
-  int64_t total_views_created() const { return total_created_; }
-  int64_t total_views_reused() const { return total_reused_; }
-  int64_t total_views_quarantined() const { return total_quarantined_; }
+  int64_t total_views_created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_created_;
+  }
+  int64_t total_views_reused() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_reused_;
+  }
+  int64_t total_views_quarantined() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_quarantined_;
+  }
   double ttl_seconds() const { return ttl_seconds_; }
 
   std::vector<const MaterializedView*> LiveViews() const;
@@ -135,6 +153,9 @@ class ViewStore {
   bool ValidateOnRead(MaterializedView* view, double now) const;
 
   double ttl_seconds_;
+  // Guards every member below (Find from stream threads races Seal from the
+  // driver during sharing windows).
+  mutable std::mutex mu_;
   // `mutable`: Find() is logically const (a lookup) but quarantines corrupt
   // entries as a side effect; every caller holds the store via const
   // pointer, so bookkeeping happens through the mutable map.

@@ -70,6 +70,7 @@ int ExpectedChildren(LogicalOpKind kind) {
   switch (kind) {
     case LogicalOpKind::kScan:
     case LogicalOpKind::kViewScan:
+    case LogicalOpKind::kSharedScan:
       return 0;
     case LogicalOpKind::kFilter:
     case LogicalOpKind::kProject:
@@ -354,6 +355,24 @@ Status PlanVerifier::VerifySchemaContract(const LogicalOp& node,
     case LogicalOpKind::kViewScan: {
       if (options_.require_reuse_signatures && node.view_signature.IsZero()) {
         return Status::Corruption(where + ": view scan with zero signature");
+      }
+      break;
+    }
+    case LogicalOpKind::kSharedScan: {
+      if (options_.require_reuse_signatures && node.view_signature.IsZero()) {
+        return Status::Corruption(where + ": shared scan with zero signature");
+      }
+      // Detach is the safety net: a subscriber without a fallback plan (or
+      // with one of a different shape) could not answer the query alone.
+      if (node.shared_fallback_plan == nullptr) {
+        return Status::Corruption(where + ": shared scan without a fallback");
+      }
+      if (!(node.shared_fallback_plan->output_schema == node.output_schema)) {
+        return Status::Corruption(
+            where + ": fallback schema " +
+            node.shared_fallback_plan->output_schema.ToString() +
+            " does not match shared scan schema " +
+            node.output_schema.ToString());
       }
       break;
     }

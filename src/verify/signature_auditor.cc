@@ -79,6 +79,9 @@ void NodeCanonical(const LogicalOp& node, std::string* out) {
     case LogicalOpKind::kViewScan:
       out->append(node.view_signature.ToHex());
       break;
+    case LogicalOpKind::kSharedScan:
+      out->append(node.view_signature.ToHex());
+      break;
     case LogicalOpKind::kFilter:
       ExprCanonical(*node.predicate, out);
       break;
@@ -145,7 +148,8 @@ void NodeCanonical(const LogicalOp& node, std::string* out) {
 
 bool SubtreeContainsReuseOp(const LogicalOp& node) {
   if (node.kind == LogicalOpKind::kSpool ||
-      node.kind == LogicalOpKind::kViewScan) {
+      node.kind == LogicalOpKind::kViewScan ||
+      node.kind == LogicalOpKind::kSharedScan) {
     return true;
   }
   for (const LogicalOpPtr& child : node.children) {

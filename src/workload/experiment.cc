@@ -56,14 +56,45 @@ Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
       engine.RunViewSelection(day * kSecondsPerDay);
     }
 
-    for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
-      auto telemetry = simulator.SubmitJob(job);
-      if (!telemetry.ok()) {
-        arm.failed_jobs += 1;
-        obs::LogWarn("experiment", "job_failed",
-                     {{"job_id", job.job_id},
-                      {"day", day},
-                      {"error", telemetry.status().message()}});
+    std::vector<GeneratedJob> jobs_today = generator.JobsForDay(catalog, day);
+    const bool sharing =
+        cloudviews_enabled && engine_options.enable_sharing;
+    if (!sharing) {
+      for (const GeneratedJob& job : jobs_today) {
+        auto telemetry = simulator.SubmitJob(job);
+        if (!telemetry.ok()) {
+          arm.failed_jobs += 1;
+          obs::LogWarn("experiment", "job_failed",
+                       {{"job_id", job.job_id},
+                        {"day", day},
+                        {"error", telemetry.status().message()}});
+        }
+      }
+    } else {
+      // Group bursts of arrivals into sharing windows: every job submitted
+      // within sharing_window_seconds of the window's first job shares it.
+      for (size_t i = 0; i < jobs_today.size();) {
+        size_t j = i + 1;
+        while (j < jobs_today.size() &&
+               jobs_today[j].submit_time - jobs_today[i].submit_time <=
+                   config_.sharing_window_seconds) {
+          ++j;
+        }
+        std::vector<GeneratedJob> window(jobs_today.begin() + i,
+                                         jobs_today.begin() + j);
+        auto telemetry = simulator.SubmitSharedWindow(window);
+        if (!telemetry.ok()) {
+          arm.failed_jobs += static_cast<int64_t>(window.size());
+          obs::LogWarn("experiment", "window_failed",
+                       {{"day", day},
+                        {"jobs", static_cast<int64_t>(window.size())},
+                        {"error", telemetry.status().message()}});
+        } else {
+          for (const JobTelemetry& t : *telemetry) {
+            if (t.failed) arm.failed_jobs += 1;
+          }
+        }
+        i = j;
       }
     }
     if (obs::Logger::Global().ShouldLog(obs::LogLevel::kDebug)) {
@@ -76,6 +107,7 @@ Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
   }
 
   arm.telemetry = simulator.telemetry();
+  arm.sharing = engine.sharing_stats();
   arm.views_created = engine.view_store().total_views_created();
   arm.views_reused = engine.view_store().total_views_reused();
   arm.percent_repeated_subexpressions = engine.repository().PercentRepeated();

@@ -31,6 +31,11 @@ struct ExperimentConfig {
   // provenance ledger (process-wide), attaches an hourly time-series
   // collector to the simulator, and fills ArmResult::insights_json.
   bool collect_insights = false;
+  // When engine.enable_sharing is set, the CloudViews arm groups jobs whose
+  // submissions fall within this many simulated seconds of the window's
+  // first job into one sharing window (ReuseEngine::RunSharedWindow) instead
+  // of running them serially. Outputs stay byte-identical either way.
+  double sharing_window_seconds = 60.0;
   // Progress callback (day index) for long benches; may be null.
   std::function<void(int)> on_day_complete;
 };
@@ -45,6 +50,8 @@ struct ArmResult {
   int64_t total_subexpression_instances = 0;
   std::vector<JoinExecutionRecord> join_records;
   int64_t failed_jobs = 0;
+  // Work-sharing telemetry (zero unless engine.enable_sharing ran windows).
+  sharing::SharingStats sharing;
   // BuildInsightsJson document (CloudViews arm with collect_insights only).
   std::string insights_json;
 };

@@ -29,7 +29,9 @@ namespace {
 const char* kDefaultChaosSpec =
     "exec.spool.write=p:0.15;"
     "exec.spool.seal=p:0.25:aborted;"
-    "storage.view.read=p:0.15:corruption";
+    "storage.view.read=p:0.15:corruption;"
+    "sharing.producer_abort=p:0.2;"
+    "sharing.subscriber_timeout=p:0.1";
 
 void ArmChaos() {
   fault::FaultInjector::Global().Disarm();
@@ -74,14 +76,22 @@ struct ArmOutcome {
   int views_built = 0;
   int views_matched = 0;
   int fallbacks = 0;
+  // Work-sharing telemetry (zero unless the arm runs sharing windows).
+  int64_t sharing_streams = 0;
+  int64_t sharing_hits = 0;
+  int64_t sharing_detaches = 0;
+  int64_t sharing_producer_aborts = 0;
 };
 
 // Runs `days` days of the seeded workload through a fresh engine. Each arm
 // regenerates its own catalog + job stream; the generator is deterministic
-// for a fixed profile, so job ids and plans line up across arms.
+// for a fixed profile, so job ids and plans line up across arms. With
+// `sharing_on`, each day's jobs are batched through RunSharedWindow so
+// concurrent duplicates stream from one producer instead of recomputing.
 void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
             ArmOutcome* outcome,
-            ExecEngine exec_engine = ExecEngine::kColumnar) {
+            ExecEngine exec_engine = ExecEngine::kColumnar,
+            bool sharing_on = false) {
   if (faults_on) {
     ArmChaos();
   } else {
@@ -94,6 +104,7 @@ void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
   ReuseEngineOptions options;
   options.cloudviews_enabled = reuse_on;
   options.exec_engine = exec_engine;
+  options.enable_sharing = sharing_on;
   options.selection.schedule_aware = false;
   options.selection.per_virtual_cluster = false;
   options.selection.strategy = SelectionStrategy::kGreedyRatio;
@@ -111,6 +122,7 @@ void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
         engine.OnDatasetUpdated(dataset);
       }
     }
+    std::vector<JobRequest> day_requests;
     for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
       JobRequest request;
       request.job_id = job.job_id;
@@ -119,18 +131,35 @@ void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
       request.submit_time = job.submit_time;
       request.day = job.day;
       request.cloudviews_enabled = job.cloudviews_enabled;
-      auto exec = engine.RunJob(request);
-      // Graceful degradation is the contract: no armed fault in the chaos
-      // plan may surface as a failed job.
-      ASSERT_TRUE(exec.ok())
-          << "job " << job.job_id << " day " << day
-          << " reuse=" << reuse_on << " faults=" << faults_on << ": "
-          << exec.status().ToString();
-      outcome->outputs_by_job[job.job_id] = Render(exec->output);
-      outcome->views_built += exec->views_built;
-      outcome->views_matched += exec->views_matched;
-      if (exec->fell_back) outcome->fallbacks += 1;
-      Status audit = auditor.AuditPlan(*exec->executed_plan);
+      day_requests.push_back(std::move(request));
+    }
+    std::vector<JobExecution> executions;
+    if (sharing_on) {
+      // The whole day's jobs act as one in-flight window: every duplicated
+      // subexpression across them must execute once and stream.
+      auto window = engine.RunSharedWindow(day_requests);
+      ASSERT_TRUE(window.ok())
+          << "sharing window day " << day << " faults=" << faults_on << ": "
+          << window.status().ToString();
+      executions = std::move(*window);
+    } else {
+      for (const JobRequest& request : day_requests) {
+        auto exec = engine.RunJob(request);
+        // Graceful degradation is the contract: no armed fault in the chaos
+        // plan may surface as a failed job.
+        ASSERT_TRUE(exec.ok())
+            << "job " << request.job_id << " day " << day
+            << " reuse=" << reuse_on << " faults=" << faults_on << ": "
+            << exec.status().ToString();
+        executions.push_back(std::move(*exec));
+      }
+    }
+    for (const JobExecution& exec : executions) {
+      outcome->outputs_by_job[exec.job_id] = Render(exec.output);
+      outcome->views_built += exec.views_built;
+      outcome->views_matched += exec.views_matched;
+      if (exec.fell_back) outcome->fallbacks += 1;
+      Status audit = auditor.AuditPlan(*exec.executed_plan);
       EXPECT_TRUE(audit.ok()) << audit.ToString();
     }
     // Offline analysis between days: selection publishes annotations so the
@@ -145,6 +174,10 @@ void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
   Status cross = auditor.CrossCheckRepository(engine.repository());
   EXPECT_TRUE(cross.ok()) << cross.ToString();
   EXPECT_TRUE(engine.signature_audit().ok());
+  outcome->sharing_streams = engine.sharing_stats().streams;
+  outcome->sharing_hits = engine.sharing_stats().hits;
+  outcome->sharing_detaches = engine.sharing_stats().detaches;
+  outcome->sharing_producer_aborts = engine.sharing_stats().producer_aborts;
   fault::FaultInjector::Global().Disarm();
 }
 
@@ -159,11 +192,17 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
   ArmOutcome chaos;       // reuse ON, faults ON  — the hardened path
   ArmOutcome chaos_bare;  // reuse OFF, faults ON — faults with nothing to hit
   ArmOutcome row_engine;  // reuse ON, faults OFF, row-at-a-time reference
+  ArmOutcome sharing;     // reuse ON, faults OFF, daily sharing windows
+  ArmOutcome sharing_chaos;  // reuse ON, faults ON, sharing windows
   RunArm(workload_seed, true, false, kDays, &reference);
   RunArm(workload_seed, false, false, kDays, &no_reuse);
   RunArm(workload_seed, true, true, kDays, &chaos);
   RunArm(workload_seed, false, true, kDays, &chaos_bare);
   RunArm(workload_seed, true, false, kDays, &row_engine, ExecEngine::kRow);
+  RunArm(workload_seed, true, false, kDays, &sharing, ExecEngine::kColumnar,
+         /*sharing_on=*/true);
+  RunArm(workload_seed, true, true, kDays, &sharing_chaos,
+         ExecEngine::kColumnar, /*sharing_on=*/true);
   if (HasFatalFailure()) return;
 
   // Same job stream in every arm.
@@ -173,6 +212,9 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
             chaos_bare.outputs_by_job.size());
 
   ASSERT_EQ(reference.outputs_by_job.size(), row_engine.outputs_by_job.size());
+  ASSERT_EQ(reference.outputs_by_job.size(), sharing.outputs_by_job.size());
+  ASSERT_EQ(reference.outputs_by_job.size(),
+            sharing_chaos.outputs_by_job.size());
 
   // Byte-identical outputs, job by job.
   for (const auto& [job_id, expected] : no_reuse.outputs_by_job) {
@@ -184,6 +226,10 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
         << "faults changed job " << job_id;
     EXPECT_EQ(row_engine.outputs_by_job.at(job_id), expected)
         << "columnar engine changed job " << job_id;
+    EXPECT_EQ(sharing.outputs_by_job.at(job_id), expected)
+        << "work sharing changed job " << job_id;
+    EXPECT_EQ(sharing_chaos.outputs_by_job.at(job_id), expected)
+        << "work sharing under chaos changed job " << job_id;
   }
 
   // The test exercised what it claims to: the reference arm actually built
@@ -198,6 +244,18 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
   EXPECT_EQ(no_reuse.views_matched, 0);
   EXPECT_EQ(chaos_bare.views_built, 0);
   EXPECT_EQ(reference.fallbacks, 0);
+
+  // The sharing arms actually shared: the seeded workload runs multiple
+  // instances of each template per day, so every day's window elects
+  // producers, and serial arms never touch the sharing path. Every wired
+  // subscriber either streamed or detached to its fallback.
+  EXPECT_GT(sharing.sharing_streams, 0);
+  EXPECT_GT(sharing.sharing_hits, 0);
+  EXPECT_EQ(sharing.sharing_producer_aborts, 0);
+  EXPECT_EQ(reference.sharing_streams, 0);
+  EXPECT_EQ(chaos.sharing_streams, 0);
+  EXPECT_GT(sharing_chaos.sharing_streams, 0);
+  EXPECT_GE(sharing_chaos.sharing_producer_aborts, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(SeededWorkloads, DifferentialReuseTest,

@@ -370,6 +370,86 @@ TEST_F(FaultTest, StragglerStretchesLatencyOnly) {
   EXPECT_NEAR(slow->latency_seconds, 4.0 * clean->latency_seconds, 1e-9);
 }
 
+// --- Work-sharing faults ------------------------------------------------------
+
+class SharingFaultTest : public FaultTest {
+ protected:
+  std::unique_ptr<ReuseEngine> MakeSharingEngine() {
+    ReuseEngineOptions options;
+    options.selection.schedule_aware = false;
+    options.selection.per_virtual_cluster = false;
+    options.selection.strategy = SelectionStrategy::kGreedyRatio;
+    options.enable_sharing = true;
+    auto engine = std::make_unique<ReuseEngine>(&catalog_, options);
+    engine->insights().controls().enabled_vcs.insert("vc0");
+    return engine;
+  }
+
+  std::vector<JobRequest> Burst() {
+    return {MakeJob(1, 100.0), MakeJob(2, 101.0), MakeJob(3, 102.0)};
+  }
+
+  // Fault-free serial reference for the burst.
+  std::vector<std::vector<std::string>> SerialReference() {
+    auto engine = MakeEngine();
+    std::vector<std::vector<std::string>> outputs;
+    for (const JobRequest& request : Burst()) {
+      auto e = engine->RunJob(request);
+      EXPECT_TRUE(e.ok()) << e.status().ToString();
+      if (e.ok()) outputs.push_back(Render(e->output));
+    }
+    return outputs;
+  }
+};
+
+TEST_F(SharingFaultTest, ProducerAbortDetachesSubscribersLosslessly) {
+  auto reference = SerialReference();
+  if (HasFatalFailure()) return;
+
+  auto engine = MakeSharingEngine();
+  Arm("sharing.producer_abort=nth:1");
+  auto window = engine->RunSharedWindow(Burst());
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+
+  ASSERT_EQ(window->size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(Render((*window)[i].output), reference[i])
+        << "producer abort changed job " << (*window)[i].job_id;
+  }
+  // The producer died before its first batch; every wired subscriber
+  // detached and recomputed privately, and the window still succeeded.
+  const sharing::SharingStats& stats = engine->sharing_stats();
+  EXPECT_GE(stats.producer_aborts, 1);
+  EXPECT_EQ(stats.detaches, stats.fanout);
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(
+      fault::FaultInjector::Global()
+          .stats(fault::sites::kSharingProducerAbort)
+          .fired,
+      1u);
+}
+
+TEST_F(SharingFaultTest, SubscriberTimeoutFallsBackWithoutKillingStream) {
+  auto reference = SerialReference();
+  if (HasFatalFailure()) return;
+
+  auto engine = MakeSharingEngine();
+  Arm("sharing.subscriber_timeout=p:1.0");
+  auto window = engine->RunSharedWindow(Burst());
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+
+  ASSERT_EQ(window->size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(Render((*window)[i].output), reference[i])
+        << "subscriber timeout changed job " << (*window)[i].job_id;
+  }
+  // A timed-out subscriber detaches alone; the producer and the other
+  // subscribers are unaffected, so the stream itself never aborts.
+  const sharing::SharingStats& stats = engine->sharing_stats();
+  EXPECT_EQ(stats.producer_aborts, 0);
+  EXPECT_EQ(stats.hits + stats.detaches, stats.fanout);
+}
+
 // --- Repository I/O faults ----------------------------------------------------
 
 TEST_F(FaultTest, RepositoryIoRetriesBoundedly) {
