@@ -1,5 +1,5 @@
-#ifndef CLOUDVIEWS_EXEC_STATS_H_
-#define CLOUDVIEWS_EXEC_STATS_H_
+#ifndef CLOUDVIEWS_COMMON_EXEC_STATS_H_
+#define CLOUDVIEWS_COMMON_EXEC_STATS_H_
 
 #include <cstdint>
 #include <unordered_map>
@@ -100,4 +100,4 @@ struct CostWeights {
 
 }  // namespace cloudviews
 
-#endif  // CLOUDVIEWS_EXEC_STATS_H_
+#endif  // CLOUDVIEWS_COMMON_EXEC_STATS_H_

@@ -3,10 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
-
-#include "obs/metric_names.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include <utility>
 
 namespace cloudviews {
 
@@ -24,7 +21,16 @@ struct WorkerIdentity {
 };
 thread_local WorkerIdentity tls_worker;
 
+// Written once during static initialization (InstallTelemetryHooks), read
+// unsynchronized on every Submit afterwards. Zero-initialized, so a binary
+// without the obs objects sees all-null hooks.
+ThreadPool::TelemetryHooks g_telemetry_hooks;
+
 }  // namespace
+
+void ThreadPool::InstallTelemetryHooks(const TelemetryHooks& hooks) {
+  g_telemetry_hooks = hooks;
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -41,8 +47,14 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  stop_.store(true);
-  cv_.notify_all();
+  {
+    // The store must happen under mu_: a worker that has just evaluated its
+    // sleep predicate (false) but not yet gone to sleep would otherwise miss
+    // both this flag and the notification below and block forever.
+    MutexLock lock(mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   // Run anything still queued so no TaskGroup is left waiting forever.
   std::function<void()> task;
@@ -50,24 +62,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  static obs::Counter& submitted = obs::MetricsRegistry::Global().counter(
-      obs::metric_names::kThreadpoolTasks);
-  submitted.Increment();
-  if (obs::Tracer::Enabled()) {
+  const TelemetryHooks& telemetry = g_telemetry_hooks;
+  if (telemetry.on_submit != nullptr) telemetry.on_submit();
+  if (telemetry.wait_timing_enabled != nullptr &&
+      telemetry.wait_timing_enabled()) {
     // Queue-wait telemetry costs a wrapper allocation, so it is only
     // collected while tracing is on; the disabled path stays allocation-free.
-    static obs::Histogram& queue_wait =
-        obs::MetricsRegistry::Global().histogram(
-            obs::metric_names::kThreadpoolQueueWaitUs,
-            obs::LatencyBucketsUs());
-    const uint64_t enqueued_us = obs::Tracer::NowMicros();
-    task = [inner = std::move(task), enqueued_us] {
-      queue_wait.Observe(
-          static_cast<double>(obs::Tracer::NowMicros() - enqueued_us));
+    const uint64_t enqueued_us = telemetry.now_micros();
+    task = [inner = std::move(task), enqueued_us, now = telemetry.now_micros,
+            observe = telemetry.observe_wait_us] {
+      observe(static_cast<double>(now() - enqueued_us));
       inner();
     };
   }
-  if (stop_.load()) {
+  if (stop_.load(std::memory_order_acquire)) {
     task();
     return;
   }
@@ -78,29 +86,33 @@ void ThreadPool::Submit(std::function<void()> task) {
     slot = next_queue_.fetch_add(1, std::memory_order_relaxed) %
            queues_.size();
   }
+  WorkerQueue& q = *queues_[slot];
+  bool enqueued = false;
   {
-    std::unique_lock<std::mutex> lock(queues_[slot]->mu);
-    if (queues_[slot]->tasks.size() >= kMaxQueuedPerWorker) {
-      // Saturated: run inline. The caller makes progress either way.
-      lock.unlock();
-      task();
-      return;
+    MutexLock lock(q.mu);
+    if (q.tasks.size() < kMaxQueuedPerWorker) {
+      // Increment before the push, under the queue lock: a popper can only
+      // see the task after the count reflects it, so the count never dips
+      // below zero.
+      pending_.fetch_add(1, std::memory_order_release);
+      q.tasks.push_back(std::move(task));
+      enqueued = true;
     }
-    // Increment before the push, under the queue lock: a popper can only
-    // see the task after the count reflects it, so the count never dips
-    // below zero.
-    pending_.fetch_add(1, std::memory_order_release);
-    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  if (!enqueued) {
+    // Saturated: run inline. The caller makes progress either way.
+    task();
+    return;
   }
   // Empty critical section pairs with the sleeper's predicate check so the
   // notify cannot slip between its predicate evaluation and its wait.
-  { std::lock_guard<std::mutex> lock(mu_); }
-  cv_.notify_one();
+  { MutexLock lock(mu_); }
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::PopLocal(size_t index, std::function<void()>* task) {
   WorkerQueue& q = *queues_[index];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(q.mu);
   if (q.tasks.empty()) return false;
   *task = std::move(q.tasks.back());  // LIFO: most recently spawned first
   q.tasks.pop_back();
@@ -111,7 +123,7 @@ bool ThreadPool::Steal(size_t thief, std::function<void()>* task) {
   for (size_t i = 0; i < queues_.size(); ++i) {
     size_t victim = (thief + i) % queues_.size();
     WorkerQueue& q = *queues_[victim];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (q.tasks.empty()) continue;
     *task = std::move(q.tasks.front());  // FIFO: steal the oldest work
     q.tasks.pop_front();
@@ -126,7 +138,13 @@ bool ThreadPool::RunOne() {
   if (tls_worker.pool == this) {
     found = PopLocal(tls_worker.index, &task);
   }
-  if (!found) found = Steal(next_queue_.load() % queues_.size(), &task);
+  if (!found) {
+    // relaxed-ok: the ticket only spreads steal starting points; any stale
+    // value is as good as any other.
+    found = Steal(next_queue_.load(std::memory_order_relaxed) %
+                      queues_.size(),
+                  &task);
+  }
   if (!found) return false;
   pending_.fetch_sub(1, std::memory_order_acq_rel);
   task();
@@ -143,11 +161,13 @@ void ThreadPool::WorkerLoop(size_t index) {
       task = nullptr;
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] {
-      return stop_.load() || pending_.load(std::memory_order_acquire) > 0;
+    UniqueLock lock(mu_);
+    cv_.Wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
     });
-    if (stop_.load() && pending_.load(std::memory_order_acquire) == 0) {
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
       return;
     }
   }
@@ -164,7 +184,7 @@ int ThreadPool::DefaultDop() {
 
 void TaskGroup::Spawn(std::function<Status()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_ += 1;
   }
   pool_->Submit([this, fn = std::move(fn)] {
@@ -182,24 +202,24 @@ void TaskGroup::Spawn(std::function<Status()> fn) {
 }
 
 void TaskGroup::Finish(const Status& status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!status.ok() && status_.ok()) status_ = status;
   pending_ -= 1;
-  if (pending_ == 0) cv_.notify_all();
+  if (pending_ == 0) cv_.NotifyAll();
 }
 
 Status TaskGroup::Wait() {
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (pending_ == 0) return status_;
     }
     // Help drain the pool instead of idling; fall back to a short timed
     // wait when there is nothing to run (our tasks are in flight elsewhere).
     if (!pool_->RunOne()) {
-      std::unique_lock<std::mutex> lock(mu_);
+      UniqueLock lock(mu_);
       if (pending_ == 0) return status_;
-      cv_.wait_for(lock, std::chrono::milliseconds(1));
+      cv_.WaitFor(lock, std::chrono::milliseconds(1));
     }
   }
 }

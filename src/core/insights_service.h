@@ -124,8 +124,9 @@ class InsightsService {
   std::unordered_map<Hash128, int64_t, Hash128Hasher> view_locks_;
   ReuseControls controls_;
   std::deque<obs::QueryProfile> profiles_;
-  // Atomic: concurrent compilations fetch annotations through a const
-  // service reference, so the counter increments race without a lock.
+  // atomic[relaxed]: concurrent compilations fetch annotations through a
+  // const service reference, so the tally increments race without a lock;
+  // it carries no ordered payload.
   mutable std::atomic<int64_t> fetch_count_{0};
 };
 

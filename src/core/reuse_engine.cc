@@ -513,7 +513,7 @@ SelectionResult ReuseEngine::RunViewSelection(double now) {
   if constexpr (verify::RuntimeChecksEnabled()) {
     // Selection trusts repository aggregates; cross-check them against the
     // signatures of every plan compiled so far before choosing views.
-    Status audit = auditor_.CrossCheckRepository(repository_);
+    Status audit = auditor_.CrossCheckGroups(repository_.AuditGroups());
     if (!audit.ok()) {
       obs::LogError("engine", "repository_audit_failed",
                     {{"status", audit.ToString()}});

@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "common/status.h"
-#include "core/cardinality_feedback.h"
 #include "core/insights_service.h"
 #include "core/view_manager.h"
 #include "core/view_selection.h"
@@ -15,6 +14,7 @@
 #include "exec/executor.h"
 #include "obs/profile.h"
 #include "obs/provenance.h"
+#include "optimizer/cardinality_feedback.h"
 #include "optimizer/optimizer.h"
 #include "plan/builder.h"
 #include "plan/normalizer.h"

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "exec/stats.h"
+#include "common/exec_stats.h"
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
 #include "obs/log.h"

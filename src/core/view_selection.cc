@@ -4,7 +4,7 @@
 #include <cmath>
 #include <map>
 
-#include "exec/stats.h"
+#include "common/exec_stats.h"
 
 namespace cloudviews {
 

@@ -141,6 +141,17 @@ std::vector<const SubexpressionGroup*> WorkloadRepository::AllGroups() const {
   return out;
 }
 
+std::vector<verify::RepositoryGroup> WorkloadRepository::AuditGroups() const {
+  std::vector<verify::RepositoryGroup> out;
+  out.reserve(groups_.size());
+  for (const auto& [sig, group] : groups_) {
+    out.push_back({group.strict_signature, group.recurring_signature,
+                   group.subtree_size, group.occurrences, group.cost_samples,
+                   group.first_day, group.last_day});
+  }
+  return out;
+}
+
 std::vector<DayOverlapStats> WorkloadRepository::OverlapByDay() const {
   std::vector<DayOverlapStats> out;
   out.reserve(by_day_.size());

@@ -7,9 +7,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_stats.h"
 #include "common/hash.h"
-#include "exec/stats.h"
 #include "plan/signature.h"
+#include "verify/signature_auditor.h"
 
 namespace cloudviews {
 
@@ -125,6 +126,11 @@ class WorkloadRepository {
       int64_t min_occurrences = 2) const;
 
   std::vector<const SubexpressionGroup*> AllGroups() const;
+
+  // Every group flattened to the signature auditor's audit view. The
+  // auditor sits below core in the module DAG, so the repository feeds it
+  // plain values rather than itself.
+  std::vector<verify::RepositoryGroup> AuditGroups() const;
 
   // Per-day overlap series (Figure 3 left); days with no activity are
   // omitted.

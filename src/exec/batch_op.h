@@ -271,7 +271,11 @@ class BatchSpoolOp : public BatchOp, public SpoolOpIface {
   double spool_cpu_cost_ = 0.0;
   bool aborted_ = false;
   Status abort_cause_;
+  // atomic[seq_cst]: exactly-once latch; the winning exchange(true) must
+  // be globally ordered before the losing observers' loads.
   std::atomic<bool> completed_{false};
+  // atomic[acq_rel]: fires counted after winning the latch; acquire loads
+  // in completion_fires() observe the matching callback's effects.
   std::atomic<uint32_t> completion_fires_{0};
 };
 

@@ -5,10 +5,10 @@
 
 #include "common/thread_pool.h"
 #include "exec/batch_op.h"
+#include "exec/physical_verifier.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "verify/physical_verifier.h"
 #include "verify/plan_verifier.h"
 #include "verify/verify.h"
 

@@ -5,9 +5,9 @@
 #include <functional>
 #include <memory>
 
+#include "common/exec_stats.h"
 #include "common/status.h"
 #include "exec/physical_op.h"
-#include "exec/stats.h"
 #include "plan/logical_plan.h"
 #include "storage/catalog.h"
 #include "storage/table.h"

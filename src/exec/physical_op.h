@@ -8,8 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_stats.h"
 #include "common/status.h"
-#include "exec/stats.h"
 #include "plan/logical_plan.h"
 #include "storage/table.h"
 
@@ -356,7 +356,11 @@ class SpoolOp : public PhysicalOp, public SpoolOpIface {
   Status abort_cause_;
   // Exactly-once completion latch: even if end-of-stream is observed from
   // more than one thread, only the first transition fires `on_complete_`.
+  // atomic[seq_cst]: exactly-once latch; the winning exchange(true) must
+  // be globally ordered before the losing observers' loads.
   std::atomic<bool> completed_{false};
+  // atomic[acq_rel]: fires counted after winning the latch; acquire loads
+  // in completion_fires() observe the matching callback's effects.
   std::atomic<uint32_t> completion_fires_{0};
 };
 

@@ -1,4 +1,4 @@
-#include "verify/physical_verifier.h"
+#include "exec/physical_verifier.h"
 
 #include <string>
 #include <unordered_map>

@@ -1,5 +1,5 @@
-#ifndef CLOUDVIEWS_VERIFY_PHYSICAL_VERIFIER_H_
-#define CLOUDVIEWS_VERIFY_PHYSICAL_VERIFIER_H_
+#ifndef CLOUDVIEWS_EXEC_PHYSICAL_VERIFIER_H_
+#define CLOUDVIEWS_EXEC_PHYSICAL_VERIFIER_H_
 
 #include <vector>
 
@@ -52,4 +52,4 @@ class PhysicalVerifier {
 }  // namespace verify
 }  // namespace cloudviews
 
-#endif  // CLOUDVIEWS_VERIFY_PHYSICAL_VERIFIER_H_
+#endif  // CLOUDVIEWS_EXEC_PHYSICAL_VERIFIER_H_

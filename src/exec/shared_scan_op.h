@@ -5,7 +5,7 @@
 
 #include "common/status.h"
 #include "exec/batch_op.h"
-#include "sharing/shared_stream.h"
+#include "exec/shared_stream.h"
 
 namespace cloudviews {
 

@@ -1,4 +1,4 @@
-#include "sharing/shared_stream.h"
+#include "exec/shared_stream.h"
 
 #include <chrono>
 #include <utility>
@@ -12,6 +12,8 @@ SharedStream::SharedStream(const Hash128& signature, size_t fanout)
     : signature_(signature), fanout_(fanout) {}
 
 Status SharedStream::Publish(ColumnBatch batch) {
+  // relaxed-ok: single-producer counter; only the producer thread writes
+  // published_, so its own last value needs no ordering.
   const size_t index = published_.load(std::memory_order_relaxed);
   const size_t segment = index >> kSegmentShift;
   if (segment >= kMaxSegments) {
@@ -28,30 +30,30 @@ Status SharedStream::Publish(ColumnBatch batch) {
   // The slot (and its segment pointer) happens-before any acquire load that
   // observes the new count.
   published_.store(index + 1, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-  }
-  cv_.notify_all();
+  // Empty critical section pairs with WaitForBatch's predicate check so the
+  // notify cannot slip between its predicate evaluation and its wait.
+  { MutexLock lock(mu_); }
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 void SharedStream::Complete() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     state_.store(static_cast<int>(State::kComplete),
                  std::memory_order_release);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void SharedStream::Abort(Status cause) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     abort_cause_ = std::move(cause);
     state_.store(static_cast<int>(State::kAborted),
                  std::memory_order_release);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 const ColumnBatch& SharedStream::batch(size_t index) const {
@@ -60,21 +62,21 @@ const ColumnBatch& SharedStream::batch(size_t index) const {
 
 SharedStream::State SharedStream::WaitForBatch(size_t index,
                                                double timeout_seconds) const {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   auto ready = [&] {
     return published_.load(std::memory_order_acquire) > index ||
            state() != State::kRunning;
   };
   if (timeout_seconds <= 0) {
-    cv_.wait(lock, ready);
+    cv_.Wait(lock, ready);
   } else {
-    cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds), ready);
+    cv_.WaitFor(lock, std::chrono::duration<double>(timeout_seconds), ready);
   }
   return state();
 }
 
 Status SharedStream::abort_cause() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return abort_cause_;
 }
 

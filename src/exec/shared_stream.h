@@ -1,14 +1,14 @@
-#ifndef CLOUDVIEWS_SHARING_SHARED_STREAM_H_
-#define CLOUDVIEWS_SHARING_SHARED_STREAM_H_
+#ifndef CLOUDVIEWS_EXEC_SHARED_STREAM_H_
+#define CLOUDVIEWS_EXEC_SHARED_STREAM_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/column.h"
 
 namespace cloudviews {
@@ -42,11 +42,11 @@ class SharedStream {
 
   // Appends `batch` to the log. Fails with ResourceExhausted when the log is
   // full (the producer should then Abort); never blocks.
-  Status Publish(ColumnBatch batch);
+  Status Publish(ColumnBatch batch) EXCLUDES(mu_);
 
   // Terminal transitions; exactly one of these is called, once.
-  void Complete();
-  void Abort(Status cause);
+  void Complete() EXCLUDES(mu_);
+  void Abort(Status cause) EXCLUDES(mu_);
 
   // --- Subscriber side (any thread) ----------------------------------------
 
@@ -62,12 +62,12 @@ class SharedStream {
   // state, or `timeout_seconds` elapses (<= 0: wait forever). Returns the
   // state observed on wakeup; the caller must re-check published() — a
   // kRunning return means the wait timed out.
-  State WaitForBatch(size_t index, double timeout_seconds) const;
+  State WaitForBatch(size_t index, double timeout_seconds) const EXCLUDES(mu_);
 
   State state() const {
     return static_cast<State>(state_.load(std::memory_order_acquire));
   }
-  Status abort_cause() const;
+  Status abort_cause() const EXCLUDES(mu_);
 
   // --- Identity / accounting ------------------------------------------------
 
@@ -110,16 +110,26 @@ class SharedStream {
   // release-store of published_, so any subscriber that observed the count
   // also observes the pointer and the slots below it.
   std::unique_ptr<ColumnBatch[]> segments_[kMaxSegments];
+  // atomic[release/acquire]: the producer's store(release) in Publish
+  // publishes the slot and segment pointer below the new count; subscriber
+  // load(acquire) in published()/WaitForBatch consumes them.
   std::atomic<size_t> published_{0};
+  // atomic[release/acquire]: terminal transition store(release) under mu_
+  // (Complete/Abort) publishes abort_cause_; load(acquire) in state().
   std::atomic<int> state_{static_cast<int>(State::kRunning)};
+  // atomic[relaxed]: producer-side byte/row tallies, read after the window
+  // joins; no ordering carried.
   std::atomic<uint64_t> rows_published_{0};
+  // atomic[relaxed]: see rows_published_.
   std::atomic<uint64_t> bytes_published_{0};
+  // atomic[relaxed]: subscriber outcome tallies, folded in after joins.
   std::atomic<uint64_t> subscribers_served_{0};
+  // atomic[relaxed]: see subscribers_served_.
   std::atomic<uint64_t> subscribers_detached_{0};
 
-  mutable std::mutex mu_;                // guards cv_ waits and abort_cause_
-  mutable std::condition_variable cv_;
-  Status abort_cause_;
+  mutable Mutex mu_;  // guards cv_ waits and abort_cause_
+  mutable CondVar cv_;
+  Status abort_cause_ GUARDED_BY(mu_);
 };
 
 // Read-only lookup of in-flight streams, handed to executors via
@@ -135,4 +145,4 @@ class StreamDirectory {
 }  // namespace sharing
 }  // namespace cloudviews
 
-#endif  // CLOUDVIEWS_SHARING_SHARED_STREAM_H_
+#endif  // CLOUDVIEWS_EXEC_SHARED_STREAM_H_

@@ -147,7 +147,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plan_ = std::move(plan);
   rng_ = std::make_unique<Random>(plan_.seed);
   stats_.clear();
@@ -173,7 +173,7 @@ Status FaultInjector::ArmFromEnv() {
 }
 
 Status FaultInjector::InjectSlow(const char* site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (plan_.empty()) return Status::OK();
   SiteStats& stats = stats_[site];
   stats.hits += 1;
@@ -197,20 +197,20 @@ Status FaultInjector::InjectSlow(const char* site) {
 }
 
 SiteStats FaultInjector::stats(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = stats_.find(site);
   return it == stats_.end() ? SiteStats{} : it->second;
 }
 
 uint64_t FaultInjector::total_fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [site, stats] : stats_) total += stats.fired;
   return total;
 }
 
 FaultPlan FaultInjector::plan() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return plan_;
 }
 

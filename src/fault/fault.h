@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cloudviews {
 namespace fault {
@@ -72,30 +73,32 @@ class FaultInjector {
 
   // Installs `plan` and resets all per-site counters and the RNG stream.
   // An empty plan disarms.
-  void Arm(FaultPlan plan);
-  void Disarm();
+  void Arm(FaultPlan plan) EXCLUDES(mu_);
+  void Disarm() EXCLUDES(mu_);
 
   // Arms from CLOUDVIEWS_FAULTS / CLOUDVIEWS_FAULT_SEED if set (called once
   // automatically at process start). Returns InvalidArgument on a malformed
   // spec, leaving the injector disarmed.
-  Status ArmFromEnv();
+  Status ArmFromEnv() EXCLUDES(mu_);
 
   // Slow path behind Inject(); takes the registry lock.
-  Status InjectSlow(const char* site);
+  Status InjectSlow(const char* site) EXCLUDES(mu_);
 
-  SiteStats stats(const std::string& site) const;
-  uint64_t total_fired() const;
-  FaultPlan plan() const;
+  SiteStats stats(const std::string& site) const EXCLUDES(mu_);
+  uint64_t total_fired() const EXCLUDES(mu_);
+  FaultPlan plan() const EXCLUDES(mu_);
 
  private:
   FaultInjector() = default;
 
+  // atomic[relaxed]: single-flag arm gate, same discipline as
+  // Tracer::enabled_; the armed plan itself is read under mu_.
   static std::atomic<bool> armed_;
 
-  mutable std::mutex mu_;
-  FaultPlan plan_;
-  std::unique_ptr<Random> rng_;
-  std::map<std::string, SiteStats> stats_;
+  mutable Mutex mu_;
+  FaultPlan plan_ GUARDED_BY(mu_);
+  std::unique_ptr<Random> rng_ GUARDED_BY(mu_);
+  std::map<std::string, SiteStats> stats_ GUARDED_BY(mu_);
 };
 
 // The injection point. Returns OK (and stays off every profile) unless a

@@ -1,9 +1,9 @@
 #include "obs/log.h"
 
-#include <chrono>
 #include <cstdio>
 
 #include "common/sim_clock.h"
+#include "obs/trace.h"
 
 namespace cloudviews {
 namespace obs {
@@ -80,22 +80,22 @@ Logger& Logger::Global() {
 }
 
 void Logger::set_min_level(LogLevel level) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   min_level_ = level;
 }
 
 LogLevel Logger::min_level() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return min_level_;
 }
 
 void Logger::set_sim_clock(const SimClock* clock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sim_clock_ = clock;
 }
 
 void Logger::set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sink_ = std::move(sink);
 }
 
@@ -105,20 +105,20 @@ void Logger::Log(LogLevel level, const char* component, const char* event,
   std::string line = "level=";
   line += LogLevelName(level);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sim_clock_ != nullptr) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.3f", sim_clock_->Now());
     line += " sim=";
     line += buf;
   } else {
-    double unix_seconds =
-        std::chrono::duration<double>(
-            std::chrono::system_clock::now().time_since_epoch())
-            .count();
+    // Monotonic process-local seconds (the tracer's clock): src/ never
+    // reads the wall clock, so two runs of the same workload produce lines
+    // that differ only in this field's values, not in shape.
+    double mono_seconds = static_cast<double>(Tracer::NowMicros()) / 1e6;
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.6f", unix_seconds);
-    line += " ts=";
+    std::snprintf(buf, sizeof(buf), "%.6f", mono_seconds);
+    line += " mono=";
     line += buf;
   }
   line += " component=";

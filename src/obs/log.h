@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cloudviews {
 
@@ -34,41 +36,43 @@ struct LogField {
   LogField(std::string_view k, bool v);
 };
 
-// Leveled structured logger emitting one `level=... ts=... component=...
+// Leveled structured logger emitting one `level=... mono=... component=...
 // event=... k=v ...` line per call. Replaces the ad-hoc fprintf/std::cerr
 // calls that used to be scattered through the engine and examples.
 //
 // Determinism: when a SimClock is installed (the simulator does this), the
-// timestamp field is `sim=<simulated seconds>` — identical across runs —
-// instead of wall-clock time, so logged output is reproducible.
+// timestamp field is `sim=<simulated seconds>` — identical across runs.
+// Without one, the fallback is `mono=<seconds on the process-local
+// monotonic clock>` (never wall-clock time: src/ is wall-clock-free by
+// lint rule, so identical runs differ only in this one field's values).
 class Logger {
  public:
   using Sink = std::function<void(const std::string& line)>;
 
   static Logger& Global();
 
-  void set_min_level(LogLevel level);
-  LogLevel min_level() const;
+  void set_min_level(LogLevel level) EXCLUDES(mu_);
+  LogLevel min_level() const EXCLUDES(mu_);
 
   // Installs (or clears, with nullptr) the simulated clock used for
   // timestamps. The clock must outlive its installation.
-  void set_sim_clock(const SimClock* clock);
+  void set_sim_clock(const SimClock* clock) EXCLUDES(mu_);
 
   // Replaces the sink; nullptr restores the default stderr sink.
-  void set_sink(Sink sink);
+  void set_sink(Sink sink) EXCLUDES(mu_);
 
   bool ShouldLog(LogLevel level) const { return level >= min_level(); }
 
   void Log(LogLevel level, const char* component, const char* event,
-           std::initializer_list<LogField> fields = {});
+           std::initializer_list<LogField> fields = {}) EXCLUDES(mu_);
 
  private:
   Logger() = default;
 
-  mutable std::mutex mu_;
-  LogLevel min_level_ = LogLevel::kInfo;
-  const SimClock* sim_clock_ = nullptr;
-  Sink sink_;
+  mutable Mutex mu_;
+  LogLevel min_level_ GUARDED_BY(mu_) = LogLevel::kInfo;
+  const SimClock* sim_clock_ GUARDED_BY(mu_) = nullptr;
+  Sink sink_ GUARDED_BY(mu_);
 };
 
 // Convenience wrappers over Logger::Global().

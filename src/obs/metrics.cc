@@ -5,10 +5,40 @@
 #include <memory>
 #include <thread>
 
+#include "common/thread_pool.h"
 #include "obs/json_writer.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
 
 namespace cloudviews {
 namespace obs {
+
+namespace {
+
+// Wires the ThreadPool telemetry seam to the metrics registry and tracer.
+// The pool sits below obs in the module DAG and cannot name either, so the
+// hooks are installed from this TU: any binary that links the registry
+// (i.e. anything that could observe the metrics) also gets pool telemetry.
+// Captureless lambdas decay to the plain function pointers the seam wants.
+[[maybe_unused]] const bool g_pool_hooks_installed = [] {
+  ThreadPool::TelemetryHooks hooks;
+  hooks.on_submit = [] {
+    static Counter& submitted =
+        MetricsRegistry::Global().counter(metric_names::kThreadpoolTasks);
+    submitted.Increment();
+  };
+  hooks.wait_timing_enabled = [] { return Tracer::Enabled(); };
+  hooks.now_micros = [] { return Tracer::NowMicros(); };
+  hooks.observe_wait_us = [](double micros) {
+    static Histogram& queue_wait = MetricsRegistry::Global().histogram(
+        metric_names::kThreadpoolQueueWaitUs, LatencyBucketsUs());
+    queue_wait.Observe(micros);
+  };
+  ThreadPool::InstallTelemetryHooks(hooks);
+  return true;
+}();
+
+}  // namespace
 
 // --- Counter -----------------------------------------------------------------
 
@@ -37,7 +67,10 @@ Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),
       counts_(std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() +
                                                         1)) {
-  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    // relaxed-ok: constructor runs before the histogram is published.
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::Observe(double value) {
@@ -86,14 +119,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -101,7 +134,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(upper_bounds));
@@ -110,7 +143,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::string MetricsRegistry::SnapshotText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += name;
@@ -149,7 +182,7 @@ std::string MetricsRegistry::SnapshotText() const {
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("counters").BeginObject();
@@ -182,7 +215,7 @@ std::string MetricsRegistry::SnapshotJson() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cloudviews {
 namespace obs {
@@ -37,6 +39,8 @@ class Counter {
  private:
   static constexpr size_t kShards = 16;
   struct alignas(64) Cell {
+    // atomic[relaxed]: statistical tally; Value() sums shards with no
+    // ordering requirement against anything else.
     std::atomic<uint64_t> value{0};
   };
   static size_t ShardIndex();
@@ -53,6 +57,7 @@ class Gauge {
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  // atomic[relaxed]: last-write-wins sample; no ordered payload.
   std::atomic<int64_t> value_{0};
 };
 
@@ -77,8 +82,11 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
+  // atomic[relaxed]: per-bucket tallies; snapshots tolerate torn totals.
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  // atomic[relaxed]: see counts_.
   std::atomic<uint64_t> count_{0};
+  // atomic[relaxed]: CAS accumulation loop; see counts_.
   std::atomic<double> sum_{0.0};
 };
 
@@ -94,26 +102,27 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name) EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) EXCLUDES(mu_);
   // `upper_bounds` is used only on first creation of `name`.
   Histogram& histogram(const std::string& name,
-                       std::vector<double> upper_bounds);
+                       std::vector<double> upper_bounds) EXCLUDES(mu_);
 
   // One `name value` (or `name{bucket} value`) line per instrument, sorted
   // by name — the text exposition format.
-  std::string SnapshotText() const;
+  std::string SnapshotText() const EXCLUDES(mu_);
   // The same snapshot as a JSON document.
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const EXCLUDES(mu_);
 
   // Test-only: zeroes every instrument (names stay registered).
-  void ResetForTest();
+  void ResetForTest() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 // Default bucket bounds for microsecond-scale latency histograms.

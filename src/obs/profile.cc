@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "exec/stats.h"
+#include "common/exec_stats.h"
 #include "obs/json_writer.h"
 
 namespace cloudviews {

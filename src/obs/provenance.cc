@@ -139,7 +139,7 @@ void ProvenanceLedger::RecordCandidate(const Hash128& strict,
                                        const std::string& virtual_cluster,
                                        double expected_utility, double now) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StreamState* state = GetStream(strict, /*create=*/true);
   if (!state->stream.events.empty()) {
     // Selections re-publish every day; only a fresh incarnation (after a
@@ -160,7 +160,7 @@ void ProvenanceLedger::RecordCandidate(const Hash128& strict,
 void ProvenanceLedger::RecordLockAcquired(const Hash128& strict,
                                           int64_t job_id, double now) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StreamState* state = GetStream(strict, /*create=*/true);
   if (!state->stream.events.empty()) {
     const ViewEvent& last = state->stream.events.back();
@@ -181,7 +181,7 @@ void ProvenanceLedger::RecordSpoolStarted(const Hash128& strict,
                                           const std::string& virtual_cluster,
                                           int64_t job_id, double now) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StreamState* state = GetStream(strict, /*create=*/false);
   if (state == nullptr) {
     CountDropped();
@@ -202,7 +202,7 @@ void ProvenanceLedger::RecordSealed(const Hash128& strict, int64_t job_id,
                                     double build_cost,
                                     double spool_latency_seconds) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StreamState* state = GetStream(strict, /*create=*/false);
   if (state == nullptr) {
     CountDropped();
@@ -221,7 +221,7 @@ void ProvenanceLedger::RecordSealed(const Hash128& strict, int64_t job_id,
 void ProvenanceLedger::RecordAborted(const Hash128& strict, int64_t job_id,
                                      double now, const std::string& detail) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StreamState* state = GetStream(strict, /*create=*/false);
   if (state == nullptr) {
     CountDropped();
@@ -242,7 +242,7 @@ void ProvenanceLedger::RecordHit(const Hash128& strict, int64_t job_id,
                                  double rows_avoided, double bytes_avoided,
                                  double queue_wait_seconds) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StreamState* state = GetStream(strict, /*create=*/false);
   if (state == nullptr) {
     CountDropped();
@@ -261,7 +261,7 @@ void ProvenanceLedger::RecordHit(const Hash128& strict, int64_t job_id,
 void ProvenanceLedger::RecordInvalidated(const Hash128& strict, double now,
                                          const std::string& detail) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StreamState* state = GetStream(strict, /*create=*/false);
   if (state == nullptr) {
     CountDropped();
@@ -277,7 +277,7 @@ void ProvenanceLedger::RecordInvalidated(const Hash128& strict, double now,
 void ProvenanceLedger::RecordQuarantined(const Hash128& strict, double now,
                                          const std::string& detail) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StreamState* state = GetStream(strict, /*create=*/false);
   if (state == nullptr) {
     CountDropped();
@@ -292,7 +292,7 @@ void ProvenanceLedger::RecordQuarantined(const Hash128& strict, double now,
 
 void ProvenanceLedger::RecordReclaimed(const Hash128& strict, double now) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StreamState* state = GetStream(strict, /*create=*/false);
   if (state == nullptr) {
     CountDropped();
@@ -305,17 +305,17 @@ void ProvenanceLedger::RecordReclaimed(const Hash128& strict, double now) {
 }
 
 size_t ProvenanceLedger::num_streams() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return streams_.size();
 }
 
 int64_t ProvenanceLedger::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 std::vector<ViewStream> ProvenanceLedger::Streams() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ViewStream> out;
   out.reserve(streams_.size());
   for (const StreamState& state : streams_) out.push_back(state.stream);
@@ -381,7 +381,7 @@ ViewAggregates ProvenanceLedger::Aggregate(const ViewStream& stream,
 LedgerTotals ProvenanceLedger::Totals(double now,
                                       double rent_per_byte_second) const {
   LedgerTotals totals;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   totals.streams = static_cast<int64_t>(streams_.size());
   for (const StreamState& state : streams_) {
     ViewAggregates agg =
@@ -407,7 +407,7 @@ LedgerTotals ProvenanceLedger::Totals(double now,
 }
 
 Status ProvenanceLedger::AuditStreams() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const StreamState& state : streams_) {
     const ViewStream& stream = state.stream;
     if (stream.events.empty()) {
@@ -537,7 +537,7 @@ std::string ProvenanceLedger::ExportJson(double now,
 }
 
 void ProvenanceLedger::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   streams_.clear();
   index_.clear();
   dropped_ = 0;

@@ -3,13 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace cloudviews {
 namespace obs {
@@ -159,32 +160,33 @@ class ProvenanceLedger {
   // counted, never recorded as an illegal half-stream).
   void RecordCandidate(const Hash128& strict, const Hash128& recurring,
                        const std::string& virtual_cluster,
-                       double expected_utility, double now);
-  void RecordLockAcquired(const Hash128& strict, int64_t job_id, double now);
+                       double expected_utility, double now) EXCLUDES(mu_);
+  void RecordLockAcquired(const Hash128& strict, int64_t job_id, double now)
+      EXCLUDES(mu_);
   void RecordSpoolStarted(const Hash128& strict, const Hash128& recurring,
                           const std::string& virtual_cluster, int64_t job_id,
-                          double now);
+                          double now) EXCLUDES(mu_);
   void RecordSealed(const Hash128& strict, int64_t job_id, double now,
                     uint64_t rows, uint64_t bytes, double build_cost,
-                    double spool_latency_seconds);
+                    double spool_latency_seconds) EXCLUDES(mu_);
   void RecordAborted(const Hash128& strict, int64_t job_id, double now,
-                     const std::string& detail);
+                     const std::string& detail) EXCLUDES(mu_);
   void RecordHit(const Hash128& strict, int64_t job_id, double now,
                  double saved_cost, double rows_avoided, double bytes_avoided,
-                 double queue_wait_seconds);
+                 double queue_wait_seconds) EXCLUDES(mu_);
   void RecordInvalidated(const Hash128& strict, double now,
-                         const std::string& detail);
+                         const std::string& detail) EXCLUDES(mu_);
   void RecordQuarantined(const Hash128& strict, double now,
-                         const std::string& detail);
-  void RecordReclaimed(const Hash128& strict, double now);
+                         const std::string& detail) EXCLUDES(mu_);
+  void RecordReclaimed(const Hash128& strict, double now) EXCLUDES(mu_);
 
   // --- Inspection ----------------------------------------------------------
 
-  size_t num_streams() const;
+  size_t num_streams() const EXCLUDES(mu_);
 
   // Streams in first-recorded order (deterministic for a deterministic
   // engine run — the export order of the insights report).
-  std::vector<ViewStream> Streams() const;
+  std::vector<ViewStream> Streams() const EXCLUDES(mu_);
 
   // Folds one stream into its aggregates. Open occupancy windows (sealed,
   // not yet retired) accrue rent up to `now`.
@@ -197,7 +199,7 @@ class ProvenanceLedger {
 
   // Validates every stream against the lifecycle state machine and checks
   // event times are nondecreasing. Returns the first violation found.
-  Status AuditStreams() const;
+  Status AuditStreams() const EXCLUDES(mu_);
 
   // Full ledger as JSON (streams + per-view aggregates + totals), rendered
   // via obs::JsonWriter — byte-identical across reruns of the same seed.
@@ -206,9 +208,9 @@ class ProvenanceLedger {
                              kDefaultStorageRentPerByteSecond) const;
 
   // Events dropped because their stream predates the ledger being enabled.
-  int64_t dropped_events() const;
+  int64_t dropped_events() const EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
   struct StreamState {
@@ -217,17 +219,19 @@ class ProvenanceLedger {
   };
 
   // Returns the stream for `strict`, creating it if `create`; null when
-  // absent and !create. Caller holds mu_.
-  StreamState* GetStream(const Hash128& strict, bool create);
-  void Append(StreamState* state, ViewEvent event, double now);
-  void CountDropped();
+  // absent and !create.
+  StreamState* GetStream(const Hash128& strict, bool create) REQUIRES(mu_);
+  void Append(StreamState* state, ViewEvent event, double now) REQUIRES(mu_);
+  void CountDropped() REQUIRES(mu_);
 
+  // atomic[relaxed]: single-flag enable gate, same discipline as
+  // Tracer::enabled_; no ordered payload behind it.
   static std::atomic<bool> enabled_;
 
-  mutable std::mutex mu_;
-  std::vector<StreamState> streams_;  // insertion order
-  std::unordered_map<Hash128, size_t, Hash128Hasher> index_;
-  int64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<StreamState> streams_ GUARDED_BY(mu_);  // insertion order
+  std::unordered_map<Hash128, size_t, Hash128Hasher> index_ GUARDED_BY(mu_);
+  int64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

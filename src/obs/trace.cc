@@ -53,7 +53,7 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> local = [this] {
     auto buffer = std::make_shared<ThreadBuffer>();
     buffer->tid = next_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers_.push_back(buffer);
     return buffer;
   }();
@@ -63,7 +63,7 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
 void Tracer::Record(TraceEvent event) {
   ThreadBuffer* buffer = LocalBuffer();
   event.tid = buffer->tid;
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   buffer->events.push_back(std::move(event));
 }
 
@@ -84,9 +84,9 @@ void Tracer::RecordComplete(std::string name, const char* category,
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();
   }
 }
@@ -94,9 +94,9 @@ void Tracer::Clear() {
 std::vector<TraceEvent> Tracer::Collect() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(buffer->mu);
       out.insert(out.end(), buffer->events.begin(), buffer->events.end());
     }
   }

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cloudviews {
 namespace obs {
@@ -45,7 +47,7 @@ class Tracer {
   void Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   // Drops every recorded event (buffers stay registered).
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   // Records a completed span with caller-measured timing — used where the
   // interval is already being measured (e.g. per-morsel busy time), so the
@@ -55,7 +57,7 @@ class Tracer {
                       std::string args = {});
 
   // Merged snapshot of every thread's buffer, sorted by (start_us, id).
-  std::vector<TraceEvent> Collect() const;
+  std::vector<TraceEvent> Collect() const EXCLUDES(mu_);
 
   // Chrome trace_event JSON ("complete" events), loadable in
   // chrome://tracing or https://ui.perfetto.dev.
@@ -68,20 +70,26 @@ class Tracer {
   friend class Span;
 
   struct ThreadBuffer {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> events;
+    mutable Mutex mu;
+    std::vector<TraceEvent> events GUARDED_BY(mu);
+    // Written once before the buffer is published (under the tracer's mu_),
+    // read only by the owning thread afterwards.
     uint32_t tid = 0;
   };
 
   Tracer();
-  ThreadBuffer* LocalBuffer();
-  void Record(TraceEvent event);
+  ThreadBuffer* LocalBuffer() EXCLUDES(mu_);
+  void Record(TraceEvent event) EXCLUDES(mu_);
 
+  // atomic[relaxed]: single-flag enable gate; instrumentation sites only
+  // need to eventually observe a flip, never any ordered payload.
   static std::atomic<bool> enabled_;
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
+  // atomic[relaxed]: unique-ID tickets; uniqueness needs atomicity only.
   std::atomic<uint32_t> next_tid_{0};
+  // atomic[relaxed]: see next_tid_.
   std::atomic<uint64_t> next_id_{0};
 };
 

@@ -1,4 +1,4 @@
-#include "core/cardinality_feedback.h"
+#include "optimizer/cardinality_feedback.h"
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"

@@ -1,5 +1,5 @@
-#ifndef CLOUDVIEWS_CORE_CARDINALITY_FEEDBACK_H_
-#define CLOUDVIEWS_CORE_CARDINALITY_FEEDBACK_H_
+#ifndef CLOUDVIEWS_OPTIMIZER_CARDINALITY_FEEDBACK_H_
+#define CLOUDVIEWS_OPTIMIZER_CARDINALITY_FEEDBACK_H_
 
 #include <cstdint>
 #include <optional>
@@ -58,4 +58,4 @@ class CardinalityFeedback {
 
 }  // namespace cloudviews
 
-#endif  // CLOUDVIEWS_CORE_CARDINALITY_FEEDBACK_H_
+#endif  // CLOUDVIEWS_OPTIMIZER_CARDINALITY_FEEDBACK_H_

@@ -2,10 +2,10 @@
 
 #include <functional>
 
-#include "core/cardinality_feedback.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimizer/cardinality_feedback.h"
 #include "verify/plan_verifier.h"
 #include "verify/verify.h"
 

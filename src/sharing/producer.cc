@@ -5,11 +5,11 @@
 
 #include "common/thread_pool.h"
 #include "exec/batch_op.h"
+#include "exec/physical_verifier.h"
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
-#include "verify/physical_verifier.h"
 #include "verify/verify.h"
 
 namespace cloudviews {

@@ -5,8 +5,8 @@
 
 #include "common/status.h"
 #include "exec/executor.h"
+#include "exec/shared_stream.h"
 #include "plan/logical_plan.h"
-#include "sharing/shared_stream.h"
 
 namespace cloudviews {
 namespace sharing {

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/hash.h"
-#include "sharing/shared_stream.h"
+#include "exec/shared_stream.h"
 
 namespace cloudviews {
 namespace sharing {

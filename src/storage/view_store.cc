@@ -49,7 +49,7 @@ Status ViewStore::BeginMaterialize(const Hash128& strict_signature,
                                    const Hash128& recurring_signature,
                                    const std::string& virtual_cluster,
                                    int64_t producer_job_id, double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = views_.find(strict_signature);
   if (it != views_.end() && it->second.state != ViewState::kExpired) {
     return Status::AlreadyExists("view already materializing or sealed: " +
@@ -72,7 +72,7 @@ Status ViewStore::BeginMaterialize(const Hash128& strict_signature,
 Status ViewStore::Seal(const Hash128& strict_signature, TablePtr contents,
                        uint64_t observed_rows, uint64_t observed_bytes,
                        double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = views_.find(strict_signature);
   if (it == views_.end()) {
     return Status::NotFound("no view being materialized for signature " +
@@ -112,7 +112,7 @@ Status ViewStore::Seal(const Hash128& strict_signature, TablePtr contents,
 
 const MaterializedView* ViewStore::Find(const Hash128& strict_signature,
                                         double now) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   static obs::Counter& hits = obs::MetricsRegistry::Global().counter(
       obs::metric_names::kViewsLookupHit);
   static obs::Counter& misses = obs::MetricsRegistry::Global().counter(
@@ -175,7 +175,7 @@ bool ViewStore::ValidateOnRead(MaterializedView* view, double now) const {
 
 Status ViewStore::CorruptForTest(const Hash128& strict_signature,
                                  size_t keep_rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = views_.find(strict_signature);
   if (it == views_.end() || it->second.table == nullptr) {
     return Status::NotFound("no sealed view to corrupt: " +
@@ -194,13 +194,13 @@ Status ViewStore::CorruptForTest(const Hash128& strict_signature,
 
 const MaterializedView* ViewStore::FindAny(
     const Hash128& strict_signature) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = views_.find(strict_signature);
   return it == views_.end() ? nullptr : &it->second;
 }
 
 Status ViewStore::RecordReuse(const Hash128& strict_signature) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = views_.find(strict_signature);
   if (it == views_.end()) {
     return Status::NotFound("view not found: " + strict_signature.ToHex());
@@ -211,7 +211,7 @@ Status ViewStore::RecordReuse(const Hash128& strict_signature) {
 }
 
 Status ViewStore::Invalidate(const Hash128& strict_signature, double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = views_.find(strict_signature);
   if (it == views_.end()) {
     return Status::NotFound("view not found: " + strict_signature.ToHex());
@@ -236,7 +236,7 @@ Status ViewStore::Invalidate(const Hash128& strict_signature, double now) {
 }
 
 void ViewStore::InvalidateAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   static obs::Counter& invalidations = obs::MetricsRegistry::Global().counter(
       obs::metric_names::kViewsInvalidations);
   invalidations.Add(views_.size());
@@ -255,7 +255,7 @@ void ViewStore::InvalidateAll() {
 }
 
 size_t ViewStore::PurgeExpired(double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t removed = 0;
   for (auto it = views_.begin(); it != views_.end();) {
     if (now >= it->second.expires_at ||
@@ -273,7 +273,7 @@ size_t ViewStore::PurgeExpired(double now) {
 }
 
 size_t ViewStore::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [sig, view] : views_) {
     if (view.state == ViewState::kSealed) total += view.byte_size;
@@ -282,7 +282,7 @@ size_t ViewStore::TotalBytes() const {
 }
 
 size_t ViewStore::NumLive() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [sig, view] : views_) {
     if (view.state != ViewState::kExpired) n += 1;
@@ -291,7 +291,7 @@ size_t ViewStore::NumLive() const {
 }
 
 std::vector<const MaterializedView*> ViewStore::LiveViews() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<const MaterializedView*> out;
   for (const auto& [sig, view] : views_) {
     if (view.state == ViewState::kSealed) out.push_back(&view);

@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/provenance.h"
 #include "storage/table.h"
 
@@ -84,12 +85,14 @@ class ViewStore {
   Status BeginMaterialize(const Hash128& strict_signature,
                           const Hash128& recurring_signature,
                           const std::string& virtual_cluster,
-                          int64_t producer_job_id, double now);
+                          int64_t producer_job_id, double now)
+      EXCLUDES(mu_);
 
   // Seals the view, making it readable. Early sealing: this may happen well
   // before the producing job completes.
   Status Seal(const Hash128& strict_signature, TablePtr contents,
-              uint64_t observed_rows, uint64_t observed_bytes, double now);
+              uint64_t observed_rows, uint64_t observed_bytes, double now)
+      EXCLUDES(mu_);
 
   // Returns the sealed view for this signature, if present, not expired,
   // and its integrity footer validates. Validation runs on the first read
@@ -98,72 +101,80 @@ class ViewStore {
   // quarantines the view (state -> kExpired, pending purge) and reports a
   // miss, so callers fall back to the base-scan plan.
   const MaterializedView* Find(const Hash128& strict_signature,
-                               double now) const;
+                               double now) const EXCLUDES(mu_);
 
   // Returns the entry regardless of state (for tests / the view manager).
-  const MaterializedView* FindAny(const Hash128& strict_signature) const;
+  const MaterializedView* FindAny(const Hash128& strict_signature) const
+      EXCLUDES(mu_);
 
   // Records one reuse of the view.
-  Status RecordReuse(const Hash128& strict_signature);
+  Status RecordReuse(const Hash128& strict_signature) EXCLUDES(mu_);
 
   // Drops a specific view (e.g. invalidated by input GUID rotation).
   // `now` tags the provenance event; pass -1 when no simulated timestamp is
   // available (the event inherits the stream's last time).
-  Status Invalidate(const Hash128& strict_signature, double now = -1.0);
+  Status Invalidate(const Hash128& strict_signature, double now = -1.0)
+      EXCLUDES(mu_);
 
   // Drops every view (signature-version bump invalidates the world).
-  void InvalidateAll();
+  void InvalidateAll() EXCLUDES(mu_);
 
   // Purges expired entries; returns the number removed.
-  size_t PurgeExpired(double now);
+  size_t PurgeExpired(double now) EXCLUDES(mu_);
 
   // Total bytes across live sealed views (storage-budget accounting).
-  size_t TotalBytes() const;
+  size_t TotalBytes() const EXCLUDES(mu_);
 
-  size_t NumLive() const;
-  int64_t total_views_created() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t NumLive() const EXCLUDES(mu_);
+  int64_t total_views_created() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return total_created_;
   }
-  int64_t total_views_reused() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t total_views_reused() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return total_reused_;
   }
-  int64_t total_views_quarantined() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t total_views_quarantined() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return total_quarantined_;
   }
   double ttl_seconds() const { return ttl_seconds_; }
 
-  std::vector<const MaterializedView*> LiveViews() const;
+  std::vector<const MaterializedView*> LiveViews() const EXCLUDES(mu_);
 
   // Test hook: truncates the stored table to `keep_rows` rows WITHOUT
   // updating the integrity footer — the simulated "file truncated after a
   // partial write" corruption that reads must detect.
-  Status CorruptForTest(const Hash128& strict_signature, size_t keep_rows);
+  Status CorruptForTest(const Hash128& strict_signature, size_t keep_rows)
+      EXCLUDES(mu_);
 
   // Attaches the reuse provenance ledger this store reports lifecycle
   // events (quarantine, invalidation, reclaim) to. Not owned; may be null.
-  void set_provenance(obs::ProvenanceLedger* ledger) { provenance_ = ledger; }
+  void set_provenance(obs::ProvenanceLedger* ledger) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    provenance_ = ledger;
+  }
 
  private:
   // Validates `view` against its footer, quarantining on mismatch (or on an
   // injected read fault). Returns true if the view is safe to serve. `now`
   // tags the quarantine provenance event.
-  bool ValidateOnRead(MaterializedView* view, double now) const;
+  bool ValidateOnRead(MaterializedView* view, double now) const
+      REQUIRES(mu_);
 
   double ttl_seconds_;
   // Guards every member below (Find from stream threads races Seal from the
   // driver during sharing windows).
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // `mutable`: Find() is logically const (a lookup) but quarantines corrupt
   // entries as a side effect; every caller holds the store via const
   // pointer, so bookkeeping happens through the mutable map.
-  mutable std::unordered_map<Hash128, MaterializedView, Hash128Hasher> views_;
-  int64_t total_created_ = 0;
-  int64_t total_reused_ = 0;
-  mutable int64_t total_quarantined_ = 0;
-  obs::ProvenanceLedger* provenance_ = nullptr;
+  mutable std::unordered_map<Hash128, MaterializedView, Hash128Hasher> views_
+      GUARDED_BY(mu_);
+  int64_t total_created_ GUARDED_BY(mu_) = 0;
+  int64_t total_reused_ GUARDED_BY(mu_) = 0;
+  mutable int64_t total_quarantined_ GUARDED_BY(mu_) = 0;
+  obs::ProvenanceLedger* provenance_ GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace cloudviews

@@ -244,53 +244,53 @@ Status SignatureAuditor::AuditPlan(const LogicalOp& root) {
   return status;
 }
 
-Status SignatureAuditor::CrossCheckRepository(
-    const WorkloadRepository& repository) {
+Status SignatureAuditor::CrossCheckGroups(
+    const std::vector<RepositoryGroup>& groups) {
   std::unordered_map<Hash128, Hash128, Hash128Hasher> recurring_seen;
-  for (const SubexpressionGroup* group : repository.AllGroups()) {
-    if (group->strict_signature.IsZero()) {
+  for (const RepositoryGroup& group : groups) {
+    if (group.strict_signature.IsZero()) {
       std::string msg = "repository audit: group with zero strict signature";
       report_.instabilities.push_back(msg);
       return Status::Corruption(msg);
     }
-    if (group->subtree_size < 1 || group->occurrences < 1 ||
-        group->cost_samples > group->occurrences ||
-        group->last_day < group->first_day) {
+    if (group.subtree_size < 1 || group.occurrences < 1 ||
+        group.cost_samples > group.occurrences ||
+        group.last_day < group.first_day) {
       std::string msg = "repository audit: inconsistent group " +
-                        group->strict_signature.ToHex() + " (" +
-                        std::to_string(group->occurrences) + " occurrences, " +
-                        std::to_string(group->cost_samples) +
+                        group.strict_signature.ToHex() + " (" +
+                        std::to_string(group.occurrences) + " occurrences, " +
+                        std::to_string(group.cost_samples) +
                         " cost samples, subtree size " +
-                        std::to_string(group->subtree_size) + ")";
+                        std::to_string(group.subtree_size) + ")";
       report_.instabilities.push_back(msg);
       return Status::Corruption(msg);
     }
     // A strict signature determines the subexpression, hence its recurring
     // signature — within the repository and against audited plans.
-    auto [it, inserted] = recurring_seen.emplace(group->strict_signature,
-                                                 group->recurring_signature);
-    if (!inserted && !(it->second == group->recurring_signature)) {
+    auto [it, inserted] = recurring_seen.emplace(group.strict_signature,
+                                                 group.recurring_signature);
+    if (!inserted && !(it->second == group.recurring_signature)) {
       std::string msg = "repository audit: strict signature " +
-                        group->strict_signature.ToHex() +
+                        group.strict_signature.ToHex() +
                         " has two recurring signatures";
       report_.instabilities.push_back(msg);
       return Status::Corruption(msg);
     }
-    auto audited = by_strict_.find(group->strict_signature);
+    auto audited = by_strict_.find(group.strict_signature);
     if (audited != by_strict_.end()) {
-      if (!(audited->second.recurring == group->recurring_signature)) {
+      if (!(audited->second.recurring == group.recurring_signature)) {
         std::string msg =
             "repository audit: strict signature " +
-            group->strict_signature.ToHex() +
+            group.strict_signature.ToHex() +
             " recurring signature disagrees with the compiled plan's";
         report_.instabilities.push_back(msg);
         return Status::Corruption(msg);
       }
-      if (audited->second.subtree_size != group->subtree_size) {
+      if (audited->second.subtree_size != group.subtree_size) {
         std::string msg = "repository audit: strict signature " +
-                          group->strict_signature.ToHex() +
+                          group.strict_signature.ToHex() +
                           " subtree size " +
-                          std::to_string(group->subtree_size) +
+                          std::to_string(group.subtree_size) +
                           " disagrees with the compiled plan's " +
                           std::to_string(audited->second.subtree_size);
         report_.instabilities.push_back(msg);

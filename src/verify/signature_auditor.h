@@ -7,7 +7,6 @@
 
 #include "common/hash.h"
 #include "common/status.h"
-#include "core/workload_repository.h"
 #include "plan/logical_plan.h"
 #include "plan/signature.h"
 
@@ -27,6 +26,20 @@ namespace verify {
 // Either one silently corrupts every downstream reuse decision (a collision
 // serves the wrong view's rows; an instability loses every reuse hit).
 std::string CanonicalForm(const LogicalOp& node);
+
+// One repository aggregate, flattened to exactly the fields the audit
+// consumes. The verifier sits below core in the module DAG, so the workload
+// repository hands its groups over as plain values (see
+// WorkloadRepository::AuditGroups) instead of being included here.
+struct RepositoryGroup {
+  Hash128 strict_signature;
+  Hash128 recurring_signature;
+  size_t subtree_size = 0;
+  int64_t occurrences = 0;
+  int64_t cost_samples = 0;
+  int first_day = 0;
+  int last_day = 0;
+};
 
 // Findings accumulated across every plan an auditor has seen.
 struct AuditReport {
@@ -61,7 +74,7 @@ class SignatureAuditor {
   // Cross-checks repository aggregates: every strict signature must pair
   // with a single recurring signature / subtree size, both here and against
   // every plan audited so far.
-  Status CrossCheckRepository(const WorkloadRepository& repository);
+  Status CrossCheckGroups(const std::vector<RepositoryGroup>& groups);
 
   const AuditReport& report() const { return report_; }
 

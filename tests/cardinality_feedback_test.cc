@@ -2,8 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/cardinality_feedback.h"
 #include "core/reuse_engine.h"
+#include "optimizer/cardinality_feedback.h"
 #include "optimizer/optimizer.h"
 #include "plan/builder.h"
 #include "plan/normalizer.h"

@@ -171,7 +171,7 @@ void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
   // Repository aggregates must agree with every plan that actually executed
   // and be internally consistent (one recurring signature and subtree size
   // per strict signature).
-  Status cross = auditor.CrossCheckRepository(engine.repository());
+  Status cross = auditor.CrossCheckGroups(engine.repository().AuditGroups());
   EXPECT_TRUE(cross.ok()) << cross.ToString();
   EXPECT_TRUE(engine.signature_audit().ok());
   outcome->sharing_streams = engine.sharing_stats().streams;

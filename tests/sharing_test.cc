@@ -16,10 +16,10 @@
 #include "common/sim_clock.h"
 #include "core/reuse_engine.h"
 #include "core/view_selection.h"
+#include "exec/shared_stream.h"
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
 #include "obs/provenance.h"
-#include "sharing/shared_stream.h"
 #include "sharing/sharing_policy.h"
 #include "sharing/sharing_registry.h"
 #include "sharing/sharing_rewrite.h"

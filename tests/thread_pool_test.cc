@@ -220,5 +220,27 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
   EXPECT_EQ(counter.load(), 500);
 }
 
+// Regression test for a shutdown lost-wakeup: the destructor used to flip
+// stop_ and notify WITHOUT touching the wait mutex, so a worker that had
+// just evaluated its sleep predicate (false) but not yet gone to sleep
+// missed both the flag and the notification and blocked forever, hanging
+// join(). The fix stores stop_ under the mutex. Hammering create/destroy
+// maximizes the chance of catching a worker in that window; with the bug
+// present this test hangs rather than fails.
+TEST(ThreadPoolTest, RapidCreateDestroyDoesNotHangShutdown) {
+  for (int round = 0; round < 200; ++round) {
+    ThreadPool pool(4);
+    // Half the rounds submit a little work so destruction races both
+    // sleeping and task-running workers; half destroy immediately, when
+    // every worker is headed for (or already in) the predicate window.
+    if (round % 2 == 0) {
+      std::atomic<int> ran{0};
+      for (int i = 0; i < 8; ++i) {
+        pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cloudviews

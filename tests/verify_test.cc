@@ -7,11 +7,11 @@
 
 #include "core/workload_repository.h"
 #include "exec/physical_op.h"
+#include "exec/physical_verifier.h"
 #include "plan/builder.h"
 #include "plan/normalizer.h"
 #include "plan/signature.h"
 #include "tests/test_util.h"
-#include "verify/physical_verifier.h"
 #include "verify/plan_verifier.h"
 #include "verify/signature_auditor.h"
 
@@ -423,7 +423,7 @@ TEST_F(VerifyTest, RepositoryCrossCheckCatchesRecurringMismatch) {
   instance.subtree_size = root_sig.subtree_size;
   repository.Ingest(instance);
 
-  Status status = auditor.CrossCheckRepository(repository);
+  Status status = auditor.CrossCheckGroups(repository.AuditGroups());
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.message().find("recurring signature disagrees"),
             std::string::npos)
@@ -450,7 +450,7 @@ TEST_F(VerifyTest, RepositoryCrossCheckAcceptsConsistentRepository) {
     instance.eligible = sig.eligible;
     repository.Ingest(instance);
   }
-  Status status = auditor.CrossCheckRepository(repository);
+  Status status = auditor.CrossCheckGroups(repository.AuditGroups());
   EXPECT_TRUE(status.ok()) << status.ToString();
 }
 

@@ -1,0 +1,10 @@
+#include <atomic>
+
+class Latch {
+ public:
+  void Fire() { fired_.store(true, std::memory_order_seq_cst); }
+
+ private:
+  // atomic[sequential]: "sequential" is not a recognized order token.
+  std::atomic<bool> fired_{false};
+};

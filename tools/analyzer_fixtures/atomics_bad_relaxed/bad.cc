@@ -1,0 +1,18 @@
+#include <atomic>
+
+class Publisher {
+ public:
+  void Publish() {
+    payload_ = 1;
+    // The member's protocol is release/acquire, and there is no
+    // justification tag here, so this store must be flagged.
+    ready_.store(true, std::memory_order_relaxed);
+  }
+  bool Ready() const { return ready_.load(std::memory_order_acquire); }
+
+ private:
+  int payload_ = 0;
+  // atomic[release/acquire]: Publish's store publishes payload_ to
+  // Ready's acquire load.
+  std::atomic<bool> ready_{false};
+};

@@ -1,0 +1,15 @@
+#include <atomic>
+
+class Telemetry {
+ public:
+  void Count() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void Publish() { ready_.store(true, std::memory_order_release); }
+  bool Ready() const { return ready_.load(std::memory_order_acquire); }
+
+ private:
+  // atomic[relaxed]: statistics tally; carries no ordered payload.
+  std::atomic<int> hits_{0};
+  // atomic[release/acquire]: Publish's store(release) pairs with Ready's
+  // load(acquire).
+  std::atomic<bool> ready_{false};
+};

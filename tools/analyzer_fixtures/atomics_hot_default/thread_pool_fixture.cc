@@ -1,0 +1,13 @@
+#include <atomic>
+
+// The file name contains "thread_pool", so it counts as hot-path: the
+// defaulted (seq_cst) store in Stop() must be flagged.
+class Pool {
+ public:
+  void Stop() { stop_.store(true); }
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+ private:
+  // atomic[release/acquire]: Stop publishes; stopped() consumes.
+  std::atomic<bool> stop_{false};
+};

@@ -1,0 +1,10 @@
+#include <atomic>
+
+// Fixture: the atomic member below has no protocol comment at all.
+class Counter {
+ public:
+  void Add() { count_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> count_{0};
+};

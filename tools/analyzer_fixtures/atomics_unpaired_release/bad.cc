@@ -1,0 +1,13 @@
+#include <atomic>
+
+class Flag {
+ public:
+  void Set() { flag_.store(true, std::memory_order_release); }
+  // relaxed-ok: fixture — the point is that no acquire load exists, so the
+  // release store above orders nothing.
+  bool Get() const { return flag_.load(std::memory_order_relaxed); }
+
+ private:
+  // atomic[release/acquire]: Set is supposed to pair with an acquire read.
+  std::atomic<bool> flag_{false};
+};

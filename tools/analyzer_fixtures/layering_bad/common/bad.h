@@ -1,0 +1,3 @@
+// Fixture: common sits at the bottom of the DAG; including core from it is
+// the canonical upward include the checker exists to reject.
+#include "core/reuse_engine.h"

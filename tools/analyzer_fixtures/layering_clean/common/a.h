@@ -1,0 +1,2 @@
+// Fixture: bottom module, no project includes.
+inline int Answer() { return 42; }

@@ -1,0 +1,2 @@
+// Fixture: core may include obs (declared dependency).
+#include "obs/b.h"

@@ -1,0 +1,2 @@
+// Fixture: obs may include common (downward edge).
+#include "common/a.h"

@@ -1,0 +1,3 @@
+// Fixture: "vendor" is not a module in the declared DAG; new top-level
+// directories must be added to ALLOWED_DEPS consciously.
+#include "common/status.h"

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Atomics-discipline checker for src/.
+
+Every std::atomic in src/ is part of a documented protocol. This tool
+enforces the grammar that documents it:
+
+1. Declaration protocol. Every `std::atomic<...>` member declaration must
+   carry a protocol comment — same line or in the comment block directly
+   above it — of the form:
+
+       // atomic[<order>]: <who publishes what to whom>
+
+   where <order> is one of: relaxed, acquire, release, release/acquire,
+   acq_rel, seq_cst. The order names the strongest ordering the member's
+   protocol relies on, so a reader knows what discipline uses must follow.
+
+2. Justified relaxed. A `std::memory_order_relaxed` use site is an error
+   unless (a) the member it operates on is declared `atomic[relaxed]` —
+   the whole protocol is relaxed, e.g. a statistics tally — or (b) the use
+   carries a `relaxed-ok: <reason>` comment on the same line or within the
+   4 lines above it (a stronger protocol with one deliberately weak access,
+   e.g. a single-producer counter re-reading its own last store).
+
+3. No defaulted seq_cst on hot paths. In hot-path files (basename contains
+   one of HOT_PATH_MARKERS), every atomic operation on a known atomic
+   member must spell its memory_order explicitly. Implicit seq_cst there is
+   either an unexamined cost or an undocumented requirement; both are bugs.
+
+4. Release/acquire pairing. A member with a `.store(..,
+   memory_order_release)` anywhere in the tree must also have a
+   `.load(.., memory_order_acquire)` (or acq_rel RMW) somewhere — a release
+   store nobody acquires orders nothing and means the protocol comment and
+   the code disagree.
+
+Run: python3 tools/atomics_lint.py [--root DIR]
+Exit status 1 when any violation is found.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+ALLOWED_ORDERS = {
+    "relaxed", "acquire", "release", "release/acquire", "acq_rel", "seq_cst",
+}
+
+# Files whose basename contains one of these run on hot paths: defaulted
+# (seq_cst) atomic operations are banned there outright.
+HOT_PATH_MARKERS = ("shared_stream", "metrics", "thread_pool", "fault")
+
+PROTOCOL_RE = re.compile(r"atomic\[([^\]]*)\]\s*:")
+RELAXED_OK_RE = re.compile(r"relaxed-ok\s*:")
+DECL_RE = re.compile(r"std::atomic<")
+# Last identifier before an initializer / semicolon on a declaration line.
+DECL_NAME_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\{[^{}]*\}|=[^;]*)?\s*;")
+# Out-of-class static member definition: `std::atomic<T> Class::member{..};`
+OUT_OF_CLASS_RE = re.compile(r">\s*[A-Za-z_]\w*\s*::")
+ATOMIC_OP_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*\.\s*"
+    r"(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
+
+
+def iter_source_files(root):
+    for dirpath, dirs, files in os.walk(root):
+        dirs.sort()
+        for name in sorted(files):
+            if name.endswith((".h", ".cc")):
+                yield os.path.join(dirpath, name)
+
+
+def preceding_comment_block(lines, idx):
+    """Comment lines directly above lines[idx], nearest last."""
+    block = []
+    j = idx - 1
+    while j >= 0 and lines[j].strip().startswith("//"):
+        block.append(lines[j])
+        j -= 1
+    return block
+
+
+def find_protocol(lines, idx):
+    """Protocol comment for the declaration at lines[idx]: same-line
+    trailing comment first, then the comment block directly above."""
+    candidates = []
+    if "//" in lines[idx]:
+        candidates.append(lines[idx].split("//", 1)[1])
+    candidates.extend(preceding_comment_block(lines, idx))
+    for text in candidates:
+        m = PROTOCOL_RE.search(text)
+        if m:
+            return m.group(1).strip()
+    return None
+
+
+def call_args(lines, idx, open_pos):
+    """Text from the '(' at (idx, open_pos) to its matching ')', spanning
+    up to 4 lines. Returns None when unbalanced within the window."""
+    depth = 0
+    collected = []
+    for j in range(idx, min(idx + 4, len(lines))):
+        text = lines[j][open_pos:] if j == idx else lines[j]
+        for pos, ch in enumerate(text):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    collected.append(text[:pos])
+                    return "".join(collected)
+        collected.append(text)
+    return None
+
+
+class Analysis:
+    def __init__(self):
+        self.violations = []
+        # member name -> declared protocol order (last declaration wins;
+        # names are unique enough in practice and collisions only weaken
+        # the relaxed rule to the union of protocols).
+        self.member_orders = {}
+        # member -> (path, line) of a release store / of an acquire load.
+        self.release_stores = {}
+        self.acquire_loads = set()
+
+    def report(self, path, line_no, rule, message):
+        self.violations.append((path, line_no, rule, message))
+
+    def scan_declarations(self, path, lines):
+        for idx, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            if not DECL_RE.search(code) or not code.rstrip().endswith(";"):
+                continue
+            if OUT_OF_CLASS_RE.search(code):
+                # Static member definition; the in-class declaration carries
+                # the protocol.
+                continue
+            m = DECL_NAME_RE.search(code)
+            if not m:
+                continue
+            name = m.group(1)
+            order = find_protocol(lines, idx)
+            if order is None:
+                self.report(path, idx + 1, "atomic-protocol",
+                            f"std::atomic member '{name}' has no "
+                            "'// atomic[<order>]: <pairing>' protocol "
+                            "comment")
+                continue
+            if order not in ALLOWED_ORDERS:
+                self.report(path, idx + 1, "atomic-protocol",
+                            f"std::atomic member '{name}' declares unknown "
+                            f"order 'atomic[{order}]' (allowed: "
+                            f"{', '.join(sorted(ALLOWED_ORDERS))})")
+                continue
+            self.member_orders[name] = order
+
+    def relaxed_justified(self, lines, idx):
+        window = lines[max(0, idx - 4):idx + 1]
+        return any(RELAXED_OK_RE.search(l) for l in window)
+
+    def scan_uses(self, path, lines):
+        hot = any(marker in os.path.basename(path)
+                  for marker in HOT_PATH_MARKERS)
+        for idx, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            ops = list(ATOMIC_OP_RE.finditer(code))
+            if not ops and "memory_order_relaxed" in code:
+                # Continuation line of a wrapped call: attribute it to the
+                # receiver on the previous line.
+                joined = (lines[idx - 1].split("//", 1)[0] + " " +
+                          code) if idx > 0 else code
+                ops = list(ATOMIC_OP_RE.finditer(joined))
+                if not any(self.member_orders.get(m.group(1)) == "relaxed"
+                           for m in ops):
+                    if not self.relaxed_justified(lines, idx):
+                        self.report(path, idx + 1, "atomic-relaxed",
+                                    "memory_order_relaxed on a member whose "
+                                    "protocol is not atomic[relaxed]; add a "
+                                    "'relaxed-ok: <reason>' comment or fix "
+                                    "the protocol")
+                continue
+            for m in ops:
+                name, op = m.group(1), m.group(2)
+                if name not in self.member_orders:
+                    continue
+                args = call_args(lines, idx, m.end() - 1)
+                if args is None:
+                    continue
+                if "memory_order_relaxed" in args:
+                    if (self.member_orders[name] != "relaxed"
+                            and not self.relaxed_justified(lines, idx)):
+                        self.report(
+                            path, idx + 1, "atomic-relaxed",
+                            f"memory_order_relaxed on '{name}' "
+                            f"(protocol atomic[{self.member_orders[name]}]) "
+                            "without a 'relaxed-ok: <reason>' comment")
+                if "memory_order" not in args and hot:
+                    self.report(
+                        path, idx + 1, "atomic-default-order",
+                        f"'{name}.{op}(...)' defaults to seq_cst in "
+                        "hot-path file; spell the memory_order explicitly")
+                if op == "store" and "memory_order_release" in args:
+                    self.release_stores.setdefault(name, (path, idx + 1))
+                if ((op == "load" and "memory_order_acquire" in args)
+                        or "memory_order_acq_rel" in args):
+                    self.acquire_loads.add(name)
+
+    def check_pairings(self):
+        for name, (path, line_no) in sorted(self.release_stores.items()):
+            if name not in self.acquire_loads:
+                self.report(
+                    path, line_no, "atomic-pairing",
+                    f"release store to '{name}' has no acquire-load "
+                    "counterpart anywhere in the tree; the release orders "
+                    "nothing")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default="src",
+                        help="source root to scan (default: src)")
+    args = parser.parse_args()
+
+    analysis = Analysis()
+    files = []
+    for path in iter_source_files(args.root):
+        with open(path, encoding="utf-8") as f:
+            files.append((path, f.read().splitlines()))
+    # Declarations first: the use rules key off the global member map.
+    for path, lines in files:
+        analysis.scan_declarations(path, lines)
+    for path, lines in files:
+        analysis.scan_uses(path, lines)
+    analysis.check_pairings()
+
+    for path, line_no, rule, message in analysis.violations:
+        sys.stderr.write(f"{path}:{line_no}: [{rule}] {message}\n")
+    if analysis.violations:
+        sys.stderr.write(
+            f"atomics_lint: {len(analysis.violations)} violation(s)\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,12 +30,27 @@ Checks, over src/, tests/, bench/, examples/, and tools/:
              the row-at-a-time reference engine (physical_op.cc) is the
              sanctioned home for row Values, and a deliberate boundary
              crossing carries lint:allow-row-value
+  determinism no std::chrono::system_clock and no std::this_thread::
+             sleep_for in src/ — engine behaviour must not depend on wall
+             time (signatures, telemetry, and tests replay deterministically;
+             steady-clock reads live behind Tracer::NowMicros, and waiting
+             goes through CondVar, never a timed busy-sleep)
+
+It also runs the dedicated analyzers as sub-checks, so `python3
+tools/lint.py` is the one-stop local gate:
+
+  tools/atomics_lint.py    atomics-discipline protocol comments
+  tools/layering_lint.py   module layering / include DAG
+
+Files under tools/analyzer_fixtures/ are deliberate negative test inputs
+for those analyzers and are excluded from every check here.
 
 Exit status 0 = clean; 1 = violations (printed one per line as
 path:line: [rule] message).
 """
 
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -240,6 +255,27 @@ def check_row_value(path, raw_lines, code_lines):
                        "boundary with " + ALLOW_ROW_VALUE + ")")
 
 
+def check_determinism(path, raw_lines, code_lines):
+    """src/ is wall-clock-free: std::chrono::system_clock would make
+    signatures, logs, and telemetry differ run to run, and sleep_for is a
+    timing-dependent wait that a CondVar should express instead. Tests,
+    benches, and tools may use either."""
+    if not path.is_relative_to(REPO / "src"):
+        return
+    patterns = [
+        (r"\bstd\s*::\s*chrono\s*::\s*system_clock\b",
+         "std::chrono::system_clock (wall clock); use the steady-clock "
+         "reads behind Tracer::NowMicros()"),
+        (r"\bstd\s*::\s*this_thread\s*::\s*sleep_for\b",
+         "std::this_thread::sleep_for (timing-dependent wait); block on a "
+         "CondVar instead"),
+    ]
+    for no, line in enumerate(code_lines, 1):
+        for pattern, what in patterns:
+            if re.search(pattern, line):
+                report(path, no, "determinism", f"{what}")
+
+
 def check_fault_sites():
     """Cross-file rule: the fault-injection site registry is closed.
 
@@ -364,6 +400,7 @@ def lint_file(path):
     check_new_delete(path, raw_lines, code_lines)
     check_rng(path, raw_lines, code_lines)
     check_row_value(path, raw_lines, code_lines)
+    check_determinism(path, raw_lines, code_lines)
     check_include_blocks(path, raw_lines)
     if path.suffix == ".h":
         check_guard(path, raw_lines)
@@ -371,23 +408,48 @@ def lint_file(path):
         check_self_include_first(path, raw_lines)
 
 
+def run_analyzers():
+    """Run the standalone analyzers so this script is the full local gate.
+    Their diagnostics already carry path:line: [rule] prefixes; forward
+    them verbatim and fold the failure into our exit status."""
+    failed = False
+    for analyzer in ("atomics_lint.py", "layering_lint.py"):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / analyzer),
+             "--root", str(REPO / "src")],
+            capture_output=True, text=True)
+        output = (proc.stdout + proc.stderr).strip()
+        if output:
+            print(output)
+        if proc.returncode != 0:
+            failed = True
+    return failed
+
+
 def main():
+    fixtures = REPO / "tools" / "analyzer_fixtures"
     targets = []
     for d in SCAN_DIRS:
         targets += sorted((REPO / d).rglob("*.h"))
         targets += sorted((REPO / d).rglob("*.cc"))
+    # Fixture trees are deliberate rule violations for analyzer_test.py.
+    targets = [t for t in targets if not t.is_relative_to(fixtures)]
     for path in targets:
         lint_file(path)
     check_fault_sites()
     check_metric_names()
+    analyzers_failed = run_analyzers()
     for v in violations:
         print(v)
-    if violations:
-        print(f"lint: {len(violations)} violation(s) in "
-              f"{len(set(v.split(':')[0] for v in violations))} file(s)",
-              file=sys.stderr)
+    if violations or analyzers_failed:
+        if violations:
+            print(f"lint: {len(violations)} violation(s) in "
+                  f"{len(set(v.split(':')[0] for v in violations))} file(s)",
+                  file=sys.stderr)
+        if analyzers_failed:
+            print("lint: analyzer sub-check failed", file=sys.stderr)
         return 1
-    print(f"lint: {len(targets)} files clean")
+    print(f"lint: {len(targets)} files clean (+ atomics, layering)")
     return 0
 
 
