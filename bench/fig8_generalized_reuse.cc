@@ -1,13 +1,27 @@
 // Reproduces Figure 8: the opportunity for more generalized (containment-
-// based) views. The x-axis enumerates subexpressions that join the same sets
-// of inputs (but differ in projections, selections, or group-bys); the
-// y-axis is their frequency. The paper observes "lots of generalized
-// subexpressions with frequencies on the order of 10s to 100s" across the
-// same five clusters as Figures 2 and 3.
+// based) views — and then cashes it in.
+//
+// Part 1 (the paper's figure): mine the workload repository for
+// subexpressions that join the same sets of inputs but differ in
+// projections, selections, or group-bys; the paper observes "lots of
+// generalized subexpressions with frequencies on the order of 10s to 100s"
+// across the same five clusters as Figures 2 and 3.
+//
+// Part 2 (the follow-up the mining motivates): run the same seeded workload
+// through two reuse engines — exact-only signature matching vs exact plus
+// generalized (containment) matching — on a workload whose narrowed
+// templates never exact-match the shared wide views. The generalized arm
+// must win strictly more hits in total, every byte of every job output must
+// be identical, and the run emits a machine-readable `JSON {...}` line.
+// A violation of either property exits nonzero.
 
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "core/reuse_engine.h"
 #include "core/workload_analyzer.h"
 #include "core/workload_repository.h"
 #include "plan/signature.h"
@@ -17,8 +31,95 @@
 namespace cloudviews {
 namespace {
 
+std::string Render(const TablePtr& table) {
+  if (table == nullptr) return "<no output>";
+  std::string out;
+  for (const Row& row : table->rows()) {
+    for (const Value& v : row) {
+      out += v.is_null() ? "<null>" : v.ToString();
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+struct ArmResult {
+  std::map<int64_t, std::string> outputs_by_job;
+  int64_t hits_exact = 0;
+  int64_t hits_subsumed = 0;
+  int64_t views_built = 0;
+};
+
+// The execution workload: shared motifs plus narrowed probe templates that
+// can only reuse through containment.
+WorkloadProfile ExecutionProfile(double scale) {
+  WorkloadProfile profile;
+  profile.cluster_name = "fig8";
+  profile.seed = 8;
+  profile.num_virtual_clusters = 2;
+  profile.num_shared_datasets = 12;
+  profile.num_motifs = 5;
+  profile.num_templates = static_cast<int>(16 * scale);
+  profile.instances_per_template_per_day = 3;
+  profile.min_rows = 60;
+  profile.max_rows = 240;
+  profile.generalized_fraction = 0.4;
+  return profile;
+}
+
+int RunArm(const WorkloadProfile& profile, int days, bool generalized_on,
+           ArmResult* result) {
+  WorkloadGenerator generator(profile);
+  DatasetCatalog catalog;
+  if (!generator.Setup(&catalog).ok()) return 1;
+
+  ReuseEngineOptions options;
+  options.optimizer.enable_generalized_matching = generalized_on;
+  options.selection.schedule_aware = false;
+  options.selection.per_virtual_cluster = false;
+  options.selection.strategy = SelectionStrategy::kGreedyRatio;
+  ReuseEngine engine(&catalog, options);
+  engine.insights().controls().opt_out_model = true;
+
+  for (int day = 0; day < days; ++day) {
+    if (day >= 1) {
+      std::vector<std::string> updated;
+      if (!generator.AdvanceDay(&catalog, day, &updated).ok()) return 1;
+      for (const std::string& dataset : updated) {
+        engine.OnDatasetUpdated(dataset);
+      }
+    }
+    for (const GeneratedJob& job : generator.JobsForDay(catalog, day)) {
+      JobRequest request;
+      request.job_id = job.job_id;
+      request.virtual_cluster = job.virtual_cluster;
+      request.plan = job.plan;
+      request.submit_time = job.submit_time;
+      request.day = job.day;
+      request.cloudviews_enabled = job.cloudviews_enabled;
+      auto exec = engine.RunJob(request);
+      if (!exec.ok()) {
+        std::printf("job %lld failed: %s\n",
+                    static_cast<long long>(job.job_id),
+                    exec.status().ToString().c_str());
+        return 1;
+      }
+      result->outputs_by_job[exec->job_id] = Render(exec->output);
+      result->hits_exact +=
+          exec->views_matched - exec->views_matched_subsumed;
+      result->hits_subsumed += exec->views_matched_subsumed;
+      result->views_built += exec->views_built;
+    }
+    engine.RunViewSelection();
+    engine.Maintenance((day + 1) * 86400.0);
+  }
+  return 0;
+}
+
 int RunFig8(int argc, char** argv) {
   int days = bench_util::ParseDays(argc, argv, 7);  // one-week window
+  double scale = bench_util::ParseScale(argc, argv, 1.0);
   bench_util::PrintHeader(
       "Figure 8: Opportunities for more generalized views",
       "Jindal et al., EDBT 2021, Figure 8 (same-join-set subexpressions)");
@@ -60,6 +161,76 @@ int RunFig8(int argc, char** argv) {
   }
   std::printf("\n(paper: frequencies on the order of 10s to 100s per "
               "join-set; heavier on Cluster1)\n");
+
+  // Part 2: exact-only vs exact+generalized engine arms on one workload.
+  const WorkloadProfile exec_profile = ExecutionProfile(scale);
+  const int exec_days = std::max(3, days / 2);
+  ArmResult exact_only;
+  ArmResult generalized;
+  if (RunArm(exec_profile, exec_days, /*generalized_on=*/false,
+             &exact_only) != 0) {
+    return 1;
+  }
+  if (RunArm(exec_profile, exec_days, /*generalized_on=*/true,
+             &generalized) != 0) {
+    return 1;
+  }
+
+  int64_t byte_mismatches = 0;
+  for (const auto& [job_id, expected] : exact_only.outputs_by_job) {
+    auto it = generalized.outputs_by_job.find(job_id);
+    if (it == generalized.outputs_by_job.end() || it->second != expected) {
+      byte_mismatches += 1;
+    }
+  }
+  const int64_t exact_total = exact_only.hits_exact;
+  const int64_t generalized_total =
+      generalized.hits_exact + generalized.hits_subsumed;
+
+  std::printf("\nExecution arms over %d days (%zu jobs, seed %llu):\n",
+              exec_days, exact_only.outputs_by_job.size(),
+              static_cast<unsigned long long>(exec_profile.seed));
+  std::printf("  %-24s %12s %12s %12s\n", "arm", "hits_exact",
+              "hits_subsumed", "views_built");
+  std::printf("  %-24s %12lld %12lld %12lld\n", "exact-only",
+              static_cast<long long>(exact_only.hits_exact),
+              static_cast<long long>(exact_only.hits_subsumed),
+              static_cast<long long>(exact_only.views_built));
+  std::printf("  %-24s %12lld %12lld %12lld\n", "exact+generalized",
+              static_cast<long long>(generalized.hits_exact),
+              static_cast<long long>(generalized.hits_subsumed),
+              static_cast<long long>(generalized.views_built));
+
+  bench_util::JsonReport report("fig8_generalized_reuse");
+  report.Metric("days", static_cast<int64_t>(exec_days));
+  report.Metric("scale", scale);
+  report.Metric("jobs",
+                static_cast<int64_t>(exact_only.outputs_by_job.size()));
+  report.Metric("exact_arm_hits", exact_total);
+  report.Metric("generalized_arm_hits_exact", generalized.hits_exact);
+  report.Metric("generalized_arm_hits_subsumed", generalized.hits_subsumed);
+  report.Metric("generalized_arm_hits_total", generalized_total);
+  report.Metric("generalized_vs_exact_hits_ratio",
+                exact_total > 0 ? static_cast<double>(generalized_total) /
+                                      static_cast<double>(exact_total)
+                                : 0.0);
+  report.Metric("byte_mismatches", byte_mismatches);
+  report.Print();
+
+  if (byte_mismatches != 0) {
+    std::printf("FAIL: %lld job outputs differ between the arms\n",
+                static_cast<long long>(byte_mismatches));
+    return 1;
+  }
+  if (generalized.hits_subsumed <= 0 || generalized_total <= exact_total) {
+    std::printf(
+        "FAIL: generalized arm must strictly beat exact-only "
+        "(exact %lld vs generalized %lld, subsumed %lld)\n",
+        static_cast<long long>(exact_total),
+        static_cast<long long>(generalized_total),
+        static_cast<long long>(generalized.hits_subsumed));
+    return 1;
+  }
   return 0;
 }
 

@@ -33,6 +33,11 @@ ReuseEngine::ReuseEngine(DatasetCatalog* catalog, ReuseEngineOptions options)
   if (options_.enable_cardinality_feedback) {
     options_.optimizer.cardinality_feedback = &feedback_;
   }
+  if (options_.optimizer.enable_generalized_matching) {
+    repository_.generalized_index().SetSignatureOptions(
+        options_.optimizer.signature_options);
+    options_.optimizer.generalized_index = &repository_.generalized_index();
+  }
   optimizer_ = std::make_unique<Optimizer>(catalog_, options_.optimizer);
   auditor_ = verify::SignatureAuditor(options_.optimizer.signature_options);
 }
@@ -109,9 +114,21 @@ Result<OptimizationOutcome> ReuseEngine::CompileBound(
       return acquired;
     };
   }
-  return optimizer_->Optimize(plan, annotations,
-                              reuse_enabled ? &view_store_ : nullptr,
-                              try_lock, request.submit_time);
+  auto outcome = optimizer_->Optimize(plan, annotations,
+                                      reuse_enabled ? &view_store_ : nullptr,
+                                      try_lock, request.submit_time);
+  if constexpr (verify::RuntimeChecksEnabled()) {
+    if (outcome.ok()) {
+      // Every subsumption hit is re-verified by the auditor's independent
+      // serialization path — a containment-checker bug must not survive to
+      // execution as a silent wrong result.
+      for (const SubsumedMatchAudit& audit : outcome->subsumed_audits) {
+        CLOUDVIEWS_RETURN_NOT_OK(auditor_.AuditSubsumption(
+            *audit.query_subtree, *audit.view_definition, audit.residual));
+      }
+    }
+  }
+  return outcome;
 }
 
 Result<ReuseEngine::PreparedJob> ReuseEngine::PrepareJob(
@@ -151,6 +168,7 @@ Result<ReuseEngine::PreparedJob> ReuseEngine::PrepareJob(
   exec.job_id = request.job_id;
   exec.reuse_enabled = job.reuse_enabled;
   exec.views_matched = job.outcome.views_matched;
+  exec.views_matched_subsumed = job.outcome.views_matched_subsumed;
   exec.matched_signatures = job.outcome.matched_signatures;
   exec.matched_details = job.outcome.matched_details;
   exec.built_signatures = job.outcome.proposed_materializations;
@@ -178,6 +196,13 @@ Result<ReuseEngine::PreparedJob> ReuseEngine::PrepareJob(
                               op->children[0]->InputDatasets(),
                               request.job_id, request.submit_time)
             .ok();
+        if (options_.optimizer.enable_generalized_matching) {
+          // Index the definition for containment matching: later queries in
+          // the same match class can be answered by this view even when
+          // their strict signatures differ.
+          repository_.generalized_index().Register(
+              strict, child_sig.recurring, op->children[0]->Clone());
+        }
         break;
       }
       for (const LogicalOpPtr& child : op->children) {
@@ -256,6 +281,7 @@ Status ReuseEngine::ExecutePrepared(
     }
     views_built = 0;
     exec.views_matched = 0;
+    exec.views_matched_subsumed = 0;
     exec.matched_signatures.clear();
     exec.matched_details.clear();
     exec.built_signatures.clear();
@@ -552,6 +578,9 @@ void ReuseEngine::OnRuntimeVersionChange(uint64_t new_version) {
   auditor_ = verify::SignatureAuditor(options_.optimizer.signature_options);
   // Every existing view and annotation was keyed by the old signatures.
   view_manager_.InvalidateAll();
+  // Indexed definitions carry old-version class keys and strict signatures.
+  repository_.generalized_index().SetSignatureOptions(
+      options_.optimizer.signature_options);
   insights_.PublishSelection(SelectionResult{});
 }
 

@@ -101,6 +101,7 @@ struct JobExecution {
   ExecutionStats stats;
   LogicalOpPtr executed_plan;
   int views_matched = 0;
+  int views_matched_subsumed = 0;  // generalized (containment) hits
   int views_built = 0;
   std::vector<Hash128> matched_signatures;
   // Per-match attribution detail (same order as matched_signatures); empty

@@ -10,6 +10,7 @@
 #include "common/exec_stats.h"
 #include "common/hash.h"
 #include "plan/signature.h"
+#include "plan/view_index.h"
 #include "verify/signature_auditor.h"
 
 namespace cloudviews {
@@ -154,10 +155,20 @@ class WorkloadRepository {
   // Installs one day's overlap counters; fails if the day exists.
   Status RestoreDayStats(const DayOverlapStats& stats);
 
+  // Candidate index for generalized matching: spooled view definitions keyed
+  // by match class + stage-1 features. Lives with the repository because it
+  // is workload metadata about materialized subexpressions; serialized by
+  // the same caller discipline as the rest of this class.
+  GeneralizedViewIndex& generalized_index() { return generalized_index_; }
+  const GeneralizedViewIndex& generalized_index() const {
+    return generalized_index_;
+  }
+
  private:
   std::unordered_map<Hash128, SubexpressionGroup, Hash128Hasher> groups_;
   std::map<int, DayOverlapStats> by_day_;
   int64_t total_instances_ = 0;
+  GeneralizedViewIndex generalized_index_;
 };
 
 }  // namespace cloudviews

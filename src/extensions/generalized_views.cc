@@ -1,6 +1,6 @@
 #include "extensions/generalized_views.h"
 
-#include "extensions/containment.h"
+#include "plan/containment.h"
 
 namespace cloudviews {
 

@@ -43,6 +43,19 @@ inline constexpr char kOptimizerRuleSpoolInject[] =
 inline constexpr char kOptimizerViewMatchCostRejected[] =
     "optimizer.view_match.cost_rejected";
 
+// --- Generalized view matching (optimizer/optimizer.cc) --------------------
+// Hit-class split: exact strict-signature lookups vs containment-proved
+// (subsumption) hits that needed a compensation plan.
+inline constexpr char kReuseHitsExact[] = "reuse.hits_exact";
+inline constexpr char kReuseHitsSubsumed[] = "reuse.hits_subsumed";
+// Staged candidate filter accounting: candidates sharing the match class,
+// how many the feature filter pruned, and how many reached the exact
+// containment checker.
+inline constexpr char kGeneralizedCandidates[] = "generalized.candidates";
+inline constexpr char kGeneralizedFilterPruned[] =
+    "generalized.filter_pruned";
+inline constexpr char kGeneralizedExactChecks[] = "generalized.exact_checks";
+
 // --- Provenance ledger (obs/provenance.cc) ---------------------------------
 inline constexpr char kProvenanceEvents[] = "provenance.events";
 inline constexpr char kProvenanceDropped[] = "provenance.dropped";

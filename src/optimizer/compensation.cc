@@ -1,0 +1,32 @@
+#include "optimizer/compensation.h"
+
+#include <utility>
+
+namespace cloudviews {
+
+CompensationPlan BuildCompensation(const Hash128& view_signature,
+                                   const Hash128& view_recurring,
+                                   const std::string& output_path,
+                                   const Schema& view_schema,
+                                   const SubsumptionResult& proof) {
+  CompensationPlan plan;
+  LogicalOpPtr node =
+      LogicalOp::ViewScan(view_signature, output_path, view_schema);
+  node->view_recurring_signature = view_recurring;
+  plan.view_scan = node.get();
+  if (!proof.residual.empty()) {
+    node = LogicalOp::Filter(std::move(node),
+                             CanonicalConjunction(proof.residual));
+  }
+  if (proof.needs_reaggregate) {
+    node = LogicalOp::Aggregate(std::move(node), proof.reaggregate_group_by,
+                                proof.reaggregate_aggs);
+  } else if (proof.needs_project) {
+    node = LogicalOp::Project(std::move(node), proof.project_exprs,
+                              proof.project_names);
+  }
+  plan.root = std::move(node);
+  return plan;
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,37 @@
+#ifndef CLOUDVIEWS_OPTIMIZER_COMPENSATION_H_
+#define CLOUDVIEWS_OPTIMIZER_COMPENSATION_H_
+
+#include <string>
+
+#include "common/hash.h"
+#include "plan/containment.h"
+#include "plan/logical_plan.h"
+#include "storage/schema.h"
+
+namespace cloudviews {
+
+// The one plan fragment BuildCompensation returns. `view_scan` points at
+// the ViewScan leaf inside `root` so the optimizer can annotate it with
+// observed statistics without re-walking the fragment.
+struct CompensationPlan {
+  LogicalOpPtr root;
+  LogicalOp* view_scan = nullptr;
+};
+
+// Single entry point for splicing a materialized view into a plan
+// (tools/lint.py enforces that optimizer code constructs ViewScans nowhere
+// else). Builds, bottom-up: the ViewScan; a residual Filter when the proof
+// carries residual conjuncts (folded in canonical conjunct order so plan
+// verification and signatures stay stable); then at most one of
+// re-aggregation (rollup compensation) or projection (column-subset
+// compensation). An exact hit passes a default SubsumptionResult and gets
+// the bare ViewScan.
+CompensationPlan BuildCompensation(const Hash128& view_signature,
+                                   const Hash128& view_recurring,
+                                   const std::string& output_path,
+                                   const Schema& view_schema,
+                                   const SubsumptionResult& proof);
+
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OPTIMIZER_COMPENSATION_H_

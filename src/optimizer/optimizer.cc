@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/cardinality_feedback.h"
+#include "optimizer/compensation.h"
 #include "verify/plan_verifier.h"
 #include "verify/verify.h"
 
@@ -164,6 +165,10 @@ Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
                 obs::metric_names::kOptimizerViewMatchCostRejected);
         if (reuse < recompute) {
           rule_fired.Increment();
+          static obs::Counter& exact_hits =
+              obs::MetricsRegistry::Global().counter(
+                  obs::metric_names::kReuseHitsExact);
+          exact_hits.Increment();
           MatchedViewDetail detail;
           detail.strict = sig.strict;
           detail.recompute_cost = recompute;
@@ -171,21 +176,34 @@ Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
           detail.view_scan_cost = reuse;
           SumBaseScanVolume(op, &detail.rows_avoided, &detail.bytes_avoided);
           outcome->matched_details.push_back(detail);
-          LogicalOpPtr scan = LogicalOp::ViewScan(
-              sig.strict, view->output_path, op.output_schema);
-          scan->view_recurring_signature = sig.recurring;
+          CompensationPlan comp =
+              BuildCompensation(sig.strict, sig.recurring, view->output_path,
+                                op.output_schema, SubsumptionResult{});
           // Feed observed statistics from the past execution back into the
           // plan — the "accurate cost estimates" benefit.
-          scan->estimated_rows = static_cast<double>(view->observed_rows);
-          scan->estimated_bytes = static_cast<double>(view->observed_bytes);
-          scan->stats_from_view = true;
-          *node = std::move(scan);
+          comp.view_scan->estimated_rows =
+              static_cast<double>(view->observed_rows);
+          comp.view_scan->estimated_bytes =
+              static_cast<double>(view->observed_bytes);
+          comp.view_scan->stats_from_view = true;
+          *node = std::move(comp.root);
           outcome->matched_signatures.push_back(sig.strict);
           CLOUDVIEWS_RETURN_NOT_OK(VerifyAfterRule(
               "view_match", *outcome, /*algorithms_chosen=*/true));
           return 1;
         }
         cost_rejected.Increment();
+      }
+      if (view == nullptr || view->table == nullptr) {
+        // Exact miss: try containment against indexed definitions in the
+        // same match class.
+        if (options_.enable_generalized_matching &&
+            options_.generalized_index != nullptr) {
+          auto generalized =
+              TryGeneralizedMatch(node, sig, view_store, now, outcome);
+          if (!generalized.ok()) return generalized.status();
+          if (*generalized == 1) return 1;
+        }
       }
     }
   }
@@ -198,6 +216,99 @@ Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
     matched += *child_matched;
   }
   return matched;
+}
+
+Result<int> Optimizer::TryGeneralizedMatch(LogicalOpPtr* node,
+                                           const NodeSignature& sig,
+                                           const ViewStore* view_store,
+                                           double now,
+                                           OptimizationOutcome* outcome) const {
+  LogicalOp& op = **node;
+  const GeneralizedViewIndex& index = *options_.generalized_index;
+  const Hash128 class_key = signatures_.ComputeMatchClass(op);
+  const auto& candidates = index.CandidatesFor(class_key);
+  if (candidates.empty()) return 0;
+  const SubsumptionFeatures query_features = ComputeSubsumptionFeatures(op);
+  static obs::Counter& candidates_seen =
+      obs::MetricsRegistry::Global().counter(
+          obs::metric_names::kGeneralizedCandidates);
+  static obs::Counter& filter_pruned = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kGeneralizedFilterPruned);
+  static obs::Counter& exact_checks = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kGeneralizedExactChecks);
+  static obs::Counter& subsumed_hits = obs::MetricsRegistry::Global().counter(
+      obs::metric_names::kReuseHitsSubsumed);
+  for (const GeneralizedViewIndex::Entry& cand : candidates) {
+    candidates_seen.Increment();
+    if (!FeatureMayContain(cand.features, query_features)) {
+      filter_pruned.Increment();
+      if constexpr (verify::RuntimeChecksEnabled()) {
+        // No-false-prune assertion: the feature filter claims the exact
+        // checker would reject; run it and fail loudly if it would not.
+        SubsumptionResult check = CheckSubsumption(op, *cand.definition);
+        if (check.contained) {
+          return Status::Corruption(
+              "generalized matching: stage-1 feature filter pruned a "
+              "candidate the containment checker accepts");
+        }
+      }
+      continue;
+    }
+    exact_checks.Increment();
+    SubsumptionResult proof = CheckSubsumption(op, *cand.definition);
+    if (!proof.contained) continue;
+    // A proof is only useful while the materialized result is live.
+    const MaterializedView* view = view_store->Find(cand.strict, now);
+    if (view == nullptr || view->table == nullptr) continue;
+    CompensationPlan comp =
+        BuildCompensation(cand.strict, cand.recurring, view->output_path,
+                          cand.definition->output_schema, proof);
+    comp.view_scan->estimated_rows =
+        static_cast<double>(view->observed_rows);
+    comp.view_scan->estimated_bytes =
+        static_cast<double>(view->observed_bytes);
+    comp.view_scan->stats_from_view = true;
+    // Price the residual filter / re-aggregation / projection work on top
+    // of the view scan: compensation must pay for itself.
+    estimator_.Annotate(comp.root.get());
+    const double recompute = cost_model_.SubtreeCost(op);
+    const double reuse = cost_model_.SubtreeCost(*comp.root);
+    if (reuse >= recompute) {
+      static obs::Counter& cost_rejected =
+          obs::MetricsRegistry::Global().counter(
+              obs::metric_names::kOptimizerViewMatchCostRejected);
+      cost_rejected.Increment();
+      continue;
+    }
+    static obs::Counter& rule_fired = obs::MetricsRegistry::Global().counter(
+        obs::metric_names::kOptimizerRuleViewMatch);
+    rule_fired.Increment();
+    subsumed_hits.Increment();
+    MatchedViewDetail detail;
+    detail.strict = cand.strict;
+    detail.recompute_cost = recompute;
+    detail.recompute_latency_cost = cost_model_.SubtreeLatencyCost(op);
+    detail.view_scan_cost = reuse;
+    detail.subsumed = true;
+    SumBaseScanVolume(op, &detail.rows_avoided, &detail.bytes_avoided);
+    outcome->matched_details.push_back(detail);
+    if constexpr (verify::RuntimeChecksEnabled()) {
+      SubsumedMatchAudit audit;
+      audit.view_strict = cand.strict;
+      audit.query_subtree = op.Clone();
+      audit.view_definition = cand.definition->Clone();
+      audit.residual = proof.residual;
+      outcome->subsumed_audits.push_back(std::move(audit));
+    }
+    *node = std::move(comp.root);
+    outcome->matched_signatures.push_back(cand.strict);
+    outcome->views_matched_subsumed += 1;
+    CLOUDVIEWS_RETURN_NOT_OK(VerifyAfterRule("generalized_view_match",
+                                             *outcome,
+                                             /*algorithms_chosen=*/true));
+    return 1;
+  }
+  return 0;
 }
 
 Status Optimizer::BuildViews(LogicalOpPtr* node,

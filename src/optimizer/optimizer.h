@@ -9,8 +9,10 @@
 #include "common/status.h"
 #include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
+#include "plan/containment.h"
 #include "plan/logical_plan.h"
 #include "plan/signature.h"
+#include "plan/view_index.h"
 #include "storage/catalog.h"
 #include "storage/view_store.h"
 
@@ -34,6 +36,12 @@ class CardinalityFeedback;
 struct OptimizerOptions {
   bool enable_view_matching = true;
   bool enable_view_building = true;
+  // Generalized (containment-based) matching: when a subtree misses the
+  // exact strict-signature lookup, candidates from `generalized_index` in
+  // the same match class are feature-filtered and containment-checked, and
+  // hits splice a compensated view scan. Off by default: exact-only is the
+  // paper's baseline behavior.
+  bool enable_generalized_matching = false;
   SignatureOptions signature_options;
   CardinalityEstimator::Options cardinality_options;
   CostModel::Options cost_options;
@@ -41,6 +49,9 @@ struct OptimizerOptions {
   // per-recurring-signature micro-models instead of static estimation (the
   // section 5.2 cardinality-insights loop). Not owned.
   const CardinalityFeedback* cardinality_feedback = nullptr;
+  // Candidate index for generalized matching (owned by the workload
+  // repository). Not owned; may be null (disables generalized matching).
+  const GeneralizedViewIndex* generalized_index = nullptr;
 };
 
 // Everything known about one view-match rewrite at the moment it fired —
@@ -52,9 +63,21 @@ struct MatchedViewDetail {
   Hash128 strict;
   double recompute_cost = 0.0;          // SubtreeCost of the replaced subtree
   double recompute_latency_cost = 0.0;  // SubtreeLatencyCost at the plan DOP
-  double view_scan_cost = 0.0;          // ViewScanCost of the replacement
+  double view_scan_cost = 0.0;          // cost of the (compensated) reuse
   double rows_avoided = 0.0;            // base-scan rows under the subtree
   double bytes_avoided = 0.0;           // base-scan bytes under the subtree
+  bool subsumed = false;                // generalized (containment) hit
+};
+
+// One generalized hit, kept so the SignatureAuditor can independently
+// re-verify the subsumption claim from its own serialization path. The
+// query subtree is cloned pre-rewrite; the view definition comes from the
+// candidate index (itself a clone of the spooled subtree).
+struct SubsumedMatchAudit {
+  Hash128 view_strict;
+  LogicalOpPtr query_subtree;
+  LogicalOpPtr view_definition;
+  std::vector<ExprPtr> residual;
 };
 
 // What the optimizer did to the plan, surfaced to the monitoring tool and
@@ -69,10 +92,14 @@ struct OptimizationOutcome {
   // was disabled for the compile (then `plan` already is the base plan).
   LogicalOpPtr plan_without_reuse;
   int views_matched = 0;
+  int views_matched_subsumed = 0;  // generalized hits among views_matched
   int spools_added = 0;
   std::vector<Hash128> matched_signatures;
   // One entry per matched_signatures element, same order.
   std::vector<MatchedViewDetail> matched_details;
+  // One entry per generalized hit (verification builds only; empty in
+  // Release). Consumed by ReuseEngine to run SignatureAuditor cross-checks.
+  std::vector<SubsumedMatchAudit> subsumed_audits;
   std::vector<Hash128> proposed_materializations;
   double estimated_cost = 0.0;
   double estimated_cost_without_reuse = 0.0;
@@ -117,6 +144,15 @@ class Optimizer {
   // so a schema-breaking match fails at the rule that introduced it.
   Result<int> MatchViews(LogicalOpPtr* node, const ViewStore* view_store,
                          double now, OptimizationOutcome* outcome) const;
+
+  // Generalized fallback for one subtree after an exact-signature miss:
+  // class-key candidate lookup, stage-1 feature pruning (with the
+  // no-false-prune assertion in verification builds), exact containment
+  // check, compensation splice. Returns 1 when the subtree was rewritten.
+  Result<int> TryGeneralizedMatch(LogicalOpPtr* node,
+                                  const NodeSignature& sig,
+                                  const ViewStore* view_store, double now,
+                                  OptimizationOutcome* outcome) const;
 
   // Bottom-up spool injection; increments *total_added (bounded by the
   // per-job cap). Re-validates after every injection in verification builds.

@@ -175,4 +175,42 @@ NodeSignature SignatureComputer::Compute(const LogicalOp& node) const {
   return ComputeNode(node, nullptr);
 }
 
+namespace {
+
+void HashMatchClass(const LogicalOp& node, Hasher* hasher) {
+  // Filters and spools are fully transparent: the containment checker
+  // tolerates arbitrary conjunctive-filter divergence at any level, so the
+  // class key must not see them at all.
+  if (node.kind == LogicalOpKind::kSpool ||
+      node.kind == LogicalOpKind::kFilter) {
+    HashMatchClass(*node.children[0], hasher);
+    return;
+  }
+  hasher->Update(static_cast<uint64_t>(node.kind) + 0xC1A5);
+  switch (node.kind) {
+    case LogicalOpKind::kAggregate:
+    case LogicalOpKind::kProject:
+      // Kind marker only: rollup / projection-subset pairs differ in
+      // parameters yet must land in the same class. (Non-root divergence is
+      // rejected by the checker, but over-grouping here only costs an extra
+      // stage-1 comparison — never a missed match.)
+      break;
+    default:
+      HashNodeParams(node, /*strict=*/true, hasher);
+      break;
+  }
+  hasher->Update(uint64_t{node.children.size()});
+  for (const LogicalOpPtr& child : node.children) {
+    HashMatchClass(*child, hasher);
+  }
+}
+
+}  // namespace
+
+Hash128 SignatureComputer::ComputeMatchClass(const LogicalOp& node) const {
+  Hasher hasher(options_.runtime_version ^ 0xC1A55C1A55ULL);
+  HashMatchClass(node, &hasher);
+  return hasher.Finish();
+}
+
 }  // namespace cloudviews

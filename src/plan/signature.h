@@ -53,6 +53,15 @@ class SignatureComputer {
   // Signature of a single subtree root (convenience; recomputes children).
   NodeSignature Compute(const LogicalOp& node) const;
 
+  // Match-class key for generalized (containment) matching: a strict-style
+  // hash of the filter-stripped operator skeleton. Filters and spools are
+  // transparent; Aggregate/Project contribute only their kind (their
+  // parameters may legally diverge at the root of a subsumed pair); every
+  // other operator hashes its strict parameters. Two subtrees the
+  // containment checker could ever pair always share a class key, so the
+  // workload repository can bucket candidates by it.
+  Hash128 ComputeMatchClass(const LogicalOp& node) const;
+
   const SignatureOptions& options() const { return options_; }
 
  private:

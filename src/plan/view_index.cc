@@ -1,0 +1,37 @@
+#include "plan/view_index.h"
+
+#include <utility>
+
+namespace cloudviews {
+
+void GeneralizedViewIndex::Register(const Hash128& strict,
+                                    const Hash128& recurring,
+                                    LogicalOpPtr definition) {
+  if (definition == nullptr) return;
+  if (!registered_.insert(strict).second) return;
+  Entry entry;
+  entry.strict = strict;
+  entry.recurring = recurring;
+  entry.class_key = computer_.ComputeMatchClass(*definition);
+  entry.features = ComputeSubsumptionFeatures(*definition);
+  entry.definition = std::move(definition);
+  by_class_[entry.class_key].push_back(std::move(entry));
+}
+
+const std::vector<GeneralizedViewIndex::Entry>&
+GeneralizedViewIndex::CandidatesFor(const Hash128& class_key) const {
+  auto it = by_class_.find(class_key);
+  return it == by_class_.end() ? empty_ : it->second;
+}
+
+void GeneralizedViewIndex::Clear() {
+  registered_.clear();
+  by_class_.clear();
+}
+
+void GeneralizedViewIndex::SetSignatureOptions(SignatureOptions options) {
+  computer_ = SignatureComputer(options);
+  Clear();
+}
+
+}  // namespace cloudviews

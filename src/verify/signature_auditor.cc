@@ -1,7 +1,10 @@
 #include "verify/signature_auditor.h"
 
+#include <algorithm>
+#include <optional>
 #include <unordered_map>
 
+#include "plan/containment.h"
 #include "storage/value.h"
 
 namespace cloudviews {
@@ -60,8 +63,8 @@ void ExprCanonical(const Expr& expr, std::string* out) {
 }
 
 // Mirrors HashNodeParams(strict=true) in plan/signature.cc, again by
-// string building rather than hashing.
-void NodeCanonical(const LogicalOp& node, std::string* out) {
+// string building rather than hashing. Node-local parameters only.
+void NodeCanonicalParams(const LogicalOp& node, std::string* out) {
   out->append(LogicalOpKindName(node.kind));
   out->push_back('{');
   switch (node.kind) {
@@ -138,12 +141,171 @@ void NodeCanonical(const LogicalOp& node, std::string* out) {
       break;
   }
   out->push_back('}');
+}
+
+void NodeCanonical(const LogicalOp& node, std::string* out) {
+  NodeCanonicalParams(node, out);
   out->push_back('(');
   for (const LogicalOpPtr& child : node.children) {
     NodeCanonical(*child, out);
     out->push_back(',');
   }
   out->push_back(')');
+}
+
+// Serializes the filter-stripped skeleton of a subtree: spools and filters
+// contribute nothing, Aggregate/Project only their kind (their parameters
+// may legally diverge at the root of a subsumed pair), everything else its
+// full strict parameters. Built by string concatenation, independent of
+// SignatureComputer::ComputeMatchClass — a skeleton mismatch between a
+// query and the view claimed to subsume it means no compensation shape can
+// be correct.
+void SkeletonCanonical(const LogicalOp& node, std::string* out) {
+  if (node.kind == LogicalOpKind::kSpool ||
+      node.kind == LogicalOpKind::kFilter) {
+    SkeletonCanonical(*node.children[0], out);
+    return;
+  }
+  if (node.kind == LogicalOpKind::kAggregate ||
+      node.kind == LogicalOpKind::kProject) {
+    out->append(LogicalOpKindName(node.kind));
+  } else {
+    NodeCanonicalParams(node, out);
+  }
+  out->push_back('(');
+  for (const LogicalOpPtr& child : node.children) {
+    SkeletonCanonical(*child, out);
+    out->push_back(',');
+  }
+  out->push_back(')');
+}
+
+// The refutation-only range re-check for subsumption audits. Walks query
+// and view in lockstep (their skeletons already matched), reconstructing
+// the query-side conjunct set available at each view filter exactly as the
+// containment checker's coverage rule defines it; where the
+// reconstruction would need machinery this audit does not replicate
+// (residuals crossing Project/Aggregate boundaries, outer-join right
+// sides), the set is marked incomplete and refutation stands down for the
+// levels above. A *complete* set missing a view-constrained column, or
+// holding a range not contained in the view's, proves the view discarded
+// rows the query keeps — residual filtering cannot resurrect them.
+struct AvailableSet {
+  std::vector<ColumnRange> ranges;
+  bool complete = true;
+};
+
+void MergeAvailable(std::vector<ColumnRange>* ranges, ColumnRange range) {
+  auto existing = std::find_if(
+      ranges->begin(), ranges->end(),
+      [&](const ColumnRange& r) { return r.column == range.column; });
+  if (existing != ranges->end()) {
+    existing->IntersectWith(range);
+  } else {
+    ranges->push_back(std::move(range));
+  }
+}
+
+const LogicalOp& PeelSpools(const LogicalOp& op) {
+  const LogicalOp* p = &op;
+  while (p->kind == LogicalOpKind::kSpool) p = p->children[0].get();
+  return *p;
+}
+
+void CheckViewConjuncts(const LogicalOp& view_filter,
+                        const AvailableSet& available,
+                        std::vector<std::string>* findings) {
+  if (!available.complete) return;
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(view_filter.predicate, &conjuncts);
+  for (const ExprPtr& vc : conjuncts) {
+    std::optional<ColumnRange> view_range = RangeFromConjunct(vc);
+    if (!view_range.has_value()) continue;  // opaque: not refutable here
+    auto query_range = std::find_if(
+        available.ranges.begin(), available.ranges.end(),
+        [&](const ColumnRange& r) { return r.column == view_range->column; });
+    if (query_range == available.ranges.end()) {
+      findings->push_back(
+          "subsumption audit: view filters column " +
+          std::to_string(view_range->column) +
+          " but the query side carries no range on it");
+    } else if (!query_range->ContainedIn(*view_range)) {
+      findings->push_back(
+          "subsumption audit: query range on column " +
+          std::to_string(view_range->column) +
+          " is not contained in the view's filter range");
+    }
+  }
+}
+
+AvailableSet CollectAvailable(const LogicalOp& query_in,
+                              const LogicalOp& view_in,
+                              std::vector<std::string>* findings) {
+  const LogicalOp& q = PeelSpools(query_in);
+  const LogicalOp& v = PeelSpools(view_in);
+  // View filters first: each is checked against the full query-side set of
+  // its level, which the query-filter case below finishes collecting before
+  // any enclosing view filter's check runs.
+  if (v.kind == LogicalOpKind::kFilter) {
+    AvailableSet below = CollectAvailable(q, *v.children[0], findings);
+    CheckViewConjuncts(v, below, findings);
+    return below;
+  }
+  if (q.kind == LogicalOpKind::kFilter) {
+    AvailableSet below = CollectAvailable(*q.children[0], v, findings);
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(q.predicate, &conjuncts);
+    for (const ExprPtr& c : conjuncts) {
+      std::optional<ColumnRange> range = RangeFromConjunct(c);
+      if (range.has_value()) MergeAvailable(&below.ranges, std::move(*range));
+    }
+    return below;
+  }
+  if (q.kind != v.kind || q.children.size() != v.children.size()) {
+    // The skeleton check already reported this; stop refuting.
+    return {{}, false};
+  }
+  switch (q.kind) {
+    case LogicalOpKind::kScan:
+    case LogicalOpKind::kViewScan:
+    case LogicalOpKind::kSharedScan:
+      return {{}, true};
+    case LogicalOpKind::kJoin: {
+      AvailableSet left =
+          CollectAvailable(*q.children[0], *v.children[0], findings);
+      AvailableSet right =
+          CollectAvailable(*q.children[1], *v.children[1], findings);
+      if (q.join_kind == sql::JoinKind::kInner) {
+        const int shift =
+            static_cast<int>(v.children[0]->output_schema.num_columns());
+        for (ColumnRange& r : right.ranges) {
+          r.column += shift;
+          MergeAvailable(&left.ranges, std::move(r));
+        }
+        left.complete = left.complete && right.complete;
+        return left;
+      }
+      // Left join: the right side's constraints do not survive
+      // null-extension; dropping them makes the set incomplete unless
+      // there was nothing to drop.
+      left.complete =
+          left.complete && right.complete && right.ranges.empty();
+      return left;
+    }
+    case LogicalOpKind::kSort:
+    case LogicalOpKind::kLimit:
+    case LogicalOpKind::kUdo:
+      return CollectAvailable(*q.children[0], *v.children[0], findings);
+    default: {
+      // Project / Aggregate / UnionAll change (or multiplex) the ordinal
+      // space; this audit checks below them but does not lift ranges
+      // across.
+      for (size_t i = 0; i < q.children.size(); ++i) {
+        CollectAvailable(*q.children[i], *v.children[i], findings);
+      }
+      return {{}, false};
+    }
+  }
 }
 
 bool SubtreeContainsReuseOp(const LogicalOp& node) {
@@ -242,6 +404,46 @@ Status SignatureAuditor::AuditPlan(const LogicalOp& root) {
     }
   }
   return status;
+}
+
+Status SignatureAuditor::AuditSubsumption(
+    const LogicalOp& query_subtree, const LogicalOp& view_definition,
+    const std::vector<ExprPtr>& residual) {
+  report_.subsumptions_audited += 1;
+
+  // (1) Structural precondition: identical filter-stripped skeletons.
+  std::string query_skeleton;
+  std::string view_skeleton;
+  SkeletonCanonical(query_subtree, &query_skeleton);
+  SkeletonCanonical(view_definition, &view_skeleton);
+  if (query_skeleton != view_skeleton) {
+    std::string msg =
+        "subsumption audit: skeleton mismatch between query '" +
+        query_skeleton + "' and claimed view '" + view_skeleton + "'";
+    report_.subsumption_failures.push_back(msg);
+    return Status::Corruption(msg);
+  }
+
+  // (2) The compensation filter must be a conjunction this audit can at
+  // least split — a nullptr conjunct would crash execution later.
+  for (const ExprPtr& conjunct : residual) {
+    if (conjunct == nullptr) {
+      std::string msg = "subsumption audit: null residual conjunct";
+      report_.subsumption_failures.push_back(msg);
+      return Status::Corruption(msg);
+    }
+  }
+
+  // (3) Refutation-only range re-check.
+  std::vector<std::string> findings;
+  CollectAvailable(query_subtree, view_definition, &findings);
+  if (!findings.empty()) {
+    for (const std::string& finding : findings) {
+      report_.subsumption_failures.push_back(finding);
+    }
+    return Status::Corruption(findings.front());
+  }
+  return Status::OK();
 }
 
 Status SignatureAuditor::CrossCheckGroups(

@@ -45,10 +45,18 @@ struct RepositoryGroup {
 struct AuditReport {
   size_t nodes_audited = 0;
   size_t plans_audited = 0;
+  size_t subsumptions_audited = 0;
   std::vector<std::string> collisions;
   std::vector<std::string> instabilities;
+  // Subsumption hits whose independent re-verification failed: the claimed
+  // view/query pair differ in their filter-stripped skeletons, or the view
+  // provably excludes rows the query keeps.
+  std::vector<std::string> subsumption_failures;
 
-  bool ok() const { return collisions.empty() && instabilities.empty(); }
+  bool ok() const {
+    return collisions.empty() && instabilities.empty() &&
+           subsumption_failures.empty();
+  }
 };
 
 // Cross-checks signature integrity over compiled plans and the workload
@@ -75,6 +83,20 @@ class SignatureAuditor {
   // with a single recurring signature / subtree size, both here and against
   // every plan audited so far.
   Status CrossCheckGroups(const std::vector<RepositoryGroup>& groups);
+
+  // Independently re-verifies one generalized (subsumption) view-match from
+  // this auditor's own serialization path, without consulting the
+  // containment checker that produced the hit: (1) the query subtree and
+  // view definition must share their filter-stripped canonical skeleton
+  // (the structural precondition of every compensation shape); (2) a
+  // refutation-only re-check of root-liftable predicate ranges — a view
+  // range provably narrower than the query's on some column means the view
+  // discarded rows the query needs, residual filtering cannot resurrect
+  // them, and the hit is corrupt. `residual` is the compensation filter the
+  // optimizer spliced (view-output ordinals).
+  Status AuditSubsumption(const LogicalOp& query_subtree,
+                          const LogicalOp& view_definition,
+                          const std::vector<ExprPtr>& residual);
 
   const AuditReport& report() const { return report_; }
 

@@ -124,6 +124,26 @@ WorkloadGenerator::WorkloadGenerator(WorkloadProfile profile)
     }
     tmpl.bursty = random_.Bernoulli(profile_.burst_fraction);
     tmpl.submit_offset = random_.NextDouble() * 0.6 * kSecondsPerDay;
+    // Narrowed templates: shared motif, strictly tighter dim2 bound. The
+    // short-circuit on generalized_fraction keeps the random stream (and
+    // therefore every pre-existing workload) untouched when the knob is 0.
+    // Pinned to the hottest motifs so other (un-narrowed) templates share
+    // the wide subtree — the view a narrowed instance can only reach
+    // through containment.
+    if (profile_.generalized_fraction > 0.0 &&
+        tmpl.motif < profile_.num_motifs &&
+        random_.Bernoulli(profile_.generalized_fraction)) {
+      tmpl.narrow_delta = 5 + (t % 7) * 3;
+      tmpl.motif = t % std::min(3, profile_.num_motifs);
+      // Narrow probes trail the pipeline jobs they refine: remap the
+      // already-drawn offset from [0, 0.6d) into the back of the day so the
+      // shared wide subtree has materialized (and sealed) by the time a
+      // containment match can use it. Pure transform — no extra draws, so
+      // the random stream stays aligned with generalized_fraction == 0.
+      tmpl.bursty = false;
+      tmpl.submit_offset =
+          0.55 * kSecondsPerDay + tmpl.submit_offset / 3.0;
+    }
     templates_.push_back(tmpl);
   }
 }
@@ -200,8 +220,8 @@ Status WorkloadGenerator::AdvanceDay(DatasetCatalog* catalog, int day,
 }
 
 LogicalOpPtr WorkloadGenerator::BuildMotifPlan(const DatasetCatalog& catalog,
-                                               const Motif& motif,
-                                               int day) const {
+                                               const Motif& motif, int day,
+                                               int narrow_delta) const {
   auto scan = [&](int index) -> LogicalOpPtr {
     auto dataset = catalog.Lookup(DatasetName(index));
     if (!dataset.ok()) return nullptr;
@@ -217,6 +237,9 @@ LogicalOpPtr WorkloadGenerator::BuildMotifPlan(const DatasetCatalog& catalog,
   // changes strict signatures but not recurring ones.
   int param = motif.base_param;
   if (motif.time_varying_param) param = 20 + (motif.base_param + day * 7) % 60;
+  // Narrowed templates keep dim2 strictly inside the shared bound, so their
+  // motif subtree is contained in (but never equal to) the shared view.
+  if (narrow_delta > 0) param = std::max(1, param - narrow_delta);
   ExprPtr predicate = Expr::MakeBinary(
       sql::BinaryOp::kAnd,
       Expr::MakeBinary(sql::BinaryOp::kEq, Col(kColDim1, "dim1"),
@@ -239,7 +262,7 @@ LogicalOpPtr WorkloadGenerator::BuildMotifPlan(const DatasetCatalog& catalog,
 LogicalOpPtr WorkloadGenerator::InstantiateTemplate(
     const DatasetCatalog& catalog, const Template& tmpl, int day) const {
   const Motif& motif = motifs_[static_cast<size_t>(tmpl.motif)];
-  LogicalOpPtr plan = BuildMotifPlan(catalog, motif, day);
+  LogicalOpPtr plan = BuildMotifPlan(catalog, motif, day, tmpl.narrow_delta);
   if (plan == nullptr) return nullptr;
 
   if (tmpl.extra_dataset >= 0) {

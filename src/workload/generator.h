@@ -49,6 +49,13 @@ struct WorkloadProfile {
   // Fraction of shared datasets bulk-regenerated each day (sliding windows
   // mean most inputs change daily in Cosmos cooking pipelines).
   double daily_update_fraction = 0.8;
+  // Fraction of shared-motif templates whose motif filter is *narrowed*
+  // (dim2 < p - delta instead of dim2 < p). Their motif subtrees never
+  // exact-match the shared view other templates materialize, but are
+  // strictly contained in it — exactly the shape generalized view matching
+  // recovers with a residual filter. Zero (the default) consumes no
+  // randomness, keeping pre-existing workloads byte-identical.
+  double generalized_fraction = 0.0;
 };
 
 // Generates the shared-dataset store and the recurring job stream for one
@@ -107,11 +114,16 @@ class WorkloadGenerator {
     int udo_dependency_depth = 2;
     bool bursty = false;           // submitted at period start
     double submit_offset = 0.0;    // seconds into the day
+    // Narrowing offset applied to the motif's dim2 bound (0 = exact motif).
+    // Varied per template so narrowed instances don't form their own large
+    // exact-match groups; each stays contained in the shared motif's view.
+    int narrow_delta = 0;
   };
 
   TablePtr GenerateDataset(int index, int day);
   LogicalOpPtr BuildMotifPlan(const DatasetCatalog& catalog,
-                              const Motif& motif, int day) const;
+                              const Motif& motif, int day,
+                              int narrow_delta) const;
   LogicalOpPtr InstantiateTemplate(const DatasetCatalog& catalog,
                                    const Template& tmpl, int day) const;
   LogicalOpPtr BuildAdhocPlan(const DatasetCatalog& catalog, Random* rng) const;

@@ -1,11 +1,13 @@
 // Differential chaos testing: one seeded random workload is executed under
 // all four combinations of {reuse ON, reuse OFF} x {faults ON, faults OFF},
-// plus a fifth arm running the row-at-a-time reference engine instead of
-// the default columnar engine. Computation reuse, the failure-hardening
-// around it, and the vectorized execution core are pure optimizations —
-// every arm must produce byte-identical per-job outputs — and the workload
-// repository each reuse arm accumulates must stay self-consistent under the
-// independent signature auditor.
+// plus arms running the row-at-a-time reference engine, runtime work
+// sharing, and generalized (containment-based) view matching — the latter
+// both clean and under the chaos fault plan. Computation reuse, the
+// failure-hardening around it, the vectorized execution core, and
+// subsumption compensation are pure optimizations — every arm must produce
+// byte-identical per-job outputs — and the workload repository each reuse
+// arm accumulates must stay self-consistent under the independent signature
+// auditor (which also re-verifies every subsumption hit).
 #include <gtest/gtest.h>
 
 #include <map>
@@ -51,10 +53,14 @@ WorkloadProfile SmallProfile(uint64_t seed) {
   profile.num_virtual_clusters = 2;
   profile.num_shared_datasets = 10;
   profile.num_motifs = 5;
-  profile.num_templates = 8;
+  profile.num_templates = 12;
   profile.instances_per_template_per_day = 2;
   profile.min_rows = 60;
   profile.max_rows = 240;
+  // Every arm runs the same narrowed-template mix: the generalized arms
+  // must find containment hits in it, and the exact-only arms must produce
+  // identical bytes on the exact same job stream.
+  profile.generalized_fraction = 0.4;
   return profile;
 }
 
@@ -75,6 +81,7 @@ struct ArmOutcome {
   std::map<int64_t, std::string> outputs_by_job;
   int views_built = 0;
   int views_matched = 0;
+  int views_matched_subsumed = 0;
   int fallbacks = 0;
   // Work-sharing telemetry (zero unless the arm runs sharing windows).
   int64_t sharing_streams = 0;
@@ -91,7 +98,7 @@ struct ArmOutcome {
 void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
             ArmOutcome* outcome,
             ExecEngine exec_engine = ExecEngine::kColumnar,
-            bool sharing_on = false) {
+            bool sharing_on = false, bool generalized_on = false) {
   if (faults_on) {
     ArmChaos();
   } else {
@@ -105,6 +112,7 @@ void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
   options.cloudviews_enabled = reuse_on;
   options.exec_engine = exec_engine;
   options.enable_sharing = sharing_on;
+  options.optimizer.enable_generalized_matching = generalized_on;
   options.selection.schedule_aware = false;
   options.selection.per_virtual_cluster = false;
   options.selection.strategy = SelectionStrategy::kGreedyRatio;
@@ -158,6 +166,7 @@ void RunArm(uint64_t workload_seed, bool reuse_on, bool faults_on, int days,
       outcome->outputs_by_job[exec.job_id] = Render(exec.output);
       outcome->views_built += exec.views_built;
       outcome->views_matched += exec.views_matched;
+      outcome->views_matched_subsumed += exec.views_matched_subsumed;
       if (exec.fell_back) outcome->fallbacks += 1;
       Status audit = auditor.AuditPlan(*exec.executed_plan);
       EXPECT_TRUE(audit.ok()) << audit.ToString();
@@ -185,7 +194,7 @@ class DifferentialReuseTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
   const uint64_t workload_seed = GetParam();
-  constexpr int kDays = 2;
+  constexpr int kDays = 3;
 
   ArmOutcome reference;   // reuse ON, faults OFF — the production default
   ArmOutcome no_reuse;    // reuse OFF, faults OFF — ground truth
@@ -194,6 +203,8 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
   ArmOutcome row_engine;  // reuse ON, faults OFF, row-at-a-time reference
   ArmOutcome sharing;     // reuse ON, faults OFF, daily sharing windows
   ArmOutcome sharing_chaos;  // reuse ON, faults ON, sharing windows
+  ArmOutcome generalized;    // reuse ON + containment matching, faults OFF
+  ArmOutcome generalized_chaos;  // reuse ON + containment matching, faults ON
   RunArm(workload_seed, true, false, kDays, &reference);
   RunArm(workload_seed, false, false, kDays, &no_reuse);
   RunArm(workload_seed, true, true, kDays, &chaos);
@@ -203,6 +214,10 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
          /*sharing_on=*/true);
   RunArm(workload_seed, true, true, kDays, &sharing_chaos,
          ExecEngine::kColumnar, /*sharing_on=*/true);
+  RunArm(workload_seed, true, false, kDays, &generalized,
+         ExecEngine::kColumnar, /*sharing_on=*/false, /*generalized_on=*/true);
+  RunArm(workload_seed, true, true, kDays, &generalized_chaos,
+         ExecEngine::kColumnar, /*sharing_on=*/false, /*generalized_on=*/true);
   if (HasFatalFailure()) return;
 
   // Same job stream in every arm.
@@ -215,6 +230,10 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
   ASSERT_EQ(reference.outputs_by_job.size(), sharing.outputs_by_job.size());
   ASSERT_EQ(reference.outputs_by_job.size(),
             sharing_chaos.outputs_by_job.size());
+  ASSERT_EQ(reference.outputs_by_job.size(),
+            generalized.outputs_by_job.size());
+  ASSERT_EQ(reference.outputs_by_job.size(),
+            generalized_chaos.outputs_by_job.size());
 
   // Byte-identical outputs, job by job.
   for (const auto& [job_id, expected] : no_reuse.outputs_by_job) {
@@ -230,6 +249,10 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
         << "work sharing changed job " << job_id;
     EXPECT_EQ(sharing_chaos.outputs_by_job.at(job_id), expected)
         << "work sharing under chaos changed job " << job_id;
+    EXPECT_EQ(generalized.outputs_by_job.at(job_id), expected)
+        << "generalized matching changed job " << job_id;
+    EXPECT_EQ(generalized_chaos.outputs_by_job.at(job_id), expected)
+        << "generalized matching under chaos changed job " << job_id;
   }
 
   // The test exercised what it claims to: the reference arm actually built
@@ -244,6 +267,27 @@ TEST_P(DifferentialReuseTest, AllArmsByteIdentical) {
   EXPECT_EQ(no_reuse.views_matched, 0);
   EXPECT_EQ(chaos_bare.views_built, 0);
   EXPECT_EQ(reference.fallbacks, 0);
+
+  // The generalized arm found containment hits the exact-only arms cannot
+  // (the workload's narrowed templates never exact-match the shared views).
+  // Totals are >= rather than strictly >: answering a narrowed subtree from
+  // the wider view also removes the spool that would have fed later exact
+  // hits of the narrow subtree, so composition shifts from exact to
+  // subsumed (the strict-dominance claim is asserted at fig8 scale, where
+  // the effect cannot cancel). Exact-only arms report zero subsumed hits by
+  // construction.
+  EXPECT_GT(generalized.views_matched_subsumed, 0);
+  // No hit floor for the chaos variant: the fault plan aborts spool writes
+  // and seals, so whether any wide view survives long enough to subsume is
+  // a property of the fault seed (which CI sweeps), not of the matcher. Its
+  // contract is the byte-identity + auditor assertions above, plus: faults
+  // must never manufacture subsumed hits in exact-only arms.
+  EXPECT_EQ(reference.views_matched_subsumed, 0);
+  EXPECT_EQ(row_engine.views_matched_subsumed, 0);
+  EXPECT_EQ(chaos.views_matched_subsumed, 0);
+  EXPECT_EQ(chaos_bare.views_matched_subsumed, 0);
+  EXPECT_GE(generalized.views_matched + generalized.views_matched_subsumed,
+            reference.views_matched);
 
   // The sharing arms actually shared: the seeded workload runs multiple
   // instances of each template per day, so every day's window elects

@@ -3,10 +3,10 @@
 #include "exec/executor.h"
 #include "extensions/bitvector_filter.h"
 #include "extensions/checkpointing.h"
-#include "extensions/containment.h"
 #include "extensions/generalized_views.h"
 #include "extensions/sampled_views.h"
 #include "plan/builder.h"
+#include "plan/containment.h"
 #include "tests/test_util.h"
 
 namespace cloudviews {

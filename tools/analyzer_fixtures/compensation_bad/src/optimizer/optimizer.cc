@@ -1,0 +1,14 @@
+// Fixture: an optimizer rule that splices a raw ViewScan instead of going
+// through BuildCompensation. lint.py must flag the construction site.
+#include "optimizer/optimizer.h"
+
+namespace cloudviews {
+
+LogicalOpPtr SpliceMatchedView(const MatchState& state) {
+  // Violation: matched views must be built by BuildCompensation, never
+  // inline — this bypasses residual filters and stats wiring.
+  return LogicalOp::ViewScan(state.signature, state.output_path,
+                             state.schema);
+}
+
+}  // namespace cloudviews

@@ -1,0 +1,15 @@
+// Fixture: compensation.cc is the one sanctioned home for ViewScan
+// construction inside src/optimizer/. lint.py must stay silent here.
+#include "optimizer/compensation.h"
+
+namespace cloudviews {
+
+CompensationPlan BuildCompensation(const MatchState& state) {
+  CompensationPlan plan;
+  plan.view_scan = LogicalOp::ViewScan(state.signature, state.output_path,
+                                       state.schema);
+  plan.root = plan.view_scan;
+  return plan;
+}
+
+}  // namespace cloudviews

@@ -24,6 +24,7 @@ FIXTURES = os.path.join(TOOLS, "analyzer_fixtures")
 
 ATOMICS = os.path.join(TOOLS, "atomics_lint.py")
 LAYERING = os.path.join(TOOLS, "layering_lint.py")
+LINT = os.path.join(TOOLS, "lint.py")
 
 # (analyzer, fixture dir, expected exit, required diagnostic substrings)
 CASES = [
@@ -43,6 +44,9 @@ CASES = [
     (LAYERING, "layering_unknown", 1,
      ["[layering]", "module 'vendor' is not declared"]),
     (LAYERING, "layering_clean", 0, []),
+    (LINT, "compensation_bad", 1,
+     ["[compensation]", "BuildCompensation"]),
+    (LINT, "compensation_clean", 0, []),
 ]
 
 

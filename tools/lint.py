@@ -35,6 +35,15 @@ Checks, over src/, tests/, bench/, examples/, and tools/:
              time (signatures, telemetry, and tests replay deterministically;
              steady-clock reads live behind Tracer::NowMicros, and waiting
              goes through CondVar, never a timed busy-sleep)
+  compensation inside src/optimizer/ only compensation.cc may construct a
+             LogicalOp::ViewScan — every matched view (exact or subsumed)
+             splices through BuildCompensation so residual filters,
+             re-aggregation, and observed-statistics wiring happen in one
+             audited place
+
+`--root DIR` lints an alternate tree laid out like the repo (DIR/src/...)
+instead of the repo itself — analyzer_test.py uses this to drive the
+compensation fixtures; in that mode success is silent.
 
 It also runs the dedicated analyzers as sub-checks, so `python3
 tools/lint.py` is the one-stop local gate:
@@ -49,6 +58,7 @@ Exit status 0 = clean; 1 = violations (printed one per line as
 path:line: [rule] message).
 """
 
+import argparse
 import re
 import subprocess
 import sys
@@ -63,7 +73,8 @@ violations = []
 
 
 def report(path, line_no, rule, message):
-    violations.append(f"{path.relative_to(REPO)}:{line_no}: [{rule}] {message}")
+    shown = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+    violations.append(f"{shown}:{line_no}: [{rule}] {message}")
 
 
 def strip_comments_and_strings(text):
@@ -388,6 +399,32 @@ def check_metric_names():
                    f"registered metric {name} is never used in src/")
 
 
+def check_compensation(src_root):
+    """Cross-file rule: view-scan splicing is BuildCompensation's job.
+
+    Inside src/optimizer/ only compensation.cc may construct a ViewScan
+    (`LogicalOp::ViewScan(...)`): every matched view — exact or subsumed —
+    splices through BuildCompensation so residual filters, re-aggregation/
+    projection compensation, and observed-statistics wiring happen in one
+    audited place. A second construction site would bypass the compensation
+    contract silently.
+    """
+    opt = src_root / "optimizer"
+    if not opt.exists():
+        return
+    for path in sorted(opt.rglob("*.h")) + sorted(opt.rglob("*.cc")):
+        if path.name == "compensation.cc":
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        for no, line in enumerate(code.splitlines(), 1):
+            if re.search(r"\bLogicalOp\s*::\s*ViewScan\s*\(", line):
+                report(path, no, "compensation",
+                       "LogicalOp::ViewScan constructed outside "
+                       "compensation.cc; splice matched views through "
+                       "BuildCompensation so compensation and stats wiring "
+                       "stay in one place")
+
+
 def lint_file(path):
     raw = path.read_text()
     raw_lines = raw.splitlines()
@@ -427,6 +464,26 @@ def run_analyzers():
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="lint an alternate repo-shaped tree "
+                             "(DIR/src/...) instead of the repository")
+    args = parser.parse_args()
+
+    if args.root is not None:
+        # Fixture mode: file rules plus the compensation cross-file rule
+        # over the given tree; registry checks and the sub-analyzers stay
+        # tied to the real repository. Success is silent (analyzer_test.py
+        # asserts clean fixtures produce no output).
+        root = Path(args.root).resolve()
+        targets = sorted(root.rglob("*.h")) + sorted(root.rglob("*.cc"))
+        for path in targets:
+            lint_file(path)
+        check_compensation(root / "src")
+        for v in violations:
+            print(v)
+        return 1 if violations else 0
+
     fixtures = REPO / "tools" / "analyzer_fixtures"
     targets = []
     for d in SCAN_DIRS:
@@ -438,6 +495,7 @@ def main():
         lint_file(path)
     check_fault_sites()
     check_metric_names()
+    check_compensation(REPO / "src")
     analyzers_failed = run_analyzers()
     for v in violations:
         print(v)
