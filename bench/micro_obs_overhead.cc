@@ -16,16 +16,20 @@
 // A second section applies the same off / on / off-again protocol to the
 // provenance ledger on a full engine loop (jobs + selection + maintenance,
 // so views seal and hit): the disabled ledger must also cost one relaxed
-// atomic load per gate.
+// atomic load per gate. A third section repeats the protocol for the
+// decision ledger (per-job reuse explain traces), whose gates sit on every
+// optimizer choice point — exact lookup, containment, cost gating, spool
+// policy — so its disabled path is the most exercised of the three.
 //
 // Build & run:  ./build/bench/micro_obs_overhead [--scale=...] [--check]
 //
-// With --check, exits nonzero if the provenance disabled-path delta (off2
-// vs off on the engine loop) exceeds 5% — the CI regression guard for the
-// "ledger compiled in but off is free" invariant. The tracer off2 deltas
-// are reported but not gated: those sections time ~1-2 ms of executor
-// work, which jitters past any honest budget on a shared 1-core CI box,
-// while the multi-millisecond engine loop is stable under min-of-runs.
+// With --check, exits nonzero if the provenance or decision disabled-path
+// delta (off2 vs off on the engine loop) exceeds 5% — the CI regression
+// guard for the "ledger compiled in but off is free" invariant. The tracer
+// off2 deltas are reported but not gated: those sections time ~1-2 ms of
+// executor work, which jitters past any honest budget on a shared 1-core
+// CI box, while the multi-millisecond engine loop is stable under
+// min-of-runs.
 
 #include <algorithm>
 #include <chrono>
@@ -39,6 +43,7 @@
 #include "bench_util.h"
 #include "core/reuse_engine.h"
 #include "exec/executor.h"
+#include "obs/decision.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
 #include "plan/builder.h"
@@ -255,20 +260,49 @@ int RunBench(int argc, char** argv) {
       .Metric("provenance_overhead_pct", prov_on_pct)
       .Metric("provenance_disabled_delta_pct", prov_off2_pct);
 
+  // And once more for the decision ledger, whose gates fire on every
+  // optimizer choice point (exact lookup, stage-1/stage-2 matching, cost
+  // gates, spool policy). `on` includes recording + exporting the traces.
+  obs::DecisionLedger::Disable();
+  double dec_off = MeasureEngineLoop(scale, kEngineDays, kEngineRuns);
+  obs::DecisionLedger::Enable();
+  double dec_on = MeasureEngineLoop(scale, kEngineDays, kEngineRuns);
+  obs::DecisionLedger::Disable();
+  double dec_off_again = MeasureEngineLoop(scale, kEngineDays, kEngineRuns);
+
+  double dec_on_pct = PercentDelta(dec_off, dec_on);
+  double dec_off2_pct = PercentDelta(dec_off, dec_off_again);
+  std::printf("%-22s %4s | %12.3f %12.3f %12.3f | %8.1f%% %8.1f%%\n",
+              "engine_loop_decisions", "-", dec_off * 1e3, dec_on * 1e3,
+              dec_off_again * 1e3, dec_on_pct, dec_off2_pct);
+  report.Metric("decisions_off_ms", dec_off * 1e3)
+      .Metric("decisions_on_ms", dec_on * 1e3)
+      .Metric("decisions_off_again_ms", dec_off_again * 1e3)
+      .Metric("decisions_overhead_pct", dec_on_pct)
+      .Metric("decisions_disabled_delta_pct", dec_off2_pct);
+
   std::printf("\n(off2 is tracer-disabled after a traced run; its delta vs "
               "off is the compiled-but-disabled cost and should be noise)\n");
   report.Print();
 
+  bool failed = false;
   if (check && prov_off2_pct > kDisabledBudgetPct) {
     std::printf("CHECK FAILED: provenance disabled-path delta %.1f%% exceeds "
                 "the %.0f%% budget\n",
                 prov_off2_pct, kDisabledBudgetPct);
-    return 1;
+    failed = true;
   }
+  if (check && dec_off2_pct > kDisabledBudgetPct) {
+    std::printf("CHECK FAILED: decisions disabled-path delta %.1f%% exceeds "
+                "the %.0f%% budget\n",
+                dec_off2_pct, kDisabledBudgetPct);
+    failed = true;
+  }
+  if (failed) return 1;
   if (check) {
-    std::printf("CHECK OK: provenance disabled-path delta %.1f%% within "
-                "%.0f%%\n",
-                prov_off2_pct, kDisabledBudgetPct);
+    std::printf("CHECK OK: provenance %.1f%% and decisions %.1f%% "
+                "disabled-path deltas within %.0f%%\n",
+                prov_off2_pct, dec_off2_pct, kDisabledBudgetPct);
   }
   return 0;
 }

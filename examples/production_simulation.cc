@@ -13,11 +13,17 @@
 // enables tracing without writing a file. Pass --insights=PATH to collect
 // the reuse provenance ledger + hourly time series for the CloudViews arm
 // and write the insights JSON there (render it with tools/insights_report).
+// Pass --explain=<job_id|all> to record per-job reuse decision traces for
+// the CloudViews arm and print the decisions JSON (every candidate view the
+// optimizer considered and why it was or was not used); add
+// --explain-out=PATH to write it to a file instead (render it with
+// tools/insights_report --explain).
 // Pass --sharing to batch overlapping arrivals into work-sharing windows:
 // common subexpressions across in-flight jobs execute once and stream to
 // every subscriber (outputs are byte-identical; only resources change).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -65,6 +71,8 @@ int main(int argc, char** argv) {
   const std::string trace_path = FlagValue(argc, argv, "--trace");
   const std::string metrics_path = FlagValue(argc, argv, "--metrics");
   const std::string insights_path = FlagValue(argc, argv, "--insights");
+  const std::string explain_spec = FlagValue(argc, argv, "--explain");
+  const std::string explain_path = FlagValue(argc, argv, "--explain-out");
   if (!trace_path.empty()) {
     obs::Tracer::Global().Enable();
     obs::Tracer::Global().Clear();
@@ -78,6 +86,20 @@ int main(int argc, char** argv) {
   config.onboarding_days_per_vc = 1;  // one more VC opts in per day
   config.engine.selection.min_occurrences = 3;
   config.collect_insights = !insights_path.empty();
+  if (!explain_spec.empty()) {
+    config.collect_decisions = true;
+    if (explain_spec != "all") {
+      char* end = nullptr;
+      long long job_id = std::strtoll(explain_spec.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || job_id < 0) {
+        obs::LogError("production_simulation", "bad_explain_value",
+                      {{"value", explain_spec},
+                       {"want", "a job id or 'all'"}});
+        return 2;
+      }
+      config.explain_job_filter = job_id;
+    }
+  }
   const bool sharing = FlagPresent(argc, argv, "--sharing");
   if (sharing) {
     config.engine.enable_sharing = true;
@@ -167,6 +189,23 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote insights JSON (%zu bytes) to %s\n", insights.size(),
                 insights_path.c_str());
+  }
+  if (!explain_spec.empty()) {
+    const std::string& decisions = result->cloudviews.decisions_json;
+    if (!explain_path.empty()) {
+      if (!WriteFile(explain_path, decisions)) {
+        obs::LogError("production_simulation", "explain_write_failed",
+                      {{"path", explain_path}});
+        return 1;
+      }
+      std::printf("wrote decisions JSON (%zu bytes) to %s\n",
+                  decisions.size(), explain_path.c_str());
+    } else {
+      std::printf("\n--- decisions JSON (--explain=%s) ---\n",
+                  explain_spec.c_str());
+      std::fputs(decisions.c_str(), stdout);
+      std::fputs("\n", stdout);
+    }
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "fault/fault.h"
 #include "fault/fault_sites.h"
+#include "obs/decision.h"
 #include "obs/log.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -195,6 +196,21 @@ void ClusterSimulator::TakeSample(double sample_time) {
     ts->series("savings.build_cost").Add(sample_time, totals.build_cost);
     ts->series("savings.storage_rent").Add(sample_time, totals.storage_rent);
     ts->series("savings.net").Add(sample_time, totals.net_savings);
+  }
+  if (obs::DecisionLedger::Enabled()) {
+    // Hourly miss-attribution trajectory: how much estimated latency the
+    // fleet has left on the table so far, and the hit/miss decision mix.
+    obs::DecisionTotals totals = engine_->decisions().Totals();
+    ts->series("decisions.events")
+        .Add(sample_time, static_cast<double>(totals.events));
+    ts->series("decisions.hits")
+        .Add(sample_time, static_cast<double>(totals.hits));
+    ts->series("decisions.misses")
+        .Add(sample_time, static_cast<double>(totals.misses));
+    ts->series("decisions.foregone_saving")
+        .Add(sample_time, totals.foregone_saving);
+    ts->series("decisions.realized_saving")
+        .Add(sample_time, totals.realized_saving);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/decision.h"
 #include "obs/json_reader.h"
 #include "obs/json_writer.h"
 
@@ -73,6 +74,8 @@ std::string BuildInsightsJson(const ReuseEngine& engine,
   w.Field("sealed_views", totals.sealed_views);
   w.Field("reused_views", totals.reused_views);
   w.Field("hits", totals.hits);
+  w.Field("hits_exact", engine.hits_exact());
+  w.Field("hits_subsumed", engine.hits_subsumed());
   w.Field("aborts", totals.aborts);
   w.Field("bytes_spooled", totals.bytes_spooled);
   w.Field("build_cost", totals.build_cost);
@@ -140,6 +143,40 @@ std::string BuildInsightsJson(const ReuseEngine& engine,
   }
   w.EndObject();
 
+  // Reuse decision provenance: the fleet-wide miss-attribution table
+  // (foregone savings bucketed by reason × match class) and hit/miss grand
+  // totals, in the same cost units as the savings attribution above. Null
+  // when the decision ledger was not enabled for this run.
+  w.Key("decisions");
+  if (obs::DecisionLedger::Enabled()) {
+    const obs::DecisionLedger& decisions = engine.decisions();
+    obs::DecisionTotals decision_totals = decisions.Totals();
+    w.BeginObject();
+    w.Key("totals");
+    w.BeginObject();
+    w.Field("jobs", decision_totals.jobs);
+    w.Field("events", decision_totals.events);
+    w.Field("hits", decision_totals.hits);
+    w.Field("misses", decision_totals.misses);
+    w.Field("realized_saving", decision_totals.realized_saving);
+    w.Field("foregone_saving", decision_totals.foregone_saving);
+    w.EndObject();
+    w.Key("miss_attribution");
+    w.BeginArray();
+    for (const obs::MissBucket& bucket : decisions.MissAttribution()) {
+      w.BeginObject();
+      w.Field("reason", obs::DecisionReasonName(bucket.reason));
+      w.Field("match_class", bucket.match_class.ToHex());
+      w.Field("events", bucket.events);
+      w.Field("foregone_saving", bucket.foregone_saving);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  } else {
+    w.Null();
+  }
+
   w.Key("ledger");
   w.RawValue(ledger.ExportJson(meta.now, rent_per_byte_second));
   w.Key("series");
@@ -194,6 +231,12 @@ Result<std::string> RenderInsightsReport(std::string_view insights_json,
   int_row("views live at end", "views_live");
   int_row("views reused (>=1 hit)", "reused_views");
   int_row("reuse hits", "hits");
+  // The exact/subsumed split rides newer exports only; older documents
+  // simply skip the rows rather than report a fake zero.
+  if (summary->Find("hits_exact") != nullptr) {
+    int_row("  exact-signature hits", "hits_exact");
+    int_row("  subsumed (generalized) hits", "hits_subsumed");
+  }
   int_row("aborted materializations", "aborts");
   int_row("views quarantined", "views_quarantined");
   int_row("bytes spooled", "bytes_spooled");
@@ -284,6 +327,44 @@ Result<std::string> RenderInsightsReport(std::string_view insights_json,
     out += "\n";
   }
 
+  // Decision provenance roll-up: what reuse left on the table, and why.
+  // Null/absent when the run did not enable the decision ledger.
+  const obs::JsonValue* decisions = root.Find("decisions");
+  if (decisions != nullptr && decisions->is_object()) {
+    const obs::JsonValue* totals = decisions->Find("totals");
+    out += "Reuse decisions (miss attribution)\n";
+    if (totals != nullptr) {
+      AppendF(&out,
+              "  %lld jobs traced, %lld events: %lld hits "
+              "(%.2f saved), %lld misses (%.2f foregone)\n",
+              static_cast<long long>(totals->GetInt("jobs")),
+              static_cast<long long>(totals->GetInt("events")),
+              static_cast<long long>(totals->GetInt("hits")),
+              totals->GetNumber("realized_saving"),
+              static_cast<long long>(totals->GetInt("misses")),
+              totals->GetNumber("foregone_saving"));
+    }
+    AppendF(&out, "  %-28s %-18s %8s %14s\n", "reason", "match_class",
+            "events", "foregone");
+    const obs::JsonValue* buckets = decisions->Find("miss_attribution");
+    bool any_bucket = false;
+    if (buckets != nullptr && buckets->is_array()) {
+      for (size_t i = 0;
+           i < buckets->items.size() && i < static_cast<size_t>(options.top_n);
+           ++i) {
+        const obs::JsonValue& bucket = buckets->items[i];
+        any_bucket = true;
+        AppendF(&out, "  %-28s %-18s %8lld %14.2f\n",
+                bucket.GetString("reason").c_str(),
+                bucket.GetString("match_class").substr(0, 16).c_str(),
+                static_cast<long long>(bucket.GetInt("events")),
+                bucket.GetNumber("foregone_saving"));
+      }
+    }
+    if (!any_bucket) out += "  (no miss buckets)\n";
+    out += "\n";
+  }
+
   out += "Negative-utility views (cost more than they saved)\n";
   bool any_negative = false;
   for (auto it = sealed_rows.rbegin(); it != sealed_rows.rend(); ++it) {
@@ -312,6 +393,97 @@ Result<std::string> RenderInsightsReport(std::string_view insights_json,
               vc.GetNumber("storage_rent"), vc.GetNumber("net_savings"));
     }
   }
+  return out;
+}
+
+Result<std::string> RenderExplainReport(std::string_view decisions_json,
+                                        const InsightsReportOptions& options) {
+  auto parsed = obs::ParseJson(decisions_json);
+  if (!parsed.ok()) return parsed.status();
+  const obs::JsonValue& root = *parsed;
+  const obs::JsonValue* jobs = root.Find("jobs");
+  const obs::JsonValue* totals = root.Find("totals");
+  if (jobs == nullptr || !jobs->is_array() || totals == nullptr) {
+    return Status::InvalidArgument(
+        "not a decisions document: missing jobs/totals");
+  }
+
+  std::string out;
+  out += "Reuse decision explain\n";
+  out += "======================\n";
+  AppendF(&out,
+          "%lld jobs traced, %lld events: %lld hits (%.2f saved), "
+          "%lld misses (%.2f foregone)\n\n",
+          static_cast<long long>(totals->GetInt("jobs")),
+          static_cast<long long>(totals->GetInt("events")),
+          static_cast<long long>(totals->GetInt("hits")),
+          totals->GetNumber("realized_saving"),
+          static_cast<long long>(totals->GetInt("misses")),
+          totals->GetNumber("foregone_saving"));
+
+  // One tree per job: events in emission (compile) order, grouped under
+  // their stage. Signatures are truncated to 16 hex chars like every other
+  // report table; the JSON keeps the full width.
+  const char* sharing_stage = obs::DecisionStageName(obs::DecisionStage::kSharing);
+  for (const obs::JsonValue& job : jobs->items) {
+    const obs::JsonValue* events = job.Find("events");
+    size_t num_events =
+        events != nullptr && events->is_array() ? events->items.size() : 0;
+    AppendF(&out, "job %lld (%zu events)\n",
+            static_cast<long long>(job.GetInt("job_id")), num_events);
+    std::string current_stage;
+    if (events != nullptr && events->is_array()) {
+      for (const obs::JsonValue& event : events->items) {
+        std::string stage = event.GetString("stage");
+        if (stage != current_stage) {
+          AppendF(&out, "  [%s]\n", stage.c_str());
+          current_stage = stage;
+        }
+        AppendF(&out, "    %-26s node %-16s cand %-16s class %-16s\n",
+                event.GetString("reason").c_str(),
+                event.GetString("node").substr(0, 16).c_str(),
+                event.GetString("candidate").substr(0, 16).c_str(),
+                event.GetString("match_class").substr(0, 16).c_str());
+        if (stage == sharing_stage) {
+          AppendF(&out, "      fanout %lld  subtree %lld  net_utility %.2f\n",
+                  static_cast<long long>(event.GetInt("fanout")),
+                  static_cast<long long>(event.GetInt("subtree_size")),
+                  event.GetNumber("net_utility"));
+        } else {
+          AppendF(&out, "      recompute %.2f  view_scan %.2f  saving %.2f\n",
+                  event.GetNumber("recompute_cost"),
+                  event.GetNumber("view_scan_cost"),
+                  event.GetNumber("saving"));
+        }
+        std::string detail = event.GetString("detail");
+        if (!detail.empty()) {
+          AppendF(&out, "      detail: %s\n", detail.c_str());
+        }
+      }
+    }
+    out += "\n";
+  }
+  if (jobs->items.empty()) out += "(no traced jobs)\n\n";
+
+  out += "Fleet-wide miss attribution (foregone savings by reason x class)\n";
+  AppendF(&out, "  %-28s %-18s %8s %14s\n", "reason", "match_class", "events",
+          "foregone");
+  const obs::JsonValue* buckets = root.Find("miss_attribution");
+  bool any_bucket = false;
+  if (buckets != nullptr && buckets->is_array()) {
+    for (size_t i = 0;
+         i < buckets->items.size() && i < static_cast<size_t>(options.top_n);
+         ++i) {
+      const obs::JsonValue& bucket = buckets->items[i];
+      any_bucket = true;
+      AppendF(&out, "  %-28s %-18s %8lld %14.2f\n",
+              bucket.GetString("reason").c_str(),
+              bucket.GetString("match_class").substr(0, 16).c_str(),
+              static_cast<long long>(bucket.GetInt("events")),
+              bucket.GetNumber("foregone_saving"));
+    }
+  }
+  if (!any_bucket) out += "  (no miss buckets)\n";
   return out;
 }
 

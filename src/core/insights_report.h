@@ -44,6 +44,16 @@ Result<std::string> RenderInsightsReport(std::string_view insights_json,
                                          const InsightsReportOptions& options =
                                              {});
 
+// Renders the per-job decision trees from a DecisionLedger::ExportJson
+// document (production_simulation --explain=...): one block per traced job,
+// events grouped under their decision stage, each carrying the candidate
+// signatures, cost-model numbers, and the closed-registry reason — followed
+// by the fleet-wide miss-attribution table. Pure function of its input:
+// byte-identical for identical JSON.
+Result<std::string> RenderExplainReport(std::string_view decisions_json,
+                                        const InsightsReportOptions& options =
+                                            {});
+
 }  // namespace cloudviews
 
 #endif  // CLOUDVIEWS_CORE_INSIGHTS_REPORT_H_

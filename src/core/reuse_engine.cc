@@ -114,9 +114,10 @@ Result<OptimizationOutcome> ReuseEngine::CompileBound(
       return acquired;
     };
   }
-  auto outcome = optimizer_->Optimize(plan, annotations,
-                                      reuse_enabled ? &view_store_ : nullptr,
-                                      try_lock, request.submit_time);
+  auto outcome = optimizer_->Optimize(
+      plan, annotations, reuse_enabled ? &view_store_ : nullptr, try_lock,
+      request.submit_time,
+      obs::DecisionSink(&decisions_, request.job_id));
   if constexpr (verify::RuntimeChecksEnabled()) {
     if (outcome.ok()) {
       // Every subsumption hit is re-verified by the auditor's independent
@@ -324,6 +325,11 @@ JobExecution ReuseEngine::FinalizeJob(PreparedJob job) {
                           detail.recompute_latency_cost - detail.view_scan_cost,
                           detail.rows_avoided, detail.bytes_avoided,
                           request.queue_wait_seconds);
+    if (detail.subsumed) {
+      hits_subsumed_ += 1;
+    } else {
+      hits_exact_ += 1;
+    }
   }
 
   // Feed the workload repository: occurrences come from the as-compiled
@@ -435,8 +441,13 @@ Result<std::vector<JobExecution>> ReuseEngine::RunSharedWindow(
       }
     }
   }
-  sharing::RewriteResult rewrite =
-      sharing::RewriteForSharing(plans, optimizer_->signatures(), policy);
+  std::vector<obs::DecisionSink> decision_sinks;
+  decision_sinks.reserve(jobs.size());
+  for (const PreparedJob& job : jobs) {
+    decision_sinks.emplace_back(&decisions_, job.request.job_id);
+  }
+  sharing::RewriteResult rewrite = sharing::RewriteForSharing(
+      plans, optimizer_->signatures(), policy, &decision_sinks);
 
   // Spools that vanished in the rewrite (nested inside a replaced subtree,
   // or stripped by a share-now decision) will never seal: withdraw their

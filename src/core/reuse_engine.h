@@ -12,6 +12,7 @@
 #include "core/view_selection.h"
 #include "core/workload_repository.h"
 #include "exec/executor.h"
+#include "obs/decision.h"
 #include "obs/profile.h"
 #include "obs/provenance.h"
 #include "optimizer/cardinality_feedback.h"
@@ -196,6 +197,14 @@ class ReuseEngine {
   ViewManager& view_manager() { return view_manager_; }
   obs::ProvenanceLedger& provenance() { return provenance_; }
   const obs::ProvenanceLedger& provenance() const { return provenance_; }
+  obs::DecisionLedger& decisions() { return decisions_; }
+  const obs::DecisionLedger& decisions() const { return decisions_; }
+  // Per-engine reuse-hit split (exact strict-signature hits vs containment
+  // hits), folded at FinalizeJob from what actually executed — fallbacks
+  // never count. Per-engine (not the process-global metrics) so
+  // side-by-side arms report their own splits.
+  int64_t hits_exact() const { return hits_exact_; }
+  int64_t hits_subsumed() const { return hits_subsumed_; }
   const ReuseEngineOptions& options() const { return options_; }
 
  private:
@@ -240,6 +249,11 @@ class ReuseEngine {
   // Declared before the store/manager that hold pointers into it, so it
   // outlives them on destruction.
   obs::ProvenanceLedger provenance_;
+  // Per-job reuse decision traces (compile-time choice points). Pure
+  // observation: nothing reads it back into a decision.
+  obs::DecisionLedger decisions_;
+  int64_t hits_exact_ = 0;
+  int64_t hits_subsumed_ = 0;
   ViewStore view_store_;
   InsightsService insights_;
   CardinalityFeedback feedback_;

@@ -1,0 +1,207 @@
+#include "obs/decision.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/json_writer.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace cloudviews {
+namespace obs {
+
+namespace {
+
+void WriteEvent(JsonWriter* json, const DecisionEvent& event) {
+  json->BeginObject();
+  json->Field("stage", DecisionStageName(event.stage));
+  json->Field("reason", DecisionReasonName(event.reason));
+  json->Field("node", event.node_strict.ToHex());
+  json->Field("candidate", event.candidate_strict.ToHex());
+  json->Field("match_class", event.match_class.ToHex());
+  json->Field("recompute_cost", event.recompute_cost);
+  json->Field("view_scan_cost", event.view_scan_cost);
+  json->Field("saving", event.saving);
+  json->Field("fanout", event.fanout);
+  json->Field("subtree_size", event.subtree_size);
+  json->Field("net_utility", event.net_utility);
+  json->Field("detail", event.detail);
+  json->EndObject();
+}
+
+}  // namespace
+
+std::atomic<bool> DecisionLedger::enabled_{false};
+
+DecisionLedger::DecisionLedger() {
+  // Environment gate, checked once per process at first ledger construction
+  // (the tracer discipline).
+  static const bool env_checked = [] {
+    const char* env = std::getenv("CLOUDVIEWS_OBS_DECISIONS");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+      enabled_.store(true, std::memory_order_relaxed);
+    }
+    return true;
+  }();
+  (void)env_checked;
+}
+
+JobDecisionTrace* DecisionLedger::GetTrace(int64_t job_id) {
+  auto it = index_.find(job_id);
+  if (it != index_.end()) return &traces_[it->second];
+  index_[job_id] = traces_.size();
+  traces_.emplace_back();
+  traces_.back().job_id = job_id;
+  return &traces_.back();
+}
+
+void DecisionLedger::Record(int64_t job_id, DecisionEvent event) {
+  if (!Enabled()) return;
+  static Counter& events =
+      MetricsRegistry::Global().counter(metric_names::kDecisionEvents);
+  events.Increment();
+  MutexLock lock(mu_);
+  GetTrace(job_id)->events.push_back(std::move(event));
+}
+
+size_t DecisionLedger::num_jobs() const {
+  MutexLock lock(mu_);
+  return traces_.size();
+}
+
+size_t DecisionLedger::num_events() const {
+  MutexLock lock(mu_);
+  size_t total = 0;
+  for (const JobDecisionTrace& trace : traces_) total += trace.events.size();
+  return total;
+}
+
+std::vector<JobDecisionTrace> DecisionLedger::Traces() const {
+  MutexLock lock(mu_);
+  return traces_;
+}
+
+std::vector<MissBucket> DecisionLedger::MissAttribution() const {
+  // Bucket key: (reason, match_class). A plain map keyed by the pair's hex
+  // keeps insertion independent of hash ordering.
+  struct Key {
+    DecisionReason reason;
+    Hash128 match_class;
+    bool operator==(const Key& other) const {
+      return reason == other.reason && match_class == other.match_class;
+    }
+  };
+  std::vector<MissBucket> buckets;
+  {
+    MutexLock lock(mu_);
+    for (const JobDecisionTrace& trace : traces_) {
+      for (const DecisionEvent& event : trace.events) {
+        if (!IsMissReason(event.reason)) continue;
+        auto it = std::find_if(
+            buckets.begin(), buckets.end(), [&](const MissBucket& b) {
+              return b.reason == event.reason &&
+                     b.match_class == event.match_class;
+            });
+        if (it == buckets.end()) {
+          MissBucket bucket;
+          bucket.reason = event.reason;
+          bucket.match_class = event.match_class;
+          buckets.push_back(bucket);
+          it = buckets.end() - 1;
+        }
+        it->events += 1;
+        // Only positive deltas count as savings left on the table: a
+        // cost-rejected candidate with a negative delta was *correctly*
+        // declined and forewent nothing.
+        if (event.saving > 0.0) it->foregone_saving += event.saving;
+      }
+    }
+  }
+  std::sort(buckets.begin(), buckets.end(),
+            [](const MissBucket& a, const MissBucket& b) {
+              if (a.foregone_saving != b.foregone_saving) {
+                return a.foregone_saving > b.foregone_saving;
+              }
+              const int by_name = std::strcmp(DecisionReasonName(a.reason),
+                                              DecisionReasonName(b.reason));
+              if (by_name != 0) return by_name < 0;
+              return a.match_class.ToHex() < b.match_class.ToHex();
+            });
+  return buckets;
+}
+
+DecisionTotals DecisionLedger::Totals() const {
+  DecisionTotals totals;
+  MutexLock lock(mu_);
+  totals.jobs = static_cast<int64_t>(traces_.size());
+  for (const JobDecisionTrace& trace : traces_) {
+    for (const DecisionEvent& event : trace.events) {
+      totals.events += 1;
+      if (IsHitReason(event.reason)) {
+        totals.hits += 1;
+        totals.realized_saving += event.saving;
+      } else if (IsMissReason(event.reason)) {
+        totals.misses += 1;
+        if (event.saving > 0.0) totals.foregone_saving += event.saving;
+      }
+    }
+  }
+  return totals;
+}
+
+std::string DecisionLedger::ExportJson(int64_t job_filter) const {
+  const std::vector<JobDecisionTrace> traces = Traces();
+  const std::vector<MissBucket> buckets = MissAttribution();
+  const DecisionTotals totals = Totals();
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("jobs");
+  json.BeginArray();
+  for (const JobDecisionTrace& trace : traces) {
+    if (job_filter >= 0 && trace.job_id != job_filter) continue;
+    json.BeginObject();
+    json.Field("job_id", trace.job_id);
+    json.Key("events");
+    json.BeginArray();
+    for (const DecisionEvent& event : trace.events) {
+      WriteEvent(&json, event);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("miss_attribution");
+  json.BeginArray();
+  for (const MissBucket& bucket : buckets) {
+    json.BeginObject();
+    json.Field("reason", DecisionReasonName(bucket.reason));
+    json.Field("match_class", bucket.match_class.ToHex());
+    json.Field("events", bucket.events);
+    json.Field("foregone_saving", bucket.foregone_saving);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("totals");
+  json.BeginObject();
+  json.Field("jobs", totals.jobs);
+  json.Field("events", totals.events);
+  json.Field("hits", totals.hits);
+  json.Field("misses", totals.misses);
+  json.Field("realized_saving", totals.realized_saving);
+  json.Field("foregone_saving", totals.foregone_saving);
+  json.EndObject();
+  json.EndObject();
+  return json.TakeString();
+}
+
+void DecisionLedger::Clear() {
+  MutexLock lock(mu_);
+  traces_.clear();
+  index_.clear();
+}
+
+}  // namespace obs
+}  // namespace cloudviews

@@ -1,0 +1,174 @@
+#ifndef CLOUDVIEWS_OBS_DECISION_H_
+#define CLOUDVIEWS_OBS_DECISION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/decision_reasons.h"
+
+namespace cloudviews {
+namespace obs {
+
+// One reuse-relevant decision, recorded at the choice point that made it.
+// Together a job's events form its decision trace: every candidate the
+// optimizer looked at, why it was (not) used, and what the road not taken
+// was estimated to cost — the same cost-model units as the provenance
+// ledger's per-hit savings, so hits and misses add up in one currency.
+struct DecisionEvent {
+  DecisionStage stage = DecisionStage::kExactMatch;
+  DecisionReason reason = DecisionReason::kExactMissNoView;
+  // Strict signature of the query subtree under consideration.
+  Hash128 node_strict;
+  // Strict signature of the candidate view involved (zero when none was —
+  // e.g. an exact miss with an empty candidate class).
+  Hash128 candidate_strict;
+  // Match-class key (filter-stripped skeleton hash) of the subtree; the
+  // second axis of the miss-attribution table.
+  Hash128 match_class;
+  // Cost-model quantities at the moment of the decision. `saving` is
+  // recompute − view-scan: for hit reasons the estimated realized saving,
+  // for miss reasons the estimated *foregone* saving (what using the
+  // candidate would have saved, had it been usable); zero when no candidate
+  // was priced.
+  double recompute_cost = 0.0;
+  double view_scan_cost = 0.0;
+  double saving = 0.0;
+  // Sharing-verdict inputs (kSharing stage only).
+  int64_t fanout = 0;
+  int64_t subtree_size = 0;
+  double net_utility = 0.0;
+  // Principled detail string from a closed source (the containment
+  // checker's reject_reason, a status message) — never a free-form literal.
+  std::string detail;
+};
+
+// The decision trace of one job, events in emission order (compile order:
+// top-down matching, then bottom-up spool injection, then sharing).
+struct JobDecisionTrace {
+  int64_t job_id = -1;
+  std::vector<DecisionEvent> events;
+};
+
+// One row of the fleet-wide miss-attribution table: foregone savings
+// bucketed by reason × match class ("top reasons we left latency on the
+// table"). Hit reasons never appear here.
+struct MissBucket {
+  DecisionReason reason = DecisionReason::kExactMissNoView;
+  Hash128 match_class;
+  int64_t events = 0;
+  double foregone_saving = 0.0;
+};
+
+// Grand totals across every trace (feeds the hourly time series).
+struct DecisionTotals {
+  int64_t jobs = 0;
+  int64_t events = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  double realized_saving = 0.0;  // sum of `saving` over hit reasons
+  double foregone_saving = 0.0;  // sum of `saving` over miss reasons
+};
+
+// Append-only per-job decision ledger: one trace per job id, recorded by
+// the optimizer/engine/sharing rewrite as a compile makes reuse choices.
+// One instance per ReuseEngine, so side-by-side arms never share traces.
+//
+// Disabled by default: every Record call on a constructed sink starts with
+// exactly one relaxed atomic load and touches nothing else (the Tracer
+// discipline; verified by bench/micro_obs_overhead). Enable
+// programmatically or via the CLOUDVIEWS_OBS_DECISIONS environment
+// variable (checked once, at first ledger construction). Recording never
+// feeds back into engine decisions, so plans and results are identical
+// with the ledger on or off.
+//
+// Thread safety: recording is mutex-guarded (sharing windows may record
+// from concurrent compiles in future engines; the TSan suite exercises
+// concurrent appends); the gate itself is lock-free.
+class DecisionLedger {
+ public:
+  DecisionLedger();
+
+  DecisionLedger(const DecisionLedger&) = delete;
+  DecisionLedger& operator=(const DecisionLedger&) = delete;
+
+  // Hot-path gate for all emission sites (class-wide, like the tracer: a
+  // fleet flips decision tracing on everywhere or nowhere).
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  // Appends one event to `job_id`'s trace (creating it on first use).
+  // No-op when the ledger is disabled.
+  void Record(int64_t job_id, DecisionEvent event) EXCLUDES(mu_);
+
+  // --- Inspection ----------------------------------------------------------
+
+  size_t num_jobs() const EXCLUDES(mu_);
+  size_t num_events() const EXCLUDES(mu_);
+
+  // Traces in first-recorded job order (deterministic for a deterministic
+  // engine run); events within a trace in emission order.
+  std::vector<JobDecisionTrace> Traces() const EXCLUDES(mu_);
+
+  // The fleet-wide miss-attribution table: miss events bucketed by
+  // reason × match class, sorted by foregone saving descending (ties break
+  // on reason name, then class hex — fully deterministic).
+  std::vector<MissBucket> MissAttribution() const EXCLUDES(mu_);
+
+  DecisionTotals Totals() const EXCLUDES(mu_);
+
+  // The decision traces as JSON (traces + miss-attribution + totals),
+  // rendered via obs::JsonWriter — byte-identical across reruns of the
+  // same seed. `job_filter` >= 0 restricts the traces to that one job (the
+  // miss table and totals always cover the whole ledger).
+  std::string ExportJson(int64_t job_filter = -1) const;
+
+  void Clear() EXCLUDES(mu_);
+
+ private:
+  JobDecisionTrace* GetTrace(int64_t job_id) REQUIRES(mu_);
+
+  // atomic[relaxed]: single-flag enable gate, same discipline as
+  // Tracer::enabled_; no ordered payload behind it.
+  static std::atomic<bool> enabled_;
+
+  mutable Mutex mu_;
+  std::vector<JobDecisionTrace> traces_ GUARDED_BY(mu_);  // insertion order
+  std::unordered_map<int64_t, size_t> index_ GUARDED_BY(mu_);
+};
+
+// A ledger handle pre-bound to one job: what the engine threads through the
+// optimizer and the sharing rewrite. Copyable and cheap; a
+// default-constructed sink records nothing. Emission sites guard event
+// construction behind Active() so the disabled path stays a single relaxed
+// load (plus one pointer test).
+class DecisionSink {
+ public:
+  DecisionSink() = default;
+  DecisionSink(DecisionLedger* ledger, int64_t job_id)
+      : ledger_(ledger), job_id_(job_id) {}
+
+  bool Active() const {
+    return ledger_ != nullptr && DecisionLedger::Enabled();
+  }
+  void Record(DecisionEvent event) const {
+    if (!Active()) return;
+    ledger_->Record(job_id_, std::move(event));
+  }
+  int64_t job_id() const { return job_id_; }
+
+ private:
+  DecisionLedger* ledger_ = nullptr;
+  int64_t job_id_ = -1;
+};
+
+}  // namespace obs
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OBS_DECISION_H_

@@ -1,0 +1,174 @@
+#ifndef CLOUDVIEWS_OBS_DECISION_REASONS_H_
+#define CLOUDVIEWS_OBS_DECISION_REASONS_H_
+
+namespace cloudviews {
+namespace obs {
+
+// The closed registry of reuse-decision reasons. Every decision the engine
+// records into the DecisionLedger names one of these enumerators, and every
+// surface that prints a reason goes through DecisionReasonName() — never a
+// raw string literal (tools/lint.py `decision-reason` rule enforces this,
+// mirroring the metric-name and fault-site registries). Keeping the set
+// closed is what makes the fleet-wide miss-attribution table enumerable: a
+// dashboard can list every way the engine declines to reuse from this one
+// header.
+//
+// Reason strings are UPPER_SNAKE so they can never collide with the
+// lowercase dotted metric-name registry that shares the literal-scanning
+// lint machinery.
+
+// Which choice point emitted a decision. Stages group the per-job explain
+// tree; reasons are unique across stages, so aggregation never needs the
+// pair.
+enum class DecisionStage {
+  kExactMatch = 0,  // strict-signature view-store lookup
+  kGeneralizedMatch,  // containment pipeline after an exact miss
+  kViewBuild,  // bottom-up spool-injection policy
+  kSharing,  // runtime work-sharing verdicts
+};
+
+enum class DecisionReason {
+  // --- Exact strict-signature lookup (optimizer MatchViews) ---------------
+  kExactHit = 0,  // view found and cheaper than recompute: rewritten
+  kExactCostRejected,  // view found but scanning it beats nothing
+  kExactMissNoView,  // no sealed live view under this strict signature
+
+  // --- Generalized (containment) matching (TryGeneralizedMatch) -----------
+  kStage1FeaturePruned,  // feature vector refutes containment
+  kStage2NotContained,  // exact checker declined (detail = its reason)
+  kCandidateViewNotLive,  // proof held but the view is gone/unsealed
+  kSubsumedCostRejected,  // compensation priced above recompute
+  kSubsumedHit,  // containment hit accepted: compensated rewrite
+
+  // --- Spool injection (BuildViews) ----------------------------------------
+  kSpoolInjected,  // creation lock won; spool wrapped the candidate
+  kSpoolAlreadyMaterialized,  // another job's view already covers it
+  kSpoolLockDenied,  // a concurrent job holds the creation lock
+  kSpoolCapReached,  // per-job #views cap exhausted before this node
+
+  // --- Runtime work sharing (SharingPolicy via RewriteForSharing) ----------
+  kShareNow,  // stream in-flight; spool (if any) stripped
+  kShareBoth,  // stream in-flight and keep the view writer
+  kShareMaterializeOnly,  // below sharing thresholds; spool path only
+};
+
+// Canonical reason strings — the explain/JSON vocabulary, and the closed
+// set the `decision-reason` lint scans src/ for. Only this header may spell
+// them as literals.
+namespace decision_reason_names {
+inline constexpr char kExactHit[] = "EXACT_HIT";
+inline constexpr char kExactCostRejected[] = "EXACT_COST_REJECTED";
+inline constexpr char kExactMissNoView[] = "EXACT_MISS_NO_VIEW";
+inline constexpr char kStage1FeaturePruned[] = "STAGE1_FEATURE_PRUNED";
+inline constexpr char kStage2NotContained[] = "STAGE2_NOT_CONTAINED";
+inline constexpr char kCandidateViewNotLive[] = "CANDIDATE_VIEW_NOT_LIVE";
+inline constexpr char kSubsumedCostRejected[] = "SUBSUMED_COST_REJECTED";
+inline constexpr char kSubsumedHit[] = "SUBSUMED_HIT";
+inline constexpr char kSpoolInjected[] = "SPOOL_INJECTED";
+inline constexpr char kSpoolAlreadyMaterialized[] =
+    "SPOOL_ALREADY_MATERIALIZED";
+inline constexpr char kSpoolLockDenied[] = "SPOOL_LOCK_DENIED";
+inline constexpr char kSpoolCapReached[] = "SPOOL_CAP_REACHED";
+inline constexpr char kShareNow[] = "SHARING_SHARE_NOW";
+inline constexpr char kShareBoth[] = "SHARING_BOTH";
+inline constexpr char kShareMaterializeOnly[] = "SHARING_MATERIALIZE_ONLY";
+}  // namespace decision_reason_names
+
+inline const char* DecisionStageName(DecisionStage stage) {
+  switch (stage) {
+    case DecisionStage::kExactMatch:
+      return "exact_match";
+    case DecisionStage::kGeneralizedMatch:
+      return "generalized_match";
+    case DecisionStage::kViewBuild:
+      return "view_build";
+    case DecisionStage::kSharing:
+      return "work_sharing";
+  }
+  return "unknown";
+}
+
+inline const char* DecisionReasonName(DecisionReason reason) {
+  namespace names = decision_reason_names;
+  switch (reason) {
+    case DecisionReason::kExactHit:
+      return names::kExactHit;
+    case DecisionReason::kExactCostRejected:
+      return names::kExactCostRejected;
+    case DecisionReason::kExactMissNoView:
+      return names::kExactMissNoView;
+    case DecisionReason::kStage1FeaturePruned:
+      return names::kStage1FeaturePruned;
+    case DecisionReason::kStage2NotContained:
+      return names::kStage2NotContained;
+    case DecisionReason::kCandidateViewNotLive:
+      return names::kCandidateViewNotLive;
+    case DecisionReason::kSubsumedCostRejected:
+      return names::kSubsumedCostRejected;
+    case DecisionReason::kSubsumedHit:
+      return names::kSubsumedHit;
+    case DecisionReason::kSpoolInjected:
+      return names::kSpoolInjected;
+    case DecisionReason::kSpoolAlreadyMaterialized:
+      return names::kSpoolAlreadyMaterialized;
+    case DecisionReason::kSpoolLockDenied:
+      return names::kSpoolLockDenied;
+    case DecisionReason::kSpoolCapReached:
+      return names::kSpoolCapReached;
+    case DecisionReason::kShareNow:
+      return names::kShareNow;
+    case DecisionReason::kShareBoth:
+      return names::kShareBoth;
+    case DecisionReason::kShareMaterializeOnly:
+      return names::kShareMaterializeOnly;
+  }
+  return "unknown";
+}
+
+// Every enumerator, in declaration order — lets tests and aggregators
+// enumerate the closed set without a parallel hand-maintained list.
+inline constexpr DecisionReason kAllDecisionReasons[] = {
+    DecisionReason::kExactHit,
+    DecisionReason::kExactCostRejected,
+    DecisionReason::kExactMissNoView,
+    DecisionReason::kStage1FeaturePruned,
+    DecisionReason::kStage2NotContained,
+    DecisionReason::kCandidateViewNotLive,
+    DecisionReason::kSubsumedCostRejected,
+    DecisionReason::kSubsumedHit,
+    DecisionReason::kSpoolInjected,
+    DecisionReason::kSpoolAlreadyMaterialized,
+    DecisionReason::kSpoolLockDenied,
+    DecisionReason::kSpoolCapReached,
+    DecisionReason::kShareNow,
+    DecisionReason::kShareBoth,
+    DecisionReason::kShareMaterializeOnly,
+};
+
+// True for reasons that record a reuse that actually happened (the others
+// are misses or build/sharing policy verdicts).
+inline bool IsHitReason(DecisionReason reason) {
+  return reason == DecisionReason::kExactHit ||
+         reason == DecisionReason::kSubsumedHit;
+}
+
+// True for reasons where a candidate view existed but was not used — the
+// events the miss-attribution table buckets foregone savings by.
+inline bool IsMissReason(DecisionReason reason) {
+  switch (reason) {
+    case DecisionReason::kExactCostRejected:
+    case DecisionReason::kExactMissNoView:
+    case DecisionReason::kStage1FeaturePruned:
+    case DecisionReason::kStage2NotContained:
+    case DecisionReason::kCandidateViewNotLive:
+    case DecisionReason::kSubsumedCostRejected:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace obs
+}  // namespace cloudviews
+
+#endif  // CLOUDVIEWS_OBS_DECISION_REASONS_H_

@@ -56,6 +56,9 @@ inline constexpr char kGeneralizedFilterPruned[] =
     "generalized.filter_pruned";
 inline constexpr char kGeneralizedExactChecks[] = "generalized.exact_checks";
 
+// --- Decision ledger (obs/decision.cc) -------------------------------------
+inline constexpr char kDecisionEvents[] = "decisions.events";
+
 // --- Provenance ledger (obs/provenance.cc) ---------------------------------
 inline constexpr char kProvenanceEvents[] = "provenance.events";
 inline constexpr char kProvenanceDropped[] = "provenance.dropped";

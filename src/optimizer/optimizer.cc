@@ -78,8 +78,8 @@ void Optimizer::AnnotateWithFeedback(LogicalOp* node) const {
 
 Result<OptimizationOutcome> Optimizer::Optimize(
     const LogicalOpPtr& plan, const QueryAnnotations& annotations,
-    const ViewStore* view_store, const TryLockFn& try_lock,
-    double now) const {
+    const ViewStore* view_store, const TryLockFn& try_lock, double now,
+    obs::DecisionSink decisions) const {
   obs::Span span("optimize", "opt");
   OptimizationOutcome outcome;
   outcome.plan = plan->Clone();
@@ -109,7 +109,9 @@ Result<OptimizationOutcome> Optimizer::Optimize(
   // subexpressions with view scans.
   if (options_.enable_view_matching && view_store != nullptr) {
     obs::Span match_span("view-match", "opt");
-    auto matched = MatchViews(&outcome.plan, view_store, now, &outcome);
+    match_span.Arg("job_id", decisions.job_id());
+    auto matched =
+        MatchViews(&outcome.plan, view_store, now, &outcome, decisions);
     if (!matched.ok()) return matched.status();
     outcome.views_matched = *matched;
     match_span.Arg("matched", static_cast<int64_t>(outcome.views_matched));
@@ -127,10 +129,11 @@ Result<OptimizationOutcome> Optimizer::Optimize(
   if (options_.enable_view_building && try_lock != nullptr &&
       !annotations.materialize_candidates.empty()) {
     obs::Span build_span("view-build", "opt");
+    build_span.Arg("job_id", decisions.job_id());
     int total_added = 0;
     CLOUDVIEWS_RETURN_NOT_OK(BuildViews(&outcome.plan, annotations,
                                         view_store, try_lock, now, &outcome,
-                                        &total_added));
+                                        &total_added, decisions));
     outcome.spools_added = total_added;
     AnnotateWithFeedback(outcome.plan.get());
     build_span.Arg("spools_added", static_cast<int64_t>(total_added));
@@ -142,7 +145,8 @@ Result<OptimizationOutcome> Optimizer::Optimize(
 
 Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
                                   const ViewStore* view_store, double now,
-                                  OptimizationOutcome* outcome) const {
+                                  OptimizationOutcome* outcome,
+                                  const obs::DecisionSink& decisions) const {
   LogicalOp& op = **node;
   // Never rewrite reuse infrastructure itself.
   if (op.kind != LogicalOpKind::kViewScan && op.kind != LogicalOpKind::kSpool) {
@@ -163,6 +167,11 @@ Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
         static obs::Counter& cost_rejected =
             obs::MetricsRegistry::Global().counter(
                 obs::metric_names::kOptimizerViewMatchCostRejected);
+        obs::Span decide_span("view-match-decide", "opt");
+        if (decide_span.active()) {
+          decide_span.Arg("job_id", decisions.job_id());
+          decide_span.Arg("signature", sig.strict.ToHex());
+        }
         if (reuse < recompute) {
           rule_fired.Increment();
           static obs::Counter& exact_hits =
@@ -176,6 +185,22 @@ Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
           detail.view_scan_cost = reuse;
           SumBaseScanVolume(op, &detail.rows_avoided, &detail.bytes_avoided);
           outcome->matched_details.push_back(detail);
+          if (decide_span.active()) {
+            decide_span.Arg("reason", obs::DecisionReasonName(
+                                          obs::DecisionReason::kExactHit));
+          }
+          if (decisions.Active()) {
+            obs::DecisionEvent event;
+            event.stage = obs::DecisionStage::kExactMatch;
+            event.reason = obs::DecisionReason::kExactHit;
+            event.node_strict = sig.strict;
+            event.candidate_strict = sig.strict;
+            event.match_class = signatures_.ComputeMatchClass(op);
+            event.recompute_cost = recompute;
+            event.view_scan_cost = reuse;
+            event.saving = detail.recompute_latency_cost - reuse;
+            decisions.Record(std::move(event));
+          }
           CompensationPlan comp =
               BuildCompensation(sig.strict, sig.recurring, view->output_path,
                                 op.output_schema, SubsumptionResult{});
@@ -193,14 +218,44 @@ Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
           return 1;
         }
         cost_rejected.Increment();
+        if (decide_span.active()) {
+          decide_span.Arg("reason",
+                          obs::DecisionReasonName(
+                              obs::DecisionReason::kExactCostRejected));
+        }
+        if (decisions.Active()) {
+          obs::DecisionEvent event;
+          event.stage = obs::DecisionStage::kExactMatch;
+          event.reason = obs::DecisionReason::kExactCostRejected;
+          event.node_strict = sig.strict;
+          event.candidate_strict = sig.strict;
+          event.match_class = signatures_.ComputeMatchClass(op);
+          event.recompute_cost = recompute;
+          event.view_scan_cost = reuse;
+          event.saving = cost_model_.SubtreeLatencyCost(op) - reuse;
+          decisions.Record(std::move(event));
+        }
       }
       if (view == nullptr || view->table == nullptr) {
+        if (decisions.Active()) {
+          // The "why didn't this job hit a view?" anchor event: no sealed
+          // live view under this strict signature. No candidate was priced,
+          // so no saving is attributed here — the generalized pipeline's
+          // per-candidate events below carry the foregone estimates.
+          obs::DecisionEvent event;
+          event.stage = obs::DecisionStage::kExactMatch;
+          event.reason = obs::DecisionReason::kExactMissNoView;
+          event.node_strict = sig.strict;
+          event.match_class = signatures_.ComputeMatchClass(op);
+          event.recompute_cost = cost_model_.SubtreeCost(op);
+          decisions.Record(std::move(event));
+        }
         // Exact miss: try containment against indexed definitions in the
         // same match class.
         if (options_.enable_generalized_matching &&
             options_.generalized_index != nullptr) {
-          auto generalized =
-              TryGeneralizedMatch(node, sig, view_store, now, outcome);
+          auto generalized = TryGeneralizedMatch(node, sig, view_store, now,
+                                                 outcome, decisions);
           if (!generalized.ok()) return generalized.status();
           if (*generalized == 1) return 1;
         }
@@ -211,7 +266,8 @@ Result<int> Optimizer::MatchViews(LogicalOpPtr* node,
   // chance before their descendants).
   int matched = 0;
   for (LogicalOpPtr& child : op.children) {
-    auto child_matched = MatchViews(&child, view_store, now, outcome);
+    auto child_matched =
+        MatchViews(&child, view_store, now, outcome, decisions);
     if (!child_matched.ok()) return child_matched.status();
     matched += *child_matched;
   }
@@ -222,7 +278,9 @@ Result<int> Optimizer::TryGeneralizedMatch(LogicalOpPtr* node,
                                            const NodeSignature& sig,
                                            const ViewStore* view_store,
                                            double now,
-                                           OptimizationOutcome* outcome) const {
+                                           OptimizationOutcome* outcome,
+                                           const obs::DecisionSink& decisions)
+    const {
   LogicalOp& op = **node;
   const GeneralizedViewIndex& index = *options_.generalized_index;
   const Hash128 class_key = signatures_.ComputeMatchClass(op);
@@ -238,10 +296,45 @@ Result<int> Optimizer::TryGeneralizedMatch(LogicalOpPtr* node,
       obs::metric_names::kGeneralizedExactChecks);
   static obs::Counter& subsumed_hits = obs::MetricsRegistry::Global().counter(
       obs::metric_names::kReuseHitsSubsumed);
+  // Query-side costs for foregone-saving estimates, priced once per subtree
+  // (only when the ledger is on — the disabled path stays load-and-go).
+  double trace_latency = 0.0;
+  const bool tracing_decisions = decisions.Active();
+  if (tracing_decisions) {
+    trace_latency = cost_model_.SubtreeLatencyCost(op);
+  }
+  // What the candidate's view scan is estimated to cost, from the indexed
+  // definition's annotated estimates — no view-store lookup (a lookup would
+  // bump the views.lookup.* metrics and perturb telemetry).
+  const auto candidate_scan_cost =
+      [this](const GeneralizedViewIndex::Entry& cand) {
+        return cost_model_.ViewScanCost(cand.definition->estimated_rows,
+                                        cand.definition->estimated_bytes);
+      };
+  const auto record_candidate_miss =
+      [&](const GeneralizedViewIndex::Entry& cand, obs::DecisionReason reason,
+          std::string detail) {
+        obs::DecisionEvent event;
+        event.stage = obs::DecisionStage::kGeneralizedMatch;
+        event.reason = reason;
+        event.node_strict = sig.strict;
+        event.candidate_strict = cand.strict;
+        event.match_class = class_key;
+        event.recompute_cost = cost_model_.SubtreeCost(op);
+        event.view_scan_cost = candidate_scan_cost(cand);
+        event.saving = trace_latency - event.view_scan_cost;
+        event.detail = std::move(detail);
+        decisions.Record(std::move(event));
+      };
   for (const GeneralizedViewIndex::Entry& cand : candidates) {
     candidates_seen.Increment();
     if (!FeatureMayContain(cand.features, query_features)) {
       filter_pruned.Increment();
+      if (tracing_decisions) {
+        record_candidate_miss(cand,
+                              obs::DecisionReason::kStage1FeaturePruned,
+                              std::string());
+      }
       if constexpr (verify::RuntimeChecksEnabled()) {
         // No-false-prune assertion: the feature filter claims the exact
         // checker would reject; run it and fail loudly if it would not.
@@ -255,11 +348,40 @@ Result<int> Optimizer::TryGeneralizedMatch(LogicalOpPtr* node,
       continue;
     }
     exact_checks.Increment();
+    obs::Span check_span("containment-check", "opt");
+    if (check_span.active()) {
+      check_span.Arg("job_id", decisions.job_id());
+      check_span.Arg("candidate", cand.strict.ToHex());
+    }
     SubsumptionResult proof = CheckSubsumption(op, *cand.definition);
-    if (!proof.contained) continue;
+    if (!proof.contained) {
+      if (check_span.active()) {
+        check_span.Arg("reason",
+                       obs::DecisionReasonName(
+                           obs::DecisionReason::kStage2NotContained));
+        check_span.Arg("detail", proof.reject_reason);
+      }
+      if (tracing_decisions) {
+        record_candidate_miss(cand, obs::DecisionReason::kStage2NotContained,
+                              proof.reject_reason);
+      }
+      continue;
+    }
     // A proof is only useful while the materialized result is live.
     const MaterializedView* view = view_store->Find(cand.strict, now);
-    if (view == nullptr || view->table == nullptr) continue;
+    if (view == nullptr || view->table == nullptr) {
+      if (tracing_decisions) {
+        record_candidate_miss(cand,
+                              obs::DecisionReason::kCandidateViewNotLive,
+                              std::string());
+      }
+      continue;
+    }
+    obs::Span comp_span("compensation", "opt");
+    if (comp_span.active()) {
+      comp_span.Arg("job_id", decisions.job_id());
+      comp_span.Arg("candidate", cand.strict.ToHex());
+    }
     CompensationPlan comp =
         BuildCompensation(cand.strict, cand.recurring, view->output_path,
                           cand.definition->output_schema, proof);
@@ -278,12 +400,33 @@ Result<int> Optimizer::TryGeneralizedMatch(LogicalOpPtr* node,
           obs::MetricsRegistry::Global().counter(
               obs::metric_names::kOptimizerViewMatchCostRejected);
       cost_rejected.Increment();
+      if (comp_span.active()) {
+        comp_span.Arg("reason",
+                      obs::DecisionReasonName(
+                          obs::DecisionReason::kSubsumedCostRejected));
+      }
+      if (tracing_decisions) {
+        obs::DecisionEvent event;
+        event.stage = obs::DecisionStage::kGeneralizedMatch;
+        event.reason = obs::DecisionReason::kSubsumedCostRejected;
+        event.node_strict = sig.strict;
+        event.candidate_strict = cand.strict;
+        event.match_class = class_key;
+        event.recompute_cost = recompute;
+        event.view_scan_cost = reuse;
+        event.saving = trace_latency - reuse;
+        decisions.Record(std::move(event));
+      }
       continue;
     }
     static obs::Counter& rule_fired = obs::MetricsRegistry::Global().counter(
         obs::metric_names::kOptimizerRuleViewMatch);
     rule_fired.Increment();
     subsumed_hits.Increment();
+    if (comp_span.active()) {
+      comp_span.Arg("reason", obs::DecisionReasonName(
+                                  obs::DecisionReason::kSubsumedHit));
+    }
     MatchedViewDetail detail;
     detail.strict = cand.strict;
     detail.recompute_cost = recompute;
@@ -292,6 +435,18 @@ Result<int> Optimizer::TryGeneralizedMatch(LogicalOpPtr* node,
     detail.subsumed = true;
     SumBaseScanVolume(op, &detail.rows_avoided, &detail.bytes_avoided);
     outcome->matched_details.push_back(detail);
+    if (tracing_decisions) {
+      obs::DecisionEvent event;
+      event.stage = obs::DecisionStage::kGeneralizedMatch;
+      event.reason = obs::DecisionReason::kSubsumedHit;
+      event.node_strict = sig.strict;
+      event.candidate_strict = cand.strict;
+      event.match_class = class_key;
+      event.recompute_cost = recompute;
+      event.view_scan_cost = reuse;
+      event.saving = detail.recompute_latency_cost - reuse;
+      decisions.Record(std::move(event));
+    }
     if constexpr (verify::RuntimeChecksEnabled()) {
       SubsumedMatchAudit audit;
       audit.view_strict = cand.strict;
@@ -315,15 +470,19 @@ Status Optimizer::BuildViews(LogicalOpPtr* node,
                              const QueryAnnotations& annotations,
                              const ViewStore* view_store,
                              const TryLockFn& try_lock, double now,
-                             OptimizationOutcome* outcome,
-                             int* total_added) const {
+                             OptimizationOutcome* outcome, int* total_added,
+                             const obs::DecisionSink& decisions) const {
   LogicalOp& op = **node;
   // Bottom-up: children first, so inner candidates materialize too (a spool
   // below another candidate still contributes to the outer subexpression).
+  // A `break` on cap exhaustion (instead of an early return) lets the
+  // cap-reached verdict below be recorded for this node when it is itself a
+  // selected candidate; the spool outcome is identical either way.
   for (LogicalOpPtr& child : op.children) {
     CLOUDVIEWS_RETURN_NOT_OK(BuildViews(&child, annotations, view_store,
-                                        try_lock, now, outcome, total_added));
-    if (*total_added >= annotations.max_views_per_job) return Status::OK();
+                                        try_lock, now, outcome, total_added,
+                                        decisions));
+    if (*total_added >= annotations.max_views_per_job) break;
   }
   if (op.kind == LogicalOpKind::kSpool || op.kind == LogicalOpKind::kViewScan) {
     return Status::OK();
@@ -333,11 +492,33 @@ Status Optimizer::BuildViews(LogicalOpPtr* node,
   if (annotations.materialize_candidates.count(sig.recurring) == 0) {
     return Status::OK();
   }
-  // Already materialized (or being materialized by another job)?
-  if (view_store != nullptr && view_store->FindAny(sig.strict) != nullptr) {
+  // From here on `op` is a selected materialization candidate: every
+  // verdict — injected, already covered, lock denied, cap exhausted — is a
+  // recordable decision.
+  const auto record_build = [&](obs::DecisionReason reason) {
+    if (!decisions.Active()) return;
+    obs::DecisionEvent event;
+    event.stage = obs::DecisionStage::kViewBuild;
+    event.reason = reason;
+    event.node_strict = sig.strict;
+    event.candidate_strict = sig.strict;
+    event.match_class = signatures_.ComputeMatchClass(op);
+    event.recompute_cost = cost_model_.SubtreeCost(op);
+    decisions.Record(std::move(event));
+  };
+  if (*total_added >= annotations.max_views_per_job) {
+    record_build(obs::DecisionReason::kSpoolCapReached);
     return Status::OK();
   }
-  if (!try_lock(sig.strict)) return Status::OK();
+  // Already materialized (or being materialized by another job)?
+  if (view_store != nullptr && view_store->FindAny(sig.strict) != nullptr) {
+    record_build(obs::DecisionReason::kSpoolAlreadyMaterialized);
+    return Status::OK();
+  }
+  if (!try_lock(sig.strict)) {
+    record_build(obs::DecisionReason::kSpoolLockDenied);
+    return Status::OK();
+  }
   // Wrap with a spool: one consumer feeds the rest of this job, the other
   // writes the common subexpression to stable storage.
   LogicalOpPtr spool = LogicalOp::Spool(*node);
@@ -347,6 +528,7 @@ Status Optimizer::BuildViews(LogicalOpPtr* node,
       obs::MetricsRegistry::Global().counter(
           obs::metric_names::kOptimizerRuleSpoolInject);
   rule_fired.Increment();
+  record_build(obs::DecisionReason::kSpoolInjected);
   outcome->proposed_materializations.push_back(sig.strict);
   *total_added += 1;
   return VerifyAfterRule("spool_inject", *outcome,

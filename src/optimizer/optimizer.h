@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "obs/decision.h"
 #include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
 #include "plan/containment.h"
@@ -125,12 +126,16 @@ class Optimizer {
 
   // Optimizes `plan` in place (the plan is cloned; the input is untouched).
   // `view_store` may be null (no reuse); `try_lock` may be null (no
-  // materialization). `now` gates view expiry.
+  // materialization). `now` gates view expiry. `decisions` receives one
+  // DecisionEvent per reuse-relevant choice (exact lookup, generalized
+  // pipeline stages, spool policy) when its ledger is enabled; a
+  // default-constructed sink records nothing, and recording never feeds
+  // back into the optimization, so plans are identical either way.
   Result<OptimizationOutcome> Optimize(const LogicalOpPtr& plan,
                                        const QueryAnnotations& annotations,
                                        const ViewStore* view_store,
-                                       const TryLockFn& try_lock,
-                                       double now) const;
+                                       const TryLockFn& try_lock, double now,
+                                       obs::DecisionSink decisions = {}) const;
 
   const SignatureComputer& signatures() const { return signatures_; }
 
@@ -143,7 +148,8 @@ class Optimizer {
   // verification builds the whole plan is re-validated after every rewrite,
   // so a schema-breaking match fails at the rule that introduced it.
   Result<int> MatchViews(LogicalOpPtr* node, const ViewStore* view_store,
-                         double now, OptimizationOutcome* outcome) const;
+                         double now, OptimizationOutcome* outcome,
+                         const obs::DecisionSink& decisions) const;
 
   // Generalized fallback for one subtree after an exact-signature miss:
   // class-key candidate lookup, stage-1 feature pruning (with the
@@ -152,14 +158,16 @@ class Optimizer {
   Result<int> TryGeneralizedMatch(LogicalOpPtr* node,
                                   const NodeSignature& sig,
                                   const ViewStore* view_store, double now,
-                                  OptimizationOutcome* outcome) const;
+                                  OptimizationOutcome* outcome,
+                                  const obs::DecisionSink& decisions) const;
 
   // Bottom-up spool injection; increments *total_added (bounded by the
   // per-job cap). Re-validates after every injection in verification builds.
   Status BuildViews(LogicalOpPtr* node, const QueryAnnotations& annotations,
                     const ViewStore* view_store, const TryLockFn& try_lock,
                     double now, OptimizationOutcome* outcome,
-                    int* total_added) const;
+                    int* total_added,
+                    const obs::DecisionSink& decisions) const;
 
   // Re-validates the full plan after optimizer stage `rule`; compiled to a
   // no-op unless CLOUDVIEWS_VERIFY_RUNTIME is defined.

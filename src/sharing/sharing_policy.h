@@ -56,6 +56,15 @@ class SharingPolicy {
   ShareMode Decide(const Hash128& strict, size_t fanout, size_t subtree_size,
                    bool has_spool) const;
 
+  // The loaded ledger snapshot's net-utility signal for `strict` — the
+  // number Decide consulted. Zero when the ledger carried no signal (the
+  // same neutral default Decide assumes). Exposed so a recorded sharing
+  // verdict can carry its input.
+  double NetUtilityFor(const Hash128& strict) const {
+    auto it = net_utility_.find(strict);
+    return it == net_utility_.end() ? 0.0 : it->second;
+  }
+
   const SharingPolicyOptions& options() const { return options_; }
 
  private:

@@ -86,9 +86,10 @@ LogicalOpPtr MakeSharedScan(const Candidate& candidate,
 
 }  // namespace
 
-RewriteResult RewriteForSharing(const std::vector<LogicalOpPtr*>& plans,
-                                const SignatureComputer& signatures,
-                                const SharingPolicy& policy) {
+RewriteResult RewriteForSharing(
+    const std::vector<LogicalOpPtr*>& plans,
+    const SignatureComputer& signatures, const SharingPolicy& policy,
+    const std::vector<obs::DecisionSink>* decision_sinks) {
   RewriteResult result;
 
   // Enumerate eligible subtree instances across the window's plans.
@@ -158,6 +159,31 @@ RewriteResult RewriteForSharing(const std::vector<LogicalOpPtr*>& plans,
     for (const Instance& instance : claim.instances) jobs.insert(instance.job);
     claim.mode = policy.Decide(strict, jobs.size(), candidate.subtree_size,
                                has_spool);
+    // Record the verdict into every covered job's trace (ascending job
+    // order for determinism) when >= 2 jobs actually shared the signature —
+    // single-job candidates are not sharing decisions.
+    if (decision_sinks != nullptr && jobs.size() >= 2) {
+      std::vector<size_t> covered(jobs.begin(), jobs.end());
+      std::sort(covered.begin(), covered.end());
+      for (size_t job : covered) {
+        const obs::DecisionSink& sink = (*decision_sinks)[job];
+        if (!sink.Active()) continue;
+        obs::DecisionEvent event;
+        event.stage = obs::DecisionStage::kSharing;
+        event.reason =
+            claim.mode == ShareMode::kShareNow
+                ? obs::DecisionReason::kShareNow
+                : claim.mode == ShareMode::kBoth
+                      ? obs::DecisionReason::kShareBoth
+                      : obs::DecisionReason::kShareMaterializeOnly;
+        event.node_strict = strict;
+        event.candidate_strict = strict;
+        event.fanout = static_cast<int64_t>(jobs.size());
+        event.subtree_size = static_cast<int64_t>(candidate.subtree_size);
+        event.net_utility = policy.NetUtilityFor(strict);
+        sink.Record(std::move(event));
+      }
+    }
     if (claim.mode == ShareMode::kMaterializeOnly) continue;
     for (const Instance& instance : claim.instances) {
       CollectNodes(instance.node, &covered[instance.job]);

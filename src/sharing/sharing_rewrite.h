@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "obs/decision.h"
 #include "plan/logical_plan.h"
 #include "plan/signature.h"
 #include "sharing/sharing_policy.h"
@@ -60,9 +61,15 @@ struct RewriteResult {
 //
 // Deterministic: iteration follows job order and post-order signature
 // enumeration; ties in candidate ordering break on the signature hex.
-RewriteResult RewriteForSharing(const std::vector<LogicalOpPtr*>& plans,
-                                const SignatureComputer& signatures,
-                                const SharingPolicy& policy);
+//
+// `decision_sinks` (optional; parallel to `plans`) receives one kSharing
+// DecisionEvent per covered job for every policy verdict on a signature at
+// least two jobs cover, carrying the fan-out / subtree-size / net-utility
+// inputs the policy consulted. Recording never alters the rewrite.
+RewriteResult RewriteForSharing(
+    const std::vector<LogicalOpPtr*>& plans,
+    const SignatureComputer& signatures, const SharingPolicy& policy,
+    const std::vector<obs::DecisionSink>* decision_sinks = nullptr);
 
 }  // namespace sharing
 }  // namespace cloudviews

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/insights_report.h"
+#include "obs/decision.h"
 #include "obs/log.h"
 #include "obs/provenance.h"
 #include "obs/timeseries.h"
@@ -23,7 +24,11 @@ Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
   engine_options.cluster_name = config_.workload.cluster_name;
   ReuseEngine engine(&catalog, engine_options);
   const bool insights = cloudviews_enabled && config_.collect_insights;
+  const bool decisions =
+      cloudviews_enabled &&
+      (config_.collect_decisions || config_.collect_insights);
   if (insights) obs::ProvenanceLedger::Enable();
+  if (decisions) obs::DecisionLedger::Enable();
   obs::TimeSeriesCollector timeseries;
   ClusterSimOptions cluster_options = config_.cluster;
   if (insights) cluster_options.timeseries = &timeseries;
@@ -127,6 +132,10 @@ Result<ArmResult> ProductionExperiment::RunArm(bool cloudviews_enabled) {
     meta.num_virtual_clusters = config_.workload.num_virtual_clusters;
     meta.now = end_of_run;
     arm.insights_json = BuildInsightsJson(engine, &timeseries, meta);
+  }
+  if (decisions) {
+    arm.decisions_json =
+        engine.decisions().ExportJson(config_.explain_job_filter);
   }
   return arm;
 }

@@ -31,6 +31,16 @@ struct ExperimentConfig {
   // provenance ledger (process-wide), attaches an hourly time-series
   // collector to the simulator, and fills ArmResult::insights_json.
   bool collect_insights = false;
+  // Record reuse decision provenance for the CloudViews arm: enables the
+  // decision ledger (process-wide gate, like the provenance ledger) and
+  // fills ArmResult::decisions_json with the explain export. Implied by
+  // collect_insights — the insights bundle carries the miss-attribution
+  // table, so decisions must be on whenever insights are.
+  bool collect_decisions = false;
+  // Restricts the traces in ArmResult::decisions_json to one job id
+  // (--explain=<job_id>); -1 exports every job (--explain=all). The miss
+  // table and totals always cover the whole run.
+  int64_t explain_job_filter = -1;
   // When engine.enable_sharing is set, the CloudViews arm groups jobs whose
   // submissions fall within this many simulated seconds of the window's
   // first job into one sharing window (ReuseEngine::RunSharedWindow) instead
@@ -54,6 +64,9 @@ struct ArmResult {
   sharing::SharingStats sharing;
   // BuildInsightsJson document (CloudViews arm with collect_insights only).
   std::string insights_json;
+  // DecisionLedger::ExportJson document (CloudViews arm with
+  // collect_decisions or collect_insights only).
+  std::string decisions_json;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,16 @@
+// Fixture: a reporting surface that spells a decision-reason string as a
+// raw literal instead of going through DecisionReasonName(). lint.py must
+// flag the literal.
+#include "core/report.h"
+
+#include "obs/decision_reasons.h"
+
+namespace cloudviews {
+
+bool IsExactHit(const DecisionEvent& event) {
+  // Violation: the reason vocabulary is closed; a literal here can drift
+  // away from the enum in obs/decision_reasons.h silently.
+  return event.reason == "EXACT_HIT";
+}
+
+}  // namespace cloudviews

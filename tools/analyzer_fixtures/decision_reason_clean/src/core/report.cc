@@ -1,0 +1,22 @@
+// Fixture: reason strings come from the registry, never from literals —
+// and the sharing module's own mode labels (SHARE_NOW, BOTH) are not
+// decision reasons, so spelling them stays legal. lint.py must stay
+// silent here.
+#include "core/report.h"
+
+#include "obs/decision_reasons.h"
+
+namespace cloudviews {
+
+bool IsExactHit(const DecisionEvent& event) {
+  return event.reason ==
+         obs::DecisionReasonName(obs::DecisionReason::kExactHit);
+}
+
+const char* ShareModeLabel(bool stream_only) {
+  // "SHARE_NOW" is the work-sharing mode vocabulary, a proper substring of
+  // the SHARING_SHARE_NOW reason — the full-token rule must not fire.
+  return stream_only ? "SHARE_NOW" : "BOTH";
+}
+
+}  // namespace cloudviews

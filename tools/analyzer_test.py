@@ -47,6 +47,9 @@ CASES = [
     (LINT, "compensation_bad", 1,
      ["[compensation]", "BuildCompensation"]),
     (LINT, "compensation_clean", 0, []),
+    (LINT, "decision_reason_bad", 1,
+     ["[decision-reason]", '"EXACT_HIT"', "DecisionReasonName"]),
+    (LINT, "decision_reason_clean", 0, []),
 ]
 
 

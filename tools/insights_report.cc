@@ -3,9 +3,15 @@
 // BuildInsightsJson output).
 //
 // Usage:  insights_report [--top=N] INSIGHTS_JSON
+//         insights_report --explain [--top=N] DECISIONS_JSON
+//
+// With --explain the input is a decisions document
+// (`production_simulation --explain=<job_id|all> --explain-out=PATH`, or any
+// DecisionLedger::ExportJson output) and the rendering is the per-job
+// decision trees plus the fleet-wide miss-attribution table.
 //
 // Prints the report to stdout. Exits nonzero (with a message on stderr) if
-// the file cannot be read or is not an insights document.
+// the file cannot be read or is not a document of the expected shape.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,7 +25,9 @@
 namespace {
 
 void Usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--top=N] INSIGHTS_JSON\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s [--explain] [--top=N] INSIGHTS_OR_DECISIONS_JSON\n",
+               argv0);
 }
 
 }  // namespace
@@ -27,9 +35,12 @@ void Usage(const char* argv0) {
 int main(int argc, char** argv) {
   cloudviews::InsightsReportOptions options;
   std::string path;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--top=", 6) == 0) {
+    if (std::strcmp(arg, "--explain") == 0) {
+      explain = true;
+    } else if (std::strncmp(arg, "--top=", 6) == 0) {
       options.top_n = std::atoi(arg + 6);
       if (options.top_n <= 0) {
         std::fprintf(stderr, "insights_report: bad --top value: %s\n", arg + 6);
@@ -62,7 +73,9 @@ int main(int argc, char** argv) {
   std::ostringstream contents;
   contents << in.rdbuf();
 
-  auto report = cloudviews::RenderInsightsReport(contents.str(), options);
+  auto report =
+      explain ? cloudviews::RenderExplainReport(contents.str(), options)
+              : cloudviews::RenderInsightsReport(contents.str(), options);
   if (!report.ok()) {
     std::fprintf(stderr, "insights_report: %s\n",
                  report.status().ToString().c_str());

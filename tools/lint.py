@@ -40,6 +40,12 @@ Checks, over src/, tests/, bench/, examples/, and tools/:
              splices through BuildCompensation so residual filters,
              re-aggregation, and observed-statistics wiring happen in one
              audited place
+  decision-reason the reuse-decision reason registry is closed: no string
+             literal in src/ outside src/obs/decision_reasons.h may spell a
+             decision-reason name (EXACT_HIT, STAGE2_NOT_CONTAINED, ...) —
+             every surface goes through DecisionReasonName() so the
+             miss-attribution vocabulary cannot drift; the header's values
+             must be unique and agree with kAllDecisionReasons
 
 `--root DIR` lints an alternate tree laid out like the repo (DIR/src/...)
 instead of the repo itself — analyzer_test.py uses this to drive the
@@ -425,6 +431,81 @@ def check_compensation(src_root):
                        "stay in one place")
 
 
+def check_decision_reasons(src_root):
+    """Cross-file rule: the reuse-decision reason registry is closed.
+
+    src/obs/decision_reasons.h is the only place a decision-reason string
+    (the UPPER_SNAKE vocabulary of the explain traces and the
+    miss-attribution table) may appear as a literal; everywhere else goes
+    through DecisionReasonName(). A literal elsewhere would let a reason
+    spelling drift away from the enum silently — the exact failure the
+    closed registry exists to prevent. The registry itself must be
+    coherent: values unique, and the decision_reason_names constants in
+    one-to-one correspondence with the kAllDecisionReasons enumerators.
+
+    The vocabulary always comes from the repository's own header so the
+    fixture trees under tools/analyzer_fixtures/ don't need to replicate
+    it; `src_root` is the tree whose string literals get scanned.
+    """
+    header = REPO / "src" / "obs" / "decision_reasons.h"
+    if not header.exists():
+        return
+    text = header.read_text()
+    names_block = re.search(
+        r"namespace decision_reason_names\s*\{(.*?)\}", text, re.S)
+    consts = dict(
+        re.findall(r'inline constexpr char (k\w+)\[\]\s*=\s*"([^"]+)"',
+                   names_block.group(1))) if names_block else {}
+    if not consts:
+        report(header, 1, "decision-reason",
+               "no decision_reason_names constants found in the registry")
+        return
+    values = {}
+    for name, value in consts.items():
+        if value in values:
+            report(header, 1, "decision-reason",
+                   f'constants {values[value]} and {name} share the value '
+                   f'"{value}"')
+        else:
+            values[value] = name
+    listed_match = re.search(r"kAllDecisionReasons\[\]\s*=\s*\{(.*?)\};",
+                             text, re.S)
+    listed = set(re.findall(r"DecisionReason::(k\w+)", listed_match.group(1))
+                 ) if listed_match else set()
+    for name in consts:
+        if name not in listed:
+            report(header, 1, "decision-reason",
+                   f"constant {name} is not listed in kAllDecisionReasons")
+    for name in listed:
+        if name not in consts:
+            report(header, 1, "decision-reason",
+                   f"kAllDecisionReasons enumerator {name} has no "
+                   "decision_reason_names constant")
+
+    # Full-token match only: SHARING_SHARE_NOW must not fire on the work
+    # sharing module's own "SHARE_NOW" mode label, so each reason is
+    # anchored against UPPER_SNAKE neighbors on both sides.
+    reason_re = re.compile(
+        r"(?<![A-Z0-9_])(?:" + "|".join(
+            re.escape(v) for v in sorted(consts.values())) +
+        r")(?![A-Z0-9_])")
+    string_re = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+    if not src_root.exists():
+        return
+    for path in sorted(src_root.rglob("*.h")) + sorted(src_root.rglob("*.cc")):
+        if path.name == "decision_reasons.h":
+            continue
+        raw = path.read_text()
+        for m in string_re.finditer(raw):
+            hit = reason_re.search(m.group(0))
+            if hit:
+                no = raw.count("\n", 0, m.start()) + 1
+                report(path, no, "decision-reason",
+                       f'raw decision-reason literal "{hit.group(0)}"; use '
+                       "DecisionReasonName() / the obs::decision_reason_names "
+                       "constant from obs/decision_reasons.h")
+
+
 def lint_file(path):
     raw = path.read_text()
     raw_lines = raw.splitlines()
@@ -471,15 +552,17 @@ def main():
     args = parser.parse_args()
 
     if args.root is not None:
-        # Fixture mode: file rules plus the compensation cross-file rule
-        # over the given tree; registry checks and the sub-analyzers stay
-        # tied to the real repository. Success is silent (analyzer_test.py
+        # Fixture mode: file rules plus the compensation and
+        # decision-reason cross-file rules over the given tree; the other
+        # registry checks and the sub-analyzers stay tied to the real
+        # repository. Success is silent (analyzer_test.py
         # asserts clean fixtures produce no output).
         root = Path(args.root).resolve()
         targets = sorted(root.rglob("*.h")) + sorted(root.rglob("*.cc"))
         for path in targets:
             lint_file(path)
         check_compensation(root / "src")
+        check_decision_reasons(root / "src")
         for v in violations:
             print(v)
         return 1 if violations else 0
@@ -496,6 +579,7 @@ def main():
     check_fault_sites()
     check_metric_names()
     check_compensation(REPO / "src")
+    check_decision_reasons(REPO / "src")
     analyzers_failed = run_analyzers()
     for v in violations:
         print(v)
